@@ -1,0 +1,143 @@
+// Design-choice ablations (DESIGN.md §3, "(micro)" row and §4 notes): the
+// knobs the paper's architecture section motivates, each toggled on a real
+// CPU training:
+//
+//   1. Residual convolutional path on/off  (paper: stabilizes training and
+//      reduces uncertainty — off forces the ViT to learn the full map).
+//   2. Bayesian MRF-TV prior on/off        (paper: spatial coherence).
+//   3. BF16 mixed precision on/off         (paper §III-D: speed/stability).
+//   4. Halo width sweep                    (paper Fig 4b: border artifacts
+//      vs halo cost).
+
+#include "bench/common.hpp"
+#include "core/thread_pool.hpp"
+#include "tiles/tiles.hpp"
+
+namespace orbit2 {
+namespace {
+
+struct AblationResult {
+  double final_loss = 0.0;
+  double seconds_per_sample = 0.0;
+};
+
+AblationResult run_training(model::ModelConfig mconfig,
+                            train::TrainerConfig tconfig,
+                            const data::SyntheticDataset& dataset) {
+  Rng rng(42);
+  model::ReslimModel model(mconfig, rng);
+  train::Trainer trainer(model, tconfig);
+  const auto indices = bench::index_range(8);
+  train::EpochStats last{};
+  for (std::int64_t e = 0; e < tconfig.epochs; ++e) {
+    last = trainer.train_epoch(dataset, indices);
+  }
+  return {last.mean_loss, last.seconds_per_sample()};
+}
+
+}  // namespace
+}  // namespace orbit2
+
+int main() {
+  using namespace orbit2;
+  const data::DatasetConfig dconfig = bench::us_dataset_config(909, 32, 64);
+  data::SyntheticDataset dataset(dconfig);
+  const auto in_ch = static_cast<std::int64_t>(dconfig.input_variables.size());
+  const auto out_ch = static_cast<std::int64_t>(dconfig.output_variables.size());
+  const model::ModelConfig base_model = bench::bench_model_config(0, in_ch, out_ch);
+  train::TrainerConfig base_train;
+  base_train.epochs = 10;
+  base_train.batch_size = 2;
+  base_train.lr = 2e-3f;
+
+  bench::print_header("Ablation 1 — residual convolutional path");
+  {
+    const auto with_path = run_training(base_model, base_train, dataset);
+    model::ModelConfig no_path = base_model;
+    no_path.use_residual_path = false;
+    const auto without_path = run_training(no_path, base_train, dataset);
+    std::printf("%-24s final loss %8.4f   %10.4f s/sample\n",
+                "with residual path", with_path.final_loss,
+                with_path.seconds_per_sample);
+    std::printf("%-24s final loss %8.4f   %10.4f s/sample\n",
+                "without residual path", without_path.final_loss,
+                without_path.seconds_per_sample);
+    std::printf("-> the path cuts the loss %.1fx at equal epochs (it hands "
+                "the ViT only the residual).\n",
+                without_path.final_loss / with_path.final_loss);
+  }
+
+  bench::print_header("Ablation 2 — Bayesian MRF total-variation prior");
+  {
+    const auto with_tv = run_training(base_model, base_train, dataset);
+    train::TrainerConfig no_tv = base_train;
+    no_tv.tv_weight = 0.0f;
+    const auto without_tv = run_training(base_model, no_tv, dataset);
+    std::printf("%-24s final loss %8.4f\n", "tv_weight = 0.005",
+                with_tv.final_loss);
+    std::printf("%-24s final loss %8.4f\n", "tv_weight = 0",
+                without_tv.final_loss);
+    std::printf("-> losses are not directly comparable (the prior adds a "
+                "term); the prior's\n   role is spatial coherence — see the "
+                "TV tests for its smoothing behaviour.\n");
+  }
+
+  bench::print_header("Ablation 3 — BF16 mixed precision");
+  {
+    const auto fp32 = run_training(base_model, base_train, dataset);
+    train::TrainerConfig amp = base_train;
+    amp.mixed_precision = true;
+    const auto bf16 = run_training(base_model, amp, dataset);
+    std::printf("%-24s final loss %8.4f   %10.4f s/sample\n", "fp32",
+                fp32.final_loss, fp32.seconds_per_sample);
+    std::printf("%-24s final loss %8.4f   %10.4f s/sample\n",
+                "bf16 + GradScaler", bf16.final_loss,
+                bf16.seconds_per_sample);
+    std::printf("-> training stays stable under bf16 rounding with dynamic "
+                "loss scaling\n   (CPU emulation shows no speedup; on matrix "
+                "units it is the 2x lever).\n");
+  }
+
+  bench::print_header("Ablation 4 — halo width vs border artifacts (Fig 4b)");
+  {
+    Rng rng(42);
+    model::ReslimModel model(bench::bench_model_config(0, in_ch, out_ch), rng);
+    train::TrainerConfig tconfig = base_train;
+    train::Trainer trainer(model, tconfig);
+    for (std::int64_t e = 0; e < tconfig.epochs; ++e) {
+      trainer.train_epoch(dataset, bench::index_range(8));
+    }
+    const data::Sample sample = dataset.sample(9);
+    const Tensor monolithic = model.predict_field(sample.input);
+    ThreadPool pool(4);
+    std::printf("%6s %18s %14s\n", "halo", "border-band MSE",
+                "tile work (+%)");
+    bench::print_rule();
+    // Even halos keep padded tiles patch-aligned (patch = 2).
+    for (std::int64_t halo : {0, 2, 4}) {
+      const TileSpec spec{2, 2, halo};
+      const auto regions =
+          partition_tiles(sample.input.dim(1), sample.input.dim(2), spec);
+      const Tensor tiled = tiled_apply(
+          sample.input, spec, 4, pool,
+          [&model](std::size_t, const Tensor& tile) {
+            return model.predict_field(tile);
+          });
+      const float band =
+          border_band_mse(tiled, monolithic, regions, 4, 2);
+      // Work overhead: padded vs core pixels.
+      std::int64_t pad_pixels = 0, core_pixels = 0;
+      for (const auto& r : regions) {
+        pad_pixels += r.pad_h * r.pad_w;
+        core_pixels += r.core_h * r.core_w;
+      }
+      std::printf("%6lld %18.5f %13.1f%%\n", static_cast<long long>(halo),
+                  band,
+                  100.0 * (static_cast<double>(pad_pixels) / core_pixels - 1.0));
+    }
+    std::printf("-> larger halos suppress border artifacts at the cost of "
+                "redundant tile work\n   (the paper's empirical halo-width "
+                "trade-off).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Table I: the dataset inventory. Reconstructs each paper dataset's
+// synthetic analogue at a reduced grid, verifies shapes and variable
+// counts, and prints the inventory table in the paper's format alongside
+// the paper's values.
+//
+// Paper rows (resolution pairs -> sample dims, counts):
+//   ERA5->ERA5 global 622->156, 23 -> 3, [32,64,23] -> [128,256,3], 367,920
+//   ERA5->ERA5 global 112->28,  23 -> 3, [180,360,23] -> [720,1440,3], 367,920
+//   PRISM->PRISM US   16->4,     7 -> 3, [180,360,7] -> [720,1440,3],  14,235
+//   DAYMET->DAYMET US 16->4,     7 -> 3, [180,360,7] -> [720,1440,3],  14,946
+//   [ERA5,DAYMET]->DAYMET US 28->7, 23->3, [120,240,23]->[480,960,3],  14,946
+//   ERA5->IMERG global 28->7,   23 -> 3, [720,1440,23]->[2880,5760,3],  1,488
+
+#include "bench/common.hpp"
+
+namespace orbit2 {
+namespace {
+
+struct InventoryRow {
+  const char* name;
+  const char* region;
+  const char* resolution;
+  std::int64_t in_vars;
+  std::int64_t out_vars;
+  std::int64_t lr_h, lr_w;      // bench-scale sample dims (reduced 4x)
+  std::int64_t paper_samples;   // paper's pair count
+  bool fixed_region;
+  bool observation;
+};
+
+}  // namespace
+}  // namespace orbit2
+
+int main() {
+  using namespace orbit2;
+  bench::print_header("Table I — dataset inventory (synthetic analogues)");
+
+  const InventoryRow rows[] = {
+      {"ERA5->ERA5 (622->156km)", "Global", "622->156", 23, 3, 8, 16, 367920,
+       false, false},
+      {"ERA5->ERA5 (112->28km)", "Global", "112->28", 23, 3, 45, 90, 367920,
+       false, false},
+      {"PRISM->PRISM", "US", "16->4", 7, 3, 45, 90, 14235, true, false},
+      {"DAYMET->DAYMET", "US", "16->4", 7, 3, 45, 90, 14946, true, false},
+      {"[ERA5,DAYMET]->DAYMET", "US", "28->7", 23, 3, 30, 60, 14946, true,
+       false},
+      {"ERA5->IMERG", "Global", "28->7", 23, 3, 180, 360, 1488, false, true},
+  };
+
+  std::printf("%-26s %-7s %-9s %5s %5s %-22s %10s\n", "Dataset", "Region",
+              "Res(km)", "Vin", "Vout", "Sample dims (bench)", "PaperN");
+  bench::print_rule();
+  for (const auto& row : rows) {
+    data::DatasetConfig config;
+    config.hr_h = row.lr_h * 4;
+    config.hr_w = row.lr_w * 4;
+    config.upscale = 4;
+    config.fixed_region = row.fixed_region;
+    config.observation_targets = row.observation;
+    config.seed = 808;
+    auto inputs = data::era5_input_variables();
+    if (row.in_vars < static_cast<std::int64_t>(inputs.size())) {
+      inputs.resize(static_cast<std::size_t>(row.in_vars));
+    }
+    config.input_variables = inputs;
+    data::SyntheticDataset dataset(config);
+    const data::Sample sample = dataset.sample(0);
+
+    // Verify the generator matches the declared geometry.
+    ORBIT2_CHECK(sample.input.shape() ==
+                 Shape({row.in_vars, row.lr_h, row.lr_w}));
+    ORBIT2_CHECK(sample.target.shape() ==
+                 Shape({3, row.lr_h * 4, row.lr_w * 4}));
+
+    char dims[48];
+    std::snprintf(dims, sizeof(dims), "[%lld,%lld,%lld]->[%lld,%lld,3]",
+                  static_cast<long long>(row.lr_h),
+                  static_cast<long long>(row.lr_w),
+                  static_cast<long long>(row.in_vars),
+                  static_cast<long long>(row.lr_h * 4),
+                  static_cast<long long>(row.lr_w * 4));
+    std::printf("%-26s %-7s %-9s %5lld %5lld %-22s %10lld\n", row.name,
+                row.region, row.resolution,
+                static_cast<long long>(row.in_vars), 3LL, dims,
+                static_cast<long long>(row.paper_samples));
+  }
+  std::printf(
+      "\nAll six dataset analogues generate with the declared geometry; the "
+      "4x\nrefinement pairing and variable structure (5 static / 12 "
+      "atmospheric / 6\nsurface inputs, 3 outputs) match Table I. Sample "
+      "dims are reduced 4x per\naxis for bench budgets; counts are "
+      "unbounded (samples are procedural).\n");
+  return 0;
+}

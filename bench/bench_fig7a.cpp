@@ -1,0 +1,66 @@
+// Fig 7(a): radially averaged spatial power spectra of downscaled minimum
+// temperature for the two model capacities vs the ground truth.
+//
+// Paper reference: the 126M model tracks the truth spectrum into the high
+// wavenumbers; the 9.5M model deviates at high frequency.
+//
+// The bench trains the capacity pair, prints the three spectra as columns
+// (CSV-ish for plotting), and summarizes the high-frequency spectral error.
+
+#include "bench/common.hpp"
+#include "fft/fft.hpp"
+#include "metrics/metrics.hpp"
+
+int main() {
+  using namespace orbit2;
+  bench::print_header(
+      "Fig 7(a) — power spectrum of downscaled minimum temperature");
+
+  const data::DatasetConfig dconfig = bench::us_dataset_config(505, 64, 128);
+  data::SyntheticDataset dataset(dconfig);
+  const auto in_ch = static_cast<std::int64_t>(dconfig.input_variables.size());
+  const auto out_ch = static_cast<std::int64_t>(dconfig.output_variables.size());
+  const std::int64_t train_n = 16, epochs = 30, eval_index = train_n;
+
+  std::vector<std::unique_ptr<model::ReslimModel>> models;
+  for (int capacity : {0, 1}) {
+    models.push_back(bench::train_reslim(
+        bench::bench_model_config(capacity, in_ch, out_ch), dataset, train_n,
+        epochs, 42));
+  }
+
+  const data::Sample physical = dataset.sample_physical(eval_index);
+  const std::int64_t h = physical.target.dim(1), w = physical.target.dim(2);
+  const Tensor truth = physical.target.slice(0, 0, 1).reshape(Shape{h, w});
+  const auto spec_truth = radial_power_spectrum(truth);
+
+  std::vector<std::vector<double>> spectra;
+  std::vector<double> hf_error;
+  for (const auto& model : models) {
+    Tensor pred = train::predict_physical(*model, dataset, eval_index);
+    const Tensor field = pred.slice(0, 0, 1).reshape(Shape{h, w});
+    spectra.push_back(radial_power_spectrum(field));
+    hf_error.push_back(metrics::high_frequency_spectral_error(field, truth));
+  }
+
+  std::printf("%6s %14s %14s %14s\n", "k", "truth", "small(9.5M~)",
+              "large(126M~)");
+  bench::print_rule();
+  for (std::size_t k = 1; k < spec_truth.size(); ++k) {
+    std::printf("%6zu %14.6e %14.6e %14.6e\n", k, spec_truth[k],
+                spectra[0][k], spectra[1][k]);
+  }
+  std::printf("\nHigh-frequency spectral error (mean |log10 ratio|, top half"
+              " of wavenumbers):\n");
+  std::printf("  small model: %.4f\n  large model: %.4f\n", hf_error[0],
+              hf_error[1]);
+  std::printf(
+      "\nShape check: both capacity tiers under-represent the truth's "
+      "high-frequency\ntail — the deviation the paper's Fig 7(a) shows for "
+      "its 9.5M model. The paper's\nfull result (the 126M model recovering "
+      "the tail) additionally needs the real\nobservational archives: at "
+      "bench scale the fine-scale signal is information-\nlimited (see "
+      "EXPERIMENTS.md, Table IV discussion), so the capacity ordering\non "
+      "spectral error is not expected to reproduce here.\n");
+  return 0;
+}

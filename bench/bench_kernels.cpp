@@ -1,0 +1,142 @@
+// Kernel-level microbenchmarks (google-benchmark): the performance claims
+// underneath the paper tables — blocked matmul, flash vs naive attention
+// across sequence lengths (the O(N^2) -> O(N) memory story), conv2d,
+// Canny + quad-tree partitioning overhead, FFT, and the GRF generator.
+
+#include <benchmark/benchmark.h>
+
+#include "attention/attention.hpp"
+#include "attention/window_attention.hpp"
+#include "hwsim/sequence_parallel.hpp"
+#include "core/rng.hpp"
+#include "data/generator.hpp"
+#include "fft/fft.hpp"
+#include "image/filters.hpp"
+#include "quadtree/quadtree.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/matmul.hpp"
+
+namespace orbit2 {
+namespace {
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn(Shape{n, n}, rng);
+  Tensor b = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AttentionNaive(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  Tensor q = Tensor::randn(Shape{n, 32}, rng);
+  Tensor k = Tensor::randn(Shape{n, 32}, rng);
+  Tensor v = Tensor::randn(Shape{n, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attention_naive_forward(q, k, v, 0.17f, nullptr));
+  }
+}
+BENCHMARK(BM_AttentionNaive)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_AttentionFlash(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(3);
+  Tensor q = Tensor::randn(Shape{n, 32}, rng);
+  Tensor k = Tensor::randn(Shape{n, 32}, rng);
+  Tensor v = Tensor::randn(Shape{n, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attention_flash_forward(q, k, v, 0.17f, nullptr));
+  }
+}
+BENCHMARK(BM_AttentionFlash)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_Conv2d3x3(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{8, n, n}, rng);
+  Tensor w = Tensor::randn(Shape{8, 8, 3, 3}, rng, 0.1f);
+  Tensor b = Tensor::zeros(Shape{8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d_forward(x, w, b, {3, 3, 1, 1}));
+  }
+}
+BENCHMARK(BM_Conv2d3x3)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_CannyPlusQuadtree(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(5);
+  Tensor field = gaussian_blur(
+      Tensor::uniform(Shape{n, n}, rng, 0.0f, 1.0f), 1.0f);
+  for (auto _ : state) {
+    Tensor edges = canny(field);
+    benchmark::DoNotOptimize(partition_with_target_ratio(edges, 8.0f));
+  }
+}
+BENCHMARK(BM_CannyPlusQuadtree)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Fft2d(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(6);
+  Tensor field = Tensor::randn(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radial_power_spectrum(field));
+  }
+}
+BENCHMARK(BM_Fft2d)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GaussianRandomField(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        data::gaussian_random_field(n, n, 3.0f, rng));
+  }
+}
+BENCHMARK(BM_GaussianRandomField)->Arg(64)->Arg(128);
+
+void BM_QuadtreePoolScatter(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(8);
+  Tensor edges = Tensor::uniform(Shape{n, n}, rng, 0.0f, 1.0f)
+                     .map([](float v) { return v > 0.85f ? 1.0f : 0.0f; });
+  const auto leaves = partition_with_target_ratio(edges, 8.0f);
+  Tensor tokens = Tensor::randn(Shape{n * n, 32}, rng);
+  for (auto _ : state) {
+    Tensor pooled = pool_tokens(tokens, n, n, leaves);
+    benchmark::DoNotOptimize(scatter_tokens(pooled, n, n, leaves));
+  }
+}
+BENCHMARK(BM_QuadtreePoolScatter)->Arg(32)->Arg(64);
+
+void BM_WindowAttention(benchmark::State& state) {
+  const auto side = state.range(0);
+  Rng rng(9);
+  Tensor q = Tensor::randn(Shape{side * side, 32}, rng);
+  WindowAttentionSpec spec{side, side, 8, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(window_attention_forward(q, q, q, 0.18f, spec));
+  }
+}
+BENCHMARK(BM_WindowAttention)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RingAttention(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(10);
+  Tensor q = Tensor::randn(Shape{n, 32}, rng);
+  for (auto _ : state) {
+    hwsim::CommStats stats;
+    benchmark::DoNotOptimize(
+        hwsim::ring_attention(q, q, q, 0.18f, 4, stats));
+  }
+}
+BENCHMARK(BM_RingAttention)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace orbit2
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Extreme sequence planning: the Table III scenario. Uses the hwsim
+// cluster simulator to plan global hyper-resolution downscaling runs —
+// including the paper's flagship 4.2-billion-token / 0.9 km configuration —
+// and prints the parallelism plan and per-GPU memory budget for each.
+//
+//   $ ./examples/extreme_sequence
+
+#include <cstdio>
+
+#include "hwsim/perf_model.hpp"
+
+namespace {
+
+void plan_run(const char* label, orbit2::model::ModelConfig config,
+              float compression, std::int64_t tiles, std::int64_t gpus) {
+  using namespace orbit2::hwsim;
+  FrontierTopology topo;
+  config.out_channels = 18;
+
+  const MaxSequenceResult result =
+      max_sequence_length(config, compression, tiles, gpus, topo);
+  std::printf("\n%s (%s, %.0fx compression, %lld tiles, %lld GPUs)\n", label,
+              config.name.c_str(), compression, static_cast<long long>(tiles),
+              static_cast<long long>(gpus));
+  if (!result.feasible) {
+    std::printf("  -> OOM: does not fit at any sequence length\n");
+    const double state_bytes = result.at_limit.parameter_bytes +
+                               result.at_limit.gradient_bytes +
+                               result.at_limit.optimizer_bytes;
+    std::printf("     (model state alone needs %.1f GB per GPU vs %.1f GB "
+                "usable)\n",
+                state_bytes / 1e9, topo.usable_bytes() / 1e9);
+    return;
+  }
+  std::printf("  max sequence length: %lld tokens\n",
+              static_cast<long long>(result.sequence_length));
+  std::printf("  output grid: [%lld, %lld, 18] -> %.2f km global "
+              "resolution\n",
+              static_cast<long long>(result.out_h),
+              static_cast<long long>(result.out_w), result.resolution_km);
+  const auto& mem = result.at_limit;
+  std::printf("  per-GPU memory at the limit (GB): params %.1f + grads %.1f "
+              "+ optim %.1f\n    + transient %.1f + activations %.1f + "
+              "attention %.1f + io %.1f = %.1f / %.1f\n",
+              mem.parameter_bytes / 1e9, mem.gradient_bytes / 1e9,
+              mem.optimizer_bytes / 1e9, mem.transient_layer_bytes / 1e9,
+              mem.activation_bytes / 1e9, mem.attention_score_bytes / 1e9,
+              mem.io_bytes / 1e9, mem.total() / 1e9,
+              topo.usable_bytes() / 1e9);
+
+  // Also estimate the training step under the equivalent plan.
+  WorkloadSpec spec;
+  spec.config = config;
+  spec.lr_h = result.out_h / config.upscale;
+  spec.lr_w = result.out_w / config.upscale;
+  spec.tiles = tiles;
+  spec.compression = compression;
+  const ParallelismPlan plan =
+      plan_parallelism(config, gpus, tiles, /*favor_sequence=*/true);
+  const StepTimeBreakdown step = estimate_step(spec, plan, topo);
+  std::printf("  plan: %s\n  estimated %.3f s per sample\n",
+              plan.to_string().c_str(), step.per_sample_seconds);
+}
+
+}  // namespace
+
+int main() {
+  using namespace orbit2;
+  std::printf("Extreme sequence-length planning on the simulated Frontier\n");
+  std::printf("===========================================================\n");
+
+  // A standard ViT for contrast (Table III rows 1-2).
+  model::ModelConfig vit = model::preset_9_5m();
+  vit.architecture = model::Architecture::kViTBaseline;
+  plan_run("Standard ViT baseline", vit, 1.0f, 1, 8);
+  model::ModelConfig vit_10b = model::preset_10b();
+  vit_10b.architecture = model::Architecture::kViTBaseline;
+  plan_run("Standard ViT baseline", vit_10b, 1.0f, 1, 8);
+
+  // Reslim ladder up to the flagship configuration.
+  plan_run("Reslim, plain", model::preset_9_5m(), 1.0f, 1, 8);
+  plan_run("Reslim + compression + TILES", model::preset_9_5m(), 4.0f, 16, 8);
+  plan_run("Flagship (paper: 4.2B tokens, 0.9 km)", model::preset_9_5m(),
+           4.0f, 16, 128);
+  plan_run("10B model at scale (paper: 671M tokens, 2.3 km)",
+           model::preset_10b(), 4.0f, 16, 512);
+  return 0;
+}

@@ -1,0 +1,244 @@
+#include "attention/attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit2 {
+
+namespace {
+
+void check_qkv(const Tensor& q, const Tensor& k, const Tensor& v) {
+  ORBIT2_REQUIRE(q.rank() == 2 && k.rank() == 2 && v.rank() == 2,
+                 "attention expects rank-2 Q,K,V");
+  ORBIT2_REQUIRE(q.dim(1) == k.dim(1), "attention: Q/K head dim mismatch");
+  ORBIT2_REQUIRE(k.dim(0) == v.dim(0), "attention: K/V length mismatch");
+}
+
+}  // namespace
+
+Tensor attention_naive_forward(const Tensor& q, const Tensor& k,
+                               const Tensor& v, float scale,
+                               AttentionContext* ctx) {
+  check_qkv(q, k, v);
+  Tensor scores = matmul_nt(q, k);          // [Nq, Nk]
+  scores.scale_inplace(scale);
+  const Tensor probs = softmax_rows(scores);  // [Nq, Nk]
+  Tensor output = matmul(probs, v);           // [Nq, d_v]
+  if (ctx) {
+    ctx->q = q;
+    ctx->k = k;
+    ctx->v = v;
+    ctx->output = output;
+    ctx->probs = probs;
+    ctx->scale = scale;
+    ctx->used_flash = false;
+  }
+  return output;
+}
+
+AttentionGrads attention_naive_backward(const AttentionContext& ctx,
+                                        const Tensor& grad_output) {
+  ORBIT2_REQUIRE(!ctx.used_flash, "context came from flash forward");
+  const Tensor& probs = ctx.probs;
+  // dV = P^T dO
+  Tensor dv = matmul_tn(probs, grad_output);
+  // dP = dO V^T
+  const Tensor dp = matmul_nt(grad_output, ctx.v);
+  // dS = softmax' , then scaled.
+  Tensor ds = softmax_rows_backward(probs, dp);
+  ds.scale_inplace(ctx.scale);
+  // dQ = dS K ; dK = dS^T Q
+  Tensor dq = matmul(ds, ctx.k);
+  Tensor dk = matmul_tn(ds, ctx.q);
+  return {std::move(dq), std::move(dk), std::move(dv)};
+}
+
+Tensor attention_flash_forward(const Tensor& q, const Tensor& k,
+                               const Tensor& v, float scale,
+                               AttentionContext* ctx,
+                               const FlashParams& params) {
+  check_qkv(q, k, v);
+  ORBIT2_REQUIRE(params.block_q >= 1 && params.block_kv >= 1,
+                 "flash block sizes must be positive");
+  const std::int64_t nq = q.dim(0), nk = k.dim(0);
+  const std::int64_t d = q.dim(1), dv = v.dim(1);
+
+  Tensor output = Tensor::zeros(Shape{nq, dv});
+  Tensor logsumexp(Shape{nq});
+
+  const float* pq = q.data().data();
+  const float* pk = k.data().data();
+  const float* pv = v.data().data();
+  float* po = output.data().data();
+  float* plse = logsumexp.data().data();
+
+  // Running row statistics: max m_i and normalizer l_i.
+  std::vector<float> row_max(static_cast<std::size_t>(nq),
+                             -std::numeric_limits<float>::infinity());
+  std::vector<float> row_sum(static_cast<std::size_t>(nq), 0.0f);
+  // Scratch score block.
+  std::vector<float> scores(
+      static_cast<std::size_t>(params.block_q * params.block_kv));
+
+  for (std::int64_t q0 = 0; q0 < nq; q0 += params.block_q) {
+    const std::int64_t q1 = std::min(nq, q0 + params.block_q);
+    for (std::int64_t k0 = 0; k0 < nk; k0 += params.block_kv) {
+      const std::int64_t k1 = std::min(nk, k0 + params.block_kv);
+      const std::int64_t bk = k1 - k0;
+
+      // Score tile S = Qb Kb^T * scale (fits in cache by construction).
+      for (std::int64_t i = q0; i < q1; ++i) {
+        const float* qrow = pq + i * d;
+        float* srow = scores.data() + (i - q0) * params.block_kv;
+        for (std::int64_t j = 0; j < bk; ++j) {
+          const float* krow = pk + (k0 + j) * d;
+          double acc = 0.0;
+          for (std::int64_t t = 0; t < d; ++t) acc += static_cast<double>(qrow[t]) * krow[t];
+          srow[j] = static_cast<float>(acc) * scale;
+        }
+      }
+
+      // Online softmax update per row: rescale previous accumulators when a
+      // new maximum appears, then fold in this block's contributions.
+      for (std::int64_t i = q0; i < q1; ++i) {
+        float* srow = scores.data() + (i - q0) * params.block_kv;
+        float block_max = srow[0];
+        for (std::int64_t j = 1; j < bk; ++j) block_max = std::max(block_max, srow[j]);
+
+        const float old_max = row_max[static_cast<std::size_t>(i)];
+        const float new_max = std::max(old_max, block_max);
+        const float correction =
+            (old_max == -std::numeric_limits<float>::infinity())
+                ? 0.0f
+                : std::exp(old_max - new_max);
+
+        float* orow = po + i * dv;
+        for (std::int64_t t = 0; t < dv; ++t) orow[t] *= correction;
+        row_sum[static_cast<std::size_t>(i)] *= correction;
+
+        for (std::int64_t j = 0; j < bk; ++j) {
+          const float p = std::exp(srow[j] - new_max);
+          row_sum[static_cast<std::size_t>(i)] += p;
+          const float* vrow = pv + (k0 + j) * dv;
+          for (std::int64_t t = 0; t < dv; ++t) orow[t] += p * vrow[t];
+        }
+        row_max[static_cast<std::size_t>(i)] = new_max;
+      }
+    }
+  }
+
+  // Final normalization and log-sum-exp bookkeeping.
+  for (std::int64_t i = 0; i < nq; ++i) {
+    const float l = row_sum[static_cast<std::size_t>(i)];
+    ORBIT2_CHECK(l > 0.0f, "flash attention: zero normalizer at row " << i);
+    const float inv = 1.0f / l;
+    float* orow = po + i * dv;
+    for (std::int64_t t = 0; t < dv; ++t) orow[t] *= inv;
+    plse[i] = row_max[static_cast<std::size_t>(i)] + std::log(l);
+  }
+
+  if (ctx) {
+    ctx->q = q;
+    ctx->k = k;
+    ctx->v = v;
+    ctx->output = output;
+    ctx->logsumexp = logsumexp;
+    ctx->scale = scale;
+    ctx->used_flash = true;
+  }
+  return output;
+}
+
+AttentionGrads attention_flash_backward(const AttentionContext& ctx,
+                                        const Tensor& grad_output,
+                                        const FlashParams& params) {
+  ORBIT2_REQUIRE(ctx.used_flash, "context came from naive forward");
+  const Tensor& q = ctx.q;
+  const Tensor& k = ctx.k;
+  const Tensor& v = ctx.v;
+  const std::int64_t nq = q.dim(0), nk = k.dim(0);
+  const std::int64_t d = q.dim(1), dv = v.dim(1);
+  check_same_shape(grad_output, ctx.output, "attention_flash_backward");
+
+  Tensor dq = Tensor::zeros(q.shape());
+  Tensor dk = Tensor::zeros(k.shape());
+  Tensor dvt = Tensor::zeros(v.shape());
+
+  const float* pq = q.data().data();
+  const float* pk = k.data().data();
+  const float* pv = v.data().data();
+  const float* po = ctx.output.data().data();
+  const float* pgo = grad_output.data().data();
+  const float* plse = ctx.logsumexp.data().data();
+  float* pdq = dq.data().data();
+  float* pdk = dk.data().data();
+  float* pdv = dvt.data().data();
+
+  // D_i = rowsum(dO_i * O_i): the softmax-backward dot term, computed once.
+  std::vector<float> delta(static_cast<std::size_t>(nq));
+  for (std::int64_t i = 0; i < nq; ++i) {
+    double acc = 0.0;
+    for (std::int64_t t = 0; t < dv; ++t) {
+      acc += static_cast<double>(pgo[i * dv + t]) * po[i * dv + t];
+    }
+    delta[static_cast<std::size_t>(i)] = static_cast<float>(acc);
+  }
+
+  std::vector<float> probs(
+      static_cast<std::size_t>(params.block_q * params.block_kv));
+
+  for (std::int64_t k0 = 0; k0 < nk; k0 += params.block_kv) {
+    const std::int64_t k1 = std::min(nk, k0 + params.block_kv);
+    const std::int64_t bk = k1 - k0;
+    for (std::int64_t q0 = 0; q0 < nq; q0 += params.block_q) {
+      const std::int64_t q1 = std::min(nq, q0 + params.block_q);
+
+      // Recompute P tile from Q, K and saved logsumexp.
+      for (std::int64_t i = q0; i < q1; ++i) {
+        const float* qrow = pq + i * d;
+        float* prow = probs.data() + (i - q0) * params.block_kv;
+        const float lse = plse[i];
+        for (std::int64_t j = 0; j < bk; ++j) {
+          const float* krow = pk + (k0 + j) * d;
+          double acc = 0.0;
+          for (std::int64_t t = 0; t < d; ++t) acc += static_cast<double>(qrow[t]) * krow[t];
+          prow[j] = std::exp(static_cast<float>(acc) * ctx.scale - lse);
+        }
+      }
+
+      for (std::int64_t i = q0; i < q1; ++i) {
+        const float* prow = probs.data() + (i - q0) * params.block_kv;
+        const float* gorow = pgo + i * dv;
+        const float* qrow = pq + i * d;
+        float* dqrow = pdq + i * d;
+        for (std::int64_t j = 0; j < bk; ++j) {
+          const float p = prow[j];
+          if (p == 0.0f) continue;
+          const float* vrow = pv + (k0 + j) * dv;
+          float* dvrow = pdv + (k0 + j) * dv;
+          // dV_j += p * dO_i
+          double dp = 0.0;
+          for (std::int64_t t = 0; t < dv; ++t) {
+            dvrow[t] += p * gorow[t];
+            dp += static_cast<double>(gorow[t]) * vrow[t];
+          }
+          // dS_ij = p * (dP_ij - D_i), scaled.
+          const float ds = p * (static_cast<float>(dp) - delta[static_cast<std::size_t>(i)]) * ctx.scale;
+          const float* krow = pk + (k0 + j) * d;
+          float* dkrow = pdk + (k0 + j) * d;
+          for (std::int64_t t = 0; t < d; ++t) {
+            dqrow[t] += ds * krow[t];
+            dkrow[t] += ds * qrow[t];
+          }
+        }
+      }
+    }
+  }
+  return {std::move(dq), std::move(dk), std::move(dvt)};
+}
+
+}  // namespace orbit2

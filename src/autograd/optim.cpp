@@ -1,0 +1,108 @@
+#include "autograd/optim.hpp"
+
+#include <cmath>
+
+namespace orbit2::autograd {
+
+AdamW::AdamW(std::vector<ParamPtr> params, AdamWConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::zeros(p->value.shape()));
+    v_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void AdamW::step(float grad_scale) {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(config_.beta1,
+                                      static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(config_.beta2,
+                                      static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    auto w = p.value.data();
+    auto g = p.grad.data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      const float grad = g[j] * grad_scale;
+      m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * grad;
+      v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2) * grad * grad;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      // Decoupled weight decay (AdamW): decay applies to the weight, not the
+      // gradient moments.
+      w[j] -= config_.lr * (m_hat / (std::sqrt(v_hat) + config_.epsilon) +
+                            config_.weight_decay * w[j]);
+    }
+  }
+}
+
+CosineSchedule::CosineSchedule(float base_lr, std::int64_t warmup_steps,
+                               std::int64_t total_steps, float min_lr)
+    : base_lr_(base_lr),
+      min_lr_(min_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps) {
+  ORBIT2_REQUIRE(total_steps >= 1, "schedule needs at least one step");
+  ORBIT2_REQUIRE(warmup_steps >= 0 && warmup_steps <= total_steps,
+                 "warmup " << warmup_steps << " outside [0, " << total_steps
+                           << "]");
+}
+
+float CosineSchedule::lr_at(std::int64_t step) const {
+  if (step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  if (step >= total_steps_) return min_lr_;
+  const float progress =
+      static_cast<float>(step - warmup_steps_) /
+      static_cast<float>(std::max<std::int64_t>(1, total_steps_ - warmup_steps_));
+  const float cosine = 0.5f * (1.0f + std::cos(static_cast<float>(M_PI) * progress));
+  return min_lr_ + (base_lr_ - min_lr_) * cosine;
+}
+
+float clip_grad_norm(const std::vector<ParamPtr>& params, float max_norm) {
+  ORBIT2_REQUIRE(max_norm > 0.0f, "max_norm must be positive");
+  double total = 0.0;
+  for (const auto& p : params) total += p->grad.sum_squares();
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float factor = max_norm / norm;
+    for (const auto& p : params) p->grad.scale_inplace(factor);
+  }
+  return norm;
+}
+
+bool grads_are_finite(const std::vector<ParamPtr>& params) {
+  for (const auto& p : params) {
+    for (float g : p->grad.data()) {
+      if (!std::isfinite(g)) return false;
+    }
+  }
+  return true;
+}
+
+GradScaler::GradScaler(GradScalerConfig config)
+    : config_(config), scale_(config.initial_scale) {}
+
+bool GradScaler::unscale_and_check(const std::vector<ParamPtr>& params) {
+  if (grads_are_finite(params)) {
+    if (++good_steps_ >= config_.growth_interval) {
+      scale_ *= config_.growth_factor;
+      good_steps_ = 0;
+    }
+    return true;
+  }
+  // Overflow: drop this step entirely.
+  for (const auto& p : params) p->zero_grad();
+  scale_ = std::max(config_.min_scale, scale_ * config_.backoff_factor);
+  good_steps_ = 0;
+  ++skipped_;
+  return false;
+}
+
+}  // namespace orbit2::autograd

@@ -1,0 +1,101 @@
+#pragma once
+// Optimization: AdamW, cosine LR schedule with warmup, global-norm gradient
+// clipping, and the dynamic loss scaler for BF16 mixed precision.
+//
+// The GradScaler mirrors PyTorch's torch.cuda.amp.GradScaler semantics the
+// paper relies on (§III-D "Mixed Precision and Layer Wrapping"): losses are
+// multiplied by `scale` before backward; if any gradient is non-finite the
+// step is skipped and the scale halves, otherwise after `growth_interval`
+// good steps the scale doubles.
+
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace orbit2::autograd {
+
+struct AdamWConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.01f;
+};
+
+/// Decoupled-weight-decay Adam over a fixed parameter list.
+class AdamW {
+ public:
+  AdamW(std::vector<ParamPtr> params, AdamWConfig config = {});
+
+  /// Applies one update from the accumulated gradients, then leaves the
+  /// gradients untouched (callers zero_grad explicitly).
+  /// `grad_scale` divides gradients first (1/loss_scale for AMP, 1/batch for
+  /// accumulation).
+  void step(float grad_scale = 1.0f);
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+  std::int64_t steps_taken() const { return step_count_; }
+
+ private:
+  std::vector<ParamPtr> params_;
+  std::vector<Tensor> m_;  // first moments
+  std::vector<Tensor> v_;  // second moments
+  AdamWConfig config_;
+  std::int64_t step_count_ = 0;
+};
+
+/// Linear warmup then cosine decay to `min_lr`.
+class CosineSchedule {
+ public:
+  CosineSchedule(float base_lr, std::int64_t warmup_steps,
+                 std::int64_t total_steps, float min_lr = 0.0f);
+
+  float lr_at(std::int64_t step) const;
+
+ private:
+  float base_lr_;
+  float min_lr_;
+  std::int64_t warmup_steps_;
+  std::int64_t total_steps_;
+};
+
+/// Clips the global L2 norm of all gradients to `max_norm`; returns the
+/// pre-clip norm.
+float clip_grad_norm(const std::vector<ParamPtr>& params, float max_norm);
+
+/// True if every gradient entry is finite.
+bool grads_are_finite(const std::vector<ParamPtr>& params);
+
+struct GradScalerConfig {
+  float initial_scale = 65536.0f;
+  float growth_factor = 2.0f;
+  float backoff_factor = 0.5f;
+  std::int64_t growth_interval = 200;
+  float min_scale = 1.0f;
+};
+
+/// Dynamic loss scaling for BF16-style mixed precision.
+class GradScaler {
+ public:
+  explicit GradScaler(GradScalerConfig config = {});
+
+  /// Current multiplier to apply to the loss before backward.
+  float scale() const { return scale_; }
+
+  /// Inspects gradients; if all finite, returns true (caller should step
+  /// with grad_scale = 1/scale) and grows the scale on schedule. If any are
+  /// non-finite, zeroes them, backs the scale off, and returns false (caller
+  /// skips the optimizer step).
+  bool unscale_and_check(const std::vector<ParamPtr>& params);
+
+  std::int64_t skipped_steps() const { return skipped_; }
+
+ private:
+  GradScalerConfig config_;
+  float scale_;
+  std::int64_t good_steps_ = 0;
+  std::int64_t skipped_ = 0;
+};
+
+}  // namespace orbit2::autograd

@@ -1,0 +1,108 @@
+#include "autograd/variable.hpp"
+
+#include <unordered_set>
+
+namespace orbit2::autograd {
+
+void Node::accumulate(const Tensor& upstream) {
+  ORBIT2_REQUIRE(upstream.shape() == value.shape(),
+                 "gradient shape " << upstream.shape().to_string()
+                                   << " vs value " << value.shape().to_string());
+  if (!has_grad) {
+    grad = upstream.clone();
+    has_grad = true;
+  } else {
+    grad.add_inplace(upstream);
+  }
+}
+
+Var Var::constant(Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->needs_grad = false;
+  return Var(std::move(node));
+}
+
+Var Var::parameter(ParamPtr param) {
+  ORBIT2_REQUIRE(param != nullptr, "null parameter");
+  auto node = std::make_shared<Node>();
+  node->value = param->value;  // shares storage: optimizer updates show up
+  node->needs_grad = true;
+  node->param = std::move(param);
+  return Var(std::move(node));
+}
+
+Tensor Var::grad() const {
+  const NodePtr n = node();
+  if (!n->has_grad) return Tensor::zeros(n->value.shape());
+  return n->grad;
+}
+
+Var make_op(Tensor value, std::vector<Var> parents,
+            std::function<void(const Tensor&)> backprop) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  bool any_grad = false;
+  node->parents.reserve(parents.size());
+  for (const Var& p : parents) {
+    node->parents.push_back(p.node());
+    any_grad = any_grad || p.needs_grad();
+  }
+  node->needs_grad = any_grad;
+  if (any_grad) node->backprop = std::move(backprop);
+  return Var(std::move(node));
+}
+
+void accumulate_into(const Var& target, const Tensor& contribution) {
+  const NodePtr n = target.node();
+  if (!n->needs_grad) return;
+  n->accumulate(contribution);
+}
+
+void backward(const Var& root, const Tensor* seed) {
+  const NodePtr root_node = root.node();
+  ORBIT2_REQUIRE(root_node->needs_grad,
+                 "backward() on a graph with no trainable inputs");
+
+  // Iterative post-order DFS producing a topological order.
+  std::vector<NodePtr> topo;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<NodePtr, std::size_t>> stack;
+  stack.emplace_back(root_node, 0);
+  visited.insert(root_node.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      NodePtr child = node->parents[next_child++];
+      if (child->needs_grad && visited.insert(child.get()).second) {
+        stack.emplace_back(std::move(child), 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed the root.
+  if (seed) {
+    root_node->accumulate(*seed);
+  } else {
+    root_node->accumulate(Tensor::ones(root_node->value.shape()));
+  }
+
+  // Reverse topological order: every node's grad is complete before its
+  // backprop fires.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node& node = **it;
+    if (!node.has_grad) continue;  // unreachable from the seed
+    if (node.param) {
+      node.param->grad.add_inplace(node.grad);
+    }
+    if (node.backprop) {
+      node.backprop(node.grad);
+      node.backprop = nullptr;  // free captured activations eagerly
+    }
+  }
+}
+
+}  // namespace orbit2::autograd

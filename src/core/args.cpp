@@ -1,0 +1,76 @@
+#include "core/args.hpp"
+
+#include <cstdlib>
+
+#include "core/error.hpp"
+
+namespace orbit2 {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  ORBIT2_REQUIRE(argc >= 1, "argc must be >= 1");
+  program_ = argv[0];
+  int index = 1;
+  if (index < argc && argv[index][0] != '-') {
+    subcommand_ = argv[index];
+    ++index;
+  }
+  while (index < argc) {
+    const std::string flag = argv[index];
+    ORBIT2_REQUIRE(flag.rfind("--", 0) == 0,
+                   "expected --flag, got '" << flag << "'");
+    ++index;
+    if (index < argc && argv[index][0] != '-') {
+      values_[flag] = argv[index];
+      ++index;
+    } else {
+      values_[flag] = "";  // boolean switch
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  queried_.insert(name);
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& fallback) const {
+  queried_.insert(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  queried_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  ORBIT2_REQUIRE(end && *end == '\0' && !it->second.empty(),
+                 "flag " << name << " expects an integer, got '" << it->second
+                         << "'");
+  return value;
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  queried_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  ORBIT2_REQUIRE(end && *end == '\0' && !it->second.empty(),
+                 "flag " << name << " expects a number, got '" << it->second
+                         << "'");
+  return value;
+}
+
+std::vector<std::string> ArgParser::unused_flags() const {
+  std::vector<std::string> unused;
+  for (const auto& [flag, value] : values_) {
+    if (queried_.count(flag) == 0) unused.push_back(flag);
+  }
+  return unused;
+}
+
+}  // namespace orbit2

@@ -1,0 +1,47 @@
+#pragma once
+// Minimal command-line argument parsing for the orbit2 CLI tools.
+//
+// Syntax: `tool <subcommand> [--flag value]... [--switch]...`
+// Values are `--flag value` pairs; bare `--switch` flags are booleans.
+// Unknown-flag detection is the caller's job via `unused_flags()` so tools
+// can fail loudly on typos.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace orbit2 {
+
+class ArgParser {
+ public:
+  /// Parses argv; argv[1], when present and not starting with '-', becomes
+  /// the subcommand.
+  ArgParser(int argc, const char* const* argv);
+
+  const std::string& subcommand() const { return subcommand_; }
+  const std::string& program() const { return program_; }
+
+  /// True if `--name` appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String value of `--name value`, or `fallback` if absent.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  /// Integer value; throws orbit2::Error on malformed input.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  /// Floating-point value; throws on malformed input.
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Flags that were provided but never queried; call after all gets.
+  std::vector<std::string> unused_flags() const;
+
+ private:
+  std::string program_;
+  std::string subcommand_;
+  std::map<std::string, std::string> values_;  // --flag -> value ("" = switch)
+  mutable std::set<std::string> queried_;
+};
+
+}  // namespace orbit2

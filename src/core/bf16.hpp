@@ -1,0 +1,54 @@
+#pragma once
+// Software BFLOAT16.
+//
+// ORBIT-2 trains in BF16 mixed precision on MI250X. This reproduction runs
+// on CPU, so bf16 is a 16-bit storage type with round-to-nearest-even
+// conversion from fp32; arithmetic happens in fp32 (exactly the accumulate
+// behaviour of matrix units). The GradScaler in src/autograd uses the same
+// rounding to exercise the paper's dynamic-loss-scaling stability path.
+
+#include <cstdint>
+#include <cstring>
+
+namespace orbit2 {
+
+/// 16-bit brain floating point: 1 sign, 8 exponent, 7 mantissa bits.
+struct bf16 {
+  std::uint16_t bits = 0;
+
+  bf16() = default;
+
+  /// Round-to-nearest-even conversion from fp32.
+  explicit bf16(float value) { bits = round_from_float(value); }
+
+  /// Widening conversion back to fp32 (exact).
+  float to_float() const {
+    std::uint32_t wide = static_cast<std::uint32_t>(bits) << 16;
+    float out;
+    std::memcpy(&out, &wide, sizeof(out));
+    return out;
+  }
+
+  explicit operator float() const { return to_float(); }
+
+  static std::uint16_t round_from_float(float value) {
+    std::uint32_t as_int;
+    std::memcpy(&as_int, &value, sizeof(as_int));
+    // NaN: keep it a NaN after truncation by forcing a mantissa bit.
+    if ((as_int & 0x7fffffffu) > 0x7f800000u) {
+      return static_cast<std::uint16_t>((as_int >> 16) | 0x0040u);
+    }
+    // Round to nearest even on the truncated 16 bits.
+    const std::uint32_t rounding_bias = 0x7fffu + ((as_int >> 16) & 1u);
+    return static_cast<std::uint16_t>((as_int + rounding_bias) >> 16);
+  }
+};
+
+/// fp32 -> bf16 -> fp32 round trip; the "storage rounding" applied to
+/// tensors held in mixed precision.
+inline float bf16_round(float value) { return bf16(value).to_float(); }
+
+inline bool operator==(bf16 a, bf16 b) { return a.bits == b.bits; }
+inline bool operator!=(bf16 a, bf16 b) { return a.bits != b.bits; }
+
+}  // namespace orbit2

@@ -1,0 +1,14 @@
+#include "core/error.hpp"
+
+namespace orbit2::detail {
+
+void throw_check_failure(const char* kind, const char* expr,
+                         const std::string& detail, const char* file,
+                         int line) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ")";
+  if (!detail.empty()) os << " — " << detail;
+  throw Error(os.str(), file, line);
+}
+
+}  // namespace orbit2::detail

@@ -1,0 +1,37 @@
+#include "core/log.hpp"
+
+#include <atomic>
+
+namespace orbit2 {
+
+namespace {
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kInfo)};
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return static_cast<LogLevel>(g_threshold.load()); }
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level));
+}
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << "[orbit2:" << level_name(level) << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace orbit2

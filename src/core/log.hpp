@@ -1,0 +1,36 @@
+#pragma once
+// Minimal leveled logging to stderr. Benchmarks print their tables to
+// stdout; logging is for progress/diagnostics only so the two never mix.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+namespace orbit2 {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+}
+
+#define ORBIT2_LOG(level, ...)                                       \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::orbit2::log_threshold())) {               \
+      std::ostringstream orbit2_log_stream;                          \
+      orbit2_log_stream << __VA_ARGS__;                              \
+      ::orbit2::detail::emit_log(level, orbit2_log_stream.str());    \
+    }                                                                \
+  } while (false)
+
+#define ORBIT2_LOG_DEBUG(...) ORBIT2_LOG(::orbit2::LogLevel::kDebug, __VA_ARGS__)
+#define ORBIT2_LOG_INFO(...) ORBIT2_LOG(::orbit2::LogLevel::kInfo, __VA_ARGS__)
+#define ORBIT2_LOG_WARN(...) ORBIT2_LOG(::orbit2::LogLevel::kWarn, __VA_ARGS__)
+#define ORBIT2_LOG_ERROR(...) ORBIT2_LOG(::orbit2::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace orbit2

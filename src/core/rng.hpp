@@ -1,0 +1,54 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Every stochastic component of ORBIT-2 (weight init, synthetic data,
+// augmentation) takes an explicit seed and owns its own generator; there is
+// no global RNG state (Core Guidelines CP.2: no shared mutable statics).
+//
+// The generator is xoshiro256** seeded via splitmix64, which gives
+// high-quality 64-bit streams, cheap construction, and cheap `split()` for
+// deriving independent per-worker streams.
+
+#include <array>
+#include <cstdint>
+
+namespace orbit2 {
+
+/// splitmix64 step; used for seeding and for hashing seeds together.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic counter-free PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Constructs a generator whose stream is fully determined by `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Derives an independent generator; the pair (parent, child) streams do
+  /// not overlap in practice. Used to hand one stream per worker/sample.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace orbit2

@@ -1,0 +1,70 @@
+#pragma once
+// Tensor shape: a small fixed-capacity dimension list (rank <= 4).
+//
+// ORBIT-2's data is at most rank-4 ([batch, channels, height, width]); a
+// fixed-capacity value type keeps shapes cheap to copy and compare and free
+// of heap allocation in hot loops.
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace orbit2 {
+
+class Shape {
+ public:
+  static constexpr int kMaxRank = 4;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<std::int64_t> dims) {
+    ORBIT2_REQUIRE(dims.size() <= kMaxRank, "rank > " << kMaxRank);
+    for (std::int64_t d : dims) {
+      ORBIT2_REQUIRE(d >= 0, "negative dimension " << d);
+      dims_[rank_++] = d;
+    }
+  }
+
+  int rank() const { return rank_; }
+
+  std::int64_t operator[](int axis) const {
+    ORBIT2_REQUIRE(axis >= 0 && axis < rank_,
+                   "axis " << axis << " out of range for rank " << rank_);
+    return dims_[axis];
+  }
+
+  /// Total element count (1 for rank-0).
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (int i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 4]" for diagnostics.
+  std::string to_string() const {
+    std::string out = "[";
+    for (int i = 0; i < rank_; ++i) {
+      if (i) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  int rank_ = 0;
+};
+
+}  // namespace orbit2

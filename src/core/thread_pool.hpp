@@ -1,0 +1,69 @@
+#pragma once
+// Fixed-size thread pool and chunked parallel_for.
+//
+// TILES assigns each spatial tile to a "GPU"; in this CPU reproduction the
+// virtual GPUs are pool workers. The pool is created once and reused; tasks
+// are submitted in batches and joined explicitly, so there is no hidden
+// shared state between tiles (Core Guidelines CP.3: minimize explicit
+// sharing of writable data).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace orbit2 {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Submits a task; returns immediately. Exceptions thrown by the task are
+  /// captured and rethrown from the next wait_idle().
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished. Rethrows the first
+  /// captured task exception, if any.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, count) across the pool in contiguous chunks.
+  /// Blocks until complete. Safe to call with count == 0.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: fn(begin, end) per chunk; chunk boundaries are
+  /// deterministic given (count, size()).
+  void parallel_for_chunks(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Process-wide default pool (lazily constructed, never destroyed before
+/// exit). Modules that need ad-hoc parallelism without owning a pool use
+/// this; TILES owns its own pool so tile count == worker count.
+ThreadPool& default_thread_pool();
+
+}  // namespace orbit2

@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock timing for benchmarks and the trainer's time-to-solution
+// measurement (paper §IV "Performance Metrics").
+
+#include <chrono>
+
+namespace orbit2 {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace orbit2

@@ -1,0 +1,53 @@
+#include "data/bias_correction.hpp"
+
+#include <algorithm>
+
+namespace orbit2::data {
+
+namespace {
+std::vector<float> quantile_table(const Tensor& values, std::int64_t count) {
+  ORBIT2_REQUIRE(values.numel() >= 2, "need at least two reference values");
+  std::vector<float> sorted(values.data().begin(), values.data().end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<float> table(static_cast<std::size_t>(count));
+  for (std::int64_t q = 0; q < count; ++q) {
+    const double pos = static_cast<double>(q) / static_cast<double>(count - 1) *
+                       static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    table[static_cast<std::size_t>(q)] =
+        static_cast<float>(sorted[lo] + (sorted[hi] - sorted[lo]) * frac);
+  }
+  return table;
+}
+}  // namespace
+
+QuantileMapper::QuantileMapper(const Tensor& observed, const Tensor& modeled,
+                               std::int64_t quantile_count) {
+  ORBIT2_REQUIRE(quantile_count >= 2, "need at least two quantiles");
+  observed_quantiles_ = quantile_table(observed, quantile_count);
+  modeled_quantiles_ = quantile_table(modeled, quantile_count);
+}
+
+float QuantileMapper::correct(float value) const {
+  const auto& mod = modeled_quantiles_;
+  const auto& obs = observed_quantiles_;
+  // Out-of-range: shift by the endpoint bias so the correction stays
+  // continuous and monotone.
+  if (value <= mod.front()) return value + (obs.front() - mod.front());
+  if (value >= mod.back()) return value + (obs.back() - mod.back());
+  // Locate the quantile bin (mod is sorted by construction).
+  const auto it = std::upper_bound(mod.begin(), mod.end(), value);
+  const auto hi = static_cast<std::size_t>(it - mod.begin());
+  const std::size_t lo = hi - 1;
+  const float width = mod[hi] - mod[lo];
+  const float frac = width > 0.0f ? (value - mod[lo]) / width : 0.0f;
+  return obs[lo] + (obs[hi] - obs[lo]) * frac;
+}
+
+Tensor QuantileMapper::correct(const Tensor& field) const {
+  return field.map([this](float v) { return correct(v); });
+}
+
+}  // namespace orbit2::data

@@ -1,0 +1,43 @@
+#pragma once
+// Quantile-mapping bias correction.
+//
+// The paper's input pipeline feeds "normalized and bias corrected" fields
+// (Fig 1), and its Fig 8 evaluation notes that inference runs *without*
+// bias correction across the ERA5/IMERG distribution gap. This implements
+// the standard statistical-downscaling corrector: empirical quantile
+// mapping from a model distribution onto an observed distribution, so the
+// pipeline can be exercised in both modes.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace orbit2::data {
+
+/// Empirical quantile mapping fitted from paired reference samples.
+class QuantileMapper {
+ public:
+  /// Fits the mapping from the `modeled` distribution onto the `observed`
+  /// one using `quantile_count` evenly spaced quantiles (>= 2). The two
+  /// sample sets need not be paired or equal-sized.
+  QuantileMapper(const Tensor& observed, const Tensor& modeled,
+                 std::int64_t quantile_count = 64);
+
+  /// Corrects one value: obs_quantile(model_cdf(value)), linearly
+  /// interpolated; values outside the fitted range are shifted by the
+  /// corresponding endpoint bias (constant extrapolation of the offset).
+  float correct(float value) const;
+
+  /// Corrects a whole field.
+  Tensor correct(const Tensor& field) const;
+
+  std::int64_t quantile_count() const {
+    return static_cast<std::int64_t>(modeled_quantiles_.size());
+  }
+
+ private:
+  std::vector<float> observed_quantiles_;
+  std::vector<float> modeled_quantiles_;
+};
+
+}  // namespace orbit2::data

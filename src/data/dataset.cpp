@@ -1,0 +1,180 @@
+#include "data/dataset.hpp"
+
+#include <cmath>
+
+#include "tensor/resize.hpp"
+
+namespace orbit2::data {
+
+Normalizer::Normalizer(const std::vector<VariableSpec>& catalogue) {
+  means_.reserve(catalogue.size());
+  stds_.reserve(catalogue.size());
+  for (const auto& spec : catalogue) {
+    means_.push_back(spec.mean);
+    // Log-normal fields are heavily skewed; their std understates range but
+    // keeps the transform affine and invertible, which is all training needs.
+    stds_.push_back(spec.stddev > 0 ? spec.stddev : 1.0f);
+  }
+}
+
+void Normalizer::normalize(Tensor& stack) const {
+  ORBIT2_REQUIRE(stack.rank() == 3, "normalize expects [C,H,W]");
+  ORBIT2_REQUIRE(stack.dim(0) == static_cast<std::int64_t>(means_.size()),
+                 "channel count " << stack.dim(0) << " vs catalogue "
+                                  << means_.size());
+  const std::int64_t plane = stack.dim(1) * stack.dim(2);
+  float* p = stack.data().data();
+  for (std::size_t c = 0; c < means_.size(); ++c) {
+    const float mean = means_[c];
+    const float inv_std = 1.0f / stds_[c];
+    float* channel = p + static_cast<std::int64_t>(c) * plane;
+    for (std::int64_t i = 0; i < plane; ++i) {
+      channel[i] = (channel[i] - mean) * inv_std;
+    }
+  }
+}
+
+void Normalizer::denormalize(Tensor& stack) const {
+  ORBIT2_REQUIRE(stack.rank() == 3, "denormalize expects [C,H,W]");
+  ORBIT2_REQUIRE(stack.dim(0) == static_cast<std::int64_t>(means_.size()),
+                 "channel count mismatch");
+  const std::int64_t plane = stack.dim(1) * stack.dim(2);
+  float* p = stack.data().data();
+  for (std::size_t c = 0; c < means_.size(); ++c) {
+    float* channel = p + static_cast<std::int64_t>(c) * plane;
+    for (std::int64_t i = 0; i < plane; ++i) {
+      channel[i] = channel[i] * stds_[c] + means_[c];
+    }
+  }
+}
+
+SyntheticDataset::SyntheticDataset(DatasetConfig config)
+    : config_(std::move(config)),
+      input_norm_(config_.input_variables),
+      output_norm_(config_.output_variables) {
+  ORBIT2_REQUIRE(config_.upscale >= 1, "upscale must be >= 1");
+  ORBIT2_REQUIRE(config_.hr_h % config_.upscale == 0 &&
+                     config_.hr_w % config_.upscale == 0,
+                 "HR grid must divide by the upscale factor");
+  ORBIT2_REQUIRE(!config_.input_variables.empty() &&
+                     !config_.output_variables.empty(),
+                 "empty variable catalogue");
+}
+
+Sample SyntheticDataset::sample(std::int64_t index) const {
+  return build(index, /*normalized=*/true);
+}
+
+Sample SyntheticDataset::sample_physical(std::int64_t index) const {
+  return build(index, /*normalized=*/false);
+}
+
+Sample SyntheticDataset::build(std::int64_t index, bool normalized) const {
+  ORBIT2_REQUIRE(index >= 0, "negative sample index");
+  const std::int64_t h = config_.hr_h, w = config_.hr_w;
+
+  // Terrain: shared across samples for a fixed region, fresh otherwise.
+  const std::uint64_t terrain_seed =
+      config_.fixed_region
+          ? config_.seed
+          : config_.seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1));
+  const Tensor topo = synthetic_topography(h, w, terrain_seed);
+
+  // Weather RNG: unique per (seed, index).
+  std::uint64_t sm = config_.seed ^
+                     (0xd1b54a32d192ed03ull * static_cast<std::uint64_t>(index + 1));
+  Rng weather(splitmix64(sm));
+
+  // Generate every HR input field; output variables are generated from the
+  // same weather stream so inputs and targets are physically consistent
+  // (e.g. the precip input channel correlates with the prcp target).
+  const auto& in_vars = config_.input_variables;
+  const auto& out_vars = config_.output_variables;
+
+  Tensor hr_inputs(Shape{static_cast<std::int64_t>(in_vars.size()), h, w});
+  for (std::size_t v = 0; v < in_vars.size(); ++v) {
+    Rng field_rng = weather.split();
+    const Tensor field = generate_variable_field(in_vars[v], h, w, topo, field_rng);
+    std::copy(field.data().begin(), field.data().end(),
+              hr_inputs.data().begin() + static_cast<std::int64_t>(v) * h * w);
+  }
+
+  Tensor target(Shape{static_cast<std::int64_t>(out_vars.size()), h, w});
+  for (std::size_t v = 0; v < out_vars.size(); ++v) {
+    // Where an output variable has an input analogue (same name family),
+    // reuse the input channel so downscaling is a well-posed inverse task;
+    // otherwise generate a correlated fresh field.
+    // Analogue lookup tolerates trimmed catalogues (tests/examples use
+    // reduced variable lists): absent analogues fall back to fresh fields.
+    auto maybe_index = [&](const char* name) -> std::int64_t {
+      for (std::size_t i = 0; i < in_vars.size(); ++i) {
+        if (in_vars[i].name == name) return static_cast<std::int64_t>(i);
+      }
+      return -1;
+    };
+    const std::int64_t precip_src = maybe_index("total_precipitation");
+    const std::int64_t t2m_src = maybe_index("t2m");
+
+    Tensor field;
+    if (out_vars[v].name == "prcp" && precip_src >= 0) {
+      field = hr_inputs.slice(0, precip_src, 1).reshape(Shape{h, w});
+    } else if ((out_vars[v].name == "tmin" || out_vars[v].name == "tmax") &&
+               t2m_src >= 0) {
+      field = hr_inputs.slice(0, t2m_src, 1)
+                  .reshape(Shape{h, w})
+                  .clone();
+      // tmin/tmax offset from t2m with a smooth diurnal-range field.
+      Rng range_rng = weather.split();
+      const Tensor diurnal = gaussian_random_field(h, w, 3.5f, range_rng);
+      const float sign = out_vars[v].name == "tmin" ? -1.0f : 1.0f;
+      float* p = field.data().data();
+      const float* d = diurnal.data().data();
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        p[i] += sign * (4.0f + 1.5f * d[i]);
+      }
+    } else {
+      Rng field_rng = weather.split();
+      field = generate_variable_field(out_vars[v], h, w, topo, field_rng);
+    }
+    if (config_.observation_targets) {
+      Rng obs_rng = weather.split();
+      field = perturb_as_observation(field, obs_rng);
+    }
+    std::copy(field.data().begin(), field.data().end(),
+              target.data().begin() + static_cast<std::int64_t>(v) * h * w);
+  }
+
+  Sample out;
+  out.input = coarsen_area(hr_inputs, config_.upscale);
+  out.target = std::move(target);
+  if (normalized) {
+    input_norm_.normalize(out.input);
+    output_norm_.normalize(out.target);
+  }
+  return out;
+}
+
+SplitIndices split_dataset(std::int64_t count, float train_fraction,
+                           float val_fraction) {
+  ORBIT2_REQUIRE(count >= 0, "negative count");
+  ORBIT2_REQUIRE(train_fraction >= 0 && val_fraction >= 0 &&
+                     train_fraction + val_fraction <= 1.0f,
+                 "invalid split fractions");
+  SplitIndices split;
+  const auto train_end = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(count) * train_fraction));
+  const auto val_end = train_end + static_cast<std::int64_t>(std::llround(
+                                       static_cast<double>(count) * val_fraction));
+  for (std::int64_t i = 0; i < count; ++i) {
+    if (i < train_end) {
+      split.train.push_back(i);
+    } else if (i < val_end) {
+      split.val.push_back(i);
+    } else {
+      split.test.push_back(i);
+    }
+  }
+  return split;
+}
+
+}  // namespace orbit2::data

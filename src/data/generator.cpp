@@ -1,0 +1,179 @@
+#include "data/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fft/fft.hpp"
+#include "image/filters.hpp"
+
+namespace orbit2::data {
+
+Tensor gaussian_random_field(std::int64_t h, std::int64_t w, float beta,
+                             Rng& rng) {
+  ORBIT2_REQUIRE(h >= 4 && w >= 4, "GRF grid too small: " << h << "x" << w);
+  // White noise -> Fourier domain -> k^-beta/2 filter -> back. The filter on
+  // |F|^2 is then k^-beta as requested.
+  Tensor noise = Tensor::randn(Shape{h, w}, rng);
+  auto coeffs = fft2d(noise);
+
+  for (std::int64_t y = 0; y < h; ++y) {
+    const double ky = (y <= h / 2) ? y : y - h;
+    for (std::int64_t x = 0; x < w; ++x) {
+      const double kx = (x <= w / 2) ? x : x - w;
+      const double k = std::sqrt(ky * ky + kx * kx);
+      const double filter = std::pow(k + 1.0, -static_cast<double>(beta) / 2.0);
+      coeffs[static_cast<std::size_t>(y * w + x)] *= filter;
+    }
+  }
+
+  // Inverse 2-D FFT (rows then columns with the inverse flag); take the real
+  // part — imaginary residue is numerical noise because the filter is real.
+  std::vector<Complex> row(static_cast<std::size_t>(w));
+  for (std::int64_t y = 0; y < h; ++y) {
+    std::copy(coeffs.begin() + y * w, coeffs.begin() + (y + 1) * w, row.begin());
+    fft(row, true);
+    std::copy(row.begin(), row.end(), coeffs.begin() + y * w);
+  }
+  std::vector<Complex> col(static_cast<std::size_t>(h));
+  for (std::int64_t x = 0; x < w; ++x) {
+    for (std::int64_t y = 0; y < h; ++y) col[static_cast<std::size_t>(y)] = coeffs[static_cast<std::size_t>(y * w + x)];
+    fft(col, true);
+    for (std::int64_t y = 0; y < h; ++y) coeffs[static_cast<std::size_t>(y * w + x)] = col[static_cast<std::size_t>(y)];
+  }
+
+  Tensor field(Shape{h, w});
+  float* dst = field.data().data();
+  for (std::int64_t i = 0; i < h * w; ++i) {
+    dst[i] = static_cast<float>(coeffs[static_cast<std::size_t>(i)].real());
+  }
+
+  // Normalize to zero mean, unit variance.
+  const float mu = field.mean();
+  float* p = field.data().data();
+  double var = 0.0;
+  for (std::int64_t i = 0; i < h * w; ++i) {
+    p[i] -= mu;
+    var += static_cast<double>(p[i]) * p[i];
+  }
+  var /= static_cast<double>(h * w);
+  const float inv_std = var > 0 ? static_cast<float>(1.0 / std::sqrt(var)) : 1.0f;
+  for (std::int64_t i = 0; i < h * w; ++i) p[i] *= inv_std;
+  return field;
+}
+
+Tensor synthetic_topography(std::int64_t h, std::int64_t w,
+                            std::uint64_t seed) {
+  Rng rng(seed ^ 0x70706f67ull);
+  // Base: very smooth GRF (continental shapes) + a ridge system + rough
+  // detail, mimicking mountain chains over plains.
+  Tensor base = gaussian_random_field(h, w, 4.0f, rng);
+  Tensor detail = gaussian_random_field(h, w, 2.5f, rng);
+
+  Tensor topo(Shape{h, w});
+  const double ridge_angle = rng.uniform(0.0, M_PI);
+  const double ridge_freq = rng.uniform(1.5, 3.5);
+  const double cos_a = std::cos(ridge_angle), sin_a = std::sin(ridge_angle);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const double u =
+          (cos_a * x / static_cast<double>(w) + sin_a * y / static_cast<double>(h));
+      const double ridge = std::pow(std::max(0.0, std::sin(2 * M_PI * ridge_freq * u)), 2.0);
+      topo.at(y, x) = base.at(y, x) + 1.2f * static_cast<float>(ridge) +
+                      0.3f * detail.at(y, x);
+    }
+  }
+  // Normalize.
+  const float mu = topo.mean();
+  double var = 0.0;
+  for (float& v : topo.data()) {
+    v -= mu;
+    var += static_cast<double>(v) * v;
+  }
+  var /= static_cast<double>(topo.numel());
+  const float inv = var > 0 ? static_cast<float>(1.0 / std::sqrt(var)) : 1.0f;
+  for (float& v : topo.data()) v *= inv;
+  return topo;
+}
+
+Tensor generate_variable_field(const VariableSpec& spec, std::int64_t h,
+                               std::int64_t w, const Tensor& topography,
+                               Rng& weather_rng) {
+  ORBIT2_REQUIRE(topography.shape() == Shape({h, w}),
+                 "topography shape mismatch");
+  const Tensor anomaly =
+      gaussian_random_field(h, w, spec.spectral_slope, weather_rng);
+  return physical_from_anomaly(spec, anomaly, topography);
+}
+
+Tensor physical_from_anomaly(const VariableSpec& spec, const Tensor& anomaly,
+                             const Tensor& topography) {
+  ORBIT2_REQUIRE(anomaly.shape() == topography.shape(),
+                 "anomaly/topography shape mismatch");
+  const std::int64_t h = anomaly.dim(0), w = anomaly.dim(1);
+  Tensor field(Shape{h, w});
+  const float* topo = topography.data().data();
+  const float* a = anomaly.data().data();
+  float* dst = field.data().data();
+
+  switch (spec.distribution) {
+    case Distribution::kGaussian: {
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        // Physical field = mean + coupled terrain signal + weather anomaly.
+        const float standardized =
+            spec.topography_coupling * topo[i] +
+            std::sqrt(std::max(0.0f, 1.0f - spec.topography_coupling *
+                                                spec.topography_coupling)) *
+                a[i];
+        dst[i] = spec.mean + spec.stddev * standardized;
+      }
+      break;
+    }
+    case Distribution::kLogNormal: {
+      // exp of the shaped field, thresholded for intermittency (dry areas),
+      // scaled to the requested climatological mean.
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        const float standardized =
+            spec.topography_coupling * topo[i] +
+            std::sqrt(std::max(0.0f, 1.0f - spec.topography_coupling *
+                                                spec.topography_coupling)) *
+                a[i];
+        const float wet = standardized - 0.3f;  // ~38% of area is "wet"
+        dst[i] = wet > 0.0f ? spec.mean * (std::exp(wet) - 1.0f) : 0.0f;
+      }
+      break;
+    }
+  }
+  return field;
+}
+
+Tensor perturb_as_observation(const Tensor& field, Rng& rng, float gain_noise,
+                              float additive_noise) {
+  ORBIT2_REQUIRE(field.rank() == 2, "perturb_as_observation expects [H,W]");
+  const float scale = field.abs_max();
+  Tensor noisy = field.clone();
+  for (float& v : noisy.data()) {
+    const float gain = 1.0f + gain_noise * static_cast<float>(rng.normal());
+    v = v * gain + additive_noise * scale * static_cast<float>(rng.normal());
+  }
+  // Sensor footprint: slight spatial smoothing.
+  return gaussian_blur(noisy, 0.7f);
+}
+
+Tensor latitude_weights(std::int64_t h) {
+  ORBIT2_REQUIRE(h >= 1, "latitude_weights needs h >= 1");
+  Tensor weights(Shape{h});
+  double total = 0.0;
+  for (std::int64_t y = 0; y < h; ++y) {
+    // Row centers from +~90 to -~90 degrees.
+    const double lat = M_PI * ((y + 0.5) / static_cast<double>(h) - 0.5);
+    const double weight = std::cos(lat);
+    weights[y] = static_cast<float>(weight);
+    total += weight;
+  }
+  // Normalize to mean 1 so losses stay comparable across grids.
+  const float inv_mean = static_cast<float>(h / total);
+  for (float& w : weights.data()) w *= inv_mean;
+  return weights;
+}
+
+}  // namespace orbit2::data

@@ -1,0 +1,55 @@
+#pragma once
+// Synthetic climate field generation.
+//
+// Substitutes for the ERA5 / PRISM / DAYMET / IMERG archives (DESIGN.md §1):
+// each variable is a spectrally shaped Gaussian random field (power ~
+// k^-beta, synthesized in Fourier space), optionally coupled to a shared
+// synthetic topography (temperature lapse rates, orographic precipitation)
+// and mapped through its distribution family (log-normal + intermittency
+// thresholding for precipitation). Fields are deterministic in
+// (seed, sample index), so datasets are reproducible without storage.
+
+#include "core/rng.hpp"
+#include "data/variables.hpp"
+#include "tensor/tensor.hpp"
+
+namespace orbit2::data {
+
+/// Spectrally shaped Gaussian random field, zero mean, unit variance.
+/// power(k) ~ (k + 1)^-beta. Any H, W >= 4.
+Tensor gaussian_random_field(std::int64_t h, std::int64_t w, float beta,
+                             Rng& rng);
+
+/// Shared synthetic topography for a sample region: smooth ridges + noise,
+/// normalized to zero mean / unit variance. Deterministic in `seed`.
+Tensor synthetic_topography(std::int64_t h, std::int64_t w,
+                            std::uint64_t seed);
+
+/// One variable's high-resolution physical field on an H x W grid.
+/// `weather_rng` drives the day-to-day anomaly; `topography` is the shared
+/// terrain (zero mean/unit variance).
+Tensor generate_variable_field(const VariableSpec& spec, std::int64_t h,
+                               std::int64_t w, const Tensor& topography,
+                               Rng& weather_rng);
+
+/// Maps a standardized anomaly field (zero mean, unit variance) to the
+/// variable's physical units, blending in the terrain coupling and applying
+/// the distribution family — the deterministic second half of
+/// generate_variable_field, exposed so temporally evolved anomalies
+/// (data::TemporalSequence) reuse the identical physics.
+Tensor physical_from_anomaly(const VariableSpec& spec, const Tensor& anomaly,
+                             const Tensor& topography);
+
+/// Applies an IMERG-style observation operator: multiplicative sensor gain
+/// noise, additive retrieval noise, and slight spatial smoothing — used to
+/// evaluate generalization from "reanalysis" training data to "satellite"
+/// observations (paper Fig 8).
+Tensor perturb_as_observation(const Tensor& field, Rng& rng,
+                              float gain_noise = 0.05f,
+                              float additive_noise = 0.05f);
+
+/// cos(latitude) row weights for an H-row global grid (paper's latitude
+/// weighting matrix D); normalized to mean 1.
+Tensor latitude_weights(std::int64_t h);
+
+}  // namespace orbit2::data

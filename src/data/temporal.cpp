@@ -1,0 +1,121 @@
+#include "data/temporal.hpp"
+
+#include <cmath>
+
+#include "tensor/resize.hpp"
+
+namespace orbit2::data {
+
+TemporalSequence::TemporalSequence(TemporalConfig config)
+    : config_(std::move(config)),
+      input_norm_(config_.base.input_variables),
+      output_norm_(config_.base.output_variables),
+      topography_(synthetic_topography(config_.base.hr_h, config_.base.hr_w,
+                                       config_.base.seed)),
+      rng_(config_.base.seed ^ 0x74656d70ull),
+      anomaly_state_(Shape{
+          static_cast<std::int64_t>(config_.base.input_variables.size()),
+          config_.base.hr_h, config_.base.hr_w}) {
+  ORBIT2_REQUIRE(config_.persistence >= 0.0f && config_.persistence < 1.0f,
+                 "persistence must be in [0, 1)");
+  // A temporal sequence is inherently a fixed region: one terrain evolves.
+  config_.base.fixed_region = true;
+  // Initial state: independent standardized anomalies per variable.
+  const std::int64_t h = config_.base.hr_h, w = config_.base.hr_w;
+  const auto& vars = config_.base.input_variables;
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    Rng field_rng = rng_.split();
+    const Tensor field =
+        gaussian_random_field(h, w, vars[v].spectral_slope, field_rng);
+    std::copy(field.data().begin(), field.data().end(),
+              anomaly_state_.data().begin() +
+                  static_cast<std::int64_t>(v) * h * w);
+  }
+}
+
+Sample TemporalSequence::next_day() {
+  const std::int64_t h = config_.base.hr_h, w = config_.base.hr_w;
+  const auto& in_vars = config_.base.input_variables;
+  const auto& out_vars = config_.base.output_variables;
+  const float rho = config_.persistence;
+  const float innovation_scale = std::sqrt(1.0f - rho * rho);
+
+  // Evolve each variable's anomaly: AR(1) with a fresh spatially shaped
+  // innovation. Day 0 uses the constructor's initial state as-is.
+  if (day_ > 0) {
+    for (std::size_t v = 0; v < in_vars.size(); ++v) {
+      Rng field_rng = rng_.split();
+      const Tensor innovation =
+          gaussian_random_field(h, w, in_vars[v].spectral_slope, field_rng);
+      float* state = anomaly_state_.data().data() +
+                     static_cast<std::int64_t>(v) * h * w;
+      const float* fresh = innovation.data().data();
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        state[i] = rho * state[i] + innovation_scale * fresh[i];
+      }
+    }
+  }
+  ++day_;
+
+  // Physical HR input stack from the evolved anomalies.
+  Tensor hr_inputs(Shape{static_cast<std::int64_t>(in_vars.size()), h, w});
+  for (std::size_t v = 0; v < in_vars.size(); ++v) {
+    const Tensor anomaly =
+        anomaly_state_.slice(0, static_cast<std::int64_t>(v), 1)
+            .reshape(Shape{h, w});
+    const Tensor field = physical_from_anomaly(in_vars[v], anomaly, topography_);
+    std::copy(field.data().begin(), field.data().end(),
+              hr_inputs.data().begin() + static_cast<std::int64_t>(v) * h * w);
+  }
+
+  // Targets: analogue channels where available (same policy as
+  // SyntheticDataset), otherwise fresh correlated fields.
+  auto maybe_index = [&](const char* name) -> std::int64_t {
+    for (std::size_t i = 0; i < in_vars.size(); ++i) {
+      if (in_vars[i].name == name) return static_cast<std::int64_t>(i);
+    }
+    return -1;
+  };
+  const std::int64_t precip_src = maybe_index("total_precipitation");
+  const std::int64_t t2m_src = maybe_index("t2m");
+
+  Tensor target(Shape{static_cast<std::int64_t>(out_vars.size()), h, w});
+  for (std::size_t v = 0; v < out_vars.size(); ++v) {
+    Tensor field;
+    if (out_vars[v].name == "prcp" && precip_src >= 0) {
+      field = hr_inputs.slice(0, precip_src, 1).reshape(Shape{h, w});
+    } else if ((out_vars[v].name == "tmin" || out_vars[v].name == "tmax") &&
+               t2m_src >= 0) {
+      field = hr_inputs.slice(0, t2m_src, 1).reshape(Shape{h, w}).clone();
+      Rng range_rng = rng_.split();
+      const Tensor diurnal = gaussian_random_field(h, w, 3.5f, range_rng);
+      const float sign = out_vars[v].name == "tmin" ? -1.0f : 1.0f;
+      float* p = field.data().data();
+      const float* d = diurnal.data().data();
+      for (std::int64_t i = 0; i < h * w; ++i) {
+        p[i] += sign * (4.0f + 1.5f * d[i]);
+      }
+    } else {
+      Rng field_rng = rng_.split();
+      field = generate_variable_field(out_vars[v], h, w, topography_, field_rng);
+    }
+    if (config_.base.observation_targets) {
+      Rng obs_rng = rng_.split();
+      field = perturb_as_observation(field, obs_rng);
+    }
+    std::copy(field.data().begin(), field.data().end(),
+              target.data().begin() + static_cast<std::int64_t>(v) * h * w);
+  }
+
+  physical_.input = coarsen_area(hr_inputs, config_.base.upscale);
+  physical_.target = target;
+
+  Sample normalized;
+  normalized.input = physical_.input.clone();
+  normalized.target = physical_.target.clone();
+  input_norm_.normalize(normalized.input);
+  output_norm_.normalize(normalized.target);
+  return normalized;
+}
+
+}  // namespace orbit2::data

@@ -1,0 +1,51 @@
+#pragma once
+// Temporally correlated sample sequences.
+//
+// The paper's Fig 8 is an animation over daily July-2020 fields; real
+// weather has day-to-day persistence that i.i.d. samples lack. This
+// generator evolves each variable's anomaly field as an AR(1) process in
+// time (anomaly_t = rho * anomaly_{t-1} + sqrt(1-rho^2) * innovation_t),
+// over a fixed terrain, yielding consecutive "days" whose autocorrelation
+// decays geometrically with lag — enough realism for animations and for
+// testing temporal-stability of downscaling output.
+
+#include "data/dataset.hpp"
+
+namespace orbit2::data {
+
+struct TemporalConfig {
+  DatasetConfig base;          // grid / variables / seed; fixed_region forced
+  float persistence = 0.8f;    // AR(1) rho, in [0, 1)
+};
+
+/// Generates day 0, 1, 2, ... of a correlated sequence. Deterministic in
+/// (config.base.seed); days must be pulled in order (the state evolves).
+class TemporalSequence {
+ public:
+  explicit TemporalSequence(TemporalConfig config);
+
+  /// The next day's paired sample (normalized, like SyntheticDataset).
+  Sample next_day();
+
+  /// Physical-units variant of the most recently generated day.
+  const Sample& current_physical() const {
+    ORBIT2_REQUIRE(day_ > 0, "no day generated yet");
+    return physical_;
+  }
+
+  std::int64_t days_generated() const { return day_; }
+  const TemporalConfig& config() const { return config_; }
+
+ private:
+  TemporalConfig config_;
+  Normalizer input_norm_;
+  Normalizer output_norm_;
+  Tensor topography_;
+  Rng rng_;
+  /// Standardized anomaly state per input variable [V, H, W].
+  Tensor anomaly_state_;
+  Sample physical_;
+  std::int64_t day_ = 0;
+};
+
+}  // namespace orbit2::data

@@ -1,0 +1,105 @@
+#include "data/variables.hpp"
+
+#include "core/error.hpp"
+
+namespace orbit2::data {
+
+namespace {
+
+std::vector<VariableSpec> build_era5_inputs() {
+  std::vector<VariableSpec> vars;
+  // 5 static fields. Very smooth (high slope), strongly terrain-linked.
+  vars.push_back({"z_surface", VariableKind::kStatic, Distribution::kGaussian,
+                  4.0f, 800.0f, 900.0f, 1.0f});
+  vars.push_back({"land_sea_mask", VariableKind::kStatic,
+                  Distribution::kGaussian, 4.0f, 0.4f, 0.45f, 0.6f});
+  vars.push_back({"soil_type", VariableKind::kStatic, Distribution::kGaussian,
+                  3.5f, 3.0f, 1.5f, 0.3f});
+  vars.push_back({"lake_cover", VariableKind::kStatic, Distribution::kGaussian,
+                  3.5f, 0.05f, 0.1f, -0.2f});
+  vars.push_back({"orography_stddev", VariableKind::kStatic,
+                  Distribution::kGaussian, 3.0f, 150.0f, 180.0f, 0.8f});
+
+  // 12 atmospheric: humidity (q), wind speed (u, v) and temperature (t) at
+  // 200, 500, 850 hPa plus one extra humidity level to match the count.
+  const struct {
+    const char* prefix;
+    Distribution dist;
+    float slope, mean, std, topo;
+  } levels[] = {
+      {"q", Distribution::kLogNormal, 2.6f, 0.004f, 0.003f, -0.1f},
+      {"u", Distribution::kGaussian, 2.8f, 8.0f, 10.0f, 0.0f},
+      {"v", Distribution::kGaussian, 2.8f, 0.5f, 8.0f, 0.0f},
+      {"t", Distribution::kGaussian, 3.2f, 250.0f, 18.0f, -0.65f},
+  };
+  for (const auto& level : levels) {
+    for (const char* pressure : {"200", "500", "850"}) {
+      VariableSpec spec;
+      spec.name = std::string(level.prefix) + pressure;
+      spec.kind = VariableKind::kAtmospheric;
+      spec.distribution = level.dist;
+      spec.spectral_slope = level.slope;
+      spec.mean = level.mean;
+      spec.stddev = level.std;
+      spec.topography_coupling = level.topo;
+      vars.push_back(spec);
+    }
+  }
+
+  // 6 surface variables.
+  vars.push_back({"t2m", VariableKind::kSurface, Distribution::kGaussian, 3.0f,
+                  287.0f, 12.0f, -0.9f});
+  vars.push_back({"u10", VariableKind::kSurface, Distribution::kGaussian, 2.7f,
+                  3.0f, 4.5f, 0.1f});
+  vars.push_back({"v10", VariableKind::kSurface, Distribution::kGaussian, 2.7f,
+                  0.2f, 4.0f, 0.1f});
+  vars.push_back({"msl_pressure", VariableKind::kSurface,
+                  Distribution::kGaussian, 3.6f, 101300.0f, 900.0f, -0.4f});
+  vars.push_back({"total_precipitation", VariableKind::kSurface,
+                  Distribution::kLogNormal, 2.2f, 2.5f, 4.0f, 0.25f});
+  vars.push_back({"surface_solar_radiation", VariableKind::kSurface,
+                  Distribution::kGaussian, 3.3f, 180.0f, 70.0f, -0.15f});
+
+  ORBIT2_CHECK(vars.size() == 23, "ERA5 catalogue must have 23 variables");
+  return vars;
+}
+
+std::vector<VariableSpec> build_daymet_outputs() {
+  std::vector<VariableSpec> vars;
+  vars.push_back({"tmin", VariableKind::kSurface, Distribution::kGaussian,
+                  3.0f, 283.0f, 11.0f, -0.9f});
+  vars.push_back({"tmax", VariableKind::kSurface, Distribution::kGaussian,
+                  3.0f, 293.0f, 11.0f, -0.9f});
+  vars.push_back({"prcp", VariableKind::kSurface, Distribution::kLogNormal,
+                  2.2f, 2.5f, 4.0f, 0.25f});
+  return vars;
+}
+
+}  // namespace
+
+const std::vector<VariableSpec>& era5_input_variables() {
+  static const std::vector<VariableSpec> catalogue = build_era5_inputs();
+  return catalogue;
+}
+
+const std::vector<VariableSpec>& daymet_output_variables() {
+  static const std::vector<VariableSpec> catalogue = build_daymet_outputs();
+  return catalogue;
+}
+
+std::size_t variable_index(const std::vector<VariableSpec>& catalogue,
+                           const std::string& name) {
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    if (catalogue[i].name == name) return i;
+  }
+  ORBIT2_FAIL("unknown variable '" << name << "'");
+}
+
+std::int64_t count_kind(const std::vector<VariableSpec>& catalogue,
+                        VariableKind kind) {
+  std::int64_t count = 0;
+  for (const auto& v : catalogue) count += (v.kind == kind);
+  return count;
+}
+
+}  // namespace orbit2::data

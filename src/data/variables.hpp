@@ -1,0 +1,55 @@
+#pragma once
+// Variable catalogue mirroring the paper's ERA5 configuration (Table I /
+// §IV "Datasets"): 23 input variables — 5 static fields, 12 atmospheric
+// (humidity, wind speed, temperature at 200/500/850 hPa), 6 surface — and
+// 3 output variables for the downscaling tasks (temperature min/max and
+// total precipitation, matching the DAYMET targets).
+//
+// Each variable carries the statistics the synthetic generator needs:
+// a spectral slope (spatial smoothness), climatological mean/std, and a
+// distribution family (Gaussian for temperatures/winds, log-normal for
+// precipitation and humidity-like quantities).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orbit2::data {
+
+enum class VariableKind { kStatic, kAtmospheric, kSurface };
+
+enum class Distribution {
+  kGaussian,   // additive field
+  kLogNormal,  // exp of a Gaussian field, intermittent (precip-like)
+};
+
+struct VariableSpec {
+  std::string name;
+  VariableKind kind = VariableKind::kSurface;
+  Distribution distribution = Distribution::kGaussian;
+  /// Radial power-spectrum slope beta (power ~ k^-beta); larger = smoother.
+  float spectral_slope = 3.0f;
+  /// Climatological mean / std in physical units.
+  float mean = 0.0f;
+  float stddev = 1.0f;
+  /// Coupling to the shared topography field (temperature lapse etc.).
+  float topography_coupling = 0.0f;
+};
+
+/// The 23-variable ERA5-analogue input catalogue (5 static, 12 atmospheric,
+/// 6 surface), in a fixed order.
+const std::vector<VariableSpec>& era5_input_variables();
+
+/// The 3 DAYMET-analogue output variables: tmin [K], tmax [K],
+/// total precipitation [mm/day].
+const std::vector<VariableSpec>& daymet_output_variables();
+
+/// Index of a variable by name in a catalogue; throws if absent.
+std::size_t variable_index(const std::vector<VariableSpec>& catalogue,
+                           const std::string& name);
+
+/// Counts by kind, for Table I style reporting.
+std::int64_t count_kind(const std::vector<VariableSpec>& catalogue,
+                        VariableKind kind);
+
+}  // namespace orbit2::data

@@ -1,0 +1,150 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+
+namespace orbit2 {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Iterative radix-2 Cooley-Tukey; requires power-of-two length.
+void fft_radix2(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const Complex root(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= root;
+      }
+    }
+  }
+}
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
+// convolution, evaluated with power-of-two FFTs.
+void fft_bluestein(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp: w_k = exp(sign * i * pi * k^2 / n).
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double angle = sign * M_PI * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  const std::size_t m = next_power_of_two(2 * n - 1);
+  std::vector<Complex> x(m, Complex(0, 0));
+  std::vector<Complex> y(m, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k];
+  y[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    y[k] = std::conj(chirp[k]);
+    y[m - k] = std::conj(chirp[k]);
+  }
+
+  fft_radix2(x, false);
+  fft_radix2(y, false);
+  for (std::size_t k = 0; k < m; ++k) x[k] *= y[k];
+  fft_radix2(x, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * inv_m * chirp[k];
+}
+
+}  // namespace
+
+void fft(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  if (is_power_of_two(n)) {
+    fft_radix2(data, inverse);
+  } else {
+    fft_bluestein(data, inverse);
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (Complex& c : data) c *= inv_n;
+  }
+}
+
+std::vector<Complex> fft_copy(const std::vector<Complex>& data, bool inverse) {
+  std::vector<Complex> out = data;
+  fft(out, inverse);
+  return out;
+}
+
+std::vector<Complex> fft2d(const Tensor& field) {
+  ORBIT2_REQUIRE(field.rank() == 2, "fft2d expects [H,W]");
+  const std::int64_t h = field.dim(0), w = field.dim(1);
+  std::vector<Complex> coeffs(static_cast<std::size_t>(h * w));
+  const float* src = field.data().data();
+  for (std::int64_t i = 0; i < h * w; ++i) {
+    coeffs[static_cast<std::size_t>(i)] = Complex(src[i], 0.0);
+  }
+
+  // Row transforms.
+  std::vector<Complex> row(static_cast<std::size_t>(w));
+  for (std::int64_t y = 0; y < h; ++y) {
+    std::copy(coeffs.begin() + y * w, coeffs.begin() + (y + 1) * w, row.begin());
+    fft(row, false);
+    std::copy(row.begin(), row.end(), coeffs.begin() + y * w);
+  }
+  // Column transforms.
+  std::vector<Complex> col(static_cast<std::size_t>(h));
+  for (std::int64_t x = 0; x < w; ++x) {
+    for (std::int64_t y = 0; y < h; ++y) col[static_cast<std::size_t>(y)] = coeffs[static_cast<std::size_t>(y * w + x)];
+    fft(col, false);
+    for (std::int64_t y = 0; y < h; ++y) coeffs[static_cast<std::size_t>(y * w + x)] = col[static_cast<std::size_t>(y)];
+  }
+  return coeffs;
+}
+
+std::vector<double> radial_power_spectrum(const Tensor& field) {
+  const std::int64_t h = field.dim(0), w = field.dim(1);
+  const auto coeffs = fft2d(field);
+  const std::int64_t max_k = std::min(h, w) / 2;
+  std::vector<double> power(static_cast<std::size_t>(max_k + 1), 0.0);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(max_k + 1), 0);
+
+  for (std::int64_t y = 0; y < h; ++y) {
+    // Signed wavenumber: frequencies above Nyquist wrap negative.
+    const std::int64_t ky = (y <= h / 2) ? y : y - h;
+    for (std::int64_t x = 0; x < w; ++x) {
+      const std::int64_t kx = (x <= w / 2) ? x : x - w;
+      const double kr = std::sqrt(static_cast<double>(ky * ky + kx * kx));
+      const std::int64_t bin = static_cast<std::int64_t>(std::llround(kr));
+      if (bin > max_k) continue;
+      const Complex& c = coeffs[static_cast<std::size_t>(y * w + x)];
+      power[static_cast<std::size_t>(bin)] += std::norm(c);
+      ++counts[static_cast<std::size_t>(bin)];
+    }
+  }
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    if (counts[k] > 0) power[k] /= static_cast<double>(counts[k]);
+  }
+  return power;
+}
+
+}  // namespace orbit2

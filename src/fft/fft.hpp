@@ -1,0 +1,36 @@
+#pragma once
+// Fast Fourier transforms.
+//
+// Fig 7(a) compares radially averaged spatial power spectra of downscaled
+// temperature fields, so the metrics layer needs a real 2-D FFT. We provide
+// an iterative radix-2 Cooley-Tukey transform for power-of-two sizes and
+// Bluestein's chirp-z algorithm for arbitrary lengths, composed into a 2-D
+// transform and a radial power-spectral-density helper.
+
+#include <complex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace orbit2 {
+
+using Complex = std::complex<double>;
+
+/// In-place FFT of arbitrary length (radix-2 when n is a power of two,
+/// Bluestein otherwise). `inverse` applies the conjugate transform and the
+/// 1/n normalization.
+void fft(std::vector<Complex>& data, bool inverse);
+
+/// Out-of-place convenience wrapper.
+std::vector<Complex> fft_copy(const std::vector<Complex>& data, bool inverse);
+
+/// 2-D FFT of a [H, W] real field; returns H*W complex coefficients in
+/// row-major layout.
+std::vector<Complex> fft2d(const Tensor& field);
+
+/// Radially averaged power spectral density of a [H, W] field: bin k holds
+/// the mean |F|^2 over all wavenumbers with round(sqrt(kx^2+ky^2)) == k,
+/// for k in [0, min(H,W)/2]. The DC bin is included as bin 0.
+std::vector<double> radial_power_spectrum(const Tensor& field);
+
+}  // namespace orbit2

@@ -1,0 +1,60 @@
+#include "hwsim/hardware.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace orbit2::hwsim {
+
+LinkProfile communicator_link(const FrontierTopology& topo,
+                              std::int64_t participants) {
+  ORBIT2_REQUIRE(participants >= 1, "communicator needs >= 1 participant");
+  if (participants <= topo.gpus_per_node) {
+    return {topo.intra_node_bandwidth, topo.intra_node_latency};
+  }
+  // Spans nodes: the ring crosses Slingshot links; per-GPU share of node
+  // injection bandwidth bounds throughput.
+  const double per_gpu_injection =
+      topo.inter_node_bandwidth / static_cast<double>(topo.gpus_per_node);
+  return {per_gpu_injection, topo.inter_node_latency};
+}
+
+double allreduce_time(const FrontierTopology& topo, double bytes,
+                      std::int64_t participants) {
+  ORBIT2_REQUIRE(bytes >= 0, "negative payload");
+  if (participants <= 1 || bytes == 0.0) return 0.0;
+  const LinkProfile link = communicator_link(topo, participants);
+  const double n = static_cast<double>(participants);
+  // Bandwidth term: ring. Latency term: hierarchical/tree (RCCL-style), so
+  // huge communicators don't pay O(n) hop latency.
+  return 2.0 * (n - 1.0) / n * bytes / link.bandwidth +
+         2.0 * std::ceil(std::log2(n)) * link.latency;
+}
+
+double allgather_time(const FrontierTopology& topo, double bytes,
+                      std::int64_t participants) {
+  if (participants <= 1 || bytes == 0.0) return 0.0;
+  const LinkProfile link = communicator_link(topo, participants);
+  const double n = static_cast<double>(participants);
+  return (n - 1.0) / n * bytes / link.bandwidth +
+         std::ceil(std::log2(n)) * link.latency;
+}
+
+double broadcast_time(const FrontierTopology& topo, double bytes,
+                      std::int64_t participants) {
+  if (participants <= 1 || bytes == 0.0) return 0.0;
+  const LinkProfile link = communicator_link(topo, participants);
+  const double hops = std::ceil(std::log2(static_cast<double>(participants)));
+  return hops * (bytes / link.bandwidth + link.latency);
+}
+
+double p2p_time(const FrontierTopology& topo, double bytes,
+                bool crosses_node) {
+  if (bytes == 0.0) return 0.0;
+  if (crosses_node) {
+    return bytes / topo.inter_node_bandwidth + topo.inter_node_latency;
+  }
+  return bytes / topo.intra_node_bandwidth + topo.intra_node_latency;
+}
+
+}  // namespace orbit2::hwsim

@@ -1,0 +1,82 @@
+#pragma once
+// Frontier hardware model (paper §IV "System Details").
+//
+// Each node: one 64-core EPYC + 4 MI250X cards = 8 GCDs ("GPUs"), 64 GB
+// HBM each; GPUs within a node talk over 50 GB/s Infinity Fabric; nodes
+// over 100 GB/s Slingshot-11. We model per-GCD BF16 peak, HBM bandwidth,
+// link bandwidths/latencies and per-kernel / per-step software overheads.
+// Collective costs use standard ring/tree closed forms.
+//
+// Every constant is a struct field, not a literal in a formula, so the
+// ablation benches can perturb them.
+
+#include <cstdint>
+
+namespace orbit2::hwsim {
+
+struct FrontierTopology {
+  std::int64_t gpus_per_node = 8;
+  double mem_per_gpu_bytes = 64e9;
+  /// MI250X GCD BF16 matrix peak.
+  double peak_bf16_flops = 191.5e12;
+  double hbm_bandwidth = 1.6e12;  // bytes/s per GCD
+
+  double intra_node_bandwidth = 50e9;   // GPU-GPU Infinity Fabric, bytes/s
+  double inter_node_bandwidth = 100e9;  // Slingshot-11 node injection, bytes/s
+  double intra_node_latency = 2e-6;     // seconds per hop
+  double inter_node_latency = 5e-6;
+
+  /// Fraction of peak a well-shaped GEMM achieves at saturation.
+  double max_compute_efficiency = 0.33;
+  /// Embedding width at which half the saturating efficiency is reached;
+  /// models small kernels underutilizing the GCD (paper: the 9.5M model
+  /// "underutilizes hardware at large scales").
+  double efficiency_half_width = 1200.0;
+  /// Per-transformer-layer launch/sync overhead (seconds).
+  double per_layer_overhead = 25e-6;
+  /// Fixed per-optimizer-step overhead: host sync, IO, quad-tree builds.
+  double per_step_overhead = 1.2e-3;
+  /// Memory the runtime reserves per GCD (allocator, libs, comm buffers).
+  double reserved_bytes = 4e9;
+
+  double usable_bytes() const { return mem_per_gpu_bytes - reserved_bytes; }
+
+  /// Achieved fraction of peak for GEMMs of a model with this embedding
+  /// width: eff = max * D / (D + half_width).
+  double achieved_efficiency(double embed_dim) const {
+    return max_compute_efficiency * embed_dim /
+           (embed_dim + efficiency_half_width);
+  }
+  double achieved_flops(double embed_dim) const {
+    return peak_bf16_flops * achieved_efficiency(embed_dim);
+  }
+};
+
+/// Link parameters for a communicator whose `participants` GPUs span
+/// `nodes` nodes: bandwidth/latency of the slowest link involved.
+struct LinkProfile {
+  double bandwidth = 0.0;
+  double latency = 0.0;
+};
+LinkProfile communicator_link(const FrontierTopology& topo,
+                              std::int64_t participants);
+
+/// Ring all-reduce of `bytes` across n participants:
+/// 2 * (n-1)/n * bytes / bw + 2 * (n-1) * latency.
+double allreduce_time(const FrontierTopology& topo, double bytes,
+                      std::int64_t participants);
+
+/// Ring all-gather (or reduce-scatter) of `bytes` total across n:
+/// (n-1)/n * bytes / bw + (n-1) * latency.
+double allgather_time(const FrontierTopology& topo, double bytes,
+                      std::int64_t participants);
+
+/// Tree broadcast of `bytes` to n participants.
+double broadcast_time(const FrontierTopology& topo, double bytes,
+                      std::int64_t participants);
+
+/// Point-to-point transfer of `bytes` (halo exchange).
+double p2p_time(const FrontierTopology& topo, double bytes,
+                bool crosses_node);
+
+}  // namespace orbit2::hwsim

@@ -1,0 +1,109 @@
+#include "hwsim/parallelism.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace orbit2::hwsim {
+
+std::string ParallelismPlan::to_string() const {
+  std::ostringstream os;
+  os << "gpus=" << total_gpus << " tp=" << tensor_parallel << " fsdp=" << fsdp
+     << " tiles=" << tiles << " seq=" << sequence_shard << " ddp=" << ddp;
+  return os.str();
+}
+
+ParallelismPlan plan_parallelism(const model::ModelConfig& config,
+                                 std::int64_t gpus, std::int64_t tiles,
+                                 bool favor_sequence) {
+  ORBIT2_REQUIRE(gpus >= 1, "need at least one GPU");
+  ORBIT2_REQUIRE(tiles >= 1, "tiles must be >= 1");
+
+  FrontierTopology topo;
+  ParallelismPlan plan;
+  plan.total_gpus = gpus;
+
+  // Optimizer state (fp32 master + 2 moments) must fit in ~1/3 of HBM after
+  // TP x FSDP sharding; TP stays within a node. Model sharding is allocated
+  // *before* TILES groups: when GPUs are scarce, tiles of a sample are
+  // processed sequentially by the same sharded instance rather than
+  // starving the model of memory.
+  const double optimizer_bytes =
+      static_cast<double>(total_parameter_count(config)) * 12.0;
+  const double budget = topo.usable_bytes() / 3.0;
+  std::int64_t shard_needed = 1;
+  while (optimizer_bytes / static_cast<double>(shard_needed) > budget) {
+    shard_needed *= 2;
+  }
+
+  std::int64_t remaining = gpus;
+  // FSDP across the two neighbouring nodes of a TILES group (Fig 5).
+  plan.fsdp = (remaining >= 2 && shard_needed > 1) ? 2 : 1;
+  remaining /= plan.fsdp;
+  // TP picks up the rest of the required sharding, bounded by the node.
+  plan.tensor_parallel =
+      std::min<std::int64_t>({topo.gpus_per_node,
+                              std::max<std::int64_t>(1, shard_needed / plan.fsdp),
+                              std::max<std::int64_t>(1, remaining)});
+  remaining /= plan.tensor_parallel;
+  remaining = std::max<std::int64_t>(1, remaining);
+  // TILES groups take what is left, up to the requested tile count.
+  plan.tiles = std::min(tiles, remaining);
+  remaining /= plan.tiles;
+  remaining = std::max<std::int64_t>(1, remaining);
+
+  if (favor_sequence) {
+    plan.sequence_shard = remaining;
+    plan.ddp = 1;
+  } else {
+    plan.sequence_shard = 1;
+    plan.ddp = remaining;
+  }
+  return plan;
+}
+
+MemoryBreakdown memory_per_gpu(const WorkloadSpec& spec,
+                               const WorkloadCosts& costs,
+                               const ParallelismPlan& plan,
+                               const FrontierTopology& topo) {
+  (void)topo;
+  MemoryBreakdown mem;
+  const double param_shard =
+      static_cast<double>(plan.tensor_parallel * plan.fsdp);
+  const double params = static_cast<double>(costs.parameters);
+
+  mem.parameter_bytes = params * 2.0 / param_shard;
+  mem.gradient_bytes = params * 2.0 / param_shard;
+  mem.optimizer_bytes = params * 12.0 / param_shard;
+  // Layer-wise FSDP gathers one full (TP-sharded) layer at a time.
+  const double layer_params =
+      static_cast<double>(spec.config.trunk_parameter_count()) /
+      static_cast<double>(std::max<std::int64_t>(1, spec.config.layers));
+  mem.transient_layer_bytes =
+      layer_params * 2.0 / static_cast<double>(plan.tensor_parallel);
+
+  // Tiles map to TILES groups: when the plan has fewer groups than the
+  // workload has tiles, a group processes its tiles sequentially, so the
+  // resident footprint is one tile's worth either way. Sequence sharding
+  // splits a tile's tokens across GPUs.
+  const double seq = static_cast<double>(plan.sequence_shard);
+  mem.activation_bytes = costs.trunk_activation_bytes_per_tile / seq;
+  mem.attention_score_bytes = costs.attention_score_bytes_per_tile / seq;
+  // Roughly half the HR-sized buffers shard with the sequence (token-space
+  // decoder tensors); the rest (stitched fields, halo copies) do not.
+  mem.io_bytes = costs.io_bytes_per_tile * (0.5 + 0.5 / seq);
+  return mem;
+}
+
+FitResult check_fits(const WorkloadSpec& spec, const ParallelismPlan& plan,
+                     const FrontierTopology& topo) {
+  FitResult result;
+  const WorkloadCosts costs = analyze_workload(spec);
+  result.breakdown = memory_per_gpu(spec, costs, plan, topo);
+  result.budget_bytes = topo.usable_bytes();
+  result.fits = result.breakdown.total() <= result.budget_bytes;
+  return result;
+}
+
+}  // namespace orbit2::hwsim

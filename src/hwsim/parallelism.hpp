@@ -1,0 +1,79 @@
+#pragma once
+// Orthogonal parallelism planning (paper §III-C, Fig 5).
+//
+// Four composable strategies, mapped to the hardware hierarchy by
+// communication frequency:
+//   * Tensor model parallel (TP)  — highest traffic, within a node.
+//   * Layer-wise FSDP             — moderate traffic, neighbouring nodes in
+//                                   the same TILES group.
+//   * TILES sequence parallel     — one gradient all-reduce per batch.
+//   * DDP                         — one gradient all-reduce per batch.
+// A plan factors the GPU count as tp * fsdp * tiles * seq_shard * ddp, and
+// the memory model evaluates the per-GPU footprint under that plan
+// (Hybrid-OP alternating-dimension sharding reduces FSDP gather volume and
+// layer-wise wrapping bounds the transient unsharded layer).
+
+#include <string>
+
+#include "hwsim/hardware.hpp"
+#include "hwsim/workload.hpp"
+
+namespace orbit2::hwsim {
+
+struct ParallelismPlan {
+  std::int64_t total_gpus = 8;
+  std::int64_t tensor_parallel = 1;  // within node
+  std::int64_t fsdp = 1;             // across neighbouring nodes
+  std::int64_t tiles = 1;            // TILES groups
+  std::int64_t sequence_shard = 1;   // extra token sharding within a tile
+  std::int64_t ddp = 1;              // data parallel replicas
+
+  std::int64_t gpus_per_model_instance() const {
+    return tensor_parallel * fsdp * tiles * sequence_shard;
+  }
+  std::string to_string() const;
+};
+
+/// Builds the Fig-5 style plan for `gpus` GPUs: TP sized so the sharded
+/// optimizer state fits, FSDP = 2 (neighbouring nodes) when GPUs allow,
+/// TILES groups = `tiles`, and the remainder going to DDP. When
+/// `favor_sequence` is set (max-sequence-length searches), leftover GPUs
+/// shard the sequence instead of adding DDP replicas.
+ParallelismPlan plan_parallelism(const model::ModelConfig& config,
+                                 std::int64_t gpus, std::int64_t tiles,
+                                 bool favor_sequence = false);
+
+/// Per-GPU memory breakdown under a plan. All quantities in bytes.
+struct MemoryBreakdown {
+  double parameter_bytes = 0.0;   // bf16 shard
+  double gradient_bytes = 0.0;    // bf16 shard
+  double optimizer_bytes = 0.0;   // fp32 master + two moments, sharded
+  double transient_layer_bytes = 0.0;  // layer-wise FSDP gather
+  double activation_bytes = 0.0;
+  double attention_score_bytes = 0.0;
+  double io_bytes = 0.0;
+
+  double total() const {
+    return parameter_bytes + gradient_bytes + optimizer_bytes +
+           transient_layer_bytes + activation_bytes + attention_score_bytes +
+           io_bytes;
+  }
+};
+
+MemoryBreakdown memory_per_gpu(const WorkloadSpec& spec,
+                               const WorkloadCosts& costs,
+                               const ParallelismPlan& plan,
+                               const FrontierTopology& topo);
+
+/// Typed OOM outcome (a result, not an exception, so sweeps can record OOM
+/// rows exactly as Tables II/III do).
+struct FitResult {
+  bool fits = false;
+  MemoryBreakdown breakdown;
+  double budget_bytes = 0.0;
+};
+
+FitResult check_fits(const WorkloadSpec& spec, const ParallelismPlan& plan,
+                     const FrontierTopology& topo);
+
+}  // namespace orbit2::hwsim

@@ -1,0 +1,77 @@
+#pragma once
+// Performance estimation: per-sample step time under a parallelism plan,
+// strong-scaling sweeps (Fig 6b), TILES speedup curves (Fig 6a), and
+// max-sequence-length searches (Table III).
+//
+// Step time = compute (roofline with width-dependent achieved efficiency)
+//           + per-layer launch overheads + fixed step overhead
+//           + communication (TP all-reduces per layer, FSDP gathers per
+//             layer, one gradient all-reduce per batch over TILES x DDP,
+//             halo exchanges per tile).
+// All absolute times are simulator estimates; the benches report them next
+// to the paper's numbers and EXPERIMENTS.md discusses the match.
+
+#include <vector>
+
+#include "hwsim/parallelism.hpp"
+
+namespace orbit2::hwsim {
+
+struct StepTimeBreakdown {
+  double compute_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  double communication_seconds = 0.0;
+  double total_seconds = 0.0;          // wall time for one model instance
+  double per_sample_seconds = 0.0;     // wall time amortized over DDP
+  double sustained_flops = 0.0;        // system-wide training FLOP rate
+};
+
+/// Estimates one training step (one sample per model instance).
+StepTimeBreakdown estimate_step(const WorkloadSpec& spec,
+                                const ParallelismPlan& plan,
+                                const FrontierTopology& topo);
+
+struct ScalingPoint {
+  std::int64_t gpus = 0;
+  ParallelismPlan plan;
+  double per_sample_seconds = 0.0;
+  double efficiency = 1.0;  // vs the first sweep point, ideal-linear
+  double sustained_flops = 0.0;
+};
+
+/// Strong scaling sweep (paper Fig 6b): fixed workload, growing GPU count;
+/// efficiency is speedup relative to the first point divided by the GPU
+/// ratio.
+std::vector<ScalingPoint> strong_scaling_sweep(
+    const WorkloadSpec& spec, const std::vector<std::int64_t>& gpu_counts,
+    const FrontierTopology& topo);
+
+struct TilesSpeedupPoint {
+  std::int64_t gpus = 0;
+  double speedup = 1.0;  // vs 8-GPU non-tiled baseline
+};
+
+/// TILES speedup curve (paper Fig 6a): tiled configuration at growing GPU
+/// counts vs the 8-GPU non-tiled baseline of the same model/task.
+std::vector<TilesSpeedupPoint> tiles_speedup_sweep(
+    const WorkloadSpec& tiled_spec, const std::vector<std::int64_t>& gpu_counts,
+    const FrontierTopology& topo);
+
+struct MaxSequenceResult {
+  bool feasible = false;        // false = OOM even at the smallest grid
+  std::int64_t sequence_length = 0;
+  std::int64_t out_h = 0;
+  std::int64_t out_w = 0;
+  double resolution_km = 0.0;
+  MemoryBreakdown at_limit;
+};
+
+/// Largest global output grid (2:1 aspect, multiples of patch*upscale*tiles)
+/// whose training step fits in memory on `gpus` GPUs (Table III). Output
+/// channels are taken from the config (18 in the paper's Table III runs).
+MaxSequenceResult max_sequence_length(const model::ModelConfig& config,
+                                      float compression, std::int64_t tiles,
+                                      std::int64_t gpus,
+                                      const FrontierTopology& topo);
+
+}  // namespace orbit2::hwsim

@@ -1,0 +1,48 @@
+#pragma once
+// Ring sequence-parallel attention — the prior-art scaling algorithm the
+// paper compares TILES against (§II "Scaling algorithm solutions",
+// refs [22][29][30]: sequence parallelism tops out at 188K tokens because
+// "self-attention requires each token to interact with all other tokens
+// from every other GPU", incurring heavy inter-GPU communication).
+//
+// This is a real executable implementation over virtual devices: the
+// sequence is partitioned across devices by query rows; key/value blocks
+// rotate around the ring so every device eventually sees every KV block,
+// combining partial attention outputs with the same online-softmax
+// rescaling flash attention uses. The result is numerically identical to
+// monolithic attention — unlike TILES, which changes the math (restricts
+// the window) in exchange for near-zero communication.
+//
+// CommStats counts the rotated KV bytes, so benches can demonstrate the
+// paper's motivating comparison quantitatively: ring attention moves
+// O(N · d) bytes per device per layer; TILES moves a halo strip once per
+// sample.
+
+#include <vector>
+
+#include "hwsim/sharded.hpp"
+#include "tensor/tensor.hpp"
+
+namespace orbit2::hwsim {
+
+/// Exact attention computed ring-parallel across `devices` virtual devices.
+/// q, k, v are the full [N, d] operands; N must divide by `devices`.
+/// Returns softmax(q k^T * scale) v, bitwise-close to the monolithic
+/// result; `stats` accumulates the KV ring traffic.
+Tensor ring_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                      float scale, std::int64_t devices, CommStats& stats);
+
+/// Communication volume (bytes) for one ring-attention pass at the given
+/// geometry — the closed form behind the measured stats, used by the
+/// comparison bench: each device receives (devices-1) KV block pairs.
+std::int64_t ring_attention_comm_bytes(std::int64_t tokens, std::int64_t dim,
+                                       std::int64_t devices);
+
+/// TILES halo traffic (bytes) for the same sequence laid out on a square-ish
+/// tile grid with the given halo width and channel count: one strip
+/// exchange per sample.
+std::int64_t tiles_halo_comm_bytes(std::int64_t grid_h, std::int64_t grid_w,
+                                   std::int64_t tiles, std::int64_t halo,
+                                   std::int64_t channels);
+
+}  // namespace orbit2::hwsim

@@ -1,0 +1,191 @@
+#include "hwsim/sharded.hpp"
+
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit2::hwsim {
+
+namespace {
+
+/// Splits a [in, out] weight along `axis` into `devices` equal shards.
+std::vector<Tensor> split_weight(const Tensor& weight, int axis,
+                                 std::int64_t devices) {
+  ORBIT2_REQUIRE(weight.rank() == 2, "weight must be rank-2");
+  ORBIT2_REQUIRE(weight.dim(axis) % devices == 0,
+                 "dimension " << weight.dim(axis) << " not divisible by "
+                              << devices << " devices");
+  const std::int64_t shard = weight.dim(axis) / devices;
+  std::vector<Tensor> shards;
+  shards.reserve(static_cast<std::size_t>(devices));
+  for (std::int64_t d = 0; d < devices; ++d) {
+    shards.push_back(weight.slice(axis, d * shard, shard));
+  }
+  return shards;
+}
+
+}  // namespace
+
+ShardedLinear::ShardedLinear(const Tensor& weight, const Tensor& bias,
+                             Mode mode, std::int64_t devices)
+    : mode_(mode) {
+  ORBIT2_REQUIRE(devices >= 1, "need at least one device");
+  ORBIT2_REQUIRE(bias.rank() == 1 && bias.dim(0) == weight.dim(1),
+                 "bias must be [out]");
+  if (mode == Mode::kColumn) {
+    weights_ = split_weight(weight, 1, devices);
+    ORBIT2_REQUIRE(bias.dim(0) % devices == 0, "bias not divisible");
+    const std::int64_t shard = bias.dim(0) / devices;
+    for (std::int64_t d = 0; d < devices; ++d) {
+      biases_.push_back(bias.slice(0, d * shard, shard));
+    }
+  } else {
+    weights_ = split_weight(weight, 0, devices);
+    biases_.push_back(bias.clone());  // applied once after the all-reduce
+  }
+}
+
+std::vector<Tensor> ShardedLinear::forward_local(
+    const std::vector<Tensor>& x_per_device) const {
+  ORBIT2_REQUIRE(mode_ == Mode::kColumn, "forward_local is column-mode only");
+  ORBIT2_REQUIRE(x_per_device.size() == weights_.size(),
+                 "one input per device required");
+  std::vector<Tensor> outputs;
+  outputs.reserve(weights_.size());
+  for (std::size_t d = 0; d < weights_.size(); ++d) {
+    Tensor y = matmul(x_per_device[d], weights_[d]);
+    // Add the bias shard.
+    const std::int64_t rows = y.dim(0), cols = y.dim(1);
+    float* py = y.data().data();
+    const float* pb = biases_[d].data().data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) py[r * cols + c] += pb[c];
+    }
+    outputs.push_back(std::move(y));
+  }
+  return outputs;
+}
+
+Tensor ShardedLinear::forward(const std::vector<Tensor>& x_per_device,
+                              CommStats& stats) const {
+  ORBIT2_REQUIRE(x_per_device.size() == weights_.size(),
+                 "one input per device required");
+  if (mode_ == Mode::kColumn) {
+    // Local slices, then all-gather along features.
+    std::vector<Tensor> local = forward_local(x_per_device);
+    Tensor gathered = Tensor::concat(1, local);
+    for (const Tensor& part : local) {
+      stats.allgather_bytes +=
+          part.numel() * static_cast<std::int64_t>(sizeof(float));
+    }
+    ++stats.collective_calls;
+    return gathered;
+  }
+  // Row mode: partial products summed by all-reduce.
+  Tensor sum;
+  for (std::size_t d = 0; d < weights_.size(); ++d) {
+    Tensor partial = matmul(x_per_device[d], weights_[d]);
+    if (d == 0) {
+      sum = std::move(partial);
+    } else {
+      sum.add_inplace(partial);
+    }
+  }
+  // Wire cost of a ring all-reduce: 2 * (n-1)/n * |T| per participant.
+  const auto n = static_cast<std::int64_t>(weights_.size());
+  stats.allreduce_bytes += 2 * (n - 1) * sum.numel() *
+                           static_cast<std::int64_t>(sizeof(float)) / n;
+  ++stats.collective_calls;
+  // Bias once, post-reduction.
+  const std::int64_t rows = sum.dim(0), cols = sum.dim(1);
+  float* py = sum.data().data();
+  const float* pb = biases_.front().data().data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) py[r * cols + c] += pb[c];
+  }
+  return sum;
+}
+
+HybridOpPair::HybridOpPair(const Tensor& w1, const Tensor& b1,
+                           const Tensor& w2, const Tensor& b2,
+                           std::int64_t devices)
+    : column_(w1, b1, ShardedLinear::Mode::kColumn, devices),
+      row_(w2, b2, ShardedLinear::Mode::kRow, devices) {
+  ORBIT2_REQUIRE(w1.dim(1) == w2.dim(0),
+                 "pair dimensions must chain: " << w1.shape().to_string()
+                                                << " then "
+                                                << w2.shape().to_string());
+}
+
+Tensor HybridOpPair::forward(const Tensor& x, CommStats& stats) const {
+  // Replicate x (free: same process), compute column-local slices — these
+  // are exactly the feature shards the row layer consumes, so NO collective
+  // happens between the two matmuls. One all-reduce at the end.
+  std::vector<Tensor> replicated(static_cast<std::size_t>(column_.devices()), x);
+  std::vector<Tensor> hidden_shards = column_.forward_local(replicated);
+  return row_.forward(hidden_shards, stats);
+}
+
+Tensor column_only_chain(const Tensor& x, const Tensor& w1, const Tensor& b1,
+                         const Tensor& w2, const Tensor& b2,
+                         std::int64_t devices, CommStats& stats) {
+  ShardedLinear layer1(w1, b1, ShardedLinear::Mode::kColumn, devices);
+  ShardedLinear layer2(w2, b2, ShardedLinear::Mode::kColumn, devices);
+  std::vector<Tensor> replicated(static_cast<std::size_t>(devices), x);
+  // Layer 1 gathers its full output so layer 2 (also column) can replicate
+  // it — the extra collective Hybrid-OP eliminates.
+  Tensor hidden = layer1.forward(replicated, stats);
+  std::vector<Tensor> replicated2(static_cast<std::size_t>(devices), hidden);
+  return layer2.forward(replicated2, stats);
+}
+
+LayerwiseFsdpStack::LayerwiseFsdpStack(std::vector<Tensor> weights,
+                                       std::vector<Tensor> biases,
+                                       std::int64_t devices)
+    : devices_(devices), biases_(std::move(biases)) {
+  ORBIT2_REQUIRE(weights.size() == biases_.size(),
+                 "one bias per weight required");
+  ORBIT2_REQUIRE(devices >= 1, "need at least one device");
+  weight_shards_.reserve(weights.size());
+  for (const Tensor& w : weights) {
+    weight_shards_.push_back(split_weight(w, 0, devices));
+  }
+}
+
+std::int64_t LayerwiseFsdpStack::total_parameter_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& shards : weight_shards_) {
+    for (const Tensor& s : shards) {
+      total += s.numel() * static_cast<std::int64_t>(sizeof(float));
+    }
+  }
+  return total;
+}
+
+Tensor LayerwiseFsdpStack::forward(const Tensor& x, CommStats& stats) const {
+  Tensor h = x;
+  peak_transient_bytes_ = 0;
+  for (std::size_t layer = 0; layer < weight_shards_.size(); ++layer) {
+    // Just-in-time all-gather of this layer's full weight.
+    Tensor full = Tensor::concat(0, weight_shards_[layer]);
+    const std::int64_t gathered_bytes =
+        full.numel() * static_cast<std::int64_t>(sizeof(float));
+    stats.allgather_bytes += gathered_bytes;
+    ++stats.collective_calls;
+    peak_transient_bytes_ = std::max(peak_transient_bytes_, gathered_bytes);
+
+    Tensor y = matmul(h, full);
+    const std::int64_t rows = y.dim(0), cols = y.dim(1);
+    float* py = y.data().data();
+    const float* pb = biases_[layer].data().data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) py[r * cols + c] += pb[c];
+    }
+    // GELU between layers (not after the last).
+    h = (layer + 1 < weight_shards_.size()) ? gelu(y) : y;
+    // `full` drops here: the transient gathered copy never outlives the
+    // layer — the layer-wise wrapping guarantee.
+  }
+  return h;
+}
+
+}  // namespace orbit2::hwsim

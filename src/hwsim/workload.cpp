@@ -1,0 +1,162 @@
+#include "hwsim/workload.hpp"
+
+#include "core/error.hpp"
+#include "model/pos_embed.hpp"
+
+namespace orbit2::hwsim {
+
+namespace {
+
+// Bytes per element for activations stored in BF16 mixed precision.
+constexpr double kActBytes = 2.0;
+// Distinct activation tensors retained per trunk token per layer for the
+// backward pass (x, q, k, v, attn-out, two layernorm saves, MLP hidden =
+// mlp_ratio*D, MLP out), expressed in units of D: 7 + mlp_ratio.
+double activation_width_units(const model::ModelConfig& c) {
+  return 7.0 + static_cast<double>(c.mlp_ratio);
+}
+// fp32 copies of HR-sized fields the training step keeps live per output
+// pixel (prediction, target, gradient, decoder pre-image, conv intermediates
+// and their grads). Calibrated so the 9.5M / 8-GPU Table III row lands near
+// the paper's.
+constexpr double kOutputCopies = 12.0;
+
+}  // namespace
+
+std::int64_t total_parameter_count(const model::ModelConfig& c) {
+  const std::int64_t d = c.embed_dim;
+  const std::int64_t p2 = c.patch * c.patch;
+  std::int64_t total = c.trunk_parameter_count();
+  // Final norm.
+  total += 2 * d;
+  switch (c.architecture) {
+    case model::Architecture::kReslim: {
+      // Patch embed (per-variable tokens are p^2 wide) + variable embedding
+      // + aggregation (query + Wk + Wv) + resolution table.
+      total += p2 * d + d;
+      total += c.in_channels * d;
+      total += d + 2 * d * d;
+      total += model::kResolutionTableSize * d;
+      // Decoder to (p*up)^2 * Cout + refinement conv.
+      const std::int64_t dec_out = p2 * c.upscale * c.upscale * c.out_channels;
+      total += d * dec_out + dec_out;
+      total += c.out_channels * c.out_channels * 9 + c.out_channels;
+      // Residual path convs.
+      total += c.in_channels * c.residual_hidden * 9 + c.residual_hidden;
+      total += c.residual_hidden * c.out_channels * 9 + c.out_channels;
+      total += c.out_channels * c.out_channels * 9 + c.out_channels;
+      break;
+    }
+    case model::Architecture::kViTBaseline: {
+      constexpr std::int64_t kAgg = 8;  // ViTBaselineModel::kAggregatedChannels
+      total += c.in_channels * kAgg * 9 + kAgg;     // channel conv
+      total += kAgg * p2 * d + d;                   // patch embed
+      total += d * p2 * c.out_channels + p2 * c.out_channels;  // decoder
+      break;
+    }
+  }
+  return total;
+}
+
+WorkloadCosts analyze_workload(const WorkloadSpec& spec) {
+  const model::ModelConfig& c = spec.config;
+  ORBIT2_REQUIRE(spec.tiles >= 1, "tiles must be >= 1");
+  ORBIT2_REQUIRE(spec.compression >= 1.0f, "compression must be >= 1");
+
+  WorkloadCosts costs;
+  costs.parameters = total_parameter_count(c);
+  costs.sequence_length =
+      spec.hr_h() * spec.hr_w() * c.out_channels / (c.patch * c.patch);
+
+  const double d = static_cast<double>(c.embed_dim);
+  const double layers = static_cast<double>(c.layers);
+
+  // Tokens entering the trunk.
+  double trunk_tokens = 0.0;
+  switch (c.architecture) {
+    case model::Architecture::kReslim:
+      // LR grid, channel-aggregated to one stream, then compressed.
+      trunk_tokens = static_cast<double>(spec.lr_h) * spec.lr_w /
+                     (c.patch * c.patch) / spec.compression;
+      break;
+    case model::Architecture::kViTBaseline:
+      // HR grid, per-output-channel streams (Fig 1 accounting).
+      trunk_tokens = static_cast<double>(costs.sequence_length);
+      break;
+  }
+  // Halo padding inflates per-tile work (~10% per side for the paper's
+  // fixed-width halos); this is the overhead that makes >16 tiles per
+  // sample counterproductive in Table II(b).
+  const double halo_inflation = spec.tiles > 1 ? 1.21 : 1.0;
+  const double tokens_per_tile =
+      trunk_tokens / static_cast<double>(spec.tiles) * halo_inflation;
+  costs.trunk_tokens_per_tile = static_cast<std::int64_t>(tokens_per_tile);
+
+  // ---- FLOPs (whole sample, all tiles) -----------------------------------
+  // Trunk GEMMs: per token per layer, 2 * (4 D^2 attn proj + 2*ratio D^2
+  // MLP) multiply-adds = 2 flops each.
+  const double gemm_flops_per_token =
+      layers * 2.0 * (4.0 * d * d + 2.0 * c.mlp_ratio * d * d);
+  // Attention scores: window = tokens in the same tile.
+  const double worked_tokens = tokens_per_tile * static_cast<double>(spec.tiles);
+  const double attn_flops =
+      layers * 4.0 * worked_tokens * tokens_per_tile * d;
+  double fwd = worked_tokens * gemm_flops_per_token + attn_flops;
+
+  if (c.architecture == model::Architecture::kReslim) {
+    // Channel aggregation runs on V*P uncompressed LR tokens.
+    const double agg_tokens = static_cast<double>(c.in_channels) * spec.lr_h *
+                              spec.lr_w / (c.patch * c.patch);
+    fwd += agg_tokens * 2.0 * (2.0 * d * d);  // Wk, Wv projections
+    // Decoder projection per uncompressed token.
+    const double dec_out =
+        static_cast<double>(c.patch * c.patch) * c.upscale * c.upscale *
+        c.out_channels;
+    fwd += static_cast<double>(spec.lr_h) * spec.lr_w / (c.patch * c.patch) *
+           2.0 * d * dec_out;
+    // Residual + refinement convs: linear in pixels, 3x3 kernels.
+    const double hr_pixels = static_cast<double>(spec.hr_h()) * spec.hr_w();
+    const double lr_pixels = static_cast<double>(spec.lr_h) * spec.lr_w;
+    fwd += 2.0 * 9.0 *
+           (lr_pixels * c.in_channels * c.residual_hidden +
+            lr_pixels * c.residual_hidden * c.out_channels +
+            2.0 * hr_pixels * c.out_channels * c.out_channels);
+  } else {
+    const double hr_pixels = static_cast<double>(spec.hr_h()) * spec.hr_w();
+    fwd += 2.0 * 9.0 * hr_pixels * c.in_channels * 8.0;     // channel conv
+    fwd += trunk_tokens * 2.0 * d *
+           (c.patch * c.patch * c.out_channels);             // decoder
+  }
+
+  costs.forward_flops = fwd;
+  costs.train_flops = 3.0 * fwd;  // backward ~ 2x forward
+
+  // ---- Memory ---------------------------------------------------------
+  costs.trunk_activation_bytes_per_tile =
+      layers * tokens_per_tile * d * activation_width_units(c) * kActBytes;
+  if (!c.use_flash_attention ||
+      c.architecture == model::Architecture::kViTBaseline) {
+    // Naive attention materializes scores + probs per head per layer.
+    costs.attention_score_bytes_per_tile =
+        layers * static_cast<double>(c.heads) * tokens_per_tile *
+        tokens_per_tile * 2.0 * kActBytes;
+  }
+  const double hr_pixels_per_tile =
+      static_cast<double>(spec.hr_h()) * spec.hr_w() /
+      static_cast<double>(spec.tiles);
+  const double lr_pixels_per_tile =
+      static_cast<double>(spec.lr_h) * spec.lr_w /
+      static_cast<double>(spec.tiles);
+  costs.io_bytes_per_tile =
+      hr_pixels_per_tile * c.out_channels * 4.0 * kOutputCopies +
+      lr_pixels_per_tile * c.in_channels * 4.0 * 2.0;
+  return costs;
+}
+
+double global_resolution_km(std::int64_t hr_w) {
+  constexpr double kEquatorKm = 40075.0;
+  ORBIT2_REQUIRE(hr_w >= 1, "empty grid");
+  return kEquatorKm / static_cast<double>(hr_w);
+}
+
+}  // namespace orbit2::hwsim

@@ -1,0 +1,58 @@
+#pragma once
+// Analytic workload accounting: parameters, sequence lengths, FLOPs and
+// activation bytes for a (model config, task geometry, tiles, compression)
+// combination. All formulas follow the real layer implementations in
+// src/model, so planning a 10B configuration never allocates it; the tests
+// cross-check the analytic parameter counts against real instantiated
+// modules at tiny/small scale.
+
+#include "model/config.hpp"
+
+namespace orbit2::hwsim {
+
+struct WorkloadSpec {
+  model::ModelConfig config;
+  /// LR input grid (the model's working resolution).
+  std::int64_t lr_h = 180;
+  std::int64_t lr_w = 360;
+  /// TILES tile count (1 = no tiling) and quad-tree compression factor.
+  std::int64_t tiles = 1;
+  float compression = 1.0f;
+
+  std::int64_t hr_h() const { return lr_h * config.upscale; }
+  std::int64_t hr_w() const { return lr_w * config.upscale; }
+};
+
+struct WorkloadCosts {
+  /// Exact total trainable parameters for the architecture.
+  std::int64_t parameters = 0;
+  /// Paper-style sequence length: HR pixels * out_channels / patch^2.
+  std::int64_t sequence_length = 0;
+  /// Tokens actually entering the ViT trunk, per tile, after channel
+  /// aggregation and compression (Reslim) or on the HR grid (baseline).
+  std::int64_t trunk_tokens_per_tile = 0;
+  /// Training FLOPs (fwd + bwd) for one full sample across all tiles.
+  double train_flops = 0.0;
+  /// Forward-only FLOPs.
+  double forward_flops = 0.0;
+  /// Activation bytes for one tile's trunk (flash-attention path).
+  double trunk_activation_bytes_per_tile = 0.0;
+  /// Extra quadratic score memory per tile (naive attention only; 0 for
+  /// flash). This is what OOMs the baseline ViT.
+  double attention_score_bytes_per_tile = 0.0;
+  /// HR input/output/decoder buffers for one tile (autograd copies incl.).
+  double io_bytes_per_tile = 0.0;
+};
+
+/// Exact parameter count of the full model (trunk + embeddings + decoder +
+/// aggregation / channel conv + residual path).
+std::int64_t total_parameter_count(const model::ModelConfig& config);
+
+/// Full cost analysis.
+WorkloadCosts analyze_workload(const WorkloadSpec& spec);
+
+/// Global resolution (km) of an output grid spanning the Earth: equatorial
+/// circumference / width.
+double global_resolution_km(std::int64_t hr_w);
+
+}  // namespace orbit2::hwsim

@@ -1,0 +1,193 @@
+#include "image/filters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace orbit2 {
+
+namespace {
+
+inline std::int64_t clamp_index(std::int64_t i, std::int64_t n) {
+  return std::max<std::int64_t>(0, std::min(i, n - 1));
+}
+
+std::vector<float> gaussian_kernel(float sigma) {
+  ORBIT2_REQUIRE(sigma > 0.0f, "gaussian sigma must be positive");
+  const int radius = static_cast<int>(std::ceil(3.0f * sigma));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-(static_cast<double>(i) * i) /
+                              (2.0 * sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (float& k : kernel) k = static_cast<float>(k / sum);
+  return kernel;
+}
+
+}  // namespace
+
+Tensor gaussian_blur(const Tensor& image, float sigma) {
+  ORBIT2_REQUIRE(image.rank() == 2, "gaussian_blur expects [H,W]");
+  const auto kernel = gaussian_kernel(sigma);
+  const int radius = static_cast<int>(kernel.size() / 2);
+  const std::int64_t h = image.dim(0), w = image.dim(1);
+
+  // Horizontal pass.
+  Tensor tmp(image.shape());
+  const float* src = image.data().data();
+  float* mid = tmp.data().data();
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += static_cast<double>(src[y * w + clamp_index(x + k, w)]) *
+               kernel[static_cast<std::size_t>(k + radius)];
+      }
+      mid[y * w + x] = static_cast<float>(acc);
+    }
+  }
+  // Vertical pass.
+  Tensor out(image.shape());
+  float* dst = out.data().data();
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += static_cast<double>(mid[clamp_index(y + k, h) * w + x]) *
+               kernel[static_cast<std::size_t>(k + radius)];
+      }
+      dst[y * w + x] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+void sobel(const Tensor& image, Tensor& grad_x, Tensor& grad_y) {
+  ORBIT2_REQUIRE(image.rank() == 2, "sobel expects [H,W]");
+  const std::int64_t h = image.dim(0), w = image.dim(1);
+  grad_x = Tensor(image.shape());
+  grad_y = Tensor(image.shape());
+  const float* src = image.data().data();
+  float* gx = grad_x.data().data();
+  float* gy = grad_y.data().data();
+
+  auto px = [&](std::int64_t y, std::int64_t x) {
+    return src[clamp_index(y, h) * w + clamp_index(x, w)];
+  };
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const float tl = px(y - 1, x - 1), tc = px(y - 1, x), tr = px(y - 1, x + 1);
+      const float ml = px(y, x - 1), mr = px(y, x + 1);
+      const float bl = px(y + 1, x - 1), bc = px(y + 1, x), br = px(y + 1, x + 1);
+      gx[y * w + x] = (tr + 2 * mr + br) - (tl + 2 * ml + bl);
+      gy[y * w + x] = (bl + 2 * bc + br) - (tl + 2 * tc + tr);
+    }
+  }
+}
+
+Tensor gradient_magnitude(const Tensor& grad_x, const Tensor& grad_y) {
+  check_same_shape(grad_x, grad_y, "gradient_magnitude");
+  Tensor out(grad_x.shape());
+  auto gx = grad_x.data();
+  auto gy = grad_y.data();
+  auto po = out.data();
+  for (std::size_t i = 0; i < po.size(); ++i) {
+    po[i] = std::sqrt(gx[i] * gx[i] + gy[i] * gy[i]);
+  }
+  return out;
+}
+
+Tensor canny(const Tensor& image, const CannyParams& params) {
+  ORBIT2_REQUIRE(image.rank() == 2, "canny expects [H,W]");
+  ORBIT2_REQUIRE(params.low_threshold <= params.high_threshold,
+                 "canny: low threshold above high threshold");
+  const std::int64_t h = image.dim(0), w = image.dim(1);
+
+  const Tensor smoothed = gaussian_blur(image, params.sigma);
+  Tensor gx, gy;
+  sobel(smoothed, gx, gy);
+  const Tensor mag = gradient_magnitude(gx, gy);
+
+  // Non-maximum suppression along the quantized gradient direction.
+  Tensor thin = Tensor::zeros(image.shape());
+  const float* pm = mag.data().data();
+  const float* pgx = gx.data().data();
+  const float* pgy = gy.data().data();
+  float* pt = thin.data().data();
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const float m = pm[y * w + x];
+      if (m == 0.0f) continue;
+      const float angle = std::atan2(pgy[y * w + x], pgx[y * w + x]);
+      // Quantize to 0/45/90/135 degrees.
+      const float deg = std::fmod(angle * 180.0f / static_cast<float>(M_PI) + 180.0f, 180.0f);
+      std::int64_t dy1, dx1;
+      if (deg < 22.5f || deg >= 157.5f) { dy1 = 0; dx1 = 1; }
+      else if (deg < 67.5f) { dy1 = 1; dx1 = 1; }
+      else if (deg < 112.5f) { dy1 = 1; dx1 = 0; }
+      else { dy1 = 1; dx1 = -1; }
+      const float n1 = pm[clamp_index(y + dy1, h) * w + clamp_index(x + dx1, w)];
+      const float n2 = pm[clamp_index(y - dy1, h) * w + clamp_index(x - dx1, w)];
+      if (m >= n1 && m >= n2) pt[y * w + x] = m;
+    }
+  }
+
+  // Double threshold relative to the max suppressed magnitude.
+  const float peak = thin.max();
+  if (peak <= 0.0f) return Tensor::zeros(image.shape());
+  const float low = params.low_threshold * peak;
+  const float high = params.high_threshold * peak;
+
+  // Hysteresis: BFS from strong pixels through weak ones.
+  Tensor edges = Tensor::zeros(image.shape());
+  float* pe = edges.data().data();
+  std::deque<std::pair<std::int64_t, std::int64_t>> frontier;
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      if (pt[y * w + x] >= high) {
+        pe[y * w + x] = 1.0f;
+        frontier.emplace_back(y, x);
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    const auto [y, x] = frontier.front();
+    frontier.pop_front();
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t ny = y + dy, nx = x + dx;
+        if (ny < 0 || ny >= h || nx < 0 || nx >= w) continue;
+        if (pe[ny * w + nx] != 0.0f) continue;
+        if (pt[ny * w + nx] >= low) {
+          pe[ny * w + nx] = 1.0f;
+          frontier.emplace_back(ny, nx);
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+float edge_density(const Tensor& edges, std::int64_t y0, std::int64_t x0,
+                   std::int64_t h, std::int64_t w) {
+  ORBIT2_REQUIRE(edges.rank() == 2, "edge_density expects [H,W]");
+  ORBIT2_REQUIRE(h > 0 && w > 0, "edge_density: empty window");
+  const std::int64_t eh = edges.dim(0), ew = edges.dim(1);
+  ORBIT2_REQUIRE(y0 >= 0 && x0 >= 0 && y0 + h <= eh && x0 + w <= ew,
+                 "edge_density window out of bounds");
+  const float* pe = edges.data().data();
+  std::int64_t count = 0;
+  for (std::int64_t y = y0; y < y0 + h; ++y) {
+    for (std::int64_t x = x0; x < x0 + w; ++x) {
+      if (pe[y * ew + x] != 0.0f) ++count;
+    }
+  }
+  return static_cast<float>(count) / static_cast<float>(h * w);
+}
+
+}  // namespace orbit2

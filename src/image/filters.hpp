@@ -1,0 +1,39 @@
+#pragma once
+// Classical image filters on rank-2 [H, W] tensors.
+//
+// These feed the adaptive spatial compression stage (paper §III-A): the
+// quad-tree partitions wherever Canny edge density exceeds a threshold, so
+// Gaussian smoothing + Sobel gradients + non-maximum suppression +
+// hysteresis are real substrate here, not decoration.
+
+#include "tensor/tensor.hpp"
+
+namespace orbit2 {
+
+/// Separable Gaussian blur with the given sigma; kernel radius is
+/// ceil(3*sigma). Border handling: clamp-to-edge.
+Tensor gaussian_blur(const Tensor& image, float sigma);
+
+/// Sobel gradients; writes dI/dx and dI/dy (clamp-to-edge borders).
+void sobel(const Tensor& image, Tensor& grad_x, Tensor& grad_y);
+
+/// Gradient magnitude sqrt(gx^2 + gy^2).
+Tensor gradient_magnitude(const Tensor& grad_x, const Tensor& grad_y);
+
+struct CannyParams {
+  float sigma = 1.0f;          // pre-smoothing
+  float low_threshold = 0.1f;  // fraction of max magnitude
+  float high_threshold = 0.3f; // fraction of max magnitude
+};
+
+/// Full Canny edge detector: blur -> Sobel -> non-max suppression ->
+/// double threshold -> hysteresis (BFS from strong edges). Returns a binary
+/// {0,1} edge map.
+Tensor canny(const Tensor& image, const CannyParams& params = {});
+
+/// Fraction of edge pixels inside the rectangle [y0,y0+h) x [x0,x0+w) of a
+/// binary edge map; the quad-tree's "feature density" measure.
+float edge_density(const Tensor& edges, std::int64_t y0, std::int64_t x0,
+                   std::int64_t h, std::int64_t w);
+
+}  // namespace orbit2

@@ -1,0 +1,80 @@
+#include "image/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace orbit2 {
+
+namespace {
+
+void resolve_range(const Tensor& image, float& lo, float& hi) {
+  if (lo == hi) {
+    lo = image.min();
+    hi = image.max();
+    if (lo == hi) hi = lo + 1.0f;  // constant image: avoid divide-by-zero
+  }
+}
+
+std::uint8_t to_byte(float value, float lo, float hi) {
+  const float t = std::clamp((value - lo) / (hi - lo), 0.0f, 1.0f);
+  return static_cast<std::uint8_t>(t * 255.0f + 0.5f);
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, const Tensor& image, float lo,
+               float hi) {
+  ORBIT2_REQUIRE(image.rank() == 2, "write_pgm expects [H,W]");
+  resolve_range(image, lo, hi);
+  const std::int64_t h = image.dim(0), w = image.dim(1);
+  std::ofstream out(path, std::ios::binary);
+  ORBIT2_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << "P5\n" << w << " " << h << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(w));
+  const float* src = image.data().data();
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      row[static_cast<std::size_t>(x)] = to_byte(src[y * w + x], lo, hi);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  ORBIT2_CHECK(out.good(), "short write to " << path);
+}
+
+void write_ppm_diverging(const std::string& path, const Tensor& image,
+                         float lo, float hi) {
+  ORBIT2_REQUIRE(image.rank() == 2, "write_ppm_diverging expects [H,W]");
+  resolve_range(image, lo, hi);
+  const std::int64_t h = image.dim(0), w = image.dim(1);
+  std::ofstream out(path, std::ios::binary);
+  ORBIT2_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out << "P6\n" << w << " " << h << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(3 * w));
+  const float* src = image.data().data();
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const float t =
+          std::clamp((src[y * w + x] - lo) / (hi - lo), 0.0f, 1.0f);
+      // Diverging blue (t=0) -> white (t=0.5) -> red (t=1).
+      float r, g, b;
+      if (t < 0.5f) {
+        const float s = t * 2.0f;
+        r = s; g = s; b = 1.0f;
+      } else {
+        const float s = (t - 0.5f) * 2.0f;
+        r = 1.0f; g = 1.0f - s; b = 1.0f - s;
+      }
+      row[static_cast<std::size_t>(3 * x + 0)] = static_cast<std::uint8_t>(r * 255.0f + 0.5f);
+      row[static_cast<std::size_t>(3 * x + 1)] = static_cast<std::uint8_t>(g * 255.0f + 0.5f);
+      row[static_cast<std::size_t>(3 * x + 2)] = static_cast<std::uint8_t>(b * 255.0f + 0.5f);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  ORBIT2_CHECK(out.good(), "short write to " << path);
+}
+
+}  // namespace orbit2

@@ -1,0 +1,22 @@
+#pragma once
+// Image file output for figure reproduction (Fig 7(b), Fig 8): grayscale
+// PGM and false-colour PPM writers, plus simple normalization helpers.
+// Binary netpbm formats need no external dependencies and open everywhere.
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace orbit2 {
+
+/// Writes a [H,W] tensor as binary PGM, linearly mapping [lo, hi] -> [0,255].
+/// If lo == hi the tensor min/max are used.
+void write_pgm(const std::string& path, const Tensor& image, float lo = 0.0f,
+               float hi = 0.0f);
+
+/// Writes a [H,W] tensor as binary PPM with a blue→white→red diverging
+/// colormap centred at (lo+hi)/2; used for precipitation/temperature fields.
+void write_ppm_diverging(const std::string& path, const Tensor& image,
+                         float lo = 0.0f, float hi = 0.0f);
+
+}  // namespace orbit2

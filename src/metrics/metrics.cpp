@@ -1,0 +1,190 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "fft/fft.hpp"
+
+namespace orbit2::metrics {
+
+double r2_score(const Tensor& prediction, const Tensor& truth) {
+  check_same_shape(prediction, truth, "r2_score");
+  ORBIT2_REQUIRE(truth.numel() > 1, "r2 needs more than one element");
+  const double mean = truth.mean();
+  double ss_res = 0.0, ss_tot = 0.0;
+  auto p = prediction.data();
+  auto t = truth.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double res = static_cast<double>(t[i]) - p[i];
+    const double dev = static_cast<double>(t[i]) - mean;
+    ss_res += res * res;
+    ss_tot += dev * dev;
+  }
+  ORBIT2_REQUIRE(ss_tot > 0.0, "r2 undefined for constant truth");
+  return 1.0 - ss_res / ss_tot;
+}
+
+double rmse(const Tensor& prediction, const Tensor& truth) {
+  check_same_shape(prediction, truth, "rmse");
+  ORBIT2_REQUIRE(truth.numel() > 0, "rmse of empty tensors");
+  double acc = 0.0;
+  auto p = prediction.data();
+  auto t = truth.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double d = static_cast<double>(p[i]) - t[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(p.size()));
+}
+
+double quantile(const Tensor& values, double fraction) {
+  ORBIT2_REQUIRE(values.numel() > 0, "quantile of empty tensor");
+  ORBIT2_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                 "quantile fraction " << fraction << " outside [0,1]");
+  std::vector<float> sorted(values.data().begin(), values.data().end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = fraction * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double rmse_above_quantile(const Tensor& prediction, const Tensor& truth,
+                           double fraction) {
+  check_same_shape(prediction, truth, "rmse_above_quantile");
+  const double threshold = quantile(truth, fraction);
+  double acc = 0.0;
+  std::int64_t count = 0;
+  auto p = prediction.data();
+  auto t = truth.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (t[i] < threshold) continue;
+    const double d = static_cast<double>(p[i]) - t[i];
+    acc += d * d;
+    ++count;
+  }
+  ORBIT2_CHECK(count > 0, "no pixels above quantile " << fraction);
+  return std::sqrt(acc / static_cast<double>(count));
+}
+
+double psnr(const Tensor& prediction, const Tensor& truth) {
+  const double range = static_cast<double>(truth.max()) - truth.min();
+  ORBIT2_REQUIRE(range > 0.0, "psnr undefined for constant truth");
+  const double err = rmse(prediction, truth);
+  if (err == 0.0) return 200.0;  // identical fields: conventionally capped
+  return 20.0 * std::log10(range / err);
+}
+
+double ssim(const Tensor& prediction, const Tensor& truth,
+            const SsimParams& params) {
+  check_same_shape(prediction, truth, "ssim");
+  ORBIT2_REQUIRE(prediction.rank() == 2, "ssim expects [H,W]");
+  ORBIT2_REQUIRE(params.window >= 2, "ssim window must be >= 2");
+  const std::int64_t h = truth.dim(0), w = truth.dim(1);
+  ORBIT2_REQUIRE(h >= params.window && w >= params.window,
+                 "field smaller than ssim window");
+
+  const double range = static_cast<double>(truth.max()) - truth.min();
+  const double c1 = (params.k1 * range) * (params.k1 * range);
+  const double c2 = (params.k2 * range) * (params.k2 * range);
+
+  const float* p = prediction.data().data();
+  const float* t = truth.data().data();
+
+  double total = 0.0;
+  std::int64_t windows = 0;
+  for (std::int64_t y0 = 0; y0 + params.window <= h; y0 += params.window) {
+    for (std::int64_t x0 = 0; x0 + params.window <= w; x0 += params.window) {
+      double mean_p = 0.0, mean_t = 0.0;
+      const double n = static_cast<double>(params.window * params.window);
+      for (std::int64_t y = y0; y < y0 + params.window; ++y) {
+        for (std::int64_t x = x0; x < x0 + params.window; ++x) {
+          mean_p += p[y * w + x];
+          mean_t += t[y * w + x];
+        }
+      }
+      mean_p /= n;
+      mean_t /= n;
+      double var_p = 0.0, var_t = 0.0, cov = 0.0;
+      for (std::int64_t y = y0; y < y0 + params.window; ++y) {
+        for (std::int64_t x = x0; x < x0 + params.window; ++x) {
+          const double dp = p[y * w + x] - mean_p;
+          const double dt = t[y * w + x] - mean_t;
+          var_p += dp * dp;
+          var_t += dt * dt;
+          cov += dp * dt;
+        }
+      }
+      var_p /= n - 1;
+      var_t /= n - 1;
+      cov /= n - 1;
+      const double numerator = (2 * mean_p * mean_t + c1) * (2 * cov + c2);
+      const double denominator =
+          (mean_p * mean_p + mean_t * mean_t + c1) * (var_p + var_t + c2);
+      total += numerator / denominator;
+      ++windows;
+    }
+  }
+  return total / static_cast<double>(windows);
+}
+
+Tensor log1p_transform(const Tensor& precip) {
+  return precip.map([](float x) { return std::log1p(std::max(0.0f, x)); });
+}
+
+double high_frequency_spectral_error(const Tensor& prediction,
+                                     const Tensor& truth) {
+  check_same_shape(prediction, truth, "high_frequency_spectral_error");
+  const auto spec_p = radial_power_spectrum(prediction);
+  const auto spec_t = radial_power_spectrum(truth);
+  const std::size_t k_min = spec_t.size() / 2;
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = k_min; k < spec_t.size(); ++k) {
+    if (spec_t[k] <= 0.0 || spec_p[k] <= 0.0) continue;
+    acc += std::fabs(std::log10(spec_p[k] / spec_t[k]));
+    ++count;
+  }
+  ORBIT2_CHECK(count > 0, "no usable high-frequency bins");
+  return acc / static_cast<double>(count);
+}
+
+double weighted_rmse(const Tensor& prediction, const Tensor& truth,
+                     const Tensor& row_weights) {
+  check_same_shape(prediction, truth, "weighted_rmse");
+  ORBIT2_REQUIRE(prediction.rank() == 2, "weighted_rmse expects [H,W]");
+  ORBIT2_REQUIRE(row_weights.rank() == 1 &&
+                     row_weights.dim(0) == prediction.dim(0),
+                 "row weights must match field height");
+  const std::int64_t h = truth.dim(0), w = truth.dim(1);
+  const float* p = prediction.data().data();
+  const float* t = truth.data().data();
+  const float* wts = row_weights.data().data();
+  double acc = 0.0, weight_total = 0.0;
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const double d = static_cast<double>(p[y * w + x]) - t[y * w + x];
+      acc += wts[y] * d * d;
+      weight_total += wts[y];
+    }
+  }
+  return std::sqrt(acc / weight_total);
+}
+
+EvaluationReport evaluate_field(const Tensor& prediction, const Tensor& truth) {
+  EvaluationReport report;
+  report.r2 = r2_score(prediction, truth);
+  report.rmse = rmse(prediction, truth);
+  report.rmse_sigma1 = rmse_above_quantile(prediction, truth, 0.68);
+  report.rmse_sigma2 = rmse_above_quantile(prediction, truth, 0.95);
+  report.rmse_sigma3 = rmse_above_quantile(prediction, truth, 0.997);
+  if (prediction.rank() == 2) {
+    report.ssim = ssim(prediction, truth);
+  }
+  report.psnr = psnr(prediction, truth);
+  return report;
+}
+
+}  // namespace orbit2::metrics

@@ -1,0 +1,74 @@
+#pragma once
+// Downscaling accuracy metrics (paper §IV "Performance Metrics"):
+// R², RMSE, RMSE over distribution extremes (σ1/σ2/σ3 and arbitrary
+// percentiles), SSIM, PSNR, the log(x+1) precipitation transform, and a
+// spectral fidelity measure built on the radial power spectrum (Fig 7a).
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace orbit2::metrics {
+
+/// Coefficient of determination: 1 - SS_res / SS_tot (vs the truth mean).
+double r2_score(const Tensor& prediction, const Tensor& truth);
+
+/// Root-mean-square error.
+double rmse(const Tensor& prediction, const Tensor& truth);
+
+/// Value below which `fraction` of the elements fall (linear interpolation
+/// between order statistics). fraction in [0, 1].
+double quantile(const Tensor& values, double fraction);
+
+/// RMSE restricted to pixels whose truth value is at or above the
+/// `fraction` quantile of truth — the paper's "RMSE σ1>68%" style extreme
+/// metrics (σ1 = 0.68, σ2 = 0.95, σ3 = 0.997, plus 0.9999 in the text).
+double rmse_above_quantile(const Tensor& prediction, const Tensor& truth,
+                           double fraction);
+
+/// Peak signal-to-noise ratio in dB; the peak is the truth's value range.
+double psnr(const Tensor& prediction, const Tensor& truth);
+
+struct SsimParams {
+  std::int64_t window = 8;  // square window, stride = window
+  double k1 = 0.01;
+  double k2 = 0.03;
+};
+
+/// Mean structural similarity over non-overlapping windows, with the
+/// dynamic range taken from the truth.
+double ssim(const Tensor& prediction, const Tensor& truth,
+            const SsimParams& params = {});
+
+/// log(x + 1) transform used for all precipitation RMSE numbers in the
+/// paper; negative inputs are clamped to zero first (physical precip).
+Tensor log1p_transform(const Tensor& precip);
+
+/// Relative high-frequency spectral error between a prediction's and the
+/// truth's radially averaged power spectra: mean over the top half of
+/// wavenumbers of |log10(P_pred / P_truth)|. Smaller = better-matched
+/// fine-scale variability (Fig 7a's comparison, as a scalar).
+double high_frequency_spectral_error(const Tensor& prediction,
+                                     const Tensor& truth);
+
+/// Latitude-weighted RMSE: rows weighted by `row_weights` (mean-1 cos(lat)
+/// weights from data::latitude_weights).
+double weighted_rmse(const Tensor& prediction, const Tensor& truth,
+                     const Tensor& row_weights);
+
+/// Bundle of every Table IV column for one variable.
+struct EvaluationReport {
+  double r2 = 0.0;
+  double rmse = 0.0;
+  double rmse_sigma1 = 0.0;  // > 68%
+  double rmse_sigma2 = 0.0;  // > 95%
+  double rmse_sigma3 = 0.0;  // > 99.7%
+  double ssim = 0.0;
+  double psnr = 0.0;
+};
+
+/// Computes the full Table IV row. Both tensors are [H, W] fields (or
+/// flattened stacks of them).
+EvaluationReport evaluate_field(const Tensor& prediction, const Tensor& truth);
+
+}  // namespace orbit2::metrics

@@ -1,0 +1,27 @@
+#pragma once
+// Cross-attention channel aggregation (paper Fig 2, purple block).
+//
+// Multi-variable token embeddings [V*P, D] (V variables, P spatial tokens,
+// variable-major) are collapsed to a single stream [P, D]: at each spatial
+// position a learnable query attends over that position's V variable
+// tokens, producing attention weights that mix the variables' value
+// projections. This removes the variable axis from the sequence — an 18-23x
+// sequence reduction before the ViT trunk ever runs.
+
+#include "autograd/variable.hpp"
+
+namespace orbit2::model {
+
+/// Fused differentiable op.
+///   embeddings : [V*P, D], token (v, p) at row v*P + p.
+///   query      : [D]   learnable aggregation query.
+///   wk, wv     : [D, D] key / value projections.
+/// Returns [P, D].
+autograd::Var aggregate_channels(const autograd::Var& embeddings,
+                                 const autograd::Var& query,
+                                 const autograd::Var& wk,
+                                 const autograd::Var& wv,
+                                 std::int64_t num_variables,
+                                 std::int64_t num_positions);
+
+}  // namespace orbit2::model

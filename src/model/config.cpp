@@ -1,0 +1,52 @@
+#include "model/config.hpp"
+
+#include "core/error.hpp"
+
+namespace orbit2::model {
+
+namespace {
+ModelConfig preset(const char* name, std::int64_t dim, std::int64_t layers,
+                   std::int64_t heads) {
+  ModelConfig config;
+  config.name = name;
+  config.embed_dim = dim;
+  config.layers = layers;
+  config.heads = heads;
+  return config;
+}
+}  // namespace
+
+ModelConfig preset_9_5m() { return preset("9.5M", 256, 6, 4); }
+ModelConfig preset_126m() { return preset("126M", 1024, 8, 16); }
+ModelConfig preset_1b() { return preset("1B", 3072, 8, 24); }
+ModelConfig preset_10b() { return preset("10B", 8192, 11, 32); }
+
+ModelConfig preset_tiny() {
+  ModelConfig config = preset("tiny", 32, 2, 2);
+  config.residual_hidden = 8;
+  return config;
+}
+
+ModelConfig preset_small() {
+  ModelConfig config = preset("small", 96, 3, 4);
+  config.residual_hidden = 12;
+  return config;
+}
+
+std::int64_t sequence_length(const ModelConfig& config, std::int64_t lr_h,
+                             std::int64_t lr_w) {
+  ORBIT2_REQUIRE(lr_h >= 1 && lr_w >= 1, "empty input grid");
+  const std::int64_t p2 = config.patch * config.patch;
+  // The paper reports sequence length in output-grid tokens for both
+  // architectures (e.g. [720,1440,3] with 2x2 patches -> 777,600). Reslim's
+  // *trunk* runs on far fewer tokens (LR grid, channel-aggregated,
+  // compressed) — that reduction is what hwsim::analyze_workload accounts
+  // as trunk_tokens_per_tile.
+  const std::int64_t hr_h = lr_h * config.upscale;
+  const std::int64_t hr_w = lr_w * config.upscale;
+  ORBIT2_REQUIRE(hr_h % config.patch == 0 && hr_w % config.patch == 0,
+                 "grid not divisible by patch");
+  return hr_h * hr_w / p2 * config.out_channels;
+}
+
+}  // namespace orbit2::model

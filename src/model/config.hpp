@@ -1,0 +1,88 @@
+#pragma once
+// Model configuration for both architectures.
+//
+// The four paper presets (§IV "Model Configuration"):
+//   9.5M : 256-dim embedding,  6 layers,  4 heads
+//   126M : 1024-dim,           8 layers, 16 heads
+//   1B   : 3072-dim,           8 layers, 24 heads
+//   10B  : 8192-dim,          11 layers, 32 heads
+// These configs drive (a) real CPU instantiation at small scales and
+// (b) analytic parameter / FLOP / memory accounting in hwsim at every
+// scale — planning a 10B run never allocates 10B parameters.
+
+#include <cstdint>
+#include <string>
+
+namespace orbit2::model {
+
+enum class Architecture {
+  kReslim,       // the paper's contribution (Fig 2)
+  kViTBaseline,  // upsample-first foundation-model baseline (Fig 1)
+};
+
+struct ModelConfig {
+  Architecture architecture = Architecture::kReslim;
+  std::string name = "custom";
+
+  // Transformer trunk.
+  std::int64_t embed_dim = 256;
+  std::int64_t layers = 6;
+  std::int64_t heads = 4;
+  std::int64_t mlp_ratio = 4;
+
+  // Tokenization.
+  std::int64_t patch = 2;
+  std::int64_t in_channels = 23;
+  std::int64_t out_channels = 3;
+
+  // Task geometry.
+  std::int64_t upscale = 4;
+
+  // Reslim-specific knobs.
+  bool use_flash_attention = true;
+  /// Ablation switch: disable the residual convolutional path (the model
+  /// must then learn the full downscaling transformation in the ViT).
+  bool use_residual_path = true;
+  /// Adaptive spatial compression target (1 = disabled).
+  float compression_ratio = 1.0f;
+  /// Swin-style windowed trunk attention: window side length in token-grid
+  /// units (0 = global attention). Alternating layers use a half-window
+  /// cyclic shift. Incompatible with adaptive compression (windows need the
+  /// uniform grid).
+  std::int64_t attention_window = 0;
+  /// Residual convolutional path hidden width.
+  std::int64_t residual_hidden = 16;
+  /// Channel aggregation dimension (the cross-attention feature width).
+  /// Equal to embed_dim in all presets.
+  std::int64_t mlp_hidden() const { return embed_dim * mlp_ratio; }
+
+  /// Total transformer-trunk parameter count (exact, matching the module
+  /// zoo): per layer 4*(D^2+D) attention + 2 LayerNorms (4D) + MLP.
+  std::int64_t trunk_parameter_count() const {
+    const std::int64_t d = embed_dim;
+    const std::int64_t per_layer =
+        4 * (d * d + d) + 4 * d + (d * mlp_hidden() + mlp_hidden()) +
+        (mlp_hidden() * d + d);
+    return layers * per_layer;
+  }
+};
+
+/// Paper presets. Parameter totals land at the paper's nominal sizes.
+ModelConfig preset_9_5m();
+ModelConfig preset_126m();
+ModelConfig preset_1b();
+ModelConfig preset_10b();
+
+/// Reduced configurations for CPU training/testing (identical topology,
+/// smaller dims). `tiny` ~60k trunk params, `small` ~800k.
+ModelConfig preset_tiny();
+ModelConfig preset_small();
+
+/// Sequence length produced by an architecture for a given LR input grid
+/// (h, w in input pixels). The ViT baseline upsamples before tokenizing,
+/// so its sequence is upscale^2 larger; both tokenize each output channel
+/// (the paper's 24,576 = 128*256/4 * 3 accounting).
+std::int64_t sequence_length(const ModelConfig& config, std::int64_t lr_h,
+                             std::int64_t lr_w);
+
+}  // namespace orbit2::model

@@ -1,0 +1,22 @@
+#pragma once
+// Common interface for downscaling models, so the trainer, TILES executor
+// and benchmarks treat Reslim and the ViT baseline uniformly.
+
+#include "autograd/nn.hpp"
+#include "model/config.hpp"
+
+namespace orbit2::model {
+
+class Downscaler : public autograd::Module {
+ public:
+  /// [Cin, h, w] -> differentiable prediction [Cout, h*up, w*up].
+  virtual autograd::Var downscale(const Tensor& input) const = 0;
+  virtual const ModelConfig& model_config() const = 0;
+
+  /// Inference without keeping gradients around.
+  Tensor predict_field(const Tensor& input) const {
+    return downscale(input).value();
+  }
+};
+
+}  // namespace orbit2::model

@@ -1,0 +1,148 @@
+#include "model/loss.hpp"
+
+#include <cmath>
+
+namespace orbit2::model {
+
+using autograd::Var;
+
+Var weighted_mse_loss(const Var& prediction, const Tensor& truth,
+                      const Tensor& row_weights) {
+  const Tensor pred = prediction.value();
+  ORBIT2_REQUIRE(pred.rank() == 3, "weighted_mse_loss expects [C,H,W]");
+  ORBIT2_REQUIRE(pred.shape() == truth.shape(), "prediction/truth mismatch: "
+                                                    << pred.shape().to_string()
+                                                    << " vs "
+                                                    << truth.shape().to_string());
+  const std::int64_t c = pred.dim(0), h = pred.dim(1), w = pred.dim(2);
+  ORBIT2_REQUIRE(row_weights.shape() == Shape({h}),
+                 "row weights must be [H] = [" << h << "]");
+
+  const float* p = pred.data().data();
+  const float* t = truth.data().data();
+  const float* wt = row_weights.data().data();
+
+  double acc = 0.0;
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const float weight = wt[y];
+      const float* prow = p + ch * h * w + y * w;
+      const float* trow = t + ch * h * w + y * w;
+      for (std::int64_t x = 0; x < w; ++x) {
+        const double diff = static_cast<double>(prow[x]) - trow[x];
+        acc += weight * diff * diff;
+      }
+    }
+  }
+  const float inv_n = 1.0f / static_cast<float>(pred.numel());
+  Tensor value = Tensor::scalar(static_cast<float>(acc) * inv_n);
+
+  return autograd::make_op(
+      std::move(value), {prediction},
+      [prediction, pred, truth, row_weights, inv_n](const Tensor& g) {
+        const float g0 = g.item();
+        const std::int64_t c = pred.dim(0), h = pred.dim(1), w = pred.dim(2);
+        Tensor grad(pred.shape());
+        const float* p = pred.data().data();
+        const float* t = truth.data().data();
+        const float* wt = row_weights.data().data();
+        float* out = grad.data().data();
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          for (std::int64_t y = 0; y < h; ++y) {
+            const float factor = 2.0f * wt[y] * inv_n * g0;
+            const std::int64_t base = ch * h * w + y * w;
+            for (std::int64_t x = 0; x < w; ++x) {
+              out[base + x] = factor * (p[base + x] - t[base + x]);
+            }
+          }
+        }
+        accumulate_into(prediction, grad);
+      });
+}
+
+Var tv_prior_loss(const Var& prediction, float epsilon) {
+  const Tensor pred = prediction.value();
+  ORBIT2_REQUIRE(pred.rank() == 3, "tv_prior_loss expects [C,H,W]");
+  ORBIT2_REQUIRE(epsilon > 0.0f, "tv epsilon must be positive");
+  const std::int64_t c = pred.dim(0), h = pred.dim(1), w = pred.dim(2);
+  const float* p = pred.data().data();
+
+  // 8-neighbourhood with b_ij = 1/distance; each unordered pair visited
+  // once via the 4 forward offsets.
+  static constexpr struct { std::int64_t dy, dx; } kOffsets[4] = {
+      {0, 1}, {1, 0}, {1, 1}, {1, -1}};
+  const float kWeights[4] = {1.0f, 1.0f, 1.0f / std::sqrt(2.0f),
+                             1.0f / std::sqrt(2.0f)};
+  const double eps2 = static_cast<double>(epsilon) * epsilon;
+
+  double acc = 0.0;
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = p + ch * h * w;
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        for (int o = 0; o < 4; ++o) {
+          const std::int64_t ny = y + kOffsets[o].dy;
+          const std::int64_t nx = x + kOffsets[o].dx;
+          if (ny < 0 || ny >= h || nx < 0 || nx >= w) continue;
+          const double diff = static_cast<double>(plane[y * w + x]) -
+                              plane[ny * w + nx];
+          acc += kWeights[o] * std::sqrt(diff * diff + eps2);
+        }
+      }
+    }
+  }
+  const float inv_n = 1.0f / static_cast<float>(pred.numel());
+  Tensor value = Tensor::scalar(static_cast<float>(acc) * inv_n);
+
+  return autograd::make_op(
+      std::move(value), {prediction},
+      [prediction, pred, epsilon, inv_n](const Tensor& g) {
+        const float g0 = g.item();
+        const std::int64_t c = pred.dim(0), h = pred.dim(1), w = pred.dim(2);
+        const float* p = pred.data().data();
+        Tensor grad = Tensor::zeros(pred.shape());
+        float* out = grad.data().data();
+        static constexpr struct { std::int64_t dy, dx; } kOffsets[4] = {
+            {0, 1}, {1, 0}, {1, 1}, {1, -1}};
+        const float kWeights[4] = {1.0f, 1.0f, 1.0f / std::sqrt(2.0f),
+                                   1.0f / std::sqrt(2.0f)};
+        const double eps2 = static_cast<double>(epsilon) * epsilon;
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          const float* plane = p + ch * h * w;
+          float* gplane = out + ch * h * w;
+          for (std::int64_t y = 0; y < h; ++y) {
+            for (std::int64_t x = 0; x < w; ++x) {
+              for (int o = 0; o < 4; ++o) {
+                const std::int64_t ny = y + kOffsets[o].dy;
+                const std::int64_t nx = x + kOffsets[o].dx;
+                if (ny < 0 || ny >= h || nx < 0 || nx >= w) continue;
+                const double diff = static_cast<double>(plane[y * w + x]) -
+                                    plane[ny * w + nx];
+                // d/ddiff of charbonnier = diff / sqrt(diff^2 + eps^2).
+                const float d = static_cast<float>(
+                    kWeights[o] * diff / std::sqrt(diff * diff + eps2)) *
+                    inv_n * g0;
+                gplane[y * w + x] += d;
+                gplane[ny * w + nx] -= d;
+              }
+            }
+          }
+        }
+        accumulate_into(prediction, grad);
+      });
+}
+
+Var bayesian_loss(const Var& prediction, const Tensor& truth,
+                  const Tensor& row_weights, const BayesianLossParams& params) {
+  Var data_term = weighted_mse_loss(prediction, truth, row_weights);
+  if (params.tv_weight == 0.0f) return data_term;
+  Var prior = tv_prior_loss(prediction, params.tv_epsilon);
+  return autograd::add(data_term, autograd::scale(prior, params.tv_weight));
+}
+
+Var mse_loss(const Var& prediction, const Tensor& truth) {
+  Var diff = autograd::sub(prediction, Var::constant(truth));
+  return autograd::mean(autograd::mul(diff, diff));
+}
+
+}  // namespace orbit2::model

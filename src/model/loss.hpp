@@ -1,0 +1,42 @@
+#pragma once
+// Training objectives (paper §III-A "Bayesian Training Loss"):
+//
+//   argmin  ||y - x||_D^2  +  lambda * sum_k sum_i sum_{j in C(i)} b_ij |x_i - x_j|
+//
+// The first term is the Bayesian data-likelihood — a latitude-weighted MSE
+// (D weights rows by cos(latitude) to undo polar over-counting). The second
+// is a generalized Markov Random Field total-variation prior over the
+// 8-neighbourhood C(i) with b_ij = 1/distance(i,j), promoting local
+// smoothness while preserving edges. |.| is smoothed (Charbonnier) so the
+// objective is differentiable everywhere.
+
+#include "autograd/ops.hpp"
+
+namespace orbit2::model {
+
+struct BayesianLossParams {
+  /// Weight of the total-variation prior relative to the data term.
+  float tv_weight = 0.01f;
+  /// Charbonnier smoothing epsilon for |x_i - x_j|.
+  float tv_epsilon = 1e-3f;
+};
+
+/// Latitude-weighted MSE: mean over all elements of w_row * (pred-truth)^2.
+/// prediction is [C, H, W]; truth is constant data; row_weights is [H].
+autograd::Var weighted_mse_loss(const autograd::Var& prediction,
+                                const Tensor& truth,
+                                const Tensor& row_weights);
+
+/// The MRF total-variation prior term alone (mean over pixels).
+autograd::Var tv_prior_loss(const autograd::Var& prediction,
+                            float epsilon = 1e-3f);
+
+/// Full Bayesian objective: weighted MSE + tv_weight * TV prior.
+autograd::Var bayesian_loss(const autograd::Var& prediction,
+                            const Tensor& truth, const Tensor& row_weights,
+                            const BayesianLossParams& params = {});
+
+/// Plain unweighted MSE (the baseline ViT objective).
+autograd::Var mse_loss(const autograd::Var& prediction, const Tensor& truth);
+
+}  // namespace orbit2::model

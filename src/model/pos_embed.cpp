@@ -1,0 +1,39 @@
+#include "model/pos_embed.hpp"
+
+#include <cmath>
+
+namespace orbit2::model {
+
+Tensor sincos_position_embedding(std::int64_t grid_h, std::int64_t grid_w,
+                                 std::int64_t dim) {
+  ORBIT2_REQUIRE(dim % 4 == 0, "position embedding dim must divide by 4");
+  const std::int64_t quarter = dim / 4;
+  Tensor out(Shape{grid_h * grid_w, dim});
+  float* dst = out.data().data();
+  for (std::int64_t y = 0; y < grid_h; ++y) {
+    for (std::int64_t x = 0; x < grid_w; ++x) {
+      float* token = dst + (y * grid_w + x) * dim;
+      for (std::int64_t f = 0; f < quarter; ++f) {
+        const double freq =
+            std::pow(10000.0, -static_cast<double>(f) / static_cast<double>(quarter));
+        token[f] = static_cast<float>(std::sin(y * freq));
+        token[quarter + f] = static_cast<float>(std::cos(y * freq));
+        token[2 * quarter + f] = static_cast<float>(std::sin(x * freq));
+        token[3 * quarter + f] = static_cast<float>(std::cos(x * freq));
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t resolution_index(std::int64_t upscale) {
+  ORBIT2_REQUIRE(upscale >= 1 && (upscale & (upscale - 1)) == 0,
+                 "upscale " << upscale << " must be a power of two");
+  std::int64_t index = 0;
+  while ((std::int64_t{1} << index) < upscale) ++index;
+  ORBIT2_REQUIRE(index < kResolutionTableSize,
+                 "upscale " << upscale << " beyond resolution table");
+  return index;
+}
+
+}  // namespace orbit2::model

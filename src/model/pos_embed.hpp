@@ -1,0 +1,27 @@
+#pragma once
+// Position and resolution embeddings.
+//
+// Reslim is deliberately non-hierarchical so one model generalizes across
+// grid sizes (paper §III-A); a fixed sinusoidal 2-D position encoding is
+// resolution-agnostic, while a small learnable table indexed by the
+// requested refinement factor provides the paper's "learnable resolution
+// embedding" that makes predictions resolution-aware.
+
+#include "tensor/tensor.hpp"
+
+namespace orbit2::model {
+
+/// Sinusoidal 2-D position encoding for a (grid_h x grid_w) token grid,
+/// [P, dim] with P = grid_h * grid_w. First half of the feature dim encodes
+/// rows, second half columns. dim must be divisible by 4.
+Tensor sincos_position_embedding(std::int64_t grid_h, std::int64_t grid_w,
+                                 std::int64_t dim);
+
+/// Index into the resolution-embedding table for a refinement factor:
+/// 1->0, 2->1, 4->2, 8->3, ... (log2); throws on non-power-of-two.
+std::int64_t resolution_index(std::int64_t upscale);
+
+/// Number of table slots covering factors up to 256x.
+constexpr std::int64_t kResolutionTableSize = 9;
+
+}  // namespace orbit2::model

@@ -1,0 +1,153 @@
+#include "tensor/conv.hpp"
+
+namespace orbit2 {
+
+std::int64_t conv2d_out_dim(std::int64_t in, std::int64_t kernel,
+                            std::int64_t stride, std::int64_t pad) {
+  ORBIT2_REQUIRE(stride >= 1, "conv stride must be >= 1");
+  const std::int64_t padded = in + 2 * pad - kernel;
+  ORBIT2_REQUIRE(padded >= 0, "conv kernel larger than padded input");
+  return padded / stride + 1;
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec) {
+  ORBIT2_REQUIRE(input.rank() == 3, "conv2d input must be [C,H,W]");
+  ORBIT2_REQUIRE(weight.rank() == 4, "conv2d weight must be [O,C,kh,kw]");
+  const std::int64_t cin = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const std::int64_t cout = weight.dim(0);
+  ORBIT2_REQUIRE(weight.dim(1) == cin, "conv2d channel mismatch: input "
+                                           << cin << " vs weight "
+                                           << weight.dim(1));
+  ORBIT2_REQUIRE(weight.dim(2) == spec.kernel_h && weight.dim(3) == spec.kernel_w,
+                 "conv2d weight kernel dims disagree with spec");
+  ORBIT2_REQUIRE(bias.rank() == 1 && bias.dim(0) == cout,
+                 "conv2d bias must be [Cout]");
+
+  const std::int64_t oh = conv2d_out_dim(h, spec.kernel_h, spec.stride, spec.pad);
+  const std::int64_t ow = conv2d_out_dim(w, spec.kernel_w, spec.stride, spec.pad);
+  Tensor out = Tensor::zeros(Shape{cout, oh, ow});
+
+  const float* in = input.data().data();
+  const float* wt = weight.data().data();
+  float* po = out.data().data();
+
+  for (std::int64_t oc = 0; oc < cout; ++oc) {
+    const float b = bias[oc];
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        double acc = b;
+        const std::int64_t iy0 = oy * spec.stride - spec.pad;
+        const std::int64_t ix0 = ox * spec.stride - spec.pad;
+        for (std::int64_t ic = 0; ic < cin; ++ic) {
+          const float* in_c = in + ic * h * w;
+          const float* wt_c =
+              wt + ((oc * cin + ic) * spec.kernel_h) * spec.kernel_w;
+          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+              const std::int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += static_cast<double>(in_c[iy * w + ix]) *
+                     wt_c[ky * spec.kernel_w + kx];
+            }
+          }
+        }
+        po[(oc * oh + oy) * ow + ox] = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
+                             std::int64_t in_h, std::int64_t in_w,
+                             const Conv2dSpec& spec) {
+  ORBIT2_REQUIRE(grad_output.rank() == 3 && weight.rank() == 4,
+                 "conv2d_backward_input rank mismatch");
+  const std::int64_t cout = grad_output.dim(0);
+  const std::int64_t oh = grad_output.dim(1), ow = grad_output.dim(2);
+  const std::int64_t cin = weight.dim(1);
+  ORBIT2_REQUIRE(weight.dim(0) == cout, "conv2d_backward_input channel mismatch");
+
+  Tensor grad_input = Tensor::zeros(Shape{cin, in_h, in_w});
+  const float* go = grad_output.data().data();
+  const float* wt = weight.data().data();
+  float* gi = grad_input.data().data();
+
+  for (std::int64_t oc = 0; oc < cout; ++oc) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const float g = go[(oc * oh + oy) * ow + ox];
+        if (g == 0.0f) continue;
+        const std::int64_t iy0 = oy * spec.stride - spec.pad;
+        const std::int64_t ix0 = ox * spec.stride - spec.pad;
+        for (std::int64_t ic = 0; ic < cin; ++ic) {
+          float* gi_c = gi + ic * in_h * in_w;
+          const float* wt_c =
+              wt + ((oc * cin + ic) * spec.kernel_h) * spec.kernel_w;
+          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= in_h) continue;
+            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+              const std::int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= in_w) continue;
+              gi_c[iy * in_w + ix] += g * wt_c[ky * spec.kernel_w + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+void conv2d_backward_params(const Tensor& grad_output, const Tensor& input,
+                            Tensor& grad_weight, Tensor& grad_bias,
+                            const Conv2dSpec& spec) {
+  ORBIT2_REQUIRE(grad_output.rank() == 3 && input.rank() == 3,
+                 "conv2d_backward_params rank mismatch");
+  const std::int64_t cout = grad_output.dim(0);
+  const std::int64_t oh = grad_output.dim(1), ow = grad_output.dim(2);
+  const std::int64_t cin = input.dim(0);
+  const std::int64_t h = input.dim(1), w = input.dim(2);
+  ORBIT2_REQUIRE(grad_weight.shape() ==
+                     Shape({cout, cin, spec.kernel_h, spec.kernel_w}),
+                 "grad_weight shape mismatch");
+  ORBIT2_REQUIRE(grad_bias.shape() == Shape({cout}), "grad_bias shape mismatch");
+
+  const float* go = grad_output.data().data();
+  const float* in = input.data().data();
+  float* gw = grad_weight.data().data();
+  float* gb = grad_bias.data().data();
+
+  for (std::int64_t oc = 0; oc < cout; ++oc) {
+    double bias_acc = 0.0;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const float g = go[(oc * oh + oy) * ow + ox];
+        bias_acc += g;
+        if (g == 0.0f) continue;
+        const std::int64_t iy0 = oy * spec.stride - spec.pad;
+        const std::int64_t ix0 = ox * spec.stride - spec.pad;
+        for (std::int64_t ic = 0; ic < cin; ++ic) {
+          const float* in_c = in + ic * h * w;
+          float* gw_c = gw + ((oc * cin + ic) * spec.kernel_h) * spec.kernel_w;
+          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+              const std::int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              gw_c[ky * spec.kernel_w + kx] += g * in_c[iy * w + ix];
+            }
+          }
+        }
+      }
+    }
+    gb[oc] += static_cast<float>(bias_acc);
+  }
+}
+
+}  // namespace orbit2

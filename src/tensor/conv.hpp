@@ -1,0 +1,38 @@
+#pragma once
+// 2-D convolution kernels (forward + both backward passes).
+//
+// Used by Reslim's residual convolutional path, the decoder head, and the
+// shallow channel-aggregation alternative (paper Fig 1/2). Layout is
+// [C, H, W] single-sample (the trainer batches by looping samples, matching
+// the per-tile execution model of TILES).
+
+#include "tensor/tensor.hpp"
+
+namespace orbit2 {
+
+struct Conv2dSpec {
+  std::int64_t kernel_h = 3;
+  std::int64_t kernel_w = 3;
+  std::int64_t stride = 1;
+  std::int64_t pad = 1;  // symmetric zero padding
+};
+
+/// Output spatial size for one axis.
+std::int64_t conv2d_out_dim(std::int64_t in, std::int64_t kernel,
+                            std::int64_t stride, std::int64_t pad);
+
+/// input [Cin,H,W], weight [Cout,Cin,kh,kw], bias [Cout] -> [Cout,H',W'].
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, const Conv2dSpec& spec);
+
+/// Gradient w.r.t. input: dL/dX from dL/dY.
+Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
+                             std::int64_t in_h, std::int64_t in_w,
+                             const Conv2dSpec& spec);
+
+/// Gradients w.r.t. weight and bias, accumulated into the given tensors.
+void conv2d_backward_params(const Tensor& grad_output, const Tensor& input,
+                            Tensor& grad_weight, Tensor& grad_bias,
+                            const Conv2dSpec& spec);
+
+}  // namespace orbit2

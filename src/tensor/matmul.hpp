@@ -1,0 +1,29 @@
+#pragma once
+// Matrix multiplication kernels.
+//
+// The blocked kernel is the CPU analogue of the paper's cache-aware GPU
+// kernels: it tiles the (M, N, K) loop nest so working sets fit in L1/L2,
+// which is the same cache-blocking idea Flash Attention applies to
+// softmax(QK^T)V (paper §III-D).
+
+#include "tensor/tensor.hpp"
+
+namespace orbit2 {
+
+/// C = A(M,K) * B(K,N). Blocked, fp32 accumulate.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A(M,K) * B(N,K)^T — avoids materializing the transpose.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C = A(K,M)^T * B(K,N) — avoids materializing the transpose.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// Batched: A(B,M,K) * B(B,K,N) -> (B,M,N).
+Tensor bmm(const Tensor& a, const Tensor& b);
+
+/// out(M,N) += A(M,K) * B(K,N); the accumulation form used by backward
+/// passes to avoid temporary allocations.
+void matmul_accumulate(Tensor& out, const Tensor& a, const Tensor& b);
+
+}  // namespace orbit2

@@ -1,0 +1,165 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+namespace orbit2 {
+
+Tensor softmax_rows(const Tensor& logits) {
+  ORBIT2_REQUIRE(logits.rank() == 2, "softmax_rows requires rank-2");
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out(logits.shape());
+  const float* in = logits.data().data();
+  float* po = out.data().data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = in + r * cols;
+    float* y = po + r * cols;
+    float row_max = x[0];
+    for (std::int64_t c = 1; c < cols; ++c) row_max = std::max(row_max, x[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      y[c] = std::exp(x[c] - row_max);
+      denom += y[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
+  }
+  return out;
+}
+
+Tensor softmax_rows_backward(const Tensor& softmax_output,
+                             const Tensor& grad_output) {
+  check_same_shape(softmax_output, grad_output, "softmax_rows_backward");
+  ORBIT2_REQUIRE(softmax_output.rank() == 2, "softmax backward requires rank-2");
+  const std::int64_t rows = softmax_output.dim(0);
+  const std::int64_t cols = softmax_output.dim(1);
+  Tensor grad_input(softmax_output.shape());
+  const float* y = softmax_output.data().data();
+  const float* gy = grad_output.data().data();
+  float* gx = grad_input.data().data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * cols;
+    const float* gr = gy + r * cols;
+    float* xr = gx + r * cols;
+    double dot = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) dot += static_cast<double>(yr[c]) * gr[c];
+    for (std::int64_t c = 0; c < cols; ++c) {
+      xr[c] = yr[c] * (gr[c] - static_cast<float>(dot));
+    }
+  }
+  return grad_input;
+}
+
+Tensor layernorm_rows(const Tensor& input, const Tensor& gamma,
+                      const Tensor& beta, float epsilon, Tensor* saved_mean,
+                      Tensor* saved_inv_std) {
+  ORBIT2_REQUIRE(input.rank() == 2, "layernorm_rows requires rank-2");
+  const std::int64_t rows = input.dim(0), cols = input.dim(1);
+  ORBIT2_REQUIRE(gamma.shape() == Shape({cols}) && beta.shape() == Shape({cols}),
+                 "layernorm gamma/beta must be [D]");
+  Tensor out(input.shape());
+  Tensor mean(Shape{rows});
+  Tensor inv_std(Shape{rows});
+
+  const float* in = input.data().data();
+  const float* g = gamma.data().data();
+  const float* b = beta.data().data();
+  float* po = out.data().data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = in + r * cols;
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      sum += x[c];
+      sum_sq += static_cast<double>(x[c]) * x[c];
+    }
+    const double mu = sum / cols;
+    const double var = std::max(0.0, sum_sq / cols - mu * mu);
+    const double istd = 1.0 / std::sqrt(var + epsilon);
+    mean[r] = static_cast<float>(mu);
+    inv_std[r] = static_cast<float>(istd);
+    float* y = po + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      y[c] = static_cast<float>((x[c] - mu) * istd) * g[c] + b[c];
+    }
+  }
+  if (saved_mean) *saved_mean = mean;
+  if (saved_inv_std) *saved_inv_std = inv_std;
+  return out;
+}
+
+Tensor layernorm_rows_backward(const Tensor& grad_output, const Tensor& input,
+                               const Tensor& gamma, const Tensor& saved_mean,
+                               const Tensor& saved_inv_std,
+                               Tensor& grad_gamma, Tensor& grad_beta) {
+  const std::int64_t rows = input.dim(0), cols = input.dim(1);
+  check_same_shape(grad_output, input, "layernorm_rows_backward");
+  Tensor grad_input(input.shape());
+
+  const float* gy = grad_output.data().data();
+  const float* in = input.data().data();
+  const float* g = gamma.data().data();
+  const float* mu = saved_mean.data().data();
+  const float* istd = saved_inv_std.data().data();
+  float* gi = grad_input.data().data();
+  float* gg = grad_gamma.data().data();
+  float* gb = grad_beta.data().data();
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = in + r * cols;
+    const float* dy = gy + r * cols;
+    float* dx = gi + r * cols;
+    const float m = mu[r];
+    const float is = istd[r];
+    // xhat = (x - mu) * istd ; dL/dxhat = dy * gamma.
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float xhat = (x[c] - m) * is;
+      const float dxhat = dy[c] * g[c];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+      gg[c] += dy[c] * xhat;
+      gb[c] += dy[c];
+    }
+    const float mean_dxhat = static_cast<float>(sum_dxhat / cols);
+    const float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat / cols);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float xhat = (x[c] - m) * is;
+      const float dxhat = dy[c] * g[c];
+      dx[c] = (dxhat - mean_dxhat - xhat * mean_dxhat_xhat) * is;
+    }
+  }
+  return grad_input;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace
+
+float gelu_scalar(float x) {
+  const float inner = kGeluC * (x + kGeluA * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float gelu_grad_scalar(float x) {
+  const float inner = kGeluC * (x + kGeluA * x * x * x);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  const float dinner = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
+}
+
+Tensor gelu(const Tensor& input) { return input.map(gelu_scalar); }
+
+Tensor gelu_backward(const Tensor& input, const Tensor& grad_output) {
+  check_same_shape(input, grad_output, "gelu_backward");
+  Tensor out(input.shape());
+  auto x = input.data();
+  auto gy = grad_output.data();
+  auto gx = out.data();
+  for (std::size_t i = 0; i < gx.size(); ++i) {
+    gx[i] = gy[i] * gelu_grad_scalar(x[i]);
+  }
+  return out;
+}
+
+}  // namespace orbit2

@@ -1,0 +1,38 @@
+#pragma once
+// Row-wise numeric kernels shared by attention and the autograd layer:
+// softmax, layernorm, GELU. Kept as raw (non-differentiable) kernels here;
+// autograd wires forward/backward pairs.
+
+#include "tensor/tensor.hpp"
+
+namespace orbit2 {
+
+/// Numerically stable softmax along the last axis of a rank-2 tensor.
+Tensor softmax_rows(const Tensor& logits);
+
+/// Jacobian-vector product of softmax_rows: given y = softmax(x) and dL/dy,
+/// returns dL/dx.
+Tensor softmax_rows_backward(const Tensor& softmax_output,
+                             const Tensor& grad_output);
+
+/// Per-row layer normalization of a rank-2 tensor [N, D] with learnable
+/// gamma/beta [D]; returns normalized output and writes the per-row mean and
+/// inverse stddev needed by backward.
+Tensor layernorm_rows(const Tensor& input, const Tensor& gamma,
+                      const Tensor& beta, float epsilon, Tensor* saved_mean,
+                      Tensor* saved_inv_std);
+
+/// Backward of layernorm_rows; accumulates into grad_gamma/grad_beta.
+Tensor layernorm_rows_backward(const Tensor& grad_output, const Tensor& input,
+                               const Tensor& gamma, const Tensor& saved_mean,
+                               const Tensor& saved_inv_std,
+                               Tensor& grad_gamma, Tensor& grad_beta);
+
+/// Tanh-approximation GELU (the ViT default).
+float gelu_scalar(float x);
+/// d(gelu)/dx.
+float gelu_grad_scalar(float x);
+Tensor gelu(const Tensor& input);
+Tensor gelu_backward(const Tensor& input, const Tensor& grad_output);
+
+}  // namespace orbit2

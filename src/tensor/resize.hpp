@@ -1,0 +1,30 @@
+#pragma once
+// Spatial resampling kernels on [C, H, W] tensors.
+//
+// Bilinear upsampling is the residual path's upsampler (paper Fig 2:
+// "upsampling is moved to the residual path, where convolutional layers have
+// linear complexity"); area-average downsampling is the coarsening operator
+// that manufactures LR inputs from HR fields (paper Table I's 4x pairs);
+// both backward kernels exist so the residual path is trainable end-to-end.
+
+#include "tensor/tensor.hpp"
+
+namespace orbit2 {
+
+/// Bilinear upsample/downsample to (out_h, out_w), align_corners=false
+/// semantics (half-pixel centers), per channel.
+Tensor resize_bilinear(const Tensor& input, std::int64_t out_h,
+                       std::int64_t out_w);
+
+/// Adjoint of resize_bilinear: scatters grad_output back to input coords.
+Tensor resize_bilinear_backward(const Tensor& grad_output, std::int64_t in_h,
+                                std::int64_t in_w);
+
+/// Nearest-neighbour resize (used by quad-tree decompression fill).
+Tensor resize_nearest(const Tensor& input, std::int64_t out_h,
+                      std::int64_t out_w);
+
+/// Area-average coarsening by an integer factor; the LR-generation operator.
+Tensor coarsen_area(const Tensor& input, std::int64_t factor);
+
+}  // namespace orbit2

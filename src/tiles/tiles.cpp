@@ -1,0 +1,216 @@
+#include "tiles/tiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace orbit2 {
+
+std::vector<TileRegion> partition_tiles(std::int64_t h, std::int64_t w,
+                                        const TileSpec& spec) {
+  ORBIT2_REQUIRE(spec.rows >= 1 && spec.cols >= 1, "tile grid must be >= 1x1");
+  ORBIT2_REQUIRE(spec.halo >= 0, "halo must be non-negative");
+  ORBIT2_REQUIRE(h % spec.rows == 0 && w % spec.cols == 0,
+                 "image " << h << "x" << w << " not divisible by tile grid "
+                          << spec.rows << "x" << spec.cols);
+  const std::int64_t th = h / spec.rows;
+  const std::int64_t tw = w / spec.cols;
+  ORBIT2_REQUIRE(th >= 1 && tw >= 1, "tiles would be empty");
+
+  std::vector<TileRegion> regions;
+  regions.reserve(static_cast<std::size_t>(spec.tile_count()));
+  for (std::int64_t r = 0; r < spec.rows; ++r) {
+    for (std::int64_t c = 0; c < spec.cols; ++c) {
+      TileRegion region;
+      region.core_y0 = r * th;
+      region.core_x0 = c * tw;
+      region.core_h = th;
+      region.core_w = tw;
+      region.pad_y0 = std::max<std::int64_t>(0, region.core_y0 - spec.halo);
+      region.pad_x0 = std::max<std::int64_t>(0, region.core_x0 - spec.halo);
+      const std::int64_t pad_y1 =
+          std::min<std::int64_t>(h, region.core_y0 + th + spec.halo);
+      const std::int64_t pad_x1 =
+          std::min<std::int64_t>(w, region.core_x0 + tw + spec.halo);
+      region.pad_h = pad_y1 - region.pad_y0;
+      region.pad_w = pad_x1 - region.pad_x0;
+      regions.push_back(region);
+    }
+  }
+  return regions;
+}
+
+Tensor extract_tile(const Tensor& image, const TileRegion& region) {
+  ORBIT2_REQUIRE(image.rank() == 3, "extract_tile expects [C,H,W]");
+  const std::int64_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  ORBIT2_REQUIRE(region.pad_y0 >= 0 && region.pad_x0 >= 0 &&
+                     region.pad_y0 + region.pad_h <= h &&
+                     region.pad_x0 + region.pad_w <= w,
+                 "tile region out of bounds");
+  Tensor out(Shape{c, region.pad_h, region.pad_w});
+  const float* src = image.data().data();
+  float* dst = out.data().data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t y = 0; y < region.pad_h; ++y) {
+      const float* row =
+          src + ch * h * w + (region.pad_y0 + y) * w + region.pad_x0;
+      std::copy(row, row + region.pad_w,
+                dst + ch * region.pad_h * region.pad_w + y * region.pad_w);
+    }
+  }
+  return out;
+}
+
+Tensor stitch_tiles(const std::vector<Tensor>& outputs,
+                    const std::vector<TileRegion>& regions, std::int64_t h,
+                    std::int64_t w, std::int64_t upscale) {
+  ORBIT2_REQUIRE(outputs.size() == regions.size(),
+                 "outputs/regions size mismatch");
+  ORBIT2_REQUIRE(!outputs.empty(), "no tiles to stitch");
+  const std::int64_t c = outputs.front().dim(0);
+  const std::int64_t oh = h * upscale, ow = w * upscale;
+  Tensor out(Shape{c, oh, ow});
+  float* dst = out.data().data();
+
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const TileRegion& region = regions[i];
+    const Tensor& tile = outputs[i];
+    ORBIT2_REQUIRE(tile.rank() == 3 && tile.dim(0) == c,
+                   "tile " << i << " channel mismatch");
+    ORBIT2_REQUIRE(tile.dim(1) == region.pad_h * upscale &&
+                       tile.dim(2) == region.pad_w * upscale,
+                   "tile " << i << " output shape "
+                           << tile.shape().to_string()
+                           << " inconsistent with padded region and upscale");
+    const std::int64_t tile_h = tile.dim(1), tile_w = tile.dim(2);
+    const std::int64_t off_y = region.core_off_y() * upscale;
+    const std::int64_t off_x = region.core_off_x() * upscale;
+    const std::int64_t core_h = region.core_h * upscale;
+    const std::int64_t core_w = region.core_w * upscale;
+    const float* src = tile.data().data();
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < core_h; ++y) {
+        const float* row =
+            src + ch * tile_h * tile_w + (off_y + y) * tile_w + off_x;
+        float* out_row = dst + ch * oh * ow +
+                         (region.core_y0 * upscale + y) * ow +
+                         region.core_x0 * upscale;
+        std::copy(row, row + core_w, out_row);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor tiled_apply(
+    const Tensor& image, const TileSpec& spec, std::int64_t upscale,
+    ThreadPool& pool,
+    const std::function<Tensor(std::size_t, const Tensor&)>& process) {
+  const std::int64_t h = image.dim(1), w = image.dim(2);
+  const std::vector<TileRegion> regions = partition_tiles(h, w, spec);
+  std::vector<Tensor> outputs(regions.size());
+  // One task per tile; outputs slots are disjoint so no synchronization is
+  // needed beyond the pool join.
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    pool.submit([&, i] {
+      outputs[i] = process(i, extract_tile(image, regions[i]));
+    });
+  }
+  pool.wait_idle();
+  return stitch_tiles(outputs, regions, h, w, upscale);
+}
+
+float border_band_mse(const Tensor& a, const Tensor& b,
+                      const std::vector<TileRegion>& regions,
+                      std::int64_t upscale, std::int64_t band) {
+  check_same_shape(a, b, "border_band_mse");
+  ORBIT2_REQUIRE(a.rank() == 3, "border_band_mse expects [C,H,W]");
+  const std::int64_t c = a.dim(0), oh = a.dim(1), ow = a.dim(2);
+
+  // Mark pixels within `band` of an internal tile boundary.
+  std::vector<std::int8_t> in_band(static_cast<std::size_t>(oh * ow), 0);
+  for (const TileRegion& region : regions) {
+    const std::int64_t y_edge = region.core_y0 * upscale;
+    const std::int64_t x_edge = region.core_x0 * upscale;
+    if (y_edge > 0) {
+      for (std::int64_t y = std::max<std::int64_t>(0, y_edge - band);
+           y < std::min(oh, y_edge + band); ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) in_band[static_cast<std::size_t>(y * ow + x)] = 1;
+      }
+    }
+    if (x_edge > 0) {
+      for (std::int64_t x = std::max<std::int64_t>(0, x_edge - band);
+           x < std::min(ow, x_edge + band); ++x) {
+        for (std::int64_t y = 0; y < oh; ++y) in_band[static_cast<std::size_t>(y * ow + x)] = 1;
+      }
+    }
+  }
+
+  double acc = 0.0;
+  std::int64_t count = 0;
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t i = 0; i < oh * ow; ++i) {
+      if (!in_band[static_cast<std::size_t>(i)]) continue;
+      const double diff = static_cast<double>(pa[ch * oh * ow + i]) -
+                          pb[ch * oh * ow + i];
+      acc += diff * diff;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0f : static_cast<float>(acc / static_cast<double>(count));
+}
+
+void allreduce_mean_gradients(
+    const std::vector<std::vector<autograd::ParamPtr>>& replicas) {
+  ORBIT2_REQUIRE(!replicas.empty(), "no replicas");
+  const std::size_t num_params = replicas.front().size();
+  for (const auto& replica : replicas) {
+    ORBIT2_REQUIRE(replica.size() == num_params, "replica layout mismatch");
+  }
+  const float inv = 1.0f / static_cast<float>(replicas.size());
+  for (std::size_t p = 0; p < num_params; ++p) {
+    Tensor mean = Tensor::zeros(replicas.front()[p]->grad.shape());
+    for (const auto& replica : replicas) {
+      ORBIT2_REQUIRE(replica[p]->grad.shape() == mean.shape(),
+                     "gradient shape mismatch for " << replica[p]->name);
+      mean.add_inplace(replica[p]->grad);
+    }
+    mean.scale_inplace(inv);
+    for (const auto& replica : replicas) {
+      std::copy(mean.data().begin(), mean.data().end(),
+                replica[p]->grad.data().begin());
+    }
+  }
+}
+
+void broadcast_parameters(
+    const std::vector<autograd::ParamPtr>& source,
+    const std::vector<std::vector<autograd::ParamPtr>>& replicas) {
+  for (const auto& replica : replicas) {
+    ORBIT2_REQUIRE(replica.size() == source.size(), "replica layout mismatch");
+    for (std::size_t p = 0; p < source.size(); ++p) {
+      ORBIT2_REQUIRE(replica[p]->value.shape() == source[p]->value.shape(),
+                     "parameter shape mismatch for " << source[p]->name);
+      std::copy(source[p]->value.data().begin(),
+                source[p]->value.data().end(),
+                replica[p]->value.data().begin());
+    }
+  }
+}
+
+float max_parameter_divergence(
+    const std::vector<std::vector<autograd::ParamPtr>>& replicas) {
+  ORBIT2_REQUIRE(replicas.size() >= 2, "need at least two replicas");
+  float worst = 0.0f;
+  const auto& reference = replicas.front();
+  for (std::size_t r = 1; r < replicas.size(); ++r) {
+    for (std::size_t p = 0; p < reference.size(); ++p) {
+      const Tensor diff = replicas[r][p]->value.sub(reference[p]->value);
+      worst = std::max(worst, diff.abs_max());
+    }
+  }
+  return worst;
+}
+
+}  // namespace orbit2

@@ -1,0 +1,82 @@
+#include "train/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+
+namespace orbit2::train {
+
+namespace {
+constexpr char kMagic[4] = {'O', '2', 'C', 'K'};
+
+void write_string(std::ofstream& out, const std::string& s) {
+  const auto len = static_cast<std::uint32_t>(s.size());
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& in) {
+  std::uint32_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof(len));
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  return s;
+}
+}  // namespace
+
+void save_checkpoint(const std::string& path, const autograd::Module& module) {
+  const auto params = module.parameters();
+  std::ofstream out(path, std::ios::binary);
+  ORBIT2_REQUIRE(out.good(), "cannot open " << path << " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const auto count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params) {
+    write_string(out, p->name);
+    const auto numel = static_cast<std::uint64_t>(p->value.numel());
+    out.write(reinterpret_cast<const char*>(&numel), sizeof(numel));
+    out.write(reinterpret_cast<const char*>(p->value.data().data()),
+              static_cast<std::streamsize>(numel * sizeof(float)));
+  }
+  ORBIT2_REQUIRE(out.good(), "short write to " << path);
+}
+
+void load_checkpoint(const std::string& path, const autograd::Module& module) {
+  std::ifstream in(path, std::ios::binary);
+  ORBIT2_REQUIRE(in.good(), "cannot open " << path);
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  ORBIT2_REQUIRE(std::equal(magic, magic + 4, kMagic),
+                 "not an ORBIT-2 checkpoint: " << path);
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+
+  std::unordered_map<std::string, std::vector<float>> entries;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = read_string(in);
+    std::uint64_t numel = 0;
+    in.read(reinterpret_cast<char*>(&numel), sizeof(numel));
+    std::vector<float> payload(numel);
+    in.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    ORBIT2_REQUIRE(in.good(), "corrupt checkpoint at entry " << name);
+    ORBIT2_REQUIRE(entries.emplace(name, std::move(payload)).second,
+                   "duplicate checkpoint entry " << name);
+  }
+
+  const auto params = module.parameters();
+  ORBIT2_REQUIRE(params.size() == entries.size(),
+                 "checkpoint has " << entries.size() << " entries, model has "
+                                   << params.size());
+  for (const auto& p : params) {
+    auto it = entries.find(p->name);
+    ORBIT2_REQUIRE(it != entries.end(),
+                   "checkpoint missing parameter " << p->name);
+    ORBIT2_REQUIRE(static_cast<std::int64_t>(it->second.size()) ==
+                       p->value.numel(),
+                   "size mismatch for " << p->name);
+    std::copy(it->second.begin(), it->second.end(), p->value.data().begin());
+  }
+}
+
+}  // namespace orbit2::train

@@ -1,0 +1,19 @@
+#pragma once
+// Checkpointing: parameter save/load keyed by parameter name, so a model
+// rebuilt with the same config round-trips exactly (pretrain -> fine-tune ->
+// inference, as in the paper's Table I pipeline).
+
+#include <string>
+
+#include "autograd/nn.hpp"
+
+namespace orbit2::train {
+
+/// Writes all parameters (name, shape, fp32 payload) of `module` to `path`.
+void save_checkpoint(const std::string& path, const autograd::Module& module);
+
+/// Loads parameters by name into `module`. Every parameter in the module
+/// must be present with a matching shape; extra entries in the file throw.
+void load_checkpoint(const std::string& path, const autograd::Module& module);
+
+}  // namespace orbit2::train

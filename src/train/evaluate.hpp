@@ -1,0 +1,35 @@
+#pragma once
+// Model evaluation against physical-unit truth: the Table IV / Fig 8
+// metric pipeline. Predictions are denormalized to physical units;
+// precipitation-like variables (log-normal catalogue entries) are compared
+// in log(x+1) space exactly as the paper reports.
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "metrics/metrics.hpp"
+#include "model/downscaler.hpp"
+
+namespace orbit2::train {
+
+struct VariableReport {
+  std::string variable;
+  metrics::EvaluationReport report;
+  /// Mean relative high-frequency spectral error across samples (Fig 7a).
+  double spectral_error = 0.0;
+};
+
+/// Evaluates `model` over `indices` of `dataset`; metrics are aggregated by
+/// pooling all samples' pixels per variable (matching the paper's
+/// dataset-level scores).
+std::vector<VariableReport> evaluate_model(
+    const model::Downscaler& model, const data::SyntheticDataset& dataset,
+    const std::vector<std::int64_t>& indices);
+
+/// Convenience: denormalized prediction in physical units for one sample.
+Tensor predict_physical(const model::Downscaler& model,
+                        const data::SyntheticDataset& dataset,
+                        std::int64_t index);
+
+}  // namespace orbit2::train

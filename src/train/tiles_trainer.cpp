@@ -1,0 +1,126 @@
+#include "train/tiles_trainer.hpp"
+
+#include <atomic>
+
+#include "core/timer.hpp"
+#include "data/generator.hpp"
+#include "model/loss.hpp"
+
+namespace orbit2::train {
+
+using autograd::Var;
+
+TilesTrainer::TilesTrainer(ReplicaFactory factory, TileSpec tile_spec,
+                           TrainerConfig config)
+    : tile_spec_(tile_spec),
+      config_(config),
+      schedule_(config.lr, config.warmup_steps,
+                std::max<std::int64_t>(1, config.epochs * 1000),
+                0.05f * config.lr) {
+  const auto tiles = static_cast<std::size_t>(tile_spec.tile_count());
+  ORBIT2_REQUIRE(tiles >= 1, "need at least one tile");
+  replicas_.reserve(tiles);
+  for (std::size_t i = 0; i < tiles; ++i) {
+    replicas_.push_back(factory());
+    replica_params_.push_back(replicas_.back()->parameters());
+    autograd::AdamWConfig adam;
+    adam.lr = config_.lr;
+    adam.weight_decay = config_.weight_decay;
+    optimizers_.push_back(
+        std::make_unique<autograd::AdamW>(replica_params_.back(), adam));
+  }
+  // Ensure bit-identical starting points even if the factory is stochastic.
+  broadcast_parameters(replica_params_.front(), replica_params_);
+  pool_ = std::make_unique<ThreadPool>(tiles);
+}
+
+EpochStats TilesTrainer::train_epoch(const data::SyntheticDataset& dataset,
+                                     const std::vector<std::int64_t>& indices) {
+  EpochStats stats;
+  WallTimer timer;
+  const std::int64_t upscale = dataset.config().upscale;
+
+  std::int64_t in_batch = 0;
+  double loss_sum = 0.0;
+  for (auto& params : replica_params_) {
+    for (const auto& p : params) p->zero_grad();
+  }
+
+  for (std::int64_t index : indices) {
+    const data::Sample sample = dataset.sample(index);
+    const std::int64_t h = sample.input.dim(1), w = sample.input.dim(2);
+    const auto regions = partition_tiles(h, w, tile_spec_);
+
+    // HR target tiles correspond to the padded input regions x upscale.
+    std::atomic<double> sample_loss{0.0};
+    for (std::size_t t = 0; t < regions.size(); ++t) {
+      pool_->submit([&, t] {
+        const Tensor tile_input = extract_tile(sample.input, regions[t]);
+        TileRegion hr_region;
+        hr_region.pad_y0 = regions[t].pad_y0 * upscale;
+        hr_region.pad_x0 = regions[t].pad_x0 * upscale;
+        hr_region.pad_h = regions[t].pad_h * upscale;
+        hr_region.pad_w = regions[t].pad_w * upscale;
+        const Tensor tile_target = extract_tile(sample.target, hr_region);
+
+        Var prediction = replicas_[t]->downscale(tile_input);
+        Var loss;
+        if (config_.bayesian_loss) {
+          model::BayesianLossParams params;
+          params.tv_weight = config_.tv_weight;
+          loss = model::bayesian_loss(
+              prediction, tile_target,
+              data::latitude_weights(tile_target.dim(1)), params);
+        } else {
+          loss = model::mse_loss(prediction, tile_target);
+        }
+        // Atomic add for doubles via CAS.
+        double expected = sample_loss.load();
+        const double value = loss.value().item();
+        while (!sample_loss.compare_exchange_weak(expected, expected + value)) {
+        }
+        autograd::backward(loss);
+      });
+    }
+    pool_->wait_idle();
+    loss_sum += sample_loss.load() / static_cast<double>(regions.size());
+    ++stats.samples;
+
+    if (++in_batch < config_.batch_size) continue;
+    in_batch = 0;
+
+    // The TILES collective: one gradient all-reduce per batch.
+    allreduce_mean_gradients(replica_params_);
+    const float grad_scale = 1.0f / static_cast<float>(config_.batch_size);
+    const float lr = schedule_.lr_at(global_step_);
+    for (std::size_t t = 0; t < replicas_.size(); ++t) {
+      if (config_.grad_clip > 0.0f) {
+        autograd::clip_grad_norm(replica_params_[t],
+                                 config_.grad_clip / grad_scale);
+      }
+      optimizers_[t]->set_lr(lr);
+      optimizers_[t]->step(grad_scale);
+      for (const auto& p : replica_params_[t]) p->zero_grad();
+    }
+    ++global_step_;
+  }
+
+  stats.mean_loss = stats.samples > 0 ? loss_sum / stats.samples : 0.0;
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+Tensor TilesTrainer::predict(const Tensor& input) const {
+  const std::int64_t upscale = replicas_.front()->model_config().upscale;
+  return tiled_apply(input, tile_spec_, upscale, *pool_,
+                     [this](std::size_t tile, const Tensor& padded) {
+                       return replicas_[tile]->predict_field(padded);
+                     });
+}
+
+float TilesTrainer::replica_divergence() const {
+  if (replica_params_.size() < 2) return 0.0f;
+  return max_parameter_divergence(replica_params_);
+}
+
+}  // namespace orbit2::train

@@ -1,0 +1,55 @@
+#pragma once
+// TILES-mode training and inference (paper §III-B).
+//
+// Each tile is owned by a model replica on its own virtual GPU (pool
+// worker). Per sample, every replica downscales its halo-padded tile and
+// computes the loss on the corresponding target tile; gradients are
+// all-reduced (averaged) once per batch — the paper's single low-frequency
+// collective — and every replica applies the identical optimizer step, so
+// replicas never diverge (an invariant the tests assert).
+
+#include <functional>
+#include <memory>
+
+#include "core/thread_pool.hpp"
+#include "data/dataset.hpp"
+#include "model/downscaler.hpp"
+#include "tiles/tiles.hpp"
+#include "train/trainer.hpp"
+
+namespace orbit2::train {
+
+/// Builds one model replica; called once per tile with identical seeds so
+/// replicas start in sync.
+using ReplicaFactory = std::function<std::unique_ptr<model::Downscaler>()>;
+
+class TilesTrainer {
+ public:
+  TilesTrainer(ReplicaFactory factory, TileSpec tile_spec,
+               TrainerConfig config);
+
+  /// One epoch over `indices`; loss is the tile-mean of replica losses.
+  EpochStats train_epoch(const data::SyntheticDataset& dataset,
+                         const std::vector<std::int64_t>& indices);
+
+  /// Tiled inference: each replica downscales its tile, cores are stitched.
+  Tensor predict(const Tensor& input) const;
+
+  /// Max |param difference| across replicas (0 when in sync).
+  float replica_divergence() const;
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  model::Downscaler& replica(std::size_t i) { return *replicas_[i]; }
+
+ private:
+  TileSpec tile_spec_;
+  TrainerConfig config_;
+  std::vector<std::unique_ptr<model::Downscaler>> replicas_;
+  std::vector<std::vector<autograd::ParamPtr>> replica_params_;
+  std::vector<std::unique_ptr<autograd::AdamW>> optimizers_;
+  autograd::CosineSchedule schedule_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::int64_t global_step_ = 0;
+};
+
+}  // namespace orbit2::train

@@ -1,0 +1,136 @@
+#include "train/trainer.hpp"
+
+#include "core/log.hpp"
+#include "core/timer.hpp"
+#include "data/generator.hpp"
+
+namespace orbit2::train {
+
+using autograd::Var;
+
+Trainer::Trainer(model::Downscaler& model, TrainerConfig config)
+    : model_(model),
+      config_(config),
+      params_(model.parameters()),
+      optimizer_(params_, [&config] {
+        autograd::AdamWConfig adam;
+        adam.lr = config.lr;
+        adam.weight_decay = config.weight_decay;
+        return adam;
+      }()),
+      // The cosine horizon is deliberately generous (epochs x 1000 steps):
+      // bench-scale runs take few optimizer steps, so the schedule behaves
+      // as warmup + near-constant LR, which is what short fine-tunings
+      // want; long runs decay toward 5% of base as usual.
+      schedule_(config.lr, config.warmup_steps,
+                std::max<std::int64_t>(1, config.epochs * 1000), 0.05f * config.lr) {
+  ORBIT2_REQUIRE(config_.batch_size >= 1, "batch size must be >= 1");
+}
+
+Var Trainer::compute_loss(const Var& prediction, const Tensor& target) const {
+  if (!config_.bayesian_loss) return model::mse_loss(prediction, target);
+  model::BayesianLossParams params;
+  params.tv_weight = config_.tv_weight;
+  return model::bayesian_loss(prediction, target, latitude_weights_, params);
+}
+
+EpochStats Trainer::train_epoch(const data::SyntheticDataset& dataset,
+                                const std::vector<std::int64_t>& indices) {
+  EpochStats stats;
+  WallTimer timer;
+  const std::int64_t skipped_before = scaler_.skipped_steps();
+
+  double loss_sum = 0.0;
+  std::int64_t in_batch = 0;
+  model_.zero_grad();
+
+  for (std::int64_t index : indices) {
+    const data::Sample sample = dataset.sample(index);
+    if (latitude_weights_.shape() != Shape({sample.target.dim(1)})) {
+      latitude_weights_ = data::latitude_weights(sample.target.dim(1));
+    }
+    if (config_.mixed_precision) {
+      // Parameters live in bf16 storage between steps (master copies are
+      // the optimizer's job in real AMP; rounding models the forward).
+      for (const auto& p : params_) p->value.round_to_bf16_inplace();
+    }
+
+    Var prediction = model_.downscale(sample.input);
+    Var loss = compute_loss(prediction, sample.target);
+    loss_sum += loss.value().item();
+    ++stats.samples;
+
+    Var scaled = config_.mixed_precision
+                     ? autograd::scale(loss, scaler_.scale())
+                     : loss;
+    autograd::backward(scaled);
+
+    if (++in_batch < config_.batch_size) continue;
+    in_batch = 0;
+
+    bool do_step = true;
+    float grad_scale = 1.0f / static_cast<float>(config_.batch_size);
+    if (config_.mixed_precision) {
+      do_step = scaler_.unscale_and_check(params_);
+      grad_scale /= scaler_.scale();
+    }
+    if (do_step) {
+      if (config_.grad_clip > 0.0f) {
+        // Clip on the unscaled gradient norm.
+        autograd::clip_grad_norm(params_, config_.grad_clip / grad_scale);
+      }
+      optimizer_.set_lr(schedule_.lr_at(global_step_));
+      optimizer_.step(grad_scale);
+      ++global_step_;
+    }
+    model_.zero_grad();
+  }
+  // Flush a trailing partial batch.
+  if (in_batch > 0) {
+    bool do_step = true;
+    float grad_scale = 1.0f / static_cast<float>(in_batch);
+    if (config_.mixed_precision) {
+      do_step = scaler_.unscale_and_check(params_);
+      grad_scale /= scaler_.scale();
+    }
+    if (do_step) {
+      optimizer_.set_lr(schedule_.lr_at(global_step_));
+      optimizer_.step(grad_scale);
+      ++global_step_;
+    }
+    model_.zero_grad();
+  }
+
+  stats.mean_loss = stats.samples > 0 ? loss_sum / stats.samples : 0.0;
+  stats.seconds = timer.seconds();
+  stats.skipped_steps = scaler_.skipped_steps() - skipped_before;
+  return stats;
+}
+
+EpochStats Trainer::fit(const data::SyntheticDataset& dataset,
+                        const std::vector<std::int64_t>& indices) {
+  EpochStats last;
+  for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    last = train_epoch(dataset, indices);
+    ORBIT2_LOG_DEBUG("epoch " << epoch << " loss " << last.mean_loss << " ("
+                              << last.seconds << " s)");
+  }
+  return last;
+}
+
+double Trainer::validation_loss(const data::SyntheticDataset& dataset,
+                                const std::vector<std::int64_t>& indices) {
+  ORBIT2_REQUIRE(!indices.empty(), "empty validation set");
+  double total = 0.0;
+  for (std::int64_t index : indices) {
+    const data::Sample sample = dataset.sample(index);
+    if (latitude_weights_.shape() != Shape({sample.target.dim(1)})) {
+      latitude_weights_ = data::latitude_weights(sample.target.dim(1));
+    }
+    Var prediction = model_.downscale(sample.input);
+    total += compute_loss(prediction, sample.target).value().item();
+  }
+  return total / static_cast<double>(indices.size());
+}
+
+}  // namespace orbit2::train

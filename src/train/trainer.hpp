@@ -1,0 +1,79 @@
+#pragma once
+// Training loop: per-sample forward/backward with gradient accumulation,
+// optional BF16 mixed precision with dynamic loss scaling (paper §III-D),
+// cosine LR schedule, gradient clipping, and the Bayesian objective.
+// A TILES-mode trainer drives per-tile replicas and the once-per-batch
+// gradient all-reduce.
+
+#include <functional>
+#include <vector>
+
+#include "autograd/optim.hpp"
+#include "data/dataset.hpp"
+#include "model/downscaler.hpp"
+#include "model/loss.hpp"
+
+namespace orbit2::train {
+
+struct TrainerConfig {
+  std::int64_t epochs = 10;
+  /// Samples per optimizer step (gradient accumulation).
+  std::int64_t batch_size = 4;
+  float lr = 1e-3f;
+  std::int64_t warmup_steps = 20;
+  float weight_decay = 0.01f;
+  float grad_clip = 1.0f;
+  /// Bayesian prior weight (0 = plain weighted MSE).
+  float tv_weight = 0.005f;
+  /// Emulated BF16 mixed precision: parameters are rounded to bf16 storage
+  /// before each forward and the dynamic GradScaler guards each step.
+  bool mixed_precision = false;
+  /// Use the latitude-weighted Bayesian loss (Reslim) vs plain MSE.
+  bool bayesian_loss = true;
+};
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double seconds = 0.0;
+  std::int64_t samples = 0;
+  std::int64_t skipped_steps = 0;  // AMP overflow skips
+  double seconds_per_sample() const {
+    return samples > 0 ? seconds / static_cast<double>(samples) : 0.0;
+  }
+};
+
+/// Single-replica trainer.
+class Trainer {
+ public:
+  Trainer(model::Downscaler& model, TrainerConfig config);
+
+  /// Runs one epoch over `indices` of `dataset`; returns loss/time stats.
+  EpochStats train_epoch(const data::SyntheticDataset& dataset,
+                         const std::vector<std::int64_t>& indices);
+
+  /// Full run: `config.epochs` epochs; returns last epoch stats.
+  EpochStats fit(const data::SyntheticDataset& dataset,
+                 const std::vector<std::int64_t>& indices);
+
+  /// Mean validation loss (no parameter updates).
+  double validation_loss(const data::SyntheticDataset& dataset,
+                         const std::vector<std::int64_t>& indices);
+
+  autograd::AdamW& optimizer() { return optimizer_; }
+  std::int64_t global_step() const { return global_step_; }
+
+ private:
+  autograd::Var compute_loss(const autograd::Var& prediction,
+                             const Tensor& target) const;
+
+  model::Downscaler& model_;
+  TrainerConfig config_;
+  std::vector<autograd::ParamPtr> params_;
+  autograd::AdamW optimizer_;
+  autograd::CosineSchedule schedule_;
+  autograd::GradScaler scaler_;
+  Tensor latitude_weights_;  // built lazily per target height
+  std::int64_t global_step_ = 0;
+};
+
+}  // namespace orbit2::train

@@ -1,0 +1,181 @@
+// Tests for the attention kernels: correctness of the naive reference,
+// flash <-> naive parity (forward and backward) across a parameter sweep of
+// shapes and block sizes, and finite-difference gradient validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "attention/attention.hpp"
+#include "core/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace orbit2 {
+namespace {
+
+TEST(NaiveAttention, UniformScoresAverageValues) {
+  // Q orthogonal to K rows -> all scores equal -> output = mean of V rows.
+  Tensor q = Tensor::zeros(Shape{2, 4});
+  Tensor k = Tensor::zeros(Shape{3, 4});
+  Tensor v = Tensor::from_vector(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor out = attention_naive_forward(q, k, v, 0.5f, nullptr);
+  EXPECT_NEAR(out.at(0, 0), 3.0f, 1e-5f);
+  EXPECT_NEAR(out.at(0, 1), 4.0f, 1e-5f);
+  EXPECT_NEAR(out.at(1, 0), 3.0f, 1e-5f);
+}
+
+TEST(NaiveAttention, SharpAttentionSelectsValue) {
+  // One K row strongly matches the query; output ~= its V row.
+  Tensor q = Tensor::from_vector(Shape{1, 2}, {10.0f, 0.0f});
+  Tensor k = Tensor::from_vector(Shape{2, 2}, {10.0f, 0.0f, -10.0f, 0.0f});
+  Tensor v = Tensor::from_vector(Shape{2, 3}, {1, 2, 3, 7, 8, 9});
+  Tensor out = attention_naive_forward(q, k, v, 1.0f, nullptr);
+  EXPECT_NEAR(out.at(0, 0), 1.0f, 1e-4f);
+  EXPECT_NEAR(out.at(0, 2), 3.0f, 1e-4f);
+}
+
+TEST(NaiveAttention, RejectsRankMismatch) {
+  EXPECT_THROW(attention_naive_forward(Tensor::zeros(Shape{2, 3}),
+                                       Tensor::zeros(Shape{2, 4}),
+                                       Tensor::zeros(Shape{2, 4}), 1.0f,
+                                       nullptr),
+               Error);
+}
+
+using FlashCase = std::tuple<std::int64_t, std::int64_t, std::int64_t,
+                             std::int64_t, std::int64_t>;
+
+class FlashParity : public ::testing::TestWithParam<FlashCase> {};
+
+TEST_P(FlashParity, ForwardAndBackwardMatchNaive) {
+  const auto [nq, nk, d, block_q, block_kv] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(nq * 1000 + nk * 10 + d));
+  Tensor q = Tensor::randn(Shape{nq, d}, rng);
+  Tensor k = Tensor::randn(Shape{nk, d}, rng);
+  Tensor v = Tensor::randn(Shape{nk, d}, rng);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  AttentionContext naive_ctx, flash_ctx;
+  FlashParams params{block_q, block_kv};
+  Tensor naive_out = attention_naive_forward(q, k, v, scale, &naive_ctx);
+  Tensor flash_out = attention_flash_forward(q, k, v, scale, &flash_ctx, params);
+
+  ASSERT_EQ(naive_out.shape(), flash_out.shape());
+  for (std::int64_t i = 0; i < naive_out.numel(); ++i) {
+    EXPECT_NEAR(naive_out[i], flash_out[i], 2e-5f) << "fwd elem " << i;
+  }
+
+  Tensor grad = Tensor::randn(Shape{nq, d}, rng);
+  AttentionGrads g_naive = attention_naive_backward(naive_ctx, grad);
+  AttentionGrads g_flash = attention_flash_backward(flash_ctx, grad, params);
+  for (std::int64_t i = 0; i < g_naive.dq.numel(); ++i) {
+    EXPECT_NEAR(g_naive.dq[i], g_flash.dq[i], 5e-4f) << "dq elem " << i;
+  }
+  for (std::int64_t i = 0; i < g_naive.dk.numel(); ++i) {
+    EXPECT_NEAR(g_naive.dk[i], g_flash.dk[i], 5e-4f) << "dk elem " << i;
+  }
+  for (std::int64_t i = 0; i < g_naive.dv.numel(); ++i) {
+    EXPECT_NEAR(g_naive.dv[i], g_flash.dv[i], 5e-4f) << "dv elem " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndBlocks, FlashParity,
+    ::testing::Values(
+        // (nq, nk, d, block_q, block_kv)
+        FlashCase{4, 4, 8, 64, 64},     // single block
+        FlashCase{16, 16, 8, 4, 4},     // many blocks
+        FlashCase{17, 23, 8, 4, 8},     // ragged blocks
+        FlashCase{1, 64, 16, 8, 16},    // single query row
+        FlashCase{64, 1, 16, 16, 8},    // single key row
+        FlashCase{33, 47, 4, 5, 7},     // prime-ish everything
+        FlashCase{128, 128, 32, 64, 64}));
+
+TEST(FlashAttention, LargeScoresStayFinite) {
+  // Scores around +-30 stress the online rescaling.
+  Rng rng(7);
+  Tensor q = Tensor::randn(Shape{8, 4}, rng, 5.0f);
+  Tensor k = Tensor::randn(Shape{8, 4}, rng, 5.0f);
+  Tensor v = Tensor::randn(Shape{8, 4}, rng);
+  AttentionContext ctx;
+  Tensor out = attention_flash_forward(q, k, v, 1.0f, &ctx, {2, 2});
+  for (float val : out.data()) EXPECT_TRUE(std::isfinite(val));
+  Tensor naive = attention_naive_forward(q, k, v, 1.0f, nullptr);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_NEAR(out[i], naive[i], 1e-4f);
+  }
+}
+
+TEST(FlashAttention, ContextKindEnforced) {
+  Rng rng(8);
+  Tensor q = Tensor::randn(Shape{4, 4}, rng);
+  AttentionContext naive_ctx, flash_ctx;
+  attention_naive_forward(q, q, q, 1.0f, &naive_ctx);
+  attention_flash_forward(q, q, q, 1.0f, &flash_ctx);
+  Tensor g = Tensor::ones(Shape{4, 4});
+  EXPECT_THROW(attention_flash_backward(naive_ctx, g), Error);
+  EXPECT_THROW(attention_naive_backward(flash_ctx, g), Error);
+}
+
+TEST(NaiveAttention, BackwardMatchesFiniteDifference) {
+  Rng rng(9);
+  const std::int64_t n = 5, d = 3;
+  Tensor q = Tensor::randn(Shape{n, d}, rng);
+  Tensor k = Tensor::randn(Shape{n, d}, rng);
+  Tensor v = Tensor::randn(Shape{n, d}, rng);
+  Tensor g = Tensor::randn(Shape{n, d}, rng);
+  const float scale = 0.7f;
+
+  AttentionContext ctx;
+  attention_naive_forward(q, k, v, scale, &ctx);
+  AttentionGrads grads = attention_naive_backward(ctx, g);
+
+  auto loss = [&](const Tensor& qq, const Tensor& kk, const Tensor& vv) {
+    Tensor out = attention_naive_forward(qq, kk, vv, scale, nullptr);
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < out.numel(); ++i) acc += static_cast<double>(out[i]) * g[i];
+    return acc;
+  };
+  const float eps = 1e-3f;
+  for (std::int64_t i = 0; i < q.numel(); i += 2) {
+    Tensor qp = q.clone();
+    qp[i] += eps;
+    Tensor qm = q.clone();
+    qm[i] -= eps;
+    const double fd = (loss(qp, k, v) - loss(qm, k, v)) / (2 * eps);
+    EXPECT_NEAR(grads.dq[i], static_cast<float>(fd), 2e-3f) << "dq " << i;
+  }
+  for (std::int64_t i = 0; i < k.numel(); i += 2) {
+    Tensor kp = k.clone();
+    kp[i] += eps;
+    Tensor km = k.clone();
+    km[i] -= eps;
+    const double fd = (loss(q, kp, v) - loss(q, km, v)) / (2 * eps);
+    EXPECT_NEAR(grads.dk[i], static_cast<float>(fd), 2e-3f) << "dk " << i;
+  }
+  for (std::int64_t i = 0; i < v.numel(); i += 2) {
+    Tensor vp = v.clone();
+    vp[i] += eps;
+    Tensor vm = v.clone();
+    vm[i] -= eps;
+    const double fd = (loss(q, k, vp) - loss(q, k, vm)) / (2 * eps);
+    EXPECT_NEAR(grads.dv[i], static_cast<float>(fd), 2e-3f) << "dv " << i;
+  }
+}
+
+TEST(FlashAttention, CrossAttentionShapes) {
+  // Nq != Nk and dv != d: the decoder-style case.
+  Rng rng(10);
+  Tensor q = Tensor::randn(Shape{6, 8}, rng);
+  Tensor k = Tensor::randn(Shape{10, 8}, rng);
+  Tensor v = Tensor::randn(Shape{10, 5}, rng);
+  AttentionContext ctx;
+  Tensor out = attention_flash_forward(q, k, v, 0.35f, &ctx, {4, 4});
+  EXPECT_EQ(out.shape(), Shape({6, 5}));
+  Tensor naive = attention_naive_forward(q, k, v, 0.35f, nullptr);
+  for (std::int64_t i = 0; i < out.numel(); ++i) EXPECT_NEAR(out[i], naive[i], 1e-5f);
+}
+
+}  // namespace
+}  // namespace orbit2

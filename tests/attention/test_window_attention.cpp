@@ -1,0 +1,201 @@
+// Shifted-window attention tests: full-grid window equals global attention,
+// window locality (no cross-window influence at shift 0), shifted windows
+// re-couple boundaries (the Swin mechanism), cyclic shift inverse, and
+// geometry validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/attention.hpp"
+#include "attention/window_attention.hpp"
+#include "core/rng.hpp"
+
+namespace orbit2 {
+namespace {
+
+TEST(CyclicShift, InverseRecoversInput) {
+  Rng rng(1);
+  Tensor tokens = Tensor::randn(Shape{6 * 8, 3}, rng);
+  Tensor shifted = cyclic_shift_tokens(tokens, 6, 8, 2, 3);
+  Tensor back = cyclic_shift_tokens(shifted, 6, 8, -2, -3);
+  for (std::int64_t i = 0; i < tokens.numel(); ++i) {
+    EXPECT_EQ(back[i], tokens[i]);
+  }
+}
+
+TEST(CyclicShift, MovesRowsAndColumns) {
+  Tensor tokens = Tensor::zeros(Shape{4 * 4, 1});
+  tokens[0] = 7.0f;  // token at (0,0)
+  Tensor shifted = cyclic_shift_tokens(tokens, 4, 4, 1, 2);
+  EXPECT_EQ(shifted[1 * 4 + 2], 7.0f);
+  EXPECT_EQ(shifted[0], 0.0f);
+}
+
+TEST(WindowAttention, FullGridWindowEqualsGlobalAttention) {
+  Rng rng(2);
+  const std::int64_t gh = 4, gw = 8, d = 8;
+  Tensor q = Tensor::randn(Shape{gh * gw, d}, rng);
+  Tensor k = Tensor::randn(Shape{gh * gw, d}, rng);
+  Tensor v = Tensor::randn(Shape{gh * gw, d}, rng);
+  WindowAttentionSpec spec;
+  spec.grid_h = gh;
+  spec.grid_w = gw;
+  spec.window = 4;  // equals grid_h but not grid_w -> not global
+  // Use a window equal to the whole grid via 4x... need square windows that
+  // divide both dims; take window = 4 with a 4x4 grid instead:
+  Tensor q4 = q.slice(0, 0, 16);
+  Tensor k4 = k.slice(0, 0, 16);
+  Tensor v4 = v.slice(0, 0, 16);
+  WindowAttentionSpec full{4, 4, 4, 0};
+  Tensor windowed = window_attention_forward(q4, k4, v4, 0.35f, full);
+  Tensor global = attention_naive_forward(q4, k4, v4, 0.35f, nullptr);
+  for (std::int64_t i = 0; i < windowed.numel(); ++i) {
+    EXPECT_NEAR(windowed[i], global[i], 1e-5f);
+  }
+}
+
+TEST(WindowAttention, NoCrossWindowInfluenceWithoutShift) {
+  Rng rng(3);
+  const std::int64_t gh = 8, gw = 8, d = 4;
+  Tensor q = Tensor::randn(Shape{gh * gw, d}, rng);
+  Tensor k = Tensor::randn(Shape{gh * gw, d}, rng);
+  Tensor v = Tensor::randn(Shape{gh * gw, d}, rng);
+  WindowAttentionSpec spec{gh, gw, 4, 0};
+  Tensor base = window_attention_forward(q, k, v, 0.5f, spec);
+
+  // Perturb a token in the top-left window; outputs in the bottom-right
+  // window must not change at all.
+  Tensor k2 = k.clone();
+  for (std::int64_t f = 0; f < d; ++f) k2.at(0, f) += 10.0f;
+  Tensor perturbed = window_attention_forward(q, k2, v, 0.5f, spec);
+
+  bool top_left_changed = false;
+  for (std::int64_t f = 0; f < d; ++f) {
+    top_left_changed |= std::fabs(perturbed.at(0, f) - base.at(0, f)) > 1e-6f;
+  }
+  EXPECT_TRUE(top_left_changed);
+  // Bottom-right window: rows (4..7) x cols (4..7).
+  for (std::int64_t y = 4; y < 8; ++y) {
+    for (std::int64_t x = 4; x < 8; ++x) {
+      for (std::int64_t f = 0; f < d; ++f) {
+        EXPECT_EQ(perturbed.at(y * gw + x, f), base.at(y * gw + x, f));
+      }
+    }
+  }
+}
+
+TEST(WindowAttention, ShiftedWindowsCoupleAcrossBoundaries) {
+  Rng rng(4);
+  const std::int64_t gh = 8, gw = 8, d = 4;
+  Tensor q = Tensor::randn(Shape{gh * gw, d}, rng);
+  Tensor k = Tensor::randn(Shape{gh * gw, d}, rng);
+  Tensor v = Tensor::randn(Shape{gh * gw, d}, rng);
+  WindowAttentionSpec shifted{gh, gw, 4, 2};
+  Tensor base = window_attention_forward(q, k, v, 0.5f, shifted);
+
+  // Perturbing a token adjacent to the unshifted boundary now influences
+  // the other side (they share a shifted window).
+  Tensor k2 = k.clone();
+  for (std::int64_t f = 0; f < d; ++f) k2.at(3 * gw + 3, f) += 10.0f;
+  Tensor perturbed = window_attention_forward(q, k2, v, 0.5f, shifted);
+  float cross_boundary_change = 0.0f;
+  for (std::int64_t f = 0; f < d; ++f) {
+    cross_boundary_change +=
+        std::fabs(perturbed.at(4 * gw + 4, f) - base.at(4 * gw + 4, f));
+  }
+  EXPECT_GT(cross_boundary_change, 1e-6f);
+}
+
+TEST(WindowAttention, OutputShapeAndFiniteness) {
+  Rng rng(5);
+  const std::int64_t gh = 8, gw = 16;
+  Tensor q = Tensor::randn(Shape{gh * gw, 8}, rng);
+  Tensor v = Tensor::randn(Shape{gh * gw, 6}, rng);
+  WindowAttentionSpec spec{gh, gw, 8, 3};
+  Tensor out = window_attention_forward(q, q, v, 0.35f, spec);
+  EXPECT_EQ(out.shape(), Shape({gh * gw, 6}));
+  for (float x : out.data()) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(WindowAttention, GeometryValidated) {
+  Rng rng(6);
+  Tensor q = Tensor::randn(Shape{64, 4}, rng);
+  EXPECT_THROW(window_attention_forward(q, q, q, 1.0f, {8, 8, 3, 0}), Error);
+  EXPECT_THROW(window_attention_forward(q, q, q, 1.0f, {8, 8, 4, 4}), Error);
+  EXPECT_THROW(window_attention_forward(q, q, q, 1.0f, {4, 8, 4, 0}), Error);
+}
+
+}  // namespace
+}  // namespace orbit2
+
+// ---- differentiable windowed MHA -----------------------------------------
+
+#include "autograd/nn.hpp"
+#include "autograd/optim.hpp"
+
+namespace orbit2 {
+namespace {
+
+TEST(WindowedMha, FullGridWindowMatchesGlobalMha) {
+  Rng rng(10);
+  autograd::MultiHeadSelfAttention mha("mha", 8, 2, rng);
+  Rng data_rng(11);
+  Tensor x = Tensor::randn(Shape{16, 8}, data_rng);
+  WindowAttentionSpec spec{4, 4, 4, 0};  // one window = whole grid
+  const Tensor global =
+      mha.forward(autograd::Var::constant(x), true).value();
+  const Tensor windowed =
+      mha.forward_windowed(autograd::Var::constant(x), true, spec).value();
+  for (std::int64_t i = 0; i < global.numel(); ++i) {
+    EXPECT_NEAR(global[i], windowed[i], 1e-5f) << i;
+  }
+}
+
+TEST(WindowedMha, GradientsMatchFiniteDifference) {
+  Rng rng(12);
+  autograd::MultiHeadSelfAttention mha("mha", 4, 2, rng);
+  auto x = std::make_shared<autograd::Parameter>(
+      "x", Tensor::randn(Shape{16, 4}, rng, 0.5f));
+  WindowAttentionSpec spec{4, 4, 2, 1};  // shifted 2x2 windows
+
+  auto forward = [&] {
+    return mha.forward_windowed(autograd::Var::parameter(x), false, spec);
+  };
+  x->zero_grad();
+  for (const auto& p : mha.parameters()) p->zero_grad();
+  autograd::backward(autograd::sum(forward()));
+  const float eps = 1e-2f;
+  for (std::int64_t i = 0; i < x->numel(); i += 5) {
+    const float original = x->value[i];
+    x->value[i] = original + eps;
+    const float up = forward().value().sum();
+    x->value[i] = original - eps;
+    const float down = forward().value().sum();
+    x->value[i] = original;
+    EXPECT_NEAR(x->grad[i], (up - down) / (2 * eps), 3e-2f) << i;
+  }
+}
+
+TEST(WindowedMha, PermutationHelpersRoundTrip) {
+  const auto partition = window_partition_permutation({4, 8, 4, 0});
+  const auto inverse = invert_permutation(partition);
+  for (std::size_t i = 0; i < partition.size(); ++i) {
+    EXPECT_EQ(inverse[static_cast<std::size_t>(partition[i])],
+              static_cast<std::int64_t>(i));
+  }
+  // Shift permutation matches the tensor kernel.
+  Rng rng(13);
+  Tensor tokens = Tensor::randn(Shape{4 * 8, 2}, rng);
+  const auto shift_perm = cyclic_shift_permutation(4, 8, 1, 3);
+  const Tensor by_kernel = cyclic_shift_tokens(tokens, 4, 8, 1, 3);
+  for (std::int64_t i = 0; i < 32; ++i) {
+    for (std::int64_t f = 0; f < 2; ++f) {
+      EXPECT_EQ(by_kernel.at(i, f),
+                tokens.at(shift_perm[static_cast<std::size_t>(i)], f));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orbit2

@@ -1,0 +1,76 @@
+// Argument parser tests: subcommand extraction, typed flags, switches,
+// malformed values, and unused-flag detection.
+
+#include <gtest/gtest.h>
+
+#include "core/args.hpp"
+#include "core/error.hpp"
+
+namespace orbit2 {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> args(argv);
+  return ArgParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Args, SubcommandAndProgram) {
+  const auto args = parse({"orbit2", "train", "--epochs", "5"});
+  EXPECT_EQ(args.program(), "orbit2");
+  EXPECT_EQ(args.subcommand(), "train");
+}
+
+TEST(Args, NoSubcommand) {
+  const auto args = parse({"orbit2", "--help"});
+  EXPECT_EQ(args.subcommand(), "");
+  EXPECT_TRUE(args.has("--help"));
+}
+
+TEST(Args, TypedGetters) {
+  const auto args = parse({"orbit2", "plan", "--gpus", "512", "--compression",
+                           "4.5", "--model", "10B"});
+  EXPECT_EQ(args.get_int("--gpus", 0), 512);
+  EXPECT_DOUBLE_EQ(args.get_double("--compression", 1.0), 4.5);
+  EXPECT_EQ(args.get_string("--model", ""), "10B");
+}
+
+TEST(Args, FallbacksWhenAbsent) {
+  const auto args = parse({"orbit2", "plan"});
+  EXPECT_EQ(args.get_int("--gpus", 8), 8);
+  EXPECT_DOUBLE_EQ(args.get_double("--compression", 1.0), 1.0);
+  EXPECT_EQ(args.get_string("--model", "tiny"), "tiny");
+  EXPECT_FALSE(args.has("--observation"));
+}
+
+TEST(Args, BooleanSwitches) {
+  const auto args = parse({"orbit2", "train", "--mixed-precision", "--lr",
+                           "0.001"});
+  EXPECT_TRUE(args.has("--mixed-precision"));
+  EXPECT_DOUBLE_EQ(args.get_double("--lr", 0.0), 0.001);
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  const auto args = parse({"orbit2", "train", "--epochs", "ten"});
+  EXPECT_THROW(args.get_int("--epochs", 0), Error);
+}
+
+TEST(Args, NonFlagTokenRejected) {
+  EXPECT_THROW(parse({"orbit2", "train", "epochs"}), Error);
+}
+
+TEST(Args, UnusedFlagsReported) {
+  const auto args = parse({"orbit2", "train", "--epochs", "5", "--typo", "x"});
+  (void)args.get_int("--epochs", 0);
+  const auto unused = args.unused_flags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "--typo");
+}
+
+TEST(Args, AllQueriedMeansNoUnused) {
+  const auto args = parse({"orbit2", "train", "--epochs", "5"});
+  (void)args.get_int("--epochs", 0);
+  EXPECT_TRUE(args.unused_flags().empty());
+}
+
+}  // namespace
+}  // namespace orbit2

@@ -1,0 +1,138 @@
+// Temporal sequence tests: determinism, AR(1) persistence (autocorrelation
+// decays with lag and rises with rho), physical consistency with the
+// i.i.d. generator, and observation-mode support.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/temporal.hpp"
+
+namespace orbit2::data {
+namespace {
+
+TemporalConfig small_config(float persistence, std::uint64_t seed = 21) {
+  TemporalConfig config;
+  config.base.hr_h = 32;
+  config.base.hr_w = 64;
+  config.base.upscale = 4;
+  config.base.seed = seed;
+  config.base.input_variables.resize(12);  // keep u200/u500/u850 (pure anomalies)
+  config.base.output_variables.resize(2);
+  config.persistence = persistence;
+  return config;
+}
+
+/// Correlation of the u500 channel (index 9): zero terrain coupling, so it
+/// isolates the dynamic AR(1) anomaly from the static climatology that
+/// dominates whole-stack correlations.
+Tensor u500(const Tensor& stack) {
+  return stack.slice(0, 9, 1);
+}
+
+double field_correlation(const Tensor& a, const Tensor& b) {
+  const float ma = a.mean(), mb = b.mean();
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+TEST(Temporal, ShapesMatchDatasetConvention) {
+  TemporalSequence seq(small_config(0.8f));
+  const Sample day = seq.next_day();
+  EXPECT_EQ(day.input.shape(), Shape({12, 8, 16}));
+  EXPECT_EQ(day.target.shape(), Shape({2, 32, 64}));
+  EXPECT_EQ(seq.days_generated(), 1);
+}
+
+TEST(Temporal, DeterministicAcrossInstances) {
+  TemporalSequence a(small_config(0.7f));
+  TemporalSequence b(small_config(0.7f));
+  for (int day = 0; day < 3; ++day) {
+    const Sample sa = a.next_day();
+    const Sample sb = b.next_day();
+    for (std::int64_t i = 0; i < sa.input.numel(); ++i) {
+      ASSERT_EQ(sa.input[i], sb.input[i]) << "day " << day;
+    }
+  }
+}
+
+TEST(Temporal, ConsecutiveDaysAreCorrelated) {
+  TemporalSequence seq(small_config(0.9f));
+  seq.next_day();
+  const Tensor day0 = u500(seq.current_physical().input);
+  seq.next_day();
+  const Tensor day1 = u500(seq.current_physical().input);
+  // Strongly persistent weather: high day-to-day anomaly correlation.
+  EXPECT_GT(field_correlation(day0, day1), 0.7);
+}
+
+TEST(Temporal, AutocorrelationDecaysWithLag) {
+  TemporalSequence seq(small_config(0.8f));
+  seq.next_day();
+  const Tensor day0 = u500(seq.current_physical().input);
+  std::vector<double> correlations;
+  for (int lag = 1; lag <= 6; ++lag) {
+    seq.next_day();
+    correlations.push_back(
+        field_correlation(day0, u500(seq.current_physical().input)));
+  }
+  // Geometric decay: rho^1 = 0.8 down to rho^6 ~ 0.26.
+  EXPECT_GT(correlations.front(), 0.6);
+  EXPECT_GT(correlations.front(), correlations.back() + 0.2);
+}
+
+TEST(Temporal, HigherPersistenceMeansHigherCorrelation) {
+  auto lag1_correlation = [](float rho) {
+    TemporalSequence seq(small_config(rho, 33));
+    seq.next_day();
+    const Tensor day0 = u500(seq.current_physical().input);
+    seq.next_day();
+    return field_correlation(day0, u500(seq.current_physical().input));
+  };
+  EXPECT_GT(lag1_correlation(0.95f), lag1_correlation(0.3f));
+}
+
+TEST(Temporal, ZeroPersistenceStaysFinite) {
+  TemporalSequence seq(small_config(0.0f));
+  for (int day = 0; day < 3; ++day) {
+    const Sample s = seq.next_day();
+    for (float v : s.input.data()) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(Temporal, RejectsInvalidPersistence) {
+  EXPECT_THROW(TemporalSequence(small_config(1.0f)), Error);
+  EXPECT_THROW(TemporalSequence(small_config(-0.1f)), Error);
+}
+
+TEST(Temporal, CurrentPhysicalRequiresAGeneratedDay) {
+  TemporalSequence seq(small_config(0.5f));
+  EXPECT_THROW(seq.current_physical(), Error);
+}
+
+TEST(Temporal, ObservationModePerturbsTargets) {
+  auto clean_config = small_config(0.8f, 44);
+  auto obs_config = clean_config;
+  obs_config.base.observation_targets = true;
+  TemporalSequence clean(clean_config);
+  TemporalSequence observed(obs_config);
+  clean.next_day();
+  observed.next_day();
+  const Tensor& t_clean = clean.current_physical().target;
+  const Tensor& t_obs = observed.current_physical().target;
+  // Same weather, different observation operator: correlated, not equal.
+  EXPECT_GT(field_correlation(t_clean, t_obs), 0.6);
+  float diff = 0.0f;
+  for (std::int64_t i = 0; i < t_clean.numel(); ++i) {
+    diff += std::fabs(t_clean[i] - t_obs[i]);
+  }
+  EXPECT_GT(diff, 1.0f);
+}
+
+}  // namespace
+}  // namespace orbit2::data

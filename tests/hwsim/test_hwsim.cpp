@@ -1,0 +1,326 @@
+// Hardware simulator tests: collective cost model properties, workload
+// accounting cross-checked against real instantiated models, parallelism
+// planning, memory model / OOM behaviour reproducing the paper's
+// qualitative results, and performance-model monotonicities.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "hwsim/hardware.hpp"
+#include "hwsim/parallelism.hpp"
+#include "hwsim/perf_model.hpp"
+#include "hwsim/workload.hpp"
+#include "model/reslim.hpp"
+#include "model/vit_baseline.hpp"
+
+namespace orbit2::hwsim {
+namespace {
+
+// ---- hardware / collectives -------------------------------------------
+
+TEST(Collectives, SingleParticipantIsFree) {
+  FrontierTopology topo;
+  EXPECT_EQ(allreduce_time(topo, 1e9, 1), 0.0);
+  EXPECT_EQ(allgather_time(topo, 1e9, 1), 0.0);
+  EXPECT_EQ(broadcast_time(topo, 1e9, 1), 0.0);
+}
+
+TEST(Collectives, CostGrowsWithPayload) {
+  FrontierTopology topo;
+  EXPECT_LT(allreduce_time(topo, 1e6, 8), allreduce_time(topo, 1e9, 8));
+}
+
+TEST(Collectives, CrossNodeSlowerThanIntraNode) {
+  FrontierTopology topo;
+  // 8 GPUs fit in a node; 16 span two nodes.
+  EXPECT_LT(allreduce_time(topo, 1e9, 8), allreduce_time(topo, 1e9, 16));
+}
+
+TEST(Collectives, RingAllreduceBandwidthTerm) {
+  FrontierTopology topo;
+  // Large payloads: time -> 2 * bytes / bw as n grows.
+  const double t = allreduce_time(topo, 50e9, 8);
+  EXPECT_NEAR(t, 2.0 * (7.0 / 8.0) * 50e9 / topo.intra_node_bandwidth, 0.1);
+}
+
+TEST(Hardware, EfficiencyRisesWithModelWidth) {
+  FrontierTopology topo;
+  EXPECT_LT(topo.achieved_efficiency(256), topo.achieved_efficiency(1024));
+  EXPECT_LT(topo.achieved_efficiency(1024), topo.achieved_efficiency(8192));
+  EXPECT_LE(topo.achieved_efficiency(8192), topo.max_compute_efficiency);
+}
+
+// ---- workload accounting ------------------------------------------------
+
+TEST(Workload, ParameterFormulaMatchesRealReslim) {
+  model::ModelConfig config = model::preset_tiny();
+  config.in_channels = 5;
+  config.out_channels = 2;
+  Rng rng(1);
+  model::ReslimModel real(config, rng);
+  EXPECT_EQ(total_parameter_count(config), real.parameter_count());
+}
+
+TEST(Workload, ParameterFormulaMatchesRealReslimSmall) {
+  model::ModelConfig config = model::preset_small();
+  config.in_channels = 23;
+  config.out_channels = 3;
+  Rng rng(2);
+  model::ReslimModel real(config, rng);
+  EXPECT_EQ(total_parameter_count(config), real.parameter_count());
+}
+
+TEST(Workload, ParameterFormulaMatchesRealViT) {
+  model::ModelConfig config = model::preset_tiny();
+  config.architecture = model::Architecture::kViTBaseline;
+  config.in_channels = 7;
+  config.out_channels = 3;
+  Rng rng(3);
+  model::ViTBaselineModel real(config, rng);
+  EXPECT_EQ(total_parameter_count(config), real.parameter_count());
+}
+
+TEST(Workload, PaperPresetTotalsLandOnNominalSizes) {
+  EXPECT_NEAR(static_cast<double>(total_parameter_count(model::preset_9_5m())),
+              9.5e6, 9.5e6 * 0.5);
+  EXPECT_NEAR(static_cast<double>(total_parameter_count(model::preset_126m())),
+              126e6, 126e6 * 0.25);
+  EXPECT_NEAR(static_cast<double>(total_parameter_count(model::preset_10b())),
+              10e9, 10e9 * 0.25);
+}
+
+TEST(Workload, ViTTrunkHasQuadraticallyMoreAttentionWork) {
+  WorkloadSpec reslim;
+  reslim.config = model::preset_9_5m();
+  reslim.lr_h = 32;
+  reslim.lr_w = 64;
+  WorkloadSpec vit = reslim;
+  vit.config.architecture = model::Architecture::kViTBaseline;
+  const WorkloadCosts rc = analyze_workload(reslim);
+  const WorkloadCosts vc = analyze_workload(vit);
+  // Same paper sequence length, vastly more trunk tokens and FLOPs for ViT.
+  EXPECT_EQ(rc.sequence_length, vc.sequence_length);
+  EXPECT_GT(vc.trunk_tokens_per_tile, 10 * rc.trunk_tokens_per_tile);
+  EXPECT_GT(vc.train_flops, 10.0 * rc.train_flops);
+}
+
+TEST(Workload, CompressionAndTilesReduceTokensAndScores) {
+  WorkloadSpec base;
+  base.config = model::preset_9_5m();
+  base.lr_h = 180;
+  base.lr_w = 360;
+  WorkloadSpec compressed = base;
+  compressed.compression = 4.0f;
+  WorkloadSpec tiled = base;
+  tiled.tiles = 16;
+  const auto cb = analyze_workload(base);
+  const auto cc = analyze_workload(compressed);
+  const auto ct = analyze_workload(tiled);
+  EXPECT_NEAR(static_cast<double>(cc.trunk_tokens_per_tile),
+              cb.trunk_tokens_per_tile / 4.0, 1.0);
+  // Tiled tokens carry ~21% halo inflation (10% per side).
+  EXPECT_NEAR(static_cast<double>(ct.trunk_tokens_per_tile),
+              cb.trunk_tokens_per_tile / 16.0 * 1.21, 2.0);
+  // Tiling cuts attention FLOPs (window shrinks) but not GEMM FLOPs.
+  EXPECT_LT(ct.train_flops, cb.train_flops);
+}
+
+TEST(Workload, GlobalResolution) {
+  EXPECT_NEAR(global_resolution_km(43200), 0.93, 0.01);   // paper's 0.9 km
+  EXPECT_NEAR(global_resolution_km(1440), 27.8, 0.1);     // 28 km grid
+}
+
+// ---- parallelism planning ----------------------------------------------
+
+TEST(Plan, SmallModelNeedsNoSharding) {
+  const auto plan = plan_parallelism(model::preset_9_5m(), 512, 16);
+  EXPECT_EQ(plan.tensor_parallel, 1);
+  EXPECT_EQ(plan.fsdp, 1);
+  EXPECT_EQ(plan.tiles, 16);
+  EXPECT_EQ(plan.ddp, 32);
+  EXPECT_EQ(plan.gpus_per_model_instance() * plan.ddp, 512);
+}
+
+TEST(Plan, LargeModelGetsShardedWithinNode) {
+  const auto plan = plan_parallelism(model::preset_10b(), 4096, 16);
+  EXPECT_GE(plan.tensor_parallel * plan.fsdp, 4);  // 10B optimizer state
+  EXPECT_LE(plan.tensor_parallel, 8);              // TP stays in the node
+  EXPECT_GE(plan.ddp, 1);
+}
+
+TEST(Plan, FavorSequenceUsesLeftoverGpusForTokens) {
+  const auto plan = plan_parallelism(model::preset_9_5m(), 128, 16, true);
+  EXPECT_EQ(plan.ddp, 1);
+  EXPECT_GT(plan.sequence_shard, 1);
+}
+
+// ---- memory model / OOM ---------------------------------------------------
+
+TEST(Memory, ViTBaselineOomsWhereReslimFits) {
+  // The paper's Table II(a): at 112->28 km (777,660 tokens) the ViT OOMs
+  // while Reslim completes.
+  FrontierTopology topo;
+  WorkloadSpec vit;
+  vit.config = model::preset_9_5m();
+  vit.config.architecture = model::Architecture::kViTBaseline;
+  vit.lr_h = 180;
+  vit.lr_w = 360;
+  const auto vit_plan = plan_parallelism(vit.config, 128, 1);
+  EXPECT_FALSE(check_fits(vit, vit_plan, topo).fits);
+
+  WorkloadSpec reslim = vit;
+  reslim.config.architecture = model::Architecture::kReslim;
+  const auto reslim_plan = plan_parallelism(reslim.config, 128, 1);
+  EXPECT_TRUE(check_fits(reslim, reslim_plan, topo).fits);
+}
+
+TEST(Memory, TenBillionViTOomsOnEightGpus) {
+  // Table III row 2: unsharded 10B ViT cannot even hold its state.
+  FrontierTopology topo;
+  WorkloadSpec spec;
+  spec.config = model::preset_10b();
+  spec.config.architecture = model::Architecture::kViTBaseline;
+  spec.lr_h = 32;
+  spec.lr_w = 64;
+  ParallelismPlan plan;  // no sharding, 8 GPUs DDP
+  plan.total_gpus = 8;
+  plan.ddp = 8;
+  EXPECT_FALSE(check_fits(spec, plan, topo).fits);
+}
+
+TEST(Memory, BreakdownComponentsAreAllCounted) {
+  FrontierTopology topo;
+  WorkloadSpec spec;
+  spec.config = model::preset_126m();
+  spec.lr_h = 180;
+  spec.lr_w = 360;
+  const auto plan = plan_parallelism(spec.config, 64, 1);
+  const auto costs = analyze_workload(spec);
+  const auto mem = memory_per_gpu(spec, costs, plan, topo);
+  EXPECT_GT(mem.parameter_bytes, 0.0);
+  EXPECT_GT(mem.optimizer_bytes, mem.parameter_bytes);  // 12B vs 2B per param
+  EXPECT_GT(mem.activation_bytes, 0.0);
+  EXPECT_GT(mem.io_bytes, 0.0);
+  EXPECT_NEAR(mem.total(),
+              mem.parameter_bytes + mem.gradient_bytes + mem.optimizer_bytes +
+                  mem.transient_layer_bytes + mem.activation_bytes +
+                  mem.attention_score_bytes + mem.io_bytes,
+              1.0);
+}
+
+// ---- performance model ------------------------------------------------------
+
+TEST(Perf, MoreGpusNeverSlowerPerSample) {
+  FrontierTopology topo;
+  WorkloadSpec spec;
+  spec.config = model::preset_126m();
+  spec.lr_h = 180;
+  spec.lr_w = 360;
+  spec.tiles = 16;
+  const auto sweep = strong_scaling_sweep(spec, {512, 2048, 8192, 32768}, topo);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LT(sweep[i].per_sample_seconds, sweep[i - 1].per_sample_seconds);
+  }
+}
+
+TEST(Perf, StrongScalingEfficiencyInPaperBand) {
+  // Fig 6b: 92-98% efficiency at 4096 nodes for all model sizes.
+  FrontierTopology topo;
+  for (const auto& config : {model::preset_9_5m(), model::preset_126m(),
+                             model::preset_1b(), model::preset_10b()}) {
+    WorkloadSpec spec;
+    spec.config = config;
+    spec.lr_h = 180;
+    spec.lr_w = 360;
+    spec.tiles = 16;
+    const auto sweep =
+        strong_scaling_sweep(spec, {512, 2048, 8192, 32768}, topo);
+    const double final_eff = sweep.back().efficiency;
+    EXPECT_GT(final_eff, 0.90) << config.name;
+    EXPECT_LE(final_eff, 1.0) << config.name;
+  }
+}
+
+TEST(Perf, ThroughputOrderingMatchesPaper) {
+  // Fig 6b: sustained throughput grows with model size; the 10B model
+  // reaches over 1 EF while the 9.5M model stays under 1 EF at 32,768 GPUs.
+  FrontierTopology topo;
+  std::vector<double> sustained;
+  for (const auto& config : {model::preset_9_5m(), model::preset_126m(),
+                             model::preset_1b(), model::preset_10b()}) {
+    WorkloadSpec spec;
+    spec.config = config;
+    spec.lr_h = 180;
+    spec.lr_w = 360;
+    spec.tiles = 16;
+    const auto sweep = strong_scaling_sweep(spec, {512, 32768}, topo);
+    sustained.push_back(sweep.back().sustained_flops);
+  }
+  for (std::size_t i = 1; i < sustained.size(); ++i) {
+    EXPECT_GT(sustained[i], sustained[i - 1]);
+  }
+  EXPECT_LT(sustained.front(), 1e18);
+  EXPECT_GT(sustained.back(), 1e18);
+}
+
+TEST(Perf, TilesSpeedupNearLinearInGpus) {
+  // Fig 6a: 1.9x at 8 GPUs with 16 tiles, scaling to hundreds at 2048.
+  FrontierTopology topo;
+  WorkloadSpec spec;
+  spec.config = model::preset_9_5m();
+  spec.lr_h = 180;
+  spec.lr_w = 360;
+  spec.tiles = 16;
+  const auto sweep = tiles_speedup_sweep(spec, {8, 128, 2048}, topo);
+  EXPECT_GT(sweep[0].speedup, 1.2);
+  EXPECT_LT(sweep[0].speedup, 8.0);
+  EXPECT_GT(sweep[2].speedup, 100.0);
+  // Monotone growth.
+  EXPECT_GT(sweep[1].speedup, sweep[0].speedup);
+  EXPECT_GT(sweep[2].speedup, sweep[1].speedup);
+}
+
+TEST(Perf, MaxSequenceLengthOrderings) {
+  // Table III's qualitative structure.
+  FrontierTopology topo;
+  const auto vit_conf = [] {
+    model::ModelConfig config = model::preset_9_5m();
+    config.architecture = model::Architecture::kViTBaseline;
+    config.out_channels = 18;
+    return config;
+  }();
+  auto reslim_conf = model::preset_9_5m();
+  reslim_conf.out_channels = 18;
+
+  const auto vit = max_sequence_length(vit_conf, 1.0f, 1, 8, topo);
+  const auto reslim_8 = max_sequence_length(reslim_conf, 1.0f, 1, 8, topo);
+  const auto reslim_32 = max_sequence_length(reslim_conf, 1.0f, 1, 32, topo);
+  const auto reslim_boost = max_sequence_length(reslim_conf, 4.0f, 16, 128, topo);
+
+  ASSERT_TRUE(vit.feasible);
+  ASSERT_TRUE(reslim_8.feasible);
+  // Reslim >> ViT at equal resources; more GPUs and compression+tiles help.
+  EXPECT_GT(reslim_8.sequence_length, 100 * vit.sequence_length);
+  EXPECT_GT(reslim_32.sequence_length, reslim_8.sequence_length);
+  EXPECT_GT(reslim_boost.sequence_length, reslim_32.sequence_length);
+  // The flagship configuration reaches the billion-token regime.
+  EXPECT_GT(reslim_boost.sequence_length, std::int64_t{1} << 30);
+  // Finer grids mean smaller km resolution.
+  EXPECT_LT(reslim_boost.resolution_km, reslim_8.resolution_km);
+}
+
+TEST(Perf, TenBillionOomsUnshardedButFitsPlanned) {
+  FrontierTopology topo;
+  auto config = model::preset_10b();
+  config.out_channels = 18;
+  config.architecture = model::Architecture::kViTBaseline;
+  const auto vit_10b = max_sequence_length(config, 1.0f, 1, 8, topo);
+  EXPECT_FALSE(vit_10b.feasible);  // paper: "ViT 10B ... OOM"
+
+  config.architecture = model::Architecture::kReslim;
+  const auto reslim_10b = max_sequence_length(config, 1.0f, 1, 8, topo);
+  EXPECT_TRUE(reslim_10b.feasible);
+}
+
+}  // namespace
+}  // namespace orbit2::hwsim

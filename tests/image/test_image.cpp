@@ -1,0 +1,162 @@
+// Unit tests for image filters: Gaussian blur, Sobel, Canny, edge density,
+// and the netpbm writers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/rng.hpp"
+#include "image/filters.hpp"
+#include "image/io.hpp"
+
+namespace orbit2 {
+namespace {
+
+Tensor step_edge_image(std::int64_t h, std::int64_t w, std::int64_t edge_col) {
+  Tensor img = Tensor::zeros(Shape{h, w});
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = edge_col; x < w; ++x) img.at(y, x) = 1.0f;
+  }
+  return img;
+}
+
+TEST(GaussianBlur, PreservesConstantImage) {
+  Tensor img = Tensor::full(Shape{8, 8}, 2.5f);
+  Tensor out = gaussian_blur(img, 1.5f);
+  for (float v : out.data()) EXPECT_NEAR(v, 2.5f, 1e-5f);
+}
+
+TEST(GaussianBlur, PreservesMass) {
+  Rng rng(1);
+  Tensor img = Tensor::uniform(Shape{16, 16}, rng, 0.0f, 1.0f);
+  Tensor out = gaussian_blur(img, 1.0f);
+  // Clamped borders keep total mass approximately constant.
+  EXPECT_NEAR(out.sum(), img.sum(), 0.05f * img.sum());
+}
+
+TEST(GaussianBlur, ReducesVariance) {
+  Rng rng(2);
+  Tensor img = Tensor::randn(Shape{32, 32}, rng);
+  Tensor out = gaussian_blur(img, 2.0f);
+  EXPECT_LT(out.sum_squares(), 0.5f * img.sum_squares());
+}
+
+TEST(GaussianBlur, RejectsNonPositiveSigma) {
+  EXPECT_THROW(gaussian_blur(Tensor::zeros(Shape{4, 4}), 0.0f), Error);
+}
+
+TEST(Sobel, DetectsVerticalEdgeDirection) {
+  Tensor img = step_edge_image(8, 8, 4);
+  Tensor gx, gy;
+  sobel(img, gx, gy);
+  // Positive x-gradient at the step, no y-gradient.
+  EXPECT_GT(gx.at(4, 4), 1.0f);
+  EXPECT_NEAR(gy.at(4, 4), 0.0f, 1e-5f);
+}
+
+TEST(Sobel, ZeroOnConstantImage) {
+  Tensor img = Tensor::full(Shape{6, 6}, 7.0f);
+  Tensor gx, gy;
+  sobel(img, gx, gy);
+  EXPECT_EQ(gx.abs_max(), 0.0f);
+  EXPECT_EQ(gy.abs_max(), 0.0f);
+}
+
+TEST(GradientMagnitude, Pythagorean) {
+  Tensor gx = Tensor::full(Shape{2, 2}, 3.0f);
+  Tensor gy = Tensor::full(Shape{2, 2}, 4.0f);
+  Tensor mag = gradient_magnitude(gx, gy);
+  for (float v : mag.data()) EXPECT_FLOAT_EQ(v, 5.0f);
+}
+
+TEST(Canny, FindsStepEdge) {
+  Tensor img = step_edge_image(16, 16, 8);
+  Tensor edges = canny(img);
+  // Some edge pixels near column 8, none far away.
+  float near_edge = edge_density(edges, 0, 6, 16, 4);
+  float far_field = edge_density(edges, 0, 0, 16, 4);
+  EXPECT_GT(near_edge, 0.2f);
+  EXPECT_EQ(far_field, 0.0f);
+}
+
+TEST(Canny, EmptyOnConstantImage) {
+  Tensor img = Tensor::full(Shape{16, 16}, 1.0f);
+  Tensor edges = canny(img);
+  EXPECT_EQ(edges.sum(), 0.0f);
+}
+
+TEST(Canny, OutputIsBinary) {
+  Rng rng(3);
+  Tensor img = Tensor::uniform(Shape{24, 24}, rng, 0.0f, 1.0f);
+  Tensor edges = canny(gaussian_blur(img, 1.0f));
+  for (float v : edges.data()) EXPECT_TRUE(v == 0.0f || v == 1.0f);
+}
+
+TEST(Canny, ThresholdOrderingEnforced) {
+  CannyParams params;
+  params.low_threshold = 0.5f;
+  params.high_threshold = 0.2f;
+  EXPECT_THROW(canny(Tensor::zeros(Shape{8, 8}), params), Error);
+}
+
+TEST(EdgeDensity, CountsFractionExactly) {
+  Tensor edges = Tensor::zeros(Shape{4, 4});
+  edges.at(0, 0) = 1.0f;
+  edges.at(1, 1) = 1.0f;
+  EXPECT_FLOAT_EQ(edge_density(edges, 0, 0, 4, 4), 2.0f / 16.0f);
+  EXPECT_FLOAT_EQ(edge_density(edges, 0, 0, 2, 2), 2.0f / 4.0f);
+  EXPECT_FLOAT_EQ(edge_density(edges, 2, 2, 2, 2), 0.0f);
+}
+
+TEST(EdgeDensity, BoundsChecked) {
+  Tensor edges = Tensor::zeros(Shape{4, 4});
+  EXPECT_THROW(edge_density(edges, 2, 2, 4, 4), Error);
+  EXPECT_THROW(edge_density(edges, 0, 0, 0, 4), Error);
+}
+
+TEST(ImageIo, WritesValidPgmHeader) {
+  Rng rng(4);
+  Tensor img = Tensor::uniform(Shape{6, 9}, rng, -1.0f, 1.0f);
+  const std::string path = "/tmp/orbit2_test_image.pgm";
+  write_pgm(path, img);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 9);
+  EXPECT_EQ(h, 6);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> pixels(6 * 9);
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(in.gcount(), 54);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PpmHasThreeBytesPerPixel) {
+  Tensor img = Tensor::zeros(Shape{3, 3});
+  const std::string path = "/tmp/orbit2_test_image.ppm";
+  write_ppm_diverging(path, img, -1.0f, 1.0f);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  in.get();
+  std::vector<char> pixels(3 * 3 * 3);
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(in.gcount(), 27);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, ConstantImageDoesNotDivideByZero) {
+  Tensor img = Tensor::full(Shape{2, 2}, 5.0f);
+  const std::string path = "/tmp/orbit2_test_const.pgm";
+  EXPECT_NO_THROW(write_pgm(path, img));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace orbit2

@@ -1,0 +1,212 @@
+// Cross-module property tests: algebraic identities that must hold for any
+// input, exercised over parameterized sweeps — the "invariant" layer of the
+// test pyramid on top of the per-module unit tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "data/generator.hpp"
+#include "metrics/metrics.hpp"
+#include "model/loss.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/resize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace orbit2 {
+namespace {
+
+// ---- tensor algebra -----------------------------------------------------
+
+class SliceConcatSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, int>> {};
+
+TEST_P(SliceConcatSweep, SplitThenConcatIsIdentity) {
+  const auto [rows, cols, axis] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(rows * 100 + cols + axis));
+  Tensor t = Tensor::randn(Shape{rows, cols}, rng);
+  const std::int64_t dim = t.dim(axis);
+  const std::int64_t cut = dim / 2;
+  Tensor a = t.slice(axis, 0, cut);
+  Tensor b = t.slice(axis, cut, dim - cut);
+  Tensor back = Tensor::concat(axis, {a, b});
+  ASSERT_EQ(back.shape(), t.shape());
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(back[i], t[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SliceConcatSweep,
+                         ::testing::Values(std::make_tuple(6, 4, 0),
+                                           std::make_tuple(6, 4, 1),
+                                           std::make_tuple(7, 5, 0),
+                                           std::make_tuple(7, 5, 1),
+                                           std::make_tuple(2, 16, 1)));
+
+TEST(TensorProperties, TransposeIsInvolution) {
+  Rng rng(1);
+  Tensor t = Tensor::randn(Shape{9, 13}, rng);
+  Tensor back = t.transpose2d().transpose2d();
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(back[i], t[i]);
+}
+
+TEST(TensorProperties, MatmulDistributesOverAddition) {
+  Rng rng(2);
+  Tensor a = Tensor::randn(Shape{4, 6}, rng);
+  Tensor b = Tensor::randn(Shape{6, 5}, rng);
+  Tensor c = Tensor::randn(Shape{6, 5}, rng);
+  Tensor lhs = matmul(a, b.add(c));
+  Tensor rhs = matmul(a, b).add(matmul(a, c));
+  for (std::int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-4f);
+  }
+}
+
+TEST(TensorProperties, MatmulAssociativity) {
+  Rng rng(3);
+  Tensor a = Tensor::randn(Shape{3, 4}, rng);
+  Tensor b = Tensor::randn(Shape{4, 5}, rng);
+  Tensor c = Tensor::randn(Shape{5, 2}, rng);
+  Tensor lhs = matmul(matmul(a, b), c);
+  Tensor rhs = matmul(a, matmul(b, c));
+  for (std::int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-3f);
+  }
+}
+
+// ---- kernels -----------------------------------------------------------
+
+TEST(KernelProperties, SoftmaxInvariantToRowShift) {
+  Rng rng(4);
+  Tensor x = Tensor::randn(Shape{5, 7}, rng);
+  Tensor shifted = x.add_scalar(42.0f);
+  Tensor a = softmax_rows(x);
+  Tensor b = softmax_rows(shifted);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_NEAR(a[i], b[i], 1e-6f);
+}
+
+TEST(KernelProperties, LayerNormInvariantToAffineInput) {
+  // layernorm(a*x + b) == layernorm(x) for scalar a > 0, b (with unit
+  // gamma, zero beta): the normalization removes affine structure.
+  Rng rng(5);
+  Tensor x = Tensor::randn(Shape{4, 16}, rng);
+  Tensor gamma = Tensor::ones(Shape{16});
+  Tensor beta = Tensor::zeros(Shape{16});
+  Tensor transformed = x.mul_scalar(3.0f).add_scalar(-7.0f);
+  Tensor a = layernorm_rows(x, gamma, beta, 1e-7f, nullptr, nullptr);
+  Tensor b = layernorm_rows(transformed, gamma, beta, 1e-7f, nullptr, nullptr);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_NEAR(a[i], b[i], 1e-3f);
+}
+
+TEST(KernelProperties, CoarsenCommutesWithLinearity) {
+  Rng rng(6);
+  Tensor a = Tensor::randn(Shape{2, 8, 8}, rng);
+  Tensor b = Tensor::randn(Shape{2, 8, 8}, rng);
+  Tensor lhs = coarsen_area(a.add(b), 2);
+  Tensor rhs = coarsen_area(a, 2).add(coarsen_area(b, 2));
+  for (std::int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-5f);
+  }
+}
+
+TEST(KernelProperties, BilinearResizeIsLinearOperator) {
+  Rng rng(7);
+  Tensor a = Tensor::randn(Shape{1, 5, 5}, rng);
+  Tensor b = Tensor::randn(Shape{1, 5, 5}, rng);
+  Tensor lhs = resize_bilinear(a.add(b.mul_scalar(2.0f)), 9, 11);
+  Tensor rhs =
+      resize_bilinear(a, 9, 11).add(resize_bilinear(b, 9, 11).mul_scalar(2.0f));
+  for (std::int64_t i = 0; i < lhs.numel(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-5f);
+  }
+}
+
+// ---- metrics ---------------------------------------------------------
+
+class MetricSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricSweep, R2NeverExceedsOneAndPsnrFiniteOnRandomPairs) {
+  Rng rng(GetParam());
+  Tensor truth = Tensor::randn(Shape{256}, rng, 2.0f);
+  Tensor pred = Tensor::randn(Shape{256}, rng, 2.0f);
+  EXPECT_LE(metrics::r2_score(pred, truth), 1.0);
+  EXPECT_TRUE(std::isfinite(metrics::psnr(pred, truth)));
+  EXPECT_GE(metrics::rmse(pred, truth), 0.0);
+}
+
+TEST_P(MetricSweep, QuantileIsMonotoneInFraction) {
+  Rng rng(GetParam() + 1000);
+  Tensor values = Tensor::randn(Shape{100}, rng);
+  double previous = metrics::quantile(values, 0.0);
+  for (double f = 0.1; f <= 1.0; f += 0.1) {
+    const double current = metrics::quantile(values, f);
+    EXPECT_GE(current, previous - 1e-9);
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(MetricProperties, RmseIsSymmetric) {
+  Rng rng(8);
+  Tensor a = Tensor::randn(Shape{64}, rng);
+  Tensor b = Tensor::randn(Shape{64}, rng);
+  EXPECT_DOUBLE_EQ(metrics::rmse(a, b), metrics::rmse(b, a));
+}
+
+TEST(MetricProperties, SsimIsSymmetricUpToRange) {
+  // With identical dynamic ranges SSIM is symmetric.
+  Rng rng(9);
+  Tensor a = Tensor::uniform(Shape{16, 16}, rng, 0.0f, 1.0f);
+  Tensor b = Tensor::uniform(Shape{16, 16}, rng, 0.0f, 1.0f);
+  a[0] = 0.0f; a[1] = 1.0f;  // pin both ranges to [0, 1]
+  b[0] = 0.0f; b[1] = 1.0f;
+  EXPECT_NEAR(metrics::ssim(a, b), metrics::ssim(b, a), 1e-9);
+}
+
+// ---- losses ---------------------------------------------------------
+
+TEST(LossProperties, WeightedMseScalesQuadratically) {
+  Rng rng(10);
+  Tensor pred = Tensor::randn(Shape{1, 4, 4}, rng);
+  Tensor truth = Tensor::zeros(Shape{1, 4, 4});
+  Tensor weights = data::latitude_weights(4);
+  using autograd::Var;
+  const float base =
+      model::weighted_mse_loss(Var::constant(pred), truth, weights).value().item();
+  const float doubled = model::weighted_mse_loss(
+                            Var::constant(pred.mul_scalar(2.0f)), truth, weights)
+                            .value()
+                            .item();
+  EXPECT_NEAR(doubled, 4.0f * base, 1e-3f * base);
+}
+
+TEST(LossProperties, TvPriorTranslationInvariant) {
+  Rng rng(11);
+  Tensor pred = Tensor::randn(Shape{1, 6, 6}, rng);
+  using autograd::Var;
+  const float a = model::tv_prior_loss(Var::constant(pred)).value().item();
+  const float b =
+      model::tv_prior_loss(Var::constant(pred.add_scalar(100.0f))).value().item();
+  EXPECT_NEAR(a, b, 1e-4f);
+}
+
+// ---- data -----------------------------------------------------------
+
+TEST(DataProperties, LatitudeWeightsScaleInvariantMean) {
+  for (std::int64_t h : {3, 16, 64, 181}) {
+    EXPECT_NEAR(data::latitude_weights(h).mean(), 1.0f, 1e-4f) << h;
+  }
+}
+
+TEST(DataProperties, GrfIsSeedSeparated) {
+  Rng a(1), b(2);
+  Tensor fa = data::gaussian_random_field(16, 16, 3.0f, a);
+  Tensor fb = data::gaussian_random_field(16, 16, 3.0f, b);
+  float diff = 0.0f;
+  for (std::int64_t i = 0; i < fa.numel(); ++i) diff += std::fabs(fa[i] - fb[i]);
+  EXPECT_GT(diff, 1.0f);
+}
+
+}  // namespace
+}  // namespace orbit2

@@ -1,0 +1,183 @@
+// Metric tests: identities (perfect prediction), known analytic values,
+// monotonicity under degradation, quantile-restricted RMSE, SSIM/PSNR
+// behaviour, log1p transform, and spectral error.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "data/generator.hpp"
+#include "metrics/metrics.hpp"
+
+namespace orbit2::metrics {
+namespace {
+
+Tensor noisy_copy(const Tensor& truth, float noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor out = truth.clone();
+  for (float& v : out.data()) v += noise * static_cast<float>(rng.normal());
+  return out;
+}
+
+TEST(R2, PerfectPredictionIsOne) {
+  Rng rng(1);
+  Tensor truth = Tensor::randn(Shape{100}, rng);
+  EXPECT_DOUBLE_EQ(r2_score(truth, truth), 1.0);
+}
+
+TEST(R2, MeanPredictorIsZero) {
+  Rng rng(2);
+  Tensor truth = Tensor::randn(Shape{1000}, rng);
+  Tensor mean_pred = Tensor::full(Shape{1000}, truth.mean());
+  EXPECT_NEAR(r2_score(mean_pred, truth), 0.0, 1e-4);
+}
+
+TEST(R2, DegradesWithNoise) {
+  Rng rng(3);
+  Tensor truth = Tensor::randn(Shape{4096}, rng, 2.0f);
+  const double r2_low = r2_score(noisy_copy(truth, 0.2f, 7), truth);
+  const double r2_high = r2_score(noisy_copy(truth, 1.0f, 7), truth);
+  EXPECT_GT(r2_low, 0.98);
+  EXPECT_GT(r2_low, r2_high);
+}
+
+TEST(R2, ConstantTruthThrows) {
+  Tensor constant = Tensor::ones(Shape{10});
+  EXPECT_THROW(r2_score(constant, constant), Error);
+}
+
+TEST(Rmse, KnownValue) {
+  Tensor a = Tensor::from_vector(Shape{4}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector(Shape{4}, {2, 2, 3, 4});
+  EXPECT_NEAR(rmse(a, b), 0.5, 1e-6);
+}
+
+TEST(Quantile, OrderStatistics) {
+  Tensor values = Tensor::from_vector(Shape{5}, {5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.0);
+  EXPECT_THROW(quantile(values, 1.5), Error);
+}
+
+TEST(QuantileRmse, RestrictsToExtremes) {
+  // Prediction perfect except on the largest truth values.
+  Tensor truth = Tensor::from_vector(Shape{10}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 100});
+  Tensor pred = truth.clone();
+  pred[9] = 90.0f;  // error only at the extreme
+  const double overall = rmse(pred, truth);
+  const double extreme = rmse_above_quantile(pred, truth, 0.95);
+  EXPECT_GT(extreme, overall);
+  EXPECT_NEAR(extreme, 10.0, 1e-6);
+  // Low quantile includes everything -> equals overall RMSE.
+  EXPECT_NEAR(rmse_above_quantile(pred, truth, 0.0), overall, 1e-9);
+}
+
+TEST(Psnr, HigherForSmallerError) {
+  Rng rng(4);
+  Tensor truth = Tensor::uniform(Shape{64, 64}, rng, 0.0f, 1.0f);
+  const double good = psnr(noisy_copy(truth, 0.01f, 1), truth);
+  const double bad = psnr(noisy_copy(truth, 0.1f, 1), truth);
+  EXPECT_GT(good, bad);
+  EXPECT_GT(good, 30.0);
+  EXPECT_EQ(psnr(truth, truth), 200.0);
+}
+
+TEST(Ssim, IdenticalFieldsScoreOne) {
+  Rng rng(5);
+  Tensor truth = Tensor::randn(Shape{32, 32}, rng);
+  EXPECT_NEAR(ssim(truth, truth), 1.0, 1e-9);
+}
+
+TEST(Ssim, DegradesWithNoiseAndStructureLoss) {
+  Rng rng(6);
+  // Structured field (smooth gradient).
+  Tensor truth(Shape{32, 32});
+  for (std::int64_t y = 0; y < 32; ++y) {
+    for (std::int64_t x = 0; x < 32; ++x) {
+      truth.at(y, x) = static_cast<float>(y + x);
+    }
+  }
+  const double slightly = ssim(noisy_copy(truth, 0.5f, 2), truth);
+  const double heavily = ssim(noisy_copy(truth, 5.0f, 2), truth);
+  EXPECT_GT(slightly, heavily);
+  EXPECT_GT(slightly, 0.9);
+  // Pure noise vs structure: near zero.
+  Tensor noise = Tensor::randn(Shape{32, 32}, rng, 10.0f);
+  EXPECT_LT(ssim(noise, truth), 0.3);
+}
+
+TEST(Ssim, InvariantWindowRequirement) {
+  Tensor tiny = Tensor::ones(Shape{4, 4});
+  SsimParams params;
+  params.window = 8;
+  EXPECT_THROW(ssim(tiny, tiny, params), Error);
+}
+
+TEST(Log1p, TransformClampsAndMaps) {
+  Tensor precip = Tensor::from_vector(Shape{3}, {-1.0f, 0.0f, static_cast<float>(std::exp(1.0) - 1.0)});
+  Tensor logged = log1p_transform(precip);
+  EXPECT_FLOAT_EQ(logged[0], 0.0f);  // negative clamped
+  EXPECT_FLOAT_EQ(logged[1], 0.0f);
+  EXPECT_NEAR(logged[2], 1.0f, 1e-6f);
+}
+
+TEST(SpectralError, ZeroForIdenticalFields) {
+  Rng rng(7);
+  Tensor field = Tensor::randn(Shape{32, 32}, rng);
+  EXPECT_NEAR(high_frequency_spectral_error(field, field), 0.0, 1e-9);
+}
+
+TEST(SpectralError, DetectsSmoothing) {
+  Rng rng(8);
+  Tensor truth = Tensor::randn(Shape{64, 64}, rng);
+  // Smoothed prediction loses high frequencies -> larger spectral error
+  // than a mildly noisy one.
+  Tensor smooth(Shape{64, 64});
+  for (std::int64_t y = 0; y < 64; ++y) {
+    for (std::int64_t x = 0; x < 64; ++x) {
+      const std::int64_t y0 = (y / 4) * 4, x0 = (x / 4) * 4;
+      smooth.at(y, x) = truth.at(y0, x0);
+    }
+  }
+  const double err_smooth = high_frequency_spectral_error(smooth, truth);
+  const double err_noisy =
+      high_frequency_spectral_error(noisy_copy(truth, 0.05f, 3), truth);
+  EXPECT_GT(err_smooth, err_noisy);
+}
+
+TEST(WeightedRmse, WeightsEmphasizeRows) {
+  Tensor truth = Tensor::zeros(Shape{2, 2});
+  Tensor pred = Tensor::from_vector(Shape{2, 2}, {1, 1, 0, 0});  // errors in row 0
+  Tensor uniform = Tensor::ones(Shape{2});
+  Tensor top_heavy = Tensor::from_vector(Shape{2}, {2.0f, 0.0f});
+  EXPECT_NEAR(weighted_rmse(pred, truth, uniform), std::sqrt(0.5), 1e-6);
+  EXPECT_NEAR(weighted_rmse(pred, truth, top_heavy), 1.0, 1e-6);
+}
+
+TEST(EvaluateField, BundleConsistency) {
+  Rng rng(9);
+  Tensor truth = Tensor::randn(Shape{32, 32}, rng, 3.0f);
+  Tensor pred = noisy_copy(truth, 0.3f, 4);
+  const EvaluationReport report = evaluate_field(pred, truth);
+  EXPECT_NEAR(report.r2, r2_score(pred, truth), 1e-12);
+  EXPECT_NEAR(report.rmse, rmse(pred, truth), 1e-12);
+  EXPECT_GT(report.rmse_sigma3, 0.0);
+  EXPECT_GT(report.ssim, 0.5);
+  EXPECT_GT(report.psnr, 20.0);
+}
+
+TEST(LatitudeWeightsIntegration, WeightedRmseMatchesUniformOnSymmetricError) {
+  // With mean-1 weights and row-independent errors, weighted and unweighted
+  // RMSE agree in expectation.
+  Rng rng(10);
+  Tensor truth = Tensor::zeros(Shape{32, 64});
+  Tensor pred = Tensor::randn(Shape{32, 64}, rng);
+  const Tensor weights = data::latitude_weights(32);
+  EXPECT_NEAR(weighted_rmse(pred, truth, weights), rmse(pred, truth), 0.08);
+}
+
+}  // namespace
+}  // namespace orbit2::metrics

@@ -1,0 +1,234 @@
+// Quad-tree adaptive compression tests: partition invariants (exact cover,
+// disjointness) across a parameter sweep, threshold monotonicity, target-
+// ratio search, pooling/scatter correctness and adjoint identities, and the
+// differentiable wrapper's gradients.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.hpp"
+#include "core/rng.hpp"
+#include "image/filters.hpp"
+#include "quadtree/quadtree.hpp"
+#include "quadtree/quadtree_ops.hpp"
+
+namespace orbit2 {
+namespace {
+
+Tensor edge_cluster_map(std::int64_t h, std::int64_t w) {
+  // Edges concentrated in the top-left quadrant (dense enough that the
+  // whole-grid density exceeds typical split thresholds).
+  Tensor edges = Tensor::zeros(Shape{h, w});
+  for (std::int64_t y = 0; y < h / 2; ++y) {
+    for (std::int64_t x = 0; x < w / 2; ++x) {
+      if ((x + y) % 2 == 0) edges.at(y, x) = 1.0f;
+    }
+  }
+  return edges;
+}
+
+TEST(QuadTree, UniformWhenNoEdges) {
+  Tensor edges = Tensor::zeros(Shape{16, 16});
+  QuadTreeParams params;
+  auto leaves = adaptive_partition(edges, params);
+  EXPECT_EQ(leaves.size(), 1u);  // nothing to refine
+  check_partition(16, 16, leaves);
+}
+
+TEST(QuadTree, RefinesWhereEdgesAre) {
+  Tensor edges = edge_cluster_map(16, 16);
+  QuadTreeParams params;
+  params.density_threshold = 0.05f;
+  auto leaves = adaptive_partition(edges, params);
+  check_partition(16, 16, leaves);
+  EXPECT_GT(leaves.size(), 4u);
+  // Smallest leaves should be inside the edge cluster.
+  std::int64_t min_area = 1 << 20;
+  PatchRect smallest{};
+  for (const auto& leaf : leaves) {
+    if (leaf.area() < min_area) {
+      min_area = leaf.area();
+      smallest = leaf;
+    }
+  }
+  EXPECT_LT(smallest.y0, 8);
+  EXPECT_LT(smallest.x0, 8);
+}
+
+class QuadTreePartitionSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t,
+                                                 float, std::int64_t>> {};
+
+TEST_P(QuadTreePartitionSweep, ExactCoverInvariant) {
+  const auto [h, w, threshold, min_patch] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(h * 131 + w));
+  Tensor noise = Tensor::uniform(Shape{h, w}, rng, 0.0f, 1.0f);
+  Tensor edges = noise.map([](float v) { return v > 0.8f ? 1.0f : 0.0f; });
+  QuadTreeParams params;
+  params.density_threshold = threshold;
+  params.min_patch = min_patch;
+  auto leaves = adaptive_partition(edges, params);
+  // The invariant: leaves tile the grid exactly.
+  EXPECT_NO_THROW(check_partition(h, w, leaves));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, QuadTreePartitionSweep,
+    ::testing::Values(std::make_tuple(8, 8, 0.05f, 1),
+                      std::make_tuple(16, 32, 0.1f, 2),
+                      std::make_tuple(17, 23, 0.05f, 1),   // non power of two
+                      std::make_tuple(64, 64, 0.01f, 4),
+                      std::make_tuple(5, 9, 0.0f, 1),
+                      std::make_tuple(32, 32, 1.0f, 1)));  // never splits
+
+TEST(QuadTree, ThresholdMonotonicity) {
+  Tensor edges = edge_cluster_map(32, 32);
+  QuadTreeParams loose, tight;
+  loose.density_threshold = 0.5f;
+  tight.density_threshold = 0.01f;
+  EXPECT_LE(adaptive_partition(edges, loose).size(),
+            adaptive_partition(edges, tight).size());
+}
+
+TEST(QuadTree, MinPatchRespected) {
+  Tensor edges = Tensor::ones(Shape{32, 32});  // maximal splitting pressure
+  QuadTreeParams params;
+  params.density_threshold = 0.0f;
+  params.min_patch = 4;
+  auto leaves = adaptive_partition(edges, params);
+  check_partition(32, 32, leaves);
+  for (const auto& leaf : leaves) {
+    EXPECT_GE(leaf.h, 4);
+    EXPECT_GE(leaf.w, 4);
+  }
+}
+
+TEST(QuadTree, TargetRatioReached) {
+  Tensor edges = edge_cluster_map(32, 32);
+  for (float ratio : {2.0f, 8.0f, 16.0f, 32.0f}) {
+    auto leaves = partition_with_target_ratio(edges, ratio);
+    check_partition(32, 32, leaves);
+    EXPECT_GE(compression_ratio(32, 32, leaves), ratio)
+        << "target " << ratio << " leaves " << leaves.size();
+  }
+}
+
+TEST(QuadTree, CompressionRatioDefinition) {
+  std::vector<PatchRect> leaves = {{0, 0, 4, 4}, {0, 4, 4, 4},
+                                   {4, 0, 4, 4}, {4, 4, 4, 4}};
+  EXPECT_FLOAT_EQ(compression_ratio(8, 8, leaves), 16.0f);
+}
+
+TEST(QuadTree, CheckPartitionDetectsOverlap) {
+  std::vector<PatchRect> overlapping = {{0, 0, 4, 4}, {2, 2, 4, 4}};
+  EXPECT_THROW(check_partition(8, 8, overlapping), Error);
+}
+
+TEST(QuadTree, CheckPartitionDetectsGap) {
+  std::vector<PatchRect> gappy = {{0, 0, 4, 8}};
+  EXPECT_THROW(check_partition(8, 8, gappy), Error);
+}
+
+// ---- pooling / scatter kernels --------------------------------------------
+
+TEST(QuadTreeTokens, PoolAveragesWithinLeaf) {
+  // 2x2 grid, single leaf covering everything, D = 2.
+  Tensor tokens = Tensor::from_vector(Shape{4, 2}, {1, 10, 2, 20, 3, 30, 4, 40});
+  std::vector<PatchRect> leaves = {{0, 0, 2, 2}};
+  Tensor pooled = pool_tokens(tokens, 2, 2, leaves);
+  EXPECT_EQ(pooled.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(pooled.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(pooled.at(0, 1), 25.0f);
+}
+
+TEST(QuadTreeTokens, ScatterBroadcastsLeafToken) {
+  Tensor leaf_tokens = Tensor::from_vector(Shape{2, 1}, {5.0f, 7.0f});
+  std::vector<PatchRect> leaves = {{0, 0, 1, 2}, {1, 0, 1, 2}};
+  Tensor grid = scatter_tokens(leaf_tokens, 2, 2, leaves);
+  // Row-major token grid: rows 0-1 belong to the first leaf (y=0),
+  // rows 2-3 to the second (y=1).
+  EXPECT_FLOAT_EQ(grid.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(grid.at(1, 0), 5.0f);
+  EXPECT_FLOAT_EQ(grid.at(2, 0), 7.0f);
+  EXPECT_FLOAT_EQ(grid.at(3, 0), 7.0f);
+}
+
+TEST(QuadTreeTokens, PoolThenScatterIsProjection) {
+  // P = scatter(pool(.)) is idempotent: P(P(x)) == P(x).
+  Rng rng(3);
+  Tensor tokens = Tensor::randn(Shape{16, 3}, rng);
+  Tensor edges = edge_cluster_map(4, 4);
+  auto leaves = partition_with_target_ratio(edges, 2.0f);
+  Tensor once = scatter_tokens(pool_tokens(tokens, 4, 4, leaves), 4, 4, leaves);
+  Tensor twice = scatter_tokens(pool_tokens(once, 4, 4, leaves), 4, 4, leaves);
+  for (std::int64_t i = 0; i < once.numel(); ++i) {
+    EXPECT_NEAR(once[i], twice[i], 1e-5f);
+  }
+}
+
+TEST(QuadTreeTokens, AdjointIdentities) {
+  // <pool(x), y> == <x, pool_adjoint(y)> and same for scatter.
+  Rng rng(4);
+  Tensor edges = edge_cluster_map(8, 8);
+  auto leaves = partition_with_target_ratio(edges, 4.0f);
+  const auto L = static_cast<std::int64_t>(leaves.size());
+  Tensor x = Tensor::randn(Shape{64, 5}, rng);
+  Tensor y = Tensor::randn(Shape{L, 5}, rng);
+
+  Tensor pool_x = pool_tokens(x, 8, 8, leaves);
+  Tensor adj_y = pool_tokens_adjoint(y, 8, 8, leaves);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::int64_t i = 0; i < pool_x.numel(); ++i) lhs += static_cast<double>(pool_x[i]) * y[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * adj_y[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+
+  Tensor scat_y = scatter_tokens(y, 8, 8, leaves);
+  Tensor adj_x = scatter_tokens_adjoint(x, 8, 8, leaves);
+  lhs = rhs = 0.0;
+  for (std::int64_t i = 0; i < scat_y.numel(); ++i) lhs += static_cast<double>(scat_y[i]) * x[i];
+  for (std::int64_t i = 0; i < y.numel(); ++i) rhs += static_cast<double>(y[i]) * adj_x[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(QuadTreeTokens, DifferentiableRoundTripGradients) {
+  using autograd::Var;
+  Rng rng(5);
+  Tensor edges = edge_cluster_map(4, 4);
+  auto leaves = partition_with_target_ratio(edges, 2.0f);
+  auto param = std::make_shared<autograd::Parameter>(
+      "tokens", Tensor::randn(Shape{16, 2}, rng));
+
+  auto forward = [&] {
+    Var tokens = Var::parameter(param);
+    Var compressed = compress_tokens(tokens, 4, 4, leaves);
+    Var back = decompress_tokens(compressed, 4, 4, leaves);
+    return autograd::mul(back, back);
+  };
+  param->zero_grad();
+  autograd::backward(autograd::sum(forward()));
+  const float eps = 1e-2f;
+  for (std::int64_t i = 0; i < param->numel(); i += 3) {
+    const float original = param->value[i];
+    param->value[i] = original + eps;
+    const float up = forward().value().sum();
+    param->value[i] = original - eps;
+    const float down = forward().value().sum();
+    param->value[i] = original;
+    EXPECT_NEAR(param->grad[i], (up - down) / (2 * eps), 2e-2f) << i;
+  }
+}
+
+TEST(QuadTreeTokens, CompressedLengthMatchesLeafCount) {
+  Rng rng(6);
+  Tensor density = Tensor::uniform(Shape{16, 16}, rng, 0.0f, 1.0f);
+  Tensor edges = canny(gaussian_blur(density, 1.0f));
+  auto leaves = partition_with_target_ratio(edges, 8.0f);
+  Tensor tokens = Tensor::randn(Shape{256, 4}, rng);
+  Tensor pooled = pool_tokens(tokens, 16, 16, leaves);
+  EXPECT_EQ(pooled.dim(0), static_cast<std::int64_t>(leaves.size()));
+  EXPECT_LE(leaves.size(), 256u / 8u + 1);
+}
+
+}  // namespace
+}  // namespace orbit2

@@ -1,0 +1,170 @@
+// TILES tests: partition geometry (core/halo clamping), tile extraction,
+// stitching exactness, parallel tiled execution vs sequential reference,
+// border-band measurement, and the gradient-averaging collective.
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "tensor/resize.hpp"
+#include "tiles/tiles.hpp"
+
+namespace orbit2 {
+namespace {
+
+TEST(TilesPartition, CoresTileTheImage) {
+  auto regions = partition_tiles(16, 32, {4, 4, 2});
+  ASSERT_EQ(regions.size(), 16u);
+  std::vector<std::int8_t> covered(16 * 32, 0);
+  for (const auto& region : regions) {
+    for (std::int64_t y = region.core_y0; y < region.core_y0 + region.core_h; ++y) {
+      for (std::int64_t x = region.core_x0; x < region.core_x0 + region.core_w; ++x) {
+        EXPECT_EQ(covered[static_cast<std::size_t>(y * 32 + x)], 0);
+        covered[static_cast<std::size_t>(y * 32 + x)] = 1;
+      }
+    }
+  }
+  for (auto c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST(TilesPartition, HaloClampedAtBorders) {
+  auto regions = partition_tiles(8, 8, {2, 2, 3});
+  // Top-left tile: padded region starts at the image border.
+  EXPECT_EQ(regions[0].pad_y0, 0);
+  EXPECT_EQ(regions[0].pad_x0, 0);
+  EXPECT_EQ(regions[0].pad_h, 4 + 3);  // halo only extends downward
+  // Interior overlap: bottom-right tile padded region reaches up/left.
+  EXPECT_EQ(regions[3].pad_y0, 1);
+  EXPECT_EQ(regions[3].pad_h, 7);
+}
+
+TEST(TilesPartition, ZeroHaloMeansCoreEqualsPad) {
+  auto regions = partition_tiles(12, 12, {3, 3, 0});
+  for (const auto& region : regions) {
+    EXPECT_EQ(region.core_y0, region.pad_y0);
+    EXPECT_EQ(region.core_h, region.pad_h);
+    EXPECT_EQ(region.core_w, region.pad_w);
+  }
+}
+
+TEST(TilesPartition, IndivisibleGridThrows) {
+  EXPECT_THROW(partition_tiles(10, 16, {4, 4, 1}), Error);
+}
+
+TEST(TilesExtract, PaddedContentMatchesSource) {
+  Rng rng(1);
+  Tensor image = Tensor::randn(Shape{2, 8, 8}, rng);
+  auto regions = partition_tiles(8, 8, {2, 2, 2});
+  const TileRegion& region = regions[3];  // bottom-right
+  Tensor tile = extract_tile(image, region);
+  EXPECT_EQ(tile.shape(), Shape({2, region.pad_h, region.pad_w}));
+  for (std::int64_t c = 0; c < 2; ++c) {
+    for (std::int64_t y = 0; y < region.pad_h; ++y) {
+      for (std::int64_t x = 0; x < region.pad_w; ++x) {
+        EXPECT_EQ(tile.at(c, y, x),
+                  image.at(c, region.pad_y0 + y, region.pad_x0 + x));
+      }
+    }
+  }
+}
+
+TEST(TilesStitch, IdentityProcessingReconstructsUpscaledCores) {
+  // Process = nearest-neighbour 2x upscale; stitching must equal upscaling
+  // the whole image (nearest upscale is tile-local so halos are exact).
+  Rng rng(2);
+  Tensor image = Tensor::randn(Shape{3, 8, 12}, rng);
+  const TileSpec spec{2, 3, 2};
+  ThreadPool pool(4);
+  Tensor tiled = tiled_apply(image, spec, 2, pool,
+                             [](std::size_t, const Tensor& tile) {
+                               return resize_nearest(tile, tile.dim(1) * 2,
+                                                     tile.dim(2) * 2);
+                             });
+  Tensor reference = resize_nearest(image, 16, 24);
+  ASSERT_EQ(tiled.shape(), reference.shape());
+  for (std::int64_t i = 0; i < tiled.numel(); ++i) {
+    EXPECT_EQ(tiled[i], reference[i]) << i;
+  }
+}
+
+TEST(TilesStitch, WrongTileShapeThrows) {
+  auto regions = partition_tiles(8, 8, {2, 2, 0});
+  std::vector<Tensor> outputs(4, Tensor::zeros(Shape{1, 5, 5}));  // bad shape
+  EXPECT_THROW(stitch_tiles(outputs, regions, 8, 8, 1), Error);
+}
+
+TEST(TilesStitch, HaloDiscarded) {
+  // Mark halo pixels with a sentinel; they must not appear in the output.
+  Tensor image = Tensor::zeros(Shape{1, 8, 8});
+  const TileSpec spec{2, 2, 2};
+  auto regions = partition_tiles(8, 8, spec);
+  std::vector<Tensor> outputs;
+  for (const auto& region : regions) {
+    Tensor out = Tensor::full(Shape{1, region.pad_h, region.pad_w}, -99.0f);
+    // Core gets tile index value.
+    for (std::int64_t y = 0; y < region.core_h; ++y) {
+      for (std::int64_t x = 0; x < region.core_w; ++x) {
+        out.at(0, region.core_off_y() + y, region.core_off_x() + x) =
+            static_cast<float>(outputs.size());
+      }
+    }
+    outputs.push_back(out);
+  }
+  Tensor stitched = stitch_tiles(outputs, regions, 8, 8, 1);
+  for (float v : stitched.data()) EXPECT_NE(v, -99.0f);
+  EXPECT_EQ(stitched.at(0, 0, 0), 0.0f);
+  EXPECT_EQ(stitched.at(0, 7, 7), 3.0f);
+}
+
+TEST(TilesBorder, BandMseDetectsSeams) {
+  auto regions = partition_tiles(8, 8, {2, 2, 0});
+  Tensor smooth = Tensor::ones(Shape{1, 8, 8});
+  Tensor seamed = smooth.clone();
+  // Introduce an artifact exactly on the vertical tile boundary.
+  for (std::int64_t y = 0; y < 8; ++y) seamed.at(0, y, 4) = 2.0f;
+  const float band_error = border_band_mse(seamed, smooth, regions, 1, 1);
+  EXPECT_GT(band_error, 0.0f);
+  // An artifact far from boundaries does not register.
+  Tensor interior = smooth.clone();
+  interior.at(0, 1, 1) = 5.0f;
+  EXPECT_EQ(border_band_mse(interior, smooth, regions, 1, 1), 0.0f);
+}
+
+// ---- gradient collective -----------------------------------------------
+
+std::vector<std::vector<autograd::ParamPtr>> make_replicas(int count) {
+  std::vector<std::vector<autograd::ParamPtr>> replicas;
+  for (int r = 0; r < count; ++r) {
+    std::vector<autograd::ParamPtr> params;
+    params.push_back(std::make_shared<autograd::Parameter>(
+        "w", Tensor::full(Shape{2}, static_cast<float>(r))));
+    params.back()->grad.fill(static_cast<float>(r + 1));
+    replicas.push_back(params);
+  }
+  return replicas;
+}
+
+TEST(TilesCollective, AllreduceMeanGradients) {
+  auto replicas = make_replicas(4);
+  allreduce_mean_gradients(replicas);
+  // Mean of 1,2,3,4 = 2.5 everywhere.
+  for (const auto& replica : replicas) {
+    for (float g : replica[0]->grad.data()) EXPECT_FLOAT_EQ(g, 2.5f);
+  }
+}
+
+TEST(TilesCollective, BroadcastSynchronizesValues) {
+  auto replicas = make_replicas(3);
+  EXPECT_GT(max_parameter_divergence(replicas), 0.0f);
+  broadcast_parameters(replicas[0], replicas);
+  EXPECT_EQ(max_parameter_divergence(replicas), 0.0f);
+}
+
+TEST(TilesCollective, LayoutMismatchThrows) {
+  auto replicas = make_replicas(2);
+  replicas[1].push_back(std::make_shared<autograd::Parameter>(
+      "extra", Tensor::zeros(Shape{1})));
+  EXPECT_THROW(allreduce_mean_gradients(replicas), Error);
+}
+
+}  // namespace
+}  // namespace orbit2

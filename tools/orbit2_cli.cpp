@@ -1,0 +1,261 @@
+// orbit2 — command-line driver for the ORBIT-2 reproduction.
+//
+// Subcommands:
+//   generate   write a synthetic paired dataset to an .o2ds file
+//   train      train a Reslim model (synthetic or file data), checkpoint it
+//   evaluate   evaluate a checkpoint, print Table-IV style metrics
+//   downscale  run one sample through a checkpoint, write PGM images
+//   plan       hwsim: parallelism plan / memory / step time / max sequence
+//
+// Examples:
+//   orbit2 generate --out us.o2ds --samples 16 --hr-h 64 --hr-w 128
+//   orbit2 train --epochs 10 --model tiny --ckpt model.o2ck
+//   orbit2 evaluate --ckpt model.o2ck
+//   orbit2 downscale --ckpt model.o2ck --sample 9 --out-prefix field
+//   orbit2 plan --model 10B --gpus 512 --tiles 16 --compression 4
+
+#include <cstdio>
+#include <string>
+
+#include "core/args.hpp"
+#include "data/io.hpp"
+#include "hwsim/perf_model.hpp"
+#include "image/io.hpp"
+#include "metrics/metrics.hpp"
+#include "model/reslim.hpp"
+#include "train/checkpoint.hpp"
+#include "train/evaluate.hpp"
+#include "train/trainer.hpp"
+
+namespace {
+
+using namespace orbit2;
+
+void print_usage() {
+  std::printf(
+      "usage: orbit2 <generate|train|evaluate|downscale|plan> [flags]\n"
+      "  generate  --out F [--samples N] [--hr-h H] [--hr-w W] [--seed S]\n"
+      "            [--upscale U] [--observation]\n"
+      "  train     --ckpt F [--epochs N] [--samples N] [--model tiny|small]\n"
+      "            [--lr X] [--batch N] [--mixed-precision] [--hr-h H] [--hr-w W]\n"
+      "  evaluate  --ckpt F [--model tiny|small] [--samples N] [--hr-h H] [--hr-w W]\n"
+      "  downscale --ckpt F [--model tiny|small] [--sample I] [--out-prefix P]\n"
+      "  plan      [--model 9.5M|126M|1B|10B] [--gpus N] [--tiles T]\n"
+      "            [--compression C]\n");
+}
+
+data::DatasetConfig dataset_config_from(const ArgParser& args) {
+  data::DatasetConfig config;
+  config.hr_h = args.get_int("--hr-h", 64);
+  config.hr_w = args.get_int("--hr-w", 128);
+  config.upscale = args.get_int("--upscale", 4);
+  config.seed = static_cast<std::uint64_t>(args.get_int("--seed", 1234));
+  config.fixed_region = true;
+  config.observation_targets = args.has("--observation");
+  return config;
+}
+
+model::ModelConfig model_config_from(const ArgParser& args,
+                                     const data::DatasetConfig& dconfig) {
+  const std::string name = args.get_string("--model", "tiny");
+  model::ModelConfig config;
+  if (name == "tiny") {
+    config = model::preset_tiny();
+  } else if (name == "small") {
+    config = model::preset_small();
+  } else {
+    ORBIT2_FAIL("unknown --model '" << name << "' (tiny|small)");
+  }
+  config.in_channels =
+      static_cast<std::int64_t>(dconfig.input_variables.size());
+  config.out_channels =
+      static_cast<std::int64_t>(dconfig.output_variables.size());
+  config.upscale = dconfig.upscale;
+  return config;
+}
+
+void fail_on_unused(const ArgParser& args) {
+  const auto unused = args.unused_flags();
+  if (unused.empty()) return;
+  std::string all;
+  for (const auto& flag : unused) all += flag + " ";
+  ORBIT2_FAIL("unknown flag(s): " << all);
+}
+
+int cmd_generate(const ArgParser& args) {
+  const std::string out = args.get_string("--out", "");
+  ORBIT2_REQUIRE(!out.empty(), "generate requires --out FILE");
+  const std::int64_t samples = args.get_int("--samples", 16);
+  data::SyntheticDataset dataset(dataset_config_from(args));
+  fail_on_unused(args);
+  data::save_dataset(out, dataset, 0, samples);
+  std::printf("wrote %lld samples to %s\n", static_cast<long long>(samples),
+              out.c_str());
+  return 0;
+}
+
+int cmd_train(const ArgParser& args) {
+  const std::string ckpt = args.get_string("--ckpt", "");
+  ORBIT2_REQUIRE(!ckpt.empty(), "train requires --ckpt FILE");
+  const data::DatasetConfig dconfig = dataset_config_from(args);
+  data::SyntheticDataset dataset(dconfig);
+  const model::ModelConfig mconfig = model_config_from(args, dconfig);
+
+  Rng rng(static_cast<std::uint64_t>(args.get_int("--model-seed", 1)));
+  model::ReslimModel model(mconfig, rng);
+  std::printf("model %s: %lld parameters\n", mconfig.name.c_str(),
+              static_cast<long long>(model.parameter_count()));
+
+  train::TrainerConfig tconfig;
+  tconfig.epochs = args.get_int("--epochs", 10);
+  tconfig.batch_size = args.get_int("--batch", 2);
+  tconfig.lr = static_cast<float>(args.get_double("--lr", 2e-3));
+  tconfig.mixed_precision = args.has("--mixed-precision");
+  const std::int64_t samples = args.get_int("--samples", 12);
+  fail_on_unused(args);
+
+  train::Trainer trainer(model, tconfig);
+  std::vector<std::int64_t> indices(static_cast<std::size_t>(samples));
+  for (std::int64_t i = 0; i < samples; ++i) indices[static_cast<std::size_t>(i)] = i;
+  for (std::int64_t epoch = 0; epoch < tconfig.epochs; ++epoch) {
+    const auto stats = trainer.train_epoch(dataset, indices);
+    std::printf("epoch %3lld  loss %.5f  (%.3f s/sample)\n",
+                static_cast<long long>(epoch), stats.mean_loss,
+                stats.seconds_per_sample());
+  }
+  train::save_checkpoint(ckpt, model);
+  std::printf("checkpoint written: %s\n", ckpt.c_str());
+  return 0;
+}
+
+int cmd_evaluate(const ArgParser& args) {
+  const std::string ckpt = args.get_string("--ckpt", "");
+  ORBIT2_REQUIRE(!ckpt.empty(), "evaluate requires --ckpt FILE");
+  const data::DatasetConfig dconfig = dataset_config_from(args);
+  data::SyntheticDataset dataset(dconfig);
+  const model::ModelConfig mconfig = model_config_from(args, dconfig);
+  const std::int64_t samples = args.get_int("--samples", 12);
+  fail_on_unused(args);
+
+  Rng rng(1);
+  model::ReslimModel model(mconfig, rng);
+  train::load_checkpoint(ckpt, model);
+
+  std::vector<std::int64_t> eval_indices = {samples, samples + 1};
+  const auto reports = train::evaluate_model(model, dataset, eval_indices);
+  std::printf("%-8s %8s %9s %9s %9s %9s %7s %7s\n", "var", "R2", "RMSE",
+              "RMSEs1", "RMSEs2", "RMSEs3", "SSIM", "PSNR");
+  for (const auto& r : reports) {
+    std::printf("%-8s %8.4f %9.4f %9.4f %9.4f %9.4f %7.3f %7.2f\n",
+                r.variable.c_str(), r.report.r2, r.report.rmse,
+                r.report.rmse_sigma1, r.report.rmse_sigma2,
+                r.report.rmse_sigma3, r.report.ssim, r.report.psnr);
+  }
+  return 0;
+}
+
+int cmd_downscale(const ArgParser& args) {
+  const std::string ckpt = args.get_string("--ckpt", "");
+  ORBIT2_REQUIRE(!ckpt.empty(), "downscale requires --ckpt FILE");
+  const data::DatasetConfig dconfig = dataset_config_from(args);
+  data::SyntheticDataset dataset(dconfig);
+  const model::ModelConfig mconfig = model_config_from(args, dconfig);
+  const std::int64_t sample_index = args.get_int("--sample", 0);
+  const std::string prefix = args.get_string("--out-prefix", "downscaled");
+  fail_on_unused(args);
+
+  Rng rng(1);
+  model::ReslimModel model(mconfig, rng);
+  train::load_checkpoint(ckpt, model);
+
+  const data::Sample physical = dataset.sample_physical(sample_index);
+  Tensor prediction = train::predict_physical(model, dataset, sample_index);
+  const std::int64_t h = prediction.dim(1), w = prediction.dim(2);
+  for (std::int64_t c = 0; c < prediction.dim(0); ++c) {
+    const std::string& var =
+        dconfig.output_variables[static_cast<std::size_t>(c)].name;
+    const Tensor pred = prediction.slice(0, c, 1).reshape(Shape{h, w});
+    const Tensor truth = physical.target.slice(0, c, 1).reshape(Shape{h, w});
+    const float lo = std::min(truth.min(), pred.min());
+    const float hi = std::max(truth.max(), pred.max());
+    write_pgm(prefix + "_" + var + "_prediction.pgm", pred, lo, hi);
+    write_pgm(prefix + "_" + var + "_truth.pgm", truth, lo, hi);
+    std::printf("%s: R2 %.4f vs truth; wrote %s_%s_{prediction,truth}.pgm\n",
+                var.c_str(), metrics::r2_score(pred, truth), prefix.c_str(),
+                var.c_str());
+  }
+  return 0;
+}
+
+int cmd_plan(const ArgParser& args) {
+  using namespace hwsim;
+  const std::string name = args.get_string("--model", "9.5M");
+  model::ModelConfig config;
+  if (name == "9.5M") {
+    config = model::preset_9_5m();
+  } else if (name == "126M") {
+    config = model::preset_126m();
+  } else if (name == "1B") {
+    config = model::preset_1b();
+  } else if (name == "10B") {
+    config = model::preset_10b();
+  } else {
+    ORBIT2_FAIL("unknown --model '" << name << "' (9.5M|126M|1B|10B)");
+  }
+  config.out_channels = 18;
+  const std::int64_t gpus = args.get_int("--gpus", 8);
+  const std::int64_t tiles = args.get_int("--tiles", 1);
+  const auto compression =
+      static_cast<float>(args.get_double("--compression", 1.0));
+  fail_on_unused(args);
+
+  FrontierTopology topo;
+  const ParallelismPlan plan = plan_parallelism(config, gpus, tiles);
+  std::printf("plan: %s\n", plan.to_string().c_str());
+
+  WorkloadSpec spec;
+  spec.config = config;
+  spec.lr_h = 180;
+  spec.lr_w = 360;
+  spec.tiles = tiles;
+  spec.compression = compression;
+  const auto fit = check_fits(spec, plan, topo);
+  std::printf("112->28 km task: %s (%.1f / %.1f GB per GPU)\n",
+              fit.fits ? "fits" : "OOM", fit.breakdown.total() / 1e9,
+              fit.budget_bytes / 1e9);
+  if (fit.fits) {
+    const auto step = estimate_step(spec, plan, topo);
+    std::printf("estimated %.3e s/sample, sustained %.3e FLOPS\n",
+                step.per_sample_seconds, step.sustained_flops);
+  }
+  const auto max_seq =
+      max_sequence_length(config, compression, tiles, gpus, topo);
+  if (max_seq.feasible) {
+    std::printf("max sequence: %lld tokens -> [%lld, %lld, 18], %.2f km\n",
+                static_cast<long long>(max_seq.sequence_length),
+                static_cast<long long>(max_seq.out_h),
+                static_cast<long long>(max_seq.out_w), max_seq.resolution_km);
+  } else {
+    std::printf("max sequence: OOM at any length\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    const std::string& command = args.subcommand();
+    if (command == "generate") return cmd_generate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "downscale") return cmd_downscale(args);
+    if (command == "plan") return cmd_plan(args);
+    print_usage();
+    return command.empty() ? 1 : 2;
+  } catch (const orbit2::Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
