@@ -1,0 +1,133 @@
+#include "core/debug_check.hpp"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace orbit2::debug::detail {
+
+namespace {
+
+// One record per live WriteRegion. Rects keep their 2-D form so disjoint
+// tiles that interleave in flat index space (horizontal neighbours) compare
+// exactly; mixed interval/rect comparisons fall back to conservative flat
+// bounds.
+struct Record {
+  const void* buffer = nullptr;
+  bool is_rect = false;
+  WriteInterval interval;
+  WriteRect rect;
+  std::thread::id owner;
+  std::uint64_t token = 0;
+  const char* what = "";
+};
+
+// The registry is sharded by buffer address so unrelated tensors never
+// contend on one lock; a shard holds the handful of regions live at once.
+struct Shard {
+  std::mutex mutex;
+  std::vector<Record> records;
+};
+
+constexpr std::size_t kNumShards = 64;
+
+Shard& shard_for(const void* buffer) {
+  static std::array<Shard, kNumShards> shards;
+  const auto bits = reinterpret_cast<std::uintptr_t>(buffer);
+  // Mix the address so allocator alignment doesn't collapse shards.
+  return shards[(bits >> 6) % kNumShards];
+}
+
+std::uint64_t next_token() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t flat_begin(const Record& r) {
+  if (!r.is_rect) return r.interval.begin;
+  return r.rect.y0 * r.rect.row_stride + r.rect.x0;
+}
+
+std::int64_t flat_end(const Record& r) {
+  if (!r.is_rect) return r.interval.end;
+  if (r.rect.y1 <= r.rect.y0 || r.rect.x1 <= r.rect.x0) return flat_begin(r);
+  return (r.rect.y1 - 1) * r.rect.row_stride + r.rect.x1;
+}
+
+bool overlaps(const Record& a, const Record& b) {
+  if (a.is_rect && b.is_rect && a.rect.row_stride == b.rect.row_stride) {
+    return a.rect.y0 < b.rect.y1 && b.rect.y0 < a.rect.y1 &&
+           a.rect.x0 < b.rect.x1 && b.rect.x0 < a.rect.x1;
+  }
+  return flat_begin(a) < flat_end(b) && flat_begin(b) < flat_end(a);
+}
+
+void describe(std::ostringstream& os, const Record& r) {
+  os << "\"" << r.what << "\" ";
+  if (r.is_rect) {
+    os << "rect [" << r.rect.y0 << ", " << r.rect.y1 << ") x [" << r.rect.x0
+       << ", " << r.rect.x1 << ") stride " << r.rect.row_stride;
+  } else {
+    os << "interval [" << r.interval.begin << ", " << r.interval.end << ")";
+  }
+}
+
+std::uint64_t register_record(Record record) {
+  record.owner = std::this_thread::get_id();
+  record.token = next_token();
+  Shard& shard = shard_for(record.buffer);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  for (const Record& live : shard.records) {
+    if (live.buffer != record.buffer || live.owner == record.owner) continue;
+    if (!overlaps(live, record)) continue;
+    std::ostringstream os;
+    os << "concurrent write overlap on buffer " << record.buffer << ": ";
+    describe(os, record);
+    os << " collides with ";
+    describe(os, live);
+    os << " held by another thread";
+    throw Error(os.str(), __FILE__, __LINE__);
+  }
+  const std::uint64_t token = record.token;
+  shard.records.push_back(record);
+  return token;
+}
+
+}  // namespace
+
+std::uint64_t register_write(const void* buffer, const WriteInterval& interval,
+                             const char* what) {
+  Record record;
+  record.buffer = buffer;
+  record.is_rect = false;
+  record.interval = interval;
+  record.what = what;
+  return register_record(record);
+}
+
+std::uint64_t register_write(const void* buffer, const WriteRect& rect,
+                             const char* what) {
+  Record record;
+  record.buffer = buffer;
+  record.is_rect = true;
+  record.rect = rect;
+  record.what = what;
+  return register_record(record);
+}
+
+void unregister_write(const void* buffer, std::uint64_t token) noexcept {
+  Shard& shard = shard_for(buffer);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  for (std::size_t i = 0; i < shard.records.size(); ++i) {
+    if (shard.records[i].token == token) {
+      shard.records[i] = shard.records.back();
+      shard.records.pop_back();
+      return;
+    }
+  }
+}
+
+}  // namespace orbit2::debug::detail

@@ -1,0 +1,136 @@
+#pragma once
+// Debug check layer: opt-in correctness instrumentation compiled in with
+// -DORBIT2_DEBUG_CHECKS=1 (CMake option ORBIT2_DEBUG_CHECKS, on by default
+// in the `asan-ubsan` and `tsan` presets).
+//
+// Two facilities:
+//
+//   1. CheckedSpan<T> — a drop-in replacement for std::span whose
+//      operator[] bounds-checks every access. Tensor::data() returns this
+//      type in debug-check builds, so raw kernel loops that index past the
+//      end of a buffer throw orbit2::Error instead of corrupting memory.
+//
+//   2. WriteRegion — an RAII concurrent-writer detector. A parallel task
+//      that writes a region of a shared buffer declares the region up
+//      front; if another thread currently holds an overlapping region of
+//      the same buffer, registration throws with a "concurrent write
+//      overlap" report naming both writers. Regions are either flat index
+//      intervals [begin, end) or 2-D rectangles on a row-major plane
+//      (the natural shape of a tile's core write in stitch_tiles).
+//      Overlapping regions held by the *same* thread are permitted
+//      (re-entrant scopes are not races).
+//
+// In non-debug builds every facility below compiles to a no-op: ORBIT2_DCHECK
+// discards its arguments unevaluated, and WriteRegion is an empty object.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/error.hpp"
+
+#if defined(ORBIT2_DEBUG_CHECKS) && ORBIT2_DEBUG_CHECKS
+#define ORBIT2_DEBUG_CHECKS_ENABLED 1
+#else
+#define ORBIT2_DEBUG_CHECKS_ENABLED 0
+#endif
+
+/// Debug-build invariant: compiled out entirely (condition unevaluated)
+/// unless ORBIT2_DEBUG_CHECKS is on. Like ORBIT2_CHECK, the condition is
+/// evaluated exactly once when enabled.
+#if ORBIT2_DEBUG_CHECKS_ENABLED
+#define ORBIT2_DCHECK(cond, ...) ORBIT2_CHECK_IMPL("DCHECK", cond, __VA_ARGS__)
+#else
+#define ORBIT2_DCHECK(cond, ...) \
+  do {                           \
+  } while (false)
+#endif
+
+namespace orbit2::debug {
+
+/// True when the debug check layer is compiled in.
+constexpr bool checks_enabled() { return ORBIT2_DEBUG_CHECKS_ENABLED != 0; }
+
+/// Bounds-checked span. Mirrors the subset of std::span the kernels use;
+/// begin()/end() return raw pointers so iterator-based code (std::copy,
+/// range-for) keeps its unchecked speed while indexed access is verified.
+template <typename T>
+class CheckedSpan {
+ public:
+  CheckedSpan(T* data, std::size_t size) : data_(data), size_(size) {}
+
+  T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* begin() const { return data_; }
+  T* end() const { return data_ + size_; }
+
+  T& operator[](std::size_t index) const {
+    ORBIT2_DCHECK(index < size_,
+                  "span index " << index << " out of bounds for size " << size_);
+    return data_[index];
+  }
+
+ private:
+  T* data_;
+  std::size_t size_;
+};
+
+/// Flat element interval [begin, end) of a buffer.
+struct WriteInterval {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+};
+
+/// Rectangle [y0, y1) x [x0, x1) on a row-major plane of width row_stride.
+/// Planes stacked along a leading (channel) axis share x/y coordinates, so
+/// one rect guards the write across all channels of a [C,H,W] tensor.
+struct WriteRect {
+  std::int64_t y0 = 0;
+  std::int64_t y1 = 0;
+  std::int64_t x0 = 0;
+  std::int64_t x1 = 0;
+  std::int64_t row_stride = 0;
+};
+
+namespace detail {
+/// Returns a token for unregistration; throws orbit2::Error on overlap with
+/// a region held by a different thread.
+std::uint64_t register_write(const void* buffer, const WriteInterval& interval,
+                             const char* what);
+std::uint64_t register_write(const void* buffer, const WriteRect& rect,
+                             const char* what);
+void unregister_write(const void* buffer, std::uint64_t token) noexcept;
+}  // namespace detail
+
+/// RAII scope declaring "this thread writes this region of this buffer".
+/// Construction throws orbit2::Error if the region overlaps one currently
+/// held by another thread. No-op (empty object) in non-debug builds.
+class WriteRegion {
+ public:
+#if ORBIT2_DEBUG_CHECKS_ENABLED
+  WriteRegion(const void* buffer, const WriteInterval& interval,
+              const char* what)
+      : buffer_(buffer),
+        token_(detail::register_write(buffer, interval, what)) {}
+  WriteRegion(const void* buffer, const WriteRect& rect, const char* what)
+      : buffer_(buffer), token_(detail::register_write(buffer, rect, what)) {}
+  ~WriteRegion() { detail::unregister_write(buffer_, token_); }
+#else
+  WriteRegion(const void* /*buffer*/, const WriteInterval& /*interval*/,
+              const char* /*what*/) {}
+  WriteRegion(const void* /*buffer*/, const WriteRect& /*rect*/,
+              const char* /*what*/) {}
+  ~WriteRegion() {}
+#endif
+
+  WriteRegion(const WriteRegion&) = delete;
+  WriteRegion& operator=(const WriteRegion&) = delete;
+
+ private:
+#if ORBIT2_DEBUG_CHECKS_ENABLED
+  const void* buffer_;
+  std::uint64_t token_;
+#endif
+};
+
+}  // namespace orbit2::debug

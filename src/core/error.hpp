@@ -6,6 +6,13 @@
 //   ORBIT2_CHECK(cond, msg...)   -- internal invariants; failure is a bug.
 //   ORBIT2_REQUIRE(cond, msg...) -- caller-facing precondition validation.
 // Both throw orbit2::Error; the distinction is documentary.
+//
+// Evaluation guarantee: the condition expression is evaluated EXACTLY once,
+// in every build configuration — these macros are never compiled out and
+// never re-evaluate the condition to build the failure message. The message
+// stream arguments are evaluated only on the failure path. Despite the
+// single-evaluation guarantee, side-effecting condition arguments are
+// forbidden by tools/orbit2_lint.py so the guarantee is never load-bearing.
 
 #include <sstream>
 #include <stdexcept>

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <mutex>
 #include <sstream>
+#include <string>
 
 namespace orbit2 {
 

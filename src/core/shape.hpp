@@ -6,6 +6,7 @@
 // of heap allocation in hot loops.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
@@ -21,10 +22,11 @@ class Shape {
   Shape() = default;
 
   Shape(std::initializer_list<std::int64_t> dims) {
-    ORBIT2_REQUIRE(dims.size() <= kMaxRank, "rank > " << kMaxRank);
+    ORBIT2_REQUIRE(dims.size() <= static_cast<std::size_t>(kMaxRank),
+                   "rank > " << kMaxRank);
     for (std::int64_t d : dims) {
       ORBIT2_REQUIRE(d >= 0, "negative dimension " << d);
-      dims_[rank_++] = d;
+      dims_[static_cast<std::size_t>(rank_++)] = d;
     }
   }
 
@@ -36,10 +38,17 @@ class Shape {
     return dims_[axis];
   }
 
-  /// Total element count (1 for rank-0).
+  /// Total element count (1 for rank-0). Overflow of the int64 product is
+  /// rejected rather than wrapping (signed overflow is UB).
   std::int64_t numel() const {
     std::int64_t n = 1;
-    for (int i = 0; i < rank_; ++i) n *= dims_[i];
+    for (int i = 0; i < rank_; ++i) {
+      std::int64_t next = 0;
+      const bool overflow =
+          __builtin_mul_overflow(n, dims_[static_cast<std::size_t>(i)], &next);
+      ORBIT2_REQUIRE(!overflow, "numel overflows int64 for shape " << to_string());
+      n = next;
+    }
     return n;
   }
 

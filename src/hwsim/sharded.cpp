@@ -1,5 +1,7 @@
 #include "hwsim/sharded.hpp"
 
+#include "core/debug_check.hpp"
+#include "core/thread_pool.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 
@@ -49,9 +51,15 @@ std::vector<Tensor> ShardedLinear::forward_local(
   ORBIT2_REQUIRE(mode_ == Mode::kColumn, "forward_local is column-mode only");
   ORBIT2_REQUIRE(x_per_device.size() == weights_.size(),
                  "one input per device required");
-  std::vector<Tensor> outputs;
-  outputs.reserve(weights_.size());
-  for (std::size_t d = 0; d < weights_.size(); ++d) {
+  std::vector<Tensor> outputs(weights_.size());
+  // Each virtual device computes its shard on a pool worker; slots are
+  // disjoint, which the WriteRegion scope asserts under ORBIT2_DEBUG_CHECKS.
+  default_thread_pool().parallel_for(weights_.size(), [&](std::size_t d) {
+    const debug::WriteRegion write_scope(
+        outputs.data(),
+        debug::WriteInterval{static_cast<std::int64_t>(d),
+                             static_cast<std::int64_t>(d) + 1},
+        "ShardedLinear::forward_local device slot");
     Tensor y = matmul(x_per_device[d], weights_[d]);
     // Add the bias shard.
     const std::int64_t rows = y.dim(0), cols = y.dim(1);
@@ -60,8 +68,8 @@ std::vector<Tensor> ShardedLinear::forward_local(
     for (std::int64_t r = 0; r < rows; ++r) {
       for (std::int64_t c = 0; c < cols; ++c) py[r * cols + c] += pb[c];
     }
-    outputs.push_back(std::move(y));
-  }
+    outputs[d] = std::move(y);
+  });
   return outputs;
 }
 

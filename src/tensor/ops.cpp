@@ -71,8 +71,8 @@ Tensor layernorm_rows(const Tensor& input, const Tensor& gamma,
       sum += x[c];
       sum_sq += static_cast<double>(x[c]) * x[c];
     }
-    const double mu = sum / cols;
-    const double var = std::max(0.0, sum_sq / cols - mu * mu);
+    const double mu = sum / static_cast<double>(cols);
+    const double var = std::max(0.0, sum_sq / static_cast<double>(cols) - mu * mu);
     const double istd = 1.0 / std::sqrt(var + epsilon);
     mean[r] = static_cast<float>(mu);
     inv_std[r] = static_cast<float>(istd);
@@ -119,8 +119,8 @@ Tensor layernorm_rows_backward(const Tensor& grad_output, const Tensor& input,
       gg[c] += dy[c] * xhat;
       gb[c] += dy[c];
     }
-    const float mean_dxhat = static_cast<float>(sum_dxhat / cols);
-    const float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat / cols);
+    const float mean_dxhat = static_cast<float>(sum_dxhat / static_cast<double>(cols));
+    const float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat / static_cast<double>(cols));
     for (std::int64_t c = 0; c < cols; ++c) {
       const float xhat = (x[c] - m) * is;
       const float dxhat = dy[c] * g[c];

@@ -16,12 +16,12 @@ struct Tap {
 };
 
 Tap make_tap(std::int64_t out_idx, std::int64_t in_dim, std::int64_t out_dim) {
-  const double scale = static_cast<double>(in_dim) / out_dim;
-  double src = (out_idx + 0.5) * scale - 0.5;
+  const double scale = static_cast<double>(in_dim) / static_cast<double>(out_dim);
+  double src = (static_cast<double>(out_idx) + 0.5) * scale - 0.5;
   src = std::max(0.0, std::min(src, static_cast<double>(in_dim - 1)));
   const std::int64_t lo = static_cast<std::int64_t>(std::floor(src));
   const std::int64_t hi = std::min(lo + 1, in_dim - 1);
-  return {lo, hi, static_cast<float>(src - lo)};
+  return {lo, hi, static_cast<float>(src - static_cast<double>(lo))};
 }
 
 }  // namespace

@@ -163,7 +163,7 @@ float Tensor::sum() const {
 
 float Tensor::mean() const {
   ORBIT2_REQUIRE(numel() > 0, "mean of empty tensor");
-  return static_cast<float>(static_cast<double>(sum()) / numel());
+  return static_cast<float>(static_cast<double>(sum()) / static_cast<double>(numel()));
 }
 
 float Tensor::min() const {

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "core/debug_check.hpp"
 #include "core/error.hpp"
 #include "core/rng.hpp"
 #include "core/shape.hpp"
@@ -60,10 +61,19 @@ class Tensor {
 
   // ---- Element access -------------------------------------------------
 
-  std::span<float> data() { return {storage_->data(), storage_->size()}; }
-  std::span<const float> data() const {
-    return {storage_->data(), storage_->size()};
-  }
+  // In ORBIT2_DEBUG_CHECKS builds data() returns a bounds-checked span so
+  // raw kernel loops fail loudly on out-of-bounds indices; release builds
+  // get a plain std::span with zero overhead.
+#if ORBIT2_DEBUG_CHECKS_ENABLED
+  using span = debug::CheckedSpan<float>;
+  using const_span = debug::CheckedSpan<const float>;
+#else
+  using span = std::span<float>;
+  using const_span = std::span<const float>;
+#endif
+
+  span data() { return {storage_->data(), storage_->size()}; }
+  const_span data() const { return {storage_->data(), storage_->size()}; }
 
   float& operator[](std::int64_t flat_index) {
     ORBIT2_CHECK(flat_index >= 0 && flat_index < numel(),

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/debug_check.hpp"
+
 namespace orbit2 {
 
 std::vector<TileRegion> partition_tiles(std::int64_t h, std::int64_t w,
@@ -62,7 +64,7 @@ Tensor extract_tile(const Tensor& image, const TileRegion& region) {
 
 Tensor stitch_tiles(const std::vector<Tensor>& outputs,
                     const std::vector<TileRegion>& regions, std::int64_t h,
-                    std::int64_t w, std::int64_t upscale) {
+                    std::int64_t w, std::int64_t upscale, ThreadPool* pool) {
   ORBIT2_REQUIRE(outputs.size() == regions.size(),
                  "outputs/regions size mismatch");
   ORBIT2_REQUIRE(!outputs.empty(), "no tiles to stitch");
@@ -71,7 +73,7 @@ Tensor stitch_tiles(const std::vector<Tensor>& outputs,
   Tensor out(Shape{c, oh, ow});
   float* dst = out.data().data();
 
-  for (std::size_t i = 0; i < outputs.size(); ++i) {
+  auto stitch_one = [&](std::size_t i) {
     const TileRegion& region = regions[i];
     const Tensor& tile = outputs[i];
     ORBIT2_REQUIRE(tile.rank() == 3 && tile.dim(0) == c,
@@ -86,6 +88,16 @@ Tensor stitch_tiles(const std::vector<Tensor>& outputs,
     const std::int64_t off_x = region.core_off_x() * upscale;
     const std::int64_t core_h = region.core_h * upscale;
     const std::int64_t core_w = region.core_w * upscale;
+    // Declare the core rectangle this tile writes: concurrent tiles whose
+    // cores overlap (a halo/stitch bug) fail loudly under ORBIT2_DEBUG_CHECKS
+    // instead of silently corrupting the seams.
+    const debug::WriteRegion write_scope(
+        dst,
+        debug::WriteRect{region.core_y0 * upscale,
+                         region.core_y0 * upscale + core_h,
+                         region.core_x0 * upscale,
+                         region.core_x0 * upscale + core_w, ow},
+        "stitch_tiles core");
     const float* src = tile.data().data();
     for (std::int64_t ch = 0; ch < c; ++ch) {
       for (std::int64_t y = 0; y < core_h; ++y) {
@@ -97,6 +109,12 @@ Tensor stitch_tiles(const std::vector<Tensor>& outputs,
         std::copy(row, row + core_w, out_row);
       }
     }
+  };
+
+  if (pool != nullptr && outputs.size() > 1) {
+    pool->parallel_for(outputs.size(), stitch_one);
+  } else {
+    for (std::size_t i = 0; i < outputs.size(); ++i) stitch_one(i);
   }
   return out;
 }
@@ -109,14 +127,20 @@ Tensor tiled_apply(
   const std::vector<TileRegion> regions = partition_tiles(h, w, spec);
   std::vector<Tensor> outputs(regions.size());
   // One task per tile; outputs slots are disjoint so no synchronization is
-  // needed beyond the pool join.
+  // needed beyond the pool join. The WriteRegion scope asserts that slot
+  // disjointness under ORBIT2_DEBUG_CHECKS.
   for (std::size_t i = 0; i < regions.size(); ++i) {
     pool.submit([&, i] {
+      const debug::WriteRegion write_scope(
+          outputs.data(),
+          debug::WriteInterval{static_cast<std::int64_t>(i),
+                               static_cast<std::int64_t>(i) + 1},
+          "tiled_apply output slot");
       outputs[i] = process(i, extract_tile(image, regions[i]));
     });
   }
   pool.wait_idle();
-  return stitch_tiles(outputs, regions, h, w, upscale);
+  return stitch_tiles(outputs, regions, h, w, upscale, &pool);
 }
 
 float border_band_mse(const Tensor& a, const Tensor& b,

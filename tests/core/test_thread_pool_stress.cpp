@@ -1,0 +1,138 @@
+// ThreadPool stress coverage: concurrent submission, exception propagation
+// through wait_idle, parallel_for edge counts, and hammering the lazily
+// constructed default pool from many threads. Run under the `tsan` preset
+// (ctest --preset tsan) to prove the pool free of data races.
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+
+namespace orbit2 {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentSubmitFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksPerSubmitter = 250;
+  std::atomic<int> counter{0};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int t = 0; t < kTasksPerSubmitter; ++t) {
+        pool.submit([&counter] {
+          counter.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksPerSubmitter);
+}
+
+TEST(ThreadPoolStress, ExceptionPropagatesThroughWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> survivors{0};
+  for (int t = 0; t < 64; ++t) {
+    pool.submit([&survivors, t] {
+      if (t == 13) throw Error("task 13 failed", __FILE__, __LINE__);
+      survivors.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), Error);
+  // The error is consumed: the pool is reusable and the next join is clean.
+  pool.submit([&survivors] { survivors.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(survivors.load(), 64);
+}
+
+TEST(ThreadPoolStress, ExceptionFromParallelForBody) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [](std::size_t i) {
+                          if (i == 617) {
+                            throw Error("body failed", __FILE__, __LINE__);
+                          }
+                        }),
+      Error);
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPoolStress, ParallelForEdgeCounts) {
+  ThreadPool pool(4);
+
+  std::atomic<int> ran_zero{0};
+  pool.parallel_for(0, [&ran_zero](std::size_t) { ran_zero.fetch_add(1); });
+  EXPECT_EQ(ran_zero.load(), 0);
+
+  std::atomic<int> ran_one{0};
+  pool.parallel_for(1, [&ran_one](std::size_t) { ran_one.fetch_add(1); });
+  EXPECT_EQ(ran_one.load(), 1);
+
+  constexpr std::size_t kHuge = 1 << 18;
+  std::vector<int> hits(kHuge, 0);
+  pool.parallel_for(kHuge, [&hits](std::size_t i) { hits[i] += 1; });
+  std::size_t total = 0;
+  for (int h : hits) total += static_cast<std::size_t>(h);
+  EXPECT_EQ(total, kHuge);  // every index exactly once
+}
+
+TEST(ThreadPoolStress, ParallelForChunksPartitionExactly) {
+  ThreadPool pool(7);
+  constexpr std::size_t kCount = 100003;  // prime: uneven chunking
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_chunks(kCount, [&covered](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    covered.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(covered.load(), kCount);
+}
+
+TEST(ThreadPoolStress, DefaultPoolLazyInitFromManyThreads) {
+  // First touch of default_thread_pool() may happen on any thread; hammer it
+  // concurrently to exercise the magic-static initialization under TSan.
+  constexpr int kThreads = 8;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      ThreadPool& pool = default_thread_pool();
+      for (int i = 0; i < 50; ++i) {
+        pool.submit([&counter] {
+          counter.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  default_thread_pool().wait_idle();
+  EXPECT_EQ(counter.load(), kThreads * 50);
+}
+
+TEST(ThreadPoolStress, ConcurrentParallelForCallers) {
+  // Two caller threads driving parallel_for on a shared pool concurrently:
+  // each call must still cover its own index space exactly once.
+  ThreadPool pool(4);
+  std::vector<int> a(5000, 0), b(5000, 0);
+  std::thread caller_a(
+      [&pool, &a] { pool.parallel_for(a.size(), [&a](std::size_t i) { a[i]++; }); });
+  std::thread caller_b(
+      [&pool, &b] { pool.parallel_for(b.size(), [&b](std::size_t i) { b[i]++; }); });
+  caller_a.join();
+  caller_b.join();
+  for (int v : a) ASSERT_EQ(v, 1);
+  for (int v : b) ASSERT_EQ(v, 1);
+}
+
+}  // namespace
+}  // namespace orbit2

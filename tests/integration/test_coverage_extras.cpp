@@ -128,7 +128,9 @@ TEST(TimerExtras, MonotoneAndResettable) {
   const double first = timer.seconds();
   EXPECT_GE(first, 0.0);
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
   const double second = timer.seconds();
   EXPECT_GE(second, first);
   timer.reset();

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for ORBIT-2. Registered as the `orbit2_lint` ctest.
+
+Rules enforced (each is cheap, textual, and intentionally conservative):
+
+  pragma-once      every header under src/, tests/, bench/, tools/ starts
+                   with `#pragma once` (first non-comment line).
+  no-raw-new       no raw `new` / `delete` expressions under src/; owning
+                   allocations go through std::make_unique / make_shared /
+                   containers.
+  require-pure     ORBIT2_REQUIRE / ORBIT2_CHECK / ORBIT2_DCHECK condition
+                   arguments must not contain side effects (assignment,
+                   increment/decrement, compound assignment). The macros
+                   evaluate the condition exactly once (see core/error.hpp),
+                   but side-effecting check arguments read as load-bearing
+                   and break under builds that compile checks out.
+  core-iwyu        src/core headers include what they use for a curated set
+                   of std:: symbols (include-what-you-use, reduced to the
+                   symbols the substrate actually uses).
+
+Exit status: 0 = clean, 1 = findings (printed one per line as
+`path:line: rule: message`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SOURCE_DIRS = ("src", "tests", "bench", "tools", "examples")
+
+# Curated std symbol -> required include map for the core-iwyu rule.
+CORE_IWYU = {
+    "std::array": "<array>",
+    "std::atomic": "<atomic>",
+    "std::condition_variable": "<condition_variable>",
+    "std::deque": "<deque>",
+    "std::exception_ptr": "<exception>",
+    "std::function": "<functional>",
+    "std::initializer_list": "<initializer_list>",
+    "std::int64_t": "<cstdint>",
+    "std::uint64_t": "<cstdint>",
+    "std::uint32_t": "<cstdint>",
+    "std::uint16_t": "<cstdint>",
+    "std::uintptr_t": "<cstdint>",
+    "std::size_t": "<cstddef>",
+    "std::memcpy": "<cstring>",
+    "std::mutex": "<mutex>",
+    "std::ostringstream": "<sstream>",
+    "std::runtime_error": "<stdexcept>",
+    "std::shared_ptr": "<memory>",
+    "std::span": "<span>",
+    "std::string": "<string>",
+    "std::thread": "<thread>",
+    "std::unique_ptr": "<memory>",
+    "std::vector": "<vector>",
+}
+
+CHECK_MACROS = ("ORBIT2_REQUIRE", "ORBIT2_CHECK", "ORBIT2_DCHECK")
+
+# Side effects inside a condition: ++/--, compound assignment, or plain
+# assignment (an `=` not part of ==, !=, <=, >=).
+SIDE_EFFECT = re.compile(
+    r"(\+\+|--|"
+    r"[+\-*/%&|^]=|<<=|>>=|"
+    r"(?<![=!<>+\-*/%&|^=])=(?![=]))"
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("".join(c if c == "\n" else " " for c in text[i : j + 2]))
+            i = j + 2
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(" " * (j + 1 - i))
+            i = j + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def check_pragma_once(path: pathlib.Path, text: str, findings: list) -> None:
+    stripped = strip_comments_and_strings(text)
+    for line_no, line in enumerate(stripped.splitlines(), start=1):
+        code = line.strip()
+        if not code:
+            continue
+        if code != "#pragma once":
+            findings.append((path, line_no, "pragma-once",
+                             "first non-comment line must be `#pragma once`"))
+        return
+    findings.append((path, 1, "pragma-once", "header has no `#pragma once`"))
+
+
+def check_raw_new_delete(path: pathlib.Path, text: str, findings: list) -> None:
+    code = strip_comments_and_strings(text)
+    for match in re.finditer(r"\bnew\b", code):
+        findings.append((path, line_of(code, match.start()), "no-raw-new",
+                         "raw `new` — use std::make_unique/make_shared or a container"))
+    for match in re.finditer(r"\bdelete\b", code):
+        # `= delete` declarations are idiomatic and allowed.
+        prefix = code[: match.start()].rstrip()
+        if prefix.endswith("="):
+            continue
+        findings.append((path, line_of(code, match.start()), "no-raw-new",
+                         "raw `delete` — ownership must be RAII-managed"))
+
+
+def first_macro_argument(code: str, start: int) -> tuple[str, int]:
+    """Given offset of '(' after a macro name, returns (first_arg, open_offset)."""
+    depth = 0
+    i = start
+    arg_begin = start + 1
+    while i < len(code):
+        ch = code[i]
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+            if depth == 0:
+                return code[arg_begin:i], arg_begin
+        elif ch == "," and depth == 1:
+            return code[arg_begin:i], arg_begin
+        i += 1
+    return code[arg_begin:], arg_begin
+
+
+def check_require_pure(path: pathlib.Path, text: str, findings: list) -> None:
+    code = strip_comments_and_strings(text)
+    for macro in CHECK_MACROS:
+        for match in re.finditer(rf"\b{macro}\s*\(", code):
+            open_paren = code.find("(", match.start())
+            arg, arg_begin = first_macro_argument(code, open_paren)
+            effect = SIDE_EFFECT.search(arg)
+            if effect:
+                findings.append(
+                    (path, line_of(code, arg_begin + effect.start()), "require-pure",
+                     f"{macro} condition contains a side effect "
+                     f"(`{effect.group(0)}`); hoist it out of the check"))
+
+
+def check_core_iwyu(path: pathlib.Path, text: str, findings: list) -> None:
+    code = strip_comments_and_strings(text)
+    includes = set(re.findall(r"#include\s+(<[^>]+>)", text))
+    for symbol, header in CORE_IWYU.items():
+        match = re.search(re.escape(symbol) + r"\b", code)
+        if match and header not in includes:
+            findings.append((path, line_of(code, match.start()), "core-iwyu",
+                             f"uses {symbol} but does not include {header}"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+    if not (root / "src").is_dir():
+        print(f"orbit2_lint: {root} has no src/ — wrong --root?", file=sys.stderr)
+        return 2
+
+    findings: list = []
+    for top in SOURCE_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".hpp", ".cpp", ".h"):
+                continue
+            text = path.read_text(encoding="utf-8")
+            rel = path.relative_to(root)
+            if path.suffix in (".hpp", ".h"):
+                check_pragma_once(rel, text, findings)
+            if top == "src":
+                check_raw_new_delete(rel, text, findings)
+            check_require_pure(rel, text, findings)
+            if top == "src" and path.parent.name == "core" and path.suffix == ".hpp":
+                check_core_iwyu(rel, text, findings)
+
+    for path, line, rule, message in findings:
+        print(f"{path}:{line}: {rule}: {message}")
+    if findings:
+        print(f"orbit2_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("orbit2_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
