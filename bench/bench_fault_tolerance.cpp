@@ -1,0 +1,86 @@
+// Fault tolerance: expected goodput versus checkpoint interval for an
+// ORBIT-2-scale pretraining job (10B parameters on 32,768 Frontier GCDs).
+//
+// At this scale the job-level MTBF is under an hour, so the checkpoint
+// interval is a first-order term in time-to-solution: checkpoint too often
+// and the PFS write cost dominates, too rarely and every failure replays a
+// large amount of lost work. The bench sweeps the interval across four
+// orders of magnitude, prints the analytic goodput curve next to a seeded
+// Monte-Carlo run simulation, and marks the Young/Daly closed-form optimum
+// tau* = sqrt(2 C / lambda).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "hwsim/fault.hpp"
+
+int main() {
+  using namespace orbit2;
+  using namespace orbit2::hwsim;
+  bench::print_header(
+      "Fault tolerance — goodput vs checkpoint interval (10B / 32768 GCDs)");
+
+  const std::int64_t parameters = 10'000'000'000;
+  const std::int64_t gcds = 32768;
+
+  FaultModelConfig fconfig;
+  fconfig.gcd_mtbf_seconds = 1.0e8;  // job MTBF ~ 51 minutes
+  FaultModel faults(gcds, fconfig);
+  RecoveryCostConfig recovery;
+
+  const double write_cost = checkpoint_write_seconds(parameters, recovery);
+  const double recover = recovery_seconds(parameters, recovery);
+  const double lambda = faults.failure_rate();
+  const double tau_star = young_daly_interval(write_cost, lambda);
+
+  std::printf("checkpoint state      : %.1f GB (fp32 params + AdamW m/v)\n",
+              checkpoint_bytes(parameters) / 1e9);
+  std::printf("checkpoint write cost : %.2f s  (at %.0f GB/s aggregate)\n",
+              write_cost, recovery.write_bandwidth / 1e9);
+  std::printf("failure rate          : %.3e /s  (job MTBF %.0f s)\n", lambda,
+              faults.mean_time_between_failures());
+  std::printf("recovery cost         : %.1f s  (detect + restart + reload)\n",
+              recover);
+  std::printf("Young/Daly optimum    : tau* = sqrt(2C/lambda) = %.1f s\n",
+              tau_star);
+  std::printf("straggler slowdown    : %.2fx (%lld slow GCDs; the simulated "
+              "column pays it,\n                        the analytic column "
+              "models failures + checkpoints only)\n\n",
+              faults.step_slowdown(),
+              static_cast<long long>(faults.straggler_count()));
+
+  std::vector<double> intervals;
+  for (double tau = tau_star / 32.0; tau <= tau_star * 64.0; tau *= 2.0) {
+    intervals.push_back(tau);
+  }
+  const auto analytic = goodput_sweep(faults, recovery, parameters, intervals);
+
+  // One simulated week of useful training per interval, common seed.
+  const double target = 7.0 * 86400.0;
+  std::printf("%14s %12s %12s %9s %8s\n", "interval(s)", "analytic",
+              "simulated", "failures", "ckpts");
+  bench::print_rule();
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    faults.reseed(fconfig.seed);
+    const SimulatedRun run =
+        simulate_run(faults, recovery, parameters, intervals[i], target);
+    const char* mark =
+        intervals[i] / tau_star < 2.0 && tau_star / intervals[i] < 2.0
+            ? "  <- near tau*"
+            : "";
+    std::printf("%14.1f %12.4f %12.4f %9lld %8lld%s\n", intervals[i],
+                analytic[i].goodput, run.goodput(),
+                static_cast<long long>(run.failures),
+                static_cast<long long>(run.checkpoints_written), mark);
+    if (analytic[i].goodput > analytic[best].goodput) best = i;
+  }
+  std::printf(
+      "\nAnalytic optimum in sweep: %.1f s (goodput %.4f); the curve falls "
+      "off on\nboth sides — the Young/Daly shape. Checkpointing every "
+      "optimizer step would\nspend the machine on I/O; checkpointing hourly "
+      "would spend it on replay.\n",
+      analytic[best].interval_seconds, analytic[best].goodput);
+  return 0;
+}

@@ -40,6 +40,23 @@ void AdamW::step(float grad_scale) {
   }
 }
 
+void AdamW::restore(std::int64_t step_count, const std::vector<Tensor>& m,
+                    const std::vector<Tensor>& v) {
+  ORBIT2_REQUIRE(step_count >= 0, "negative optimizer step count");
+  ORBIT2_REQUIRE(m.size() == params_.size() && v.size() == params_.size(),
+                 "optimizer state has " << m.size() << "/" << v.size()
+                                        << " moment buffers, expected "
+                                        << params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ORBIT2_REQUIRE(m[i].shape() == params_[i]->value.shape() &&
+                       v[i].shape() == params_[i]->value.shape(),
+                   "moment shape mismatch for " << params_[i]->name);
+    m_[i] = m[i].clone();
+    v_[i] = v[i].clone();
+  }
+  step_count_ = step_count;
+}
+
 CosineSchedule::CosineSchedule(float base_lr, std::int64_t warmup_steps,
                                std::int64_t total_steps, float min_lr)
     : base_lr_(base_lr),
@@ -88,6 +105,17 @@ bool grads_are_finite(const std::vector<ParamPtr>& params) {
 
 GradScaler::GradScaler(GradScalerConfig config)
     : config_(config), scale_(config.initial_scale) {}
+
+void GradScaler::restore(float scale, std::int64_t good_steps,
+                         std::int64_t skipped) {
+  ORBIT2_REQUIRE(scale >= config_.min_scale && std::isfinite(scale),
+                 "invalid loss scale " << scale);
+  ORBIT2_REQUIRE(good_steps >= 0 && skipped >= 0,
+                 "negative scaler counters");
+  scale_ = scale;
+  good_steps_ = good_steps;
+  skipped_ = skipped;
+}
 
 bool GradScaler::unscale_and_check(const std::vector<ParamPtr>& params) {
   if (grads_are_finite(params)) {

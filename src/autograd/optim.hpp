@@ -37,6 +37,16 @@ class AdamW {
   float lr() const { return config_.lr; }
   std::int64_t steps_taken() const { return step_count_; }
 
+  /// Moment buffers, parallel to the constructor's parameter list. Exposed
+  /// read-only so checkpointing can persist full optimizer state.
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+
+  /// Restores optimizer state captured from an identically-shaped AdamW
+  /// (same parameter list order). Shapes are validated per moment buffer.
+  void restore(std::int64_t step_count, const std::vector<Tensor>& m,
+               const std::vector<Tensor>& v);
+
  private:
   std::vector<ParamPtr> params_;
   std::vector<Tensor> m_;  // first moments
@@ -90,6 +100,10 @@ class GradScaler {
   bool unscale_and_check(const std::vector<ParamPtr>& params);
 
   std::int64_t skipped_steps() const { return skipped_; }
+  std::int64_t good_steps() const { return good_steps_; }
+
+  /// Restores dynamic-scaling state from a checkpoint.
+  void restore(float scale, std::int64_t good_steps, std::int64_t skipped);
 
  private:
   GradScalerConfig config_;

@@ -1,0 +1,34 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint and
+// container integrity checks. Incremental: feed bytes in any chunking and
+// read `value()` at the end; the free function covers the one-shot case.
+//
+// The table is built once at first use (function-local static, thread-safe
+// per [stmt.dcl]); the per-byte loop is the classic table-driven form, fast
+// enough to checksum multi-GB checkpoints at memory bandwidth scale.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace orbit2 {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  /// Folds `size` bytes at `data` into the running checksum.
+  void update(const void* data, std::size_t size);
+
+  /// Final (or running) checksum over everything fed so far.
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  /// Resets to the empty-input state.
+  void reset() { state_ = 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot CRC-32 of a byte range.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+}  // namespace orbit2

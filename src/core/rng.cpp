@@ -1,6 +1,7 @@
 #include "core/rng.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "core/error.hpp"
 
@@ -77,6 +78,22 @@ std::uint64_t Rng::uniform_index(std::uint64_t n) {
     value = next_u64();
   } while (value >= limit);
   return value % n;
+}
+
+RngState Rng::state() const {
+  RngState out;
+  out.words = state_;
+  std::memcpy(&out.cached_normal_bits, &cached_normal_,
+              sizeof(cached_normal_));
+  out.has_cached_normal = has_cached_normal_;
+  return out;
+}
+
+void Rng::set_state(const RngState& state) {
+  state_ = state.words;
+  std::memcpy(&cached_normal_, &state.cached_normal_bits,
+              sizeof(cached_normal_));
+  has_cached_normal_ = state.has_cached_normal;
 }
 
 Rng Rng::split() {

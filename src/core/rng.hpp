@@ -17,6 +17,17 @@ namespace orbit2 {
 /// splitmix64 step; used for seeding and for hashing seeds together.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Full serializable generator state. Capturing and restoring this is
+/// bit-exact: the restored stream continues exactly where the captured one
+/// stopped (including the Box-Muller cached half-sample), which is what
+/// checkpoint/resume needs for deterministic replay.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  /// Cached second Box-Muller normal, bit-copied through a uint64.
+  std::uint64_t cached_normal_bits = 0;
+  bool has_cached_normal = false;
+};
+
 /// Deterministic counter-free PRNG (xoshiro256**).
 class Rng {
  public:
@@ -44,6 +55,12 @@ class Rng {
   /// Derives an independent generator; the pair (parent, child) streams do
   /// not overlap in practice. Used to hand one stream per worker/sample.
   Rng split();
+
+  /// Captures the complete generator state for checkpointing.
+  RngState state() const;
+
+  /// Restores a state captured with `state()`; the stream resumes bit-exact.
+  void set_state(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> state_;

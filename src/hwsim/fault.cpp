@@ -1,0 +1,223 @@
+#include "hwsim/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace orbit2::hwsim {
+
+namespace {
+
+// Stream tags keep the straggler and link hash families disjoint from each
+// other and from the failure stream seed.
+constexpr std::uint64_t kStragglerTag = 0x5742a6611ull;
+constexpr std::uint64_t kLinkTag = 0x11bde64decull;
+
+// Bytes per parameter of full fp32 training state: weights + AdamW m + v.
+constexpr double kStateBytesPerParam = 3.0 * 4.0;
+
+double uniform_from_bits(std::uint64_t bits) {
+  // 53-bit mantissa trick: uniform in [0, 1).
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultModel::FaultModel(std::int64_t gcds, FaultModelConfig config)
+    : gcds_(gcds), config_(config), failure_rng_(config.seed) {
+  ORBIT2_REQUIRE(gcds >= 1, "fault model needs at least one GCD, got "
+                                << gcds);
+  ORBIT2_REQUIRE(config.gcd_mtbf_seconds > 0.0,
+                 "per-GCD MTBF must be positive, got "
+                     << config.gcd_mtbf_seconds);
+  ORBIT2_REQUIRE(
+      config.straggler_fraction >= 0.0 && config.straggler_fraction <= 1.0,
+      "straggler fraction must be in [0, 1], got "
+          << config.straggler_fraction);
+  ORBIT2_REQUIRE(config.straggler_slowdown >= 1.0,
+                 "straggler slowdown must be >= 1, got "
+                     << config.straggler_slowdown);
+  ORBIT2_REQUIRE(
+      config.link_degrade_fraction >= 0.0 &&
+          config.link_degrade_fraction <= 1.0,
+      "link degrade fraction must be in [0, 1], got "
+          << config.link_degrade_fraction);
+  ORBIT2_REQUIRE(
+      config.link_degrade_factor > 0.0 && config.link_degrade_factor <= 1.0,
+      "link degrade factor must be in (0, 1], got "
+          << config.link_degrade_factor);
+}
+
+double FaultModel::failure_rate() const {
+  // Independent exponential per-GCD failures superpose: rates add.
+  return static_cast<double>(gcds_) / config_.gcd_mtbf_seconds;
+}
+
+double FaultModel::mean_time_between_failures() const {
+  return 1.0 / failure_rate();
+}
+
+double FaultModel::sample_time_to_failure() {
+  // Inverse-CDF exponential draw; 1 - u keeps log() away from zero.
+  const double u = failure_rng_.uniform();
+  return -std::log(1.0 - u) / failure_rate();
+}
+
+void FaultModel::reseed(std::uint64_t seed) { failure_rng_ = Rng(seed); }
+
+double FaultModel::property_hash(std::uint64_t tag, std::int64_t id) const {
+  std::uint64_t id_state = static_cast<std::uint64_t>(id);
+  std::uint64_t state = (config_.seed ^ tag) ^ splitmix64(id_state);
+  return uniform_from_bits(splitmix64(state));
+}
+
+double FaultModel::straggler_factor(std::int64_t gcd) const {
+  ORBIT2_REQUIRE(gcd >= 0 && gcd < gcds_,
+                 "GCD index " << gcd << " out of range [0, " << gcds_ << ")");
+  return property_hash(kStragglerTag, gcd) < config_.straggler_fraction
+             ? config_.straggler_slowdown
+             : 1.0;
+}
+
+double FaultModel::step_slowdown() const {
+  for (std::int64_t g = 0; g < gcds_; ++g) {
+    if (straggler_factor(g) > 1.0) return config_.straggler_slowdown;
+  }
+  return 1.0;
+}
+
+std::int64_t FaultModel::straggler_count() const {
+  std::int64_t count = 0;
+  for (std::int64_t g = 0; g < gcds_; ++g) {
+    if (straggler_factor(g) > 1.0) ++count;
+  }
+  return count;
+}
+
+double FaultModel::link_bandwidth_factor(std::int64_t link) const {
+  ORBIT2_REQUIRE(link >= 0, "link index must be non-negative, got " << link);
+  return property_hash(kLinkTag, link) < config_.link_degrade_fraction
+             ? config_.link_degrade_factor
+             : 1.0;
+}
+
+double FaultModel::worst_link_factor() const {
+  // One injection link per node (8 GCDs per Frontier node).
+  const std::int64_t links = std::max<std::int64_t>(1, (gcds_ + 7) / 8);
+  double worst = 1.0;
+  for (std::int64_t l = 0; l < links; ++l) {
+    worst = std::min(worst, link_bandwidth_factor(l));
+  }
+  return worst;
+}
+
+double checkpoint_bytes(std::int64_t parameters) {
+  ORBIT2_REQUIRE(parameters >= 0,
+                 "parameter count must be non-negative, got " << parameters);
+  return static_cast<double>(parameters) * kStateBytesPerParam;
+}
+
+double checkpoint_write_seconds(std::int64_t parameters,
+                                const RecoveryCostConfig& recovery) {
+  ORBIT2_REQUIRE(recovery.write_bandwidth > 0.0,
+                 "write bandwidth must be positive");
+  return checkpoint_bytes(parameters) / recovery.write_bandwidth;
+}
+
+double checkpoint_read_seconds(std::int64_t parameters,
+                               const RecoveryCostConfig& recovery) {
+  ORBIT2_REQUIRE(recovery.read_bandwidth > 0.0,
+                 "read bandwidth must be positive");
+  return checkpoint_bytes(parameters) / recovery.read_bandwidth;
+}
+
+double recovery_seconds(std::int64_t parameters,
+                        const RecoveryCostConfig& recovery) {
+  return recovery.detect_seconds + recovery.restart_seconds +
+         checkpoint_read_seconds(parameters, recovery);
+}
+
+double expected_goodput(double interval_seconds, double checkpoint_seconds,
+                        double failure_rate, double recovery_seconds) {
+  ORBIT2_REQUIRE(interval_seconds > 0.0,
+                 "checkpoint interval must be positive, got "
+                     << interval_seconds);
+  ORBIT2_REQUIRE(checkpoint_seconds >= 0.0 && failure_rate >= 0.0 &&
+                     recovery_seconds >= 0.0,
+                 "costs and failure rate must be non-negative");
+  // One cycle does `tau` useful seconds in `tau + C` wall seconds; each
+  // failure (lambda per wall second) costs recovery plus on average half a
+  // cycle of replayed work.
+  const double cycle = interval_seconds + checkpoint_seconds;
+  const double failure_overhead =
+      failure_rate * (recovery_seconds + 0.5 * cycle);
+  return interval_seconds / (cycle * (1.0 + failure_overhead));
+}
+
+double young_daly_interval(double checkpoint_seconds, double failure_rate) {
+  ORBIT2_REQUIRE(checkpoint_seconds > 0.0 && failure_rate > 0.0,
+                 "Young/Daly needs positive checkpoint cost and failure rate");
+  return std::sqrt(2.0 * checkpoint_seconds / failure_rate);
+}
+
+std::vector<GoodputPoint> goodput_sweep(const FaultModel& faults,
+                                        const RecoveryCostConfig& recovery,
+                                        std::int64_t parameters,
+                                        const std::vector<double>& intervals) {
+  const double write_cost = checkpoint_write_seconds(parameters, recovery);
+  const double recover_cost = recovery_seconds(parameters, recovery);
+  const double rate = faults.failure_rate();
+  std::vector<GoodputPoint> points;
+  points.reserve(intervals.size());
+  for (double interval : intervals) {
+    GoodputPoint point;
+    point.interval_seconds = interval;
+    point.goodput = expected_goodput(interval, write_cost, rate, recover_cost);
+    points.push_back(point);
+  }
+  return points;
+}
+
+SimulatedRun simulate_run(FaultModel& faults,
+                          const RecoveryCostConfig& recovery,
+                          std::int64_t parameters, double interval_seconds,
+                          double useful_target_seconds) {
+  ORBIT2_REQUIRE(interval_seconds > 0.0,
+                 "checkpoint interval must be positive, got "
+                     << interval_seconds);
+  ORBIT2_REQUIRE(useful_target_seconds >= 0.0,
+                 "useful target must be non-negative, got "
+                     << useful_target_seconds);
+  const double slowdown = faults.step_slowdown();
+  const double write_cost = checkpoint_write_seconds(parameters, recovery);
+  const double recover_cost = recovery_seconds(parameters, recovery);
+
+  SimulatedRun run;
+  double ttf = faults.sample_time_to_failure();
+  double useful = 0.0;
+  while (useful < useful_target_seconds) {
+    // Next segment: up to one checkpoint interval of useful work (at the
+    // straggler-slowed wall rate) followed by a checkpoint write.
+    const double segment_useful =
+        std::min(interval_seconds, useful_target_seconds - useful);
+    const double segment_wall = segment_useful * slowdown + write_cost;
+    if (ttf >= segment_wall) {
+      // Segment survives; the failure clock keeps ticking into the next one.
+      run.wall_seconds += segment_wall;
+      ttf -= segment_wall;
+      useful += segment_useful;
+      ++run.checkpoints_written;
+    } else {
+      // Failure mid-segment: everything since the last checkpoint is lost.
+      run.wall_seconds += ttf + recover_cost;
+      run.lost_work_seconds += std::min(ttf, segment_useful * slowdown);
+      ++run.failures;
+      ttf = faults.sample_time_to_failure();
+    }
+  }
+  run.useful_seconds = useful;
+  return run;
+}
+
+}  // namespace orbit2::hwsim

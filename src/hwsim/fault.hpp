@@ -1,0 +1,164 @@
+#pragma once
+// Fault injection and recovery modeling for exascale training runs.
+//
+// ORBIT-2-scale jobs (up to 32,768 Frontier GCDs for hours) treat node
+// failure as the norm: with per-GCD exponential failures the job-level MTBF
+// shrinks as 1/n, so a multi-hour run *will* be interrupted. This module
+// layers a seeded, fully deterministic FaultModel onto the hardware model:
+// per-GCD exponential failures, hash-derived straggler slowdowns (every
+// synchronous collective waits for the slowest GCD), and degraded links.
+// On top sits a recovery-cost model (detect -> restart -> reload -> replay
+// lost work) and the resulting expected-goodput curve versus checkpoint
+// interval, which exhibits the classic Young/Daly interior optimum
+// tau* ~= sqrt(2 C / lambda). A discrete-event simulation of a full run
+// cross-checks the analytic curve from the same seeded failure stream.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace orbit2::hwsim {
+
+struct FaultModelConfig {
+  /// Per-GCD mean time between failures, seconds. Leadership-system fleets
+  /// see node-level interrupts every few hours at full scale; the default
+  /// puts a 32,768-GCD job's MTBF near one hour.
+  double gcd_mtbf_seconds = 1.0e8;
+  /// Fraction of GCDs running slow (thermal throttling, flaky HBM lanes).
+  double straggler_fraction = 0.01;
+  /// Step-time multiplier on a straggler GCD (>= 1).
+  double straggler_slowdown = 1.25;
+  /// Probability a given inter-node link is degraded, and the bandwidth
+  /// fraction it retains while flapping.
+  double link_degrade_fraction = 0.002;
+  double link_degrade_factor = 0.25;
+  std::uint64_t seed = 0xfa0175eedull;
+};
+
+/// Seeded failure/straggler/link model for a job spanning `gcds` GCDs.
+/// Everything is deterministic: the failure stream is a plain xoshiro
+/// stream, and per-GCD / per-link properties are pure hash functions of
+/// (seed, id), so two models with the same config agree everywhere.
+class FaultModel {
+ public:
+  explicit FaultModel(std::int64_t gcds, FaultModelConfig config = {});
+
+  std::int64_t gcds() const { return gcds_; }
+  const FaultModelConfig& config() const { return config_; }
+
+  /// Job-level failure rate (per second): any of the n GCDs failing kills
+  /// the synchronous step, so lambda = n / mtbf_gcd.
+  double failure_rate() const;
+  /// Job-level MTBF = 1 / failure_rate().
+  double mean_time_between_failures() const;
+
+  /// Draws the wall time to the next job-killing failure (exponential from
+  /// the seeded stream).
+  double sample_time_to_failure();
+
+  /// Restarts the failure stream from `seed` (per-GCD/per-link properties
+  /// are unaffected; they depend only on the config seed).
+  void reseed(std::uint64_t seed);
+
+  /// Deterministic per-GCD slowdown factor: 1 for healthy GCDs,
+  /// `straggler_slowdown` for the hash-selected straggler set.
+  double straggler_factor(std::int64_t gcd) const;
+  /// Synchronous-step slowdown for the whole job: every collective waits
+  /// for the slowest participant, so this is the max over all GCDs.
+  double step_slowdown() const;
+  /// Count of stragglers in the job (diagnostics; O(n)).
+  std::int64_t straggler_count() const;
+
+  /// Deterministic per-link bandwidth factor in (0, 1]: 1 for healthy
+  /// links, `link_degrade_factor` for the hash-selected degraded set.
+  double link_bandwidth_factor(std::int64_t link) const;
+  /// Slowest-link factor across the job's inter-node links (one injection
+  /// link per node).
+  double worst_link_factor() const;
+
+ private:
+  /// Uniform [0,1) hash of (config seed, stream tag, id).
+  double property_hash(std::uint64_t tag, std::int64_t id) const;
+
+  std::int64_t gcds_;
+  FaultModelConfig config_;
+  Rng failure_rng_;
+};
+
+/// Cost of getting a failed job back to the last optimizer step.
+struct RecoveryCostConfig {
+  /// Failure detection (collective timeout) before anyone reacts.
+  double detect_seconds = 30.0;
+  /// Scheduler relaunch + process/comm re-initialization.
+  double restart_seconds = 180.0;
+  /// Aggregate parallel-filesystem bandwidths the job achieves for
+  /// checkpoint write/read (bytes/s).
+  double write_bandwidth = 50.0e9;
+  double read_bandwidth = 100.0e9;
+};
+
+/// Full-state checkpoint payload: fp32 parameters plus the two fp32 AdamW
+/// moment buffers (metadata is noise at this scale).
+double checkpoint_bytes(std::int64_t parameters);
+
+/// Seconds to write / read one full-state checkpoint.
+double checkpoint_write_seconds(std::int64_t parameters,
+                                const RecoveryCostConfig& recovery);
+double checkpoint_read_seconds(std::int64_t parameters,
+                               const RecoveryCostConfig& recovery);
+
+/// Mean wall cost of one failure, excluding replayed work: detect +
+/// restart + checkpoint reload.
+double recovery_seconds(std::int64_t parameters,
+                        const RecoveryCostConfig& recovery);
+
+/// Expected fraction of wall time spent on useful training when
+/// checkpointing every `interval_seconds` of useful work costs
+/// `checkpoint_seconds` and failures arrive at `failure_rate` per second:
+///   goodput(tau) = tau / ((tau + C) * (1 + lambda * (R + (tau + C) / 2))).
+/// Small tau wastes time writing checkpoints; large tau replays too much
+/// lost work — the interior optimum is the Young/Daly tradeoff.
+double expected_goodput(double interval_seconds, double checkpoint_seconds,
+                        double failure_rate, double recovery_seconds);
+
+/// Young/Daly optimal checkpoint interval sqrt(2 C / lambda).
+double young_daly_interval(double checkpoint_seconds, double failure_rate);
+
+struct GoodputPoint {
+  double interval_seconds = 0.0;
+  double goodput = 0.0;  // expected useful fraction, 0..1
+};
+
+/// Analytic goodput at each checkpoint interval (same formula as
+/// `expected_goodput`; convenience for sweeps/benches).
+std::vector<GoodputPoint> goodput_sweep(const FaultModel& faults,
+                                        const RecoveryCostConfig& recovery,
+                                        std::int64_t parameters,
+                                        const std::vector<double>& intervals);
+
+/// Outcome of a simulated run (discrete-event, seeded by the FaultModel).
+struct SimulatedRun {
+  double wall_seconds = 0.0;
+  double useful_seconds = 0.0;
+  std::int64_t failures = 0;
+  std::int64_t checkpoints_written = 0;
+  double lost_work_seconds = 0.0;
+
+  double goodput() const {
+    return wall_seconds > 0.0 ? useful_seconds / wall_seconds : 0.0;
+  }
+};
+
+/// Simulates a run needing `useful_target_seconds` of training under the
+/// model's failure stream: work proceeds at the straggler-slowed rate,
+/// a checkpoint (costing `checkpoint_seconds`) is written after every
+/// `interval_seconds` of useful work, and each failure pays
+/// detect + restart + reload and replays everything since the last
+/// checkpoint. Deterministic for a given FaultModel stream state.
+SimulatedRun simulate_run(FaultModel& faults,
+                          const RecoveryCostConfig& recovery,
+                          std::int64_t parameters, double interval_seconds,
+                          double useful_target_seconds);
+
+}  // namespace orbit2::hwsim

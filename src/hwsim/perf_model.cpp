@@ -35,7 +35,8 @@ StepTimeBreakdown estimate_step(const WorkloadSpec& spec,
   // the tokens resident on this instance.
   if (plan.tensor_parallel > 1) {
     const double act_bytes = static_cast<double>(costs.trunk_tokens_per_tile) /
-                             plan.sequence_shard * c.embed_dim * 2.0;
+                             static_cast<double>(plan.sequence_shard) *
+                             static_cast<double>(c.embed_dim) * 2.0;
     comm += 2.0 * static_cast<double>(c.layers) *
             allreduce_time(topo, act_bytes, plan.tensor_parallel);
   }
@@ -54,10 +55,12 @@ StepTimeBreakdown estimate_step(const WorkloadSpec& spec,
   // TILES halo exchange: each tile sends/receives its halo strip once.
   if (plan.tiles > 1) {
     const double halo_pixels =
-        4.0 * std::sqrt(static_cast<double>(spec.lr_h) * spec.lr_w /
+        4.0 * std::sqrt(static_cast<double>(spec.lr_h) *
+                        static_cast<double>(spec.lr_w) /
                         static_cast<double>(plan.tiles)) *
         2.0;  // perimeter x halo width 2
-    comm += p2p_time(topo, halo_pixels * c.in_channels * 2.0, true);
+    comm += p2p_time(
+        topo, halo_pixels * static_cast<double>(c.in_channels) * 2.0, true);
   }
   // Gradient all-reduce once per batch across TILES x DDP replicas,
   // amortized over the per-replica batch (the paper's "minimal
@@ -65,9 +68,11 @@ StepTimeBreakdown estimate_step(const WorkloadSpec& spec,
   constexpr double kBatchPerReplica = 8.0;
   const std::int64_t replicas = plan.tiles * plan.ddp;
   if (replicas > 1) {
-    comm += allreduce_time(topo,
-                           param_bytes / (plan.tensor_parallel * plan.fsdp),
-                           replicas) /
+    comm += allreduce_time(
+                topo,
+                param_bytes /
+                    static_cast<double>(plan.tensor_parallel * plan.fsdp),
+                replicas) /
             kBatchPerReplica;
   }
   // Communication overlaps with compute (FSDP prefetch, bucketed DDP

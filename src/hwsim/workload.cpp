@@ -70,14 +70,23 @@ WorkloadCosts analyze_workload(const WorkloadSpec& spec) {
 
   const double d = static_cast<double>(c.embed_dim);
   const double layers = static_cast<double>(c.layers);
+  // Grid/channel counts as doubles once, so the mixed arithmetic below stays
+  // -Wconversion-clean.
+  const double lr_h = static_cast<double>(spec.lr_h);
+  const double lr_w = static_cast<double>(spec.lr_w);
+  const double hr_pixels =
+      static_cast<double>(spec.hr_h()) * static_cast<double>(spec.hr_w());
+  const double p2 = static_cast<double>(c.patch * c.patch);
+  const double in_ch = static_cast<double>(c.in_channels);
+  const double out_ch = static_cast<double>(c.out_channels);
+  const double tiles = static_cast<double>(spec.tiles);
 
   // Tokens entering the trunk.
   double trunk_tokens = 0.0;
   switch (c.architecture) {
     case model::Architecture::kReslim:
       // LR grid, channel-aggregated to one stream, then compressed.
-      trunk_tokens = static_cast<double>(spec.lr_h) * spec.lr_w /
-                     (c.patch * c.patch) / spec.compression;
+      trunk_tokens = lr_h * lr_w / p2 / spec.compression;
       break;
     case model::Architecture::kViTBaseline:
       // HR grid, per-output-channel streams (Fig 1 accounting).
@@ -88,44 +97,38 @@ WorkloadCosts analyze_workload(const WorkloadSpec& spec) {
   // fixed-width halos); this is the overhead that makes >16 tiles per
   // sample counterproductive in Table II(b).
   const double halo_inflation = spec.tiles > 1 ? 1.21 : 1.0;
-  const double tokens_per_tile =
-      trunk_tokens / static_cast<double>(spec.tiles) * halo_inflation;
+  const double tokens_per_tile = trunk_tokens / tiles * halo_inflation;
   costs.trunk_tokens_per_tile = static_cast<std::int64_t>(tokens_per_tile);
 
   // ---- FLOPs (whole sample, all tiles) -----------------------------------
   // Trunk GEMMs: per token per layer, 2 * (4 D^2 attn proj + 2*ratio D^2
   // MLP) multiply-adds = 2 flops each.
   const double gemm_flops_per_token =
-      layers * 2.0 * (4.0 * d * d + 2.0 * c.mlp_ratio * d * d);
+      layers * 2.0 *
+      (4.0 * d * d + 2.0 * static_cast<double>(c.mlp_ratio) * d * d);
   // Attention scores: window = tokens in the same tile.
-  const double worked_tokens = tokens_per_tile * static_cast<double>(spec.tiles);
+  const double worked_tokens = tokens_per_tile * tiles;
   const double attn_flops =
       layers * 4.0 * worked_tokens * tokens_per_tile * d;
   double fwd = worked_tokens * gemm_flops_per_token + attn_flops;
 
   if (c.architecture == model::Architecture::kReslim) {
     // Channel aggregation runs on V*P uncompressed LR tokens.
-    const double agg_tokens = static_cast<double>(c.in_channels) * spec.lr_h *
-                              spec.lr_w / (c.patch * c.patch);
+    const double agg_tokens = in_ch * lr_h * lr_w / p2;
     fwd += agg_tokens * 2.0 * (2.0 * d * d);  // Wk, Wv projections
     // Decoder projection per uncompressed token.
-    const double dec_out =
-        static_cast<double>(c.patch * c.patch) * c.upscale * c.upscale *
-        c.out_channels;
-    fwd += static_cast<double>(spec.lr_h) * spec.lr_w / (c.patch * c.patch) *
-           2.0 * d * dec_out;
+    const double dec_out = p2 * static_cast<double>(c.upscale) *
+                           static_cast<double>(c.upscale) * out_ch;
+    fwd += lr_h * lr_w / p2 * 2.0 * d * dec_out;
     // Residual + refinement convs: linear in pixels, 3x3 kernels.
-    const double hr_pixels = static_cast<double>(spec.hr_h()) * spec.hr_w();
-    const double lr_pixels = static_cast<double>(spec.lr_h) * spec.lr_w;
+    const double lr_pixels = lr_h * lr_w;
+    const double hidden = static_cast<double>(c.residual_hidden);
     fwd += 2.0 * 9.0 *
-           (lr_pixels * c.in_channels * c.residual_hidden +
-            lr_pixels * c.residual_hidden * c.out_channels +
-            2.0 * hr_pixels * c.out_channels * c.out_channels);
+           (lr_pixels * in_ch * hidden + lr_pixels * hidden * out_ch +
+            2.0 * hr_pixels * out_ch * out_ch);
   } else {
-    const double hr_pixels = static_cast<double>(spec.hr_h()) * spec.hr_w();
-    fwd += 2.0 * 9.0 * hr_pixels * c.in_channels * 8.0;     // channel conv
-    fwd += trunk_tokens * 2.0 * d *
-           (c.patch * c.patch * c.out_channels);             // decoder
+    fwd += 2.0 * 9.0 * hr_pixels * in_ch * 8.0;              // channel conv
+    fwd += trunk_tokens * 2.0 * d * (p2 * out_ch);           // decoder
   }
 
   costs.forward_flops = fwd;
@@ -141,15 +144,11 @@ WorkloadCosts analyze_workload(const WorkloadSpec& spec) {
         layers * static_cast<double>(c.heads) * tokens_per_tile *
         tokens_per_tile * 2.0 * kActBytes;
   }
-  const double hr_pixels_per_tile =
-      static_cast<double>(spec.hr_h()) * spec.hr_w() /
-      static_cast<double>(spec.tiles);
-  const double lr_pixels_per_tile =
-      static_cast<double>(spec.lr_h) * spec.lr_w /
-      static_cast<double>(spec.tiles);
+  const double hr_pixels_per_tile = hr_pixels / tiles;
+  const double lr_pixels_per_tile = lr_h * lr_w / tiles;
   costs.io_bytes_per_tile =
-      hr_pixels_per_tile * c.out_channels * 4.0 * kOutputCopies +
-      lr_pixels_per_tile * c.in_channels * 4.0 * 2.0;
+      hr_pixels_per_tile * out_ch * 4.0 * kOutputCopies +
+      lr_pixels_per_tile * in_ch * 4.0 * 2.0;
   return costs;
 }
 

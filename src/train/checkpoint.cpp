@@ -1,65 +1,457 @@
 #include "train/checkpoint.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <unordered_map>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "core/crc32.hpp"
 
 namespace orbit2::train {
 
 namespace {
-constexpr char kMagic[4] = {'O', '2', 'C', 'K'};
 
-void write_string(std::ofstream& out, const std::string& s) {
-  const auto len = static_cast<std::uint32_t>(s.size());
-  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+constexpr char kMagicV1[4] = {'O', '2', 'C', 'K'};
+constexpr char kMagicV2[4] = {'O', '2', 'K', '2'};
+constexpr std::uint32_t kFormatVersion = 2;
+constexpr std::uint32_t kTrainStateVersion = 1;
+constexpr std::uint32_t kMaxNameLen = 4096;
+constexpr std::uint8_t kEntryTensor = 0;
+constexpr std::uint8_t kEntryBlob = 1;
+
+const char* kParamPrefix = "param/";
+const char* kMomentMPrefix = "adamw/m/";
+const char* kMomentVPrefix = "adamw/v/";
+const char* kTrainStateEntry = "train_state";
+
+bool has_prefix(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         std::equal(prefix.begin(), prefix.end(), s.begin());
 }
 
-std::string read_string(std::ifstream& in) {
-  std::uint32_t len = 0;
-  in.read(reinterpret_cast<char*>(&len), sizeof(len));
-  std::string s(len, '\0');
-  in.read(s.data(), len);
-  return s;
-}
-}  // namespace
+// ---- Serialization helpers ------------------------------------------------
 
-void save_checkpoint(const std::string& path, const autograd::Module& module) {
-  const auto params = module.parameters();
-  std::ofstream out(path, std::ios::binary);
-  ORBIT2_REQUIRE(out.good(), "cannot open " << path << " for writing");
-  out.write(kMagic, sizeof(kMagic));
-  const auto count = static_cast<std::uint32_t>(params.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const auto& p : params) {
-    write_string(out, p->name);
-    const auto numel = static_cast<std::uint64_t>(p->value.numel());
-    out.write(reinterpret_cast<const char*>(&numel), sizeof(numel));
-    out.write(reinterpret_cast<const char*>(p->value.data().data()),
-              static_cast<std::streamsize>(numel * sizeof(float)));
+// Streams bytes to the file while folding them into the whole-file CRC and,
+// when an entry is open, the per-entry CRC.
+class CrcWriter {
+ public:
+  explicit CrcWriter(std::ofstream& out) : out_(out) {}
+
+  void write(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    ORBIT2_REQUIRE(out_.good(), "short checkpoint write");
+    file_crc_.update(data, size);
+    if (in_entry_) entry_crc_.update(data, size);
   }
-  ORBIT2_REQUIRE(out.good(), "short write to " << path);
+
+  template <typename T>
+  void write_pod(const T& value) {
+    write(&value, sizeof(T));
+  }
+
+  void write_string(const std::string& s) {
+    ORBIT2_REQUIRE(s.size() <= kMaxNameLen, "entry name too long");
+    write_pod(static_cast<std::uint32_t>(s.size()));
+    write(s.data(), s.size());
+  }
+
+  void begin_entry() {
+    in_entry_ = true;
+    entry_crc_.reset();
+  }
+  /// Closes the entry: appends its CRC (the CRC bytes themselves count only
+  /// toward the file CRC).
+  void end_entry() {
+    in_entry_ = false;
+    write_pod(entry_crc_.value());
+  }
+
+  std::uint32_t file_crc() const { return file_crc_.value(); }
+
+ private:
+  std::ofstream& out_;
+  Crc32 file_crc_;
+  Crc32 entry_crc_;
+  bool in_entry_ = false;
+};
+
+// Reads bytes with (a) stream-state checks after every read, (b) a running
+// remaining-byte budget so any declared length is bounds-checked *before*
+// allocation, and (c) file/entry CRC accumulation mirroring CrcWriter.
+class CrcReader {
+ public:
+  CrcReader(std::ifstream& in, std::uint64_t payload_bytes,
+            const std::string& path)
+      : in_(in), remaining_(payload_bytes), path_(path) {}
+
+  std::uint64_t remaining() const { return remaining_; }
+
+  void read(void* data, std::size_t size) {
+    ORBIT2_REQUIRE(size <= remaining_,
+                   "truncated checkpoint " << path_ << ": need " << size
+                                           << " bytes, " << remaining_
+                                           << " remain");
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    ORBIT2_REQUIRE(in_.good(), "read failure in checkpoint " << path_);
+    remaining_ -= size;
+    file_crc_.update(data, size);
+    if (in_entry_) entry_crc_.update(data, size);
+  }
+
+  template <typename T>
+  T read_pod() {
+    T value{};
+    read(&value, sizeof(T));
+    return value;
+  }
+
+  std::string read_string() {
+    const auto len = read_pod<std::uint32_t>();
+    ORBIT2_REQUIRE(len <= kMaxNameLen,
+                   "entry name length " << len << " exceeds limit "
+                                        << kMaxNameLen << " in " << path_);
+    std::string s(len, '\0');
+    read(s.data(), len);
+    return s;
+  }
+
+  /// Consumes `size` bytes in bounded chunks (CRC only, no allocation
+  /// proportional to `size`).
+  void skip(std::uint64_t size) {
+    char buffer[4096];
+    while (size > 0) {
+      const std::size_t chunk =
+          static_cast<std::size_t>(std::min<std::uint64_t>(size, sizeof(buffer)));
+      read(buffer, chunk);
+      size -= chunk;
+    }
+  }
+
+  void begin_entry() {
+    in_entry_ = true;
+    entry_crc_.reset();
+  }
+  void end_entry(const std::string& name) {
+    in_entry_ = false;
+    const std::uint32_t expected = entry_crc_.value();
+    const auto stored = read_pod<std::uint32_t>();
+    ORBIT2_REQUIRE(stored == expected,
+                   "CRC mismatch for checkpoint entry '"
+                       << name << "' in " << path_ << " (payload corrupt)");
+  }
+
+  std::uint32_t file_crc() const { return file_crc_.value(); }
+
+ private:
+  std::ifstream& in_;
+  std::uint64_t remaining_;
+  const std::string& path_;
+  Crc32 file_crc_;
+  Crc32 entry_crc_;
+  bool in_entry_ = false;
+};
+
+std::uint64_t file_size_of(std::ifstream& in, const std::string& path) {
+  in.seekg(0, std::ios::end);
+  ORBIT2_REQUIRE(in.good(), "cannot stat " << path);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  ORBIT2_REQUIRE(in.good() && size >= 0, "cannot stat " << path);
+  return static_cast<std::uint64_t>(size);
 }
 
-void load_checkpoint(const std::string& path, const autograd::Module& module) {
-  std::ifstream in(path, std::ios::binary);
-  ORBIT2_REQUIRE(in.good(), "cannot open " << path);
+void write_train_state(CrcWriter& writer, const TrainState& state) {
+  writer.write_pod(kTrainStateVersion);
+  writer.write_pod(state.global_step);
+  writer.write_pod(state.epoch);
+  writer.write_pod(state.sample_cursor);
+  writer.write_pod(state.optimizer_steps);
+  writer.write_pod(state.scaler_scale);
+  writer.write_pod(state.scaler_good_steps);
+  writer.write_pod(state.scaler_skipped);
+  writer.write_pod(static_cast<std::uint8_t>(state.has_rng ? 1 : 0));
+  for (std::uint64_t word : state.data_rng.words) writer.write_pod(word);
+  writer.write_pod(state.data_rng.cached_normal_bits);
+  writer.write_pod(
+      static_cast<std::uint8_t>(state.data_rng.has_cached_normal ? 1 : 0));
+  writer.write_pod(state.metric);
+}
+
+TrainState read_train_state(CrcReader& reader, const std::string& path) {
+  const auto version = reader.read_pod<std::uint32_t>();
+  ORBIT2_REQUIRE(version == kTrainStateVersion,
+                 "unsupported train-state version " << version << " in "
+                                                    << path);
+  TrainState state;
+  state.global_step = reader.read_pod<std::int64_t>();
+  state.epoch = reader.read_pod<std::int64_t>();
+  state.sample_cursor = reader.read_pod<std::int64_t>();
+  state.optimizer_steps = reader.read_pod<std::int64_t>();
+  state.scaler_scale = reader.read_pod<float>();
+  state.scaler_good_steps = reader.read_pod<std::int64_t>();
+  state.scaler_skipped = reader.read_pod<std::int64_t>();
+  state.has_rng = reader.read_pod<std::uint8_t>() != 0;
+  for (std::uint64_t& word : state.data_rng.words) {
+    word = reader.read_pod<std::uint64_t>();
+  }
+  state.data_rng.cached_normal_bits = reader.read_pod<std::uint64_t>();
+  state.data_rng.has_cached_normal = reader.read_pod<std::uint8_t>() != 0;
+  state.metric = reader.read_pod<double>();
+  ORBIT2_REQUIRE(state.global_step >= 0 && state.epoch >= 0 &&
+                     state.sample_cursor >= 0 && state.optimizer_steps >= 0,
+                 "negative counters in train state of " << path);
+  return state;
+}
+
+void write_tensor_entry(CrcWriter& writer, const std::string& name,
+                        const Tensor& tensor) {
+  writer.begin_entry();
+  writer.write_string(name);
+  writer.write_pod(kEntryTensor);
+  const Shape& shape = tensor.shape();
+  writer.write_pod(static_cast<std::uint8_t>(shape.rank()));
+  for (int axis = 0; axis < shape.rank(); ++axis) {
+    writer.write_pod(shape[axis]);
+  }
+  writer.write(tensor.data().data(),
+               static_cast<std::size_t>(tensor.numel()) * sizeof(float));
+  writer.end_entry();
+}
+
+// Writes the whole v2 body to an already-open stream.
+void write_v2_body(std::ofstream& out, const autograd::Module& module,
+                   const autograd::AdamW* optimizer, const TrainState* state) {
+  const auto params = module.parameters();
+  if (optimizer != nullptr) {
+    ORBIT2_REQUIRE(optimizer->first_moments().size() == params.size(),
+                   "optimizer tracks " << optimizer->first_moments().size()
+                                       << " parameters, module has "
+                                       << params.size());
+  }
+  CrcWriter writer(out);
+  writer.write(kMagicV2, sizeof(kMagicV2));
+  writer.write_pod(kFormatVersion);
+  std::uint64_t entries = params.size();
+  if (optimizer != nullptr) entries += 2 * params.size();
+  if (state != nullptr) entries += 1;
+  writer.write_pod(entries);
+
+  for (const auto& p : params) {
+    write_tensor_entry(writer, kParamPrefix + p->name, p->value);
+  }
+  if (optimizer != nullptr) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      write_tensor_entry(writer, kMomentMPrefix + params[i]->name,
+                         optimizer->first_moments()[i]);
+      write_tensor_entry(writer, kMomentVPrefix + params[i]->name,
+                         optimizer->second_moments()[i]);
+    }
+  }
+  if (state != nullptr) {
+    writer.begin_entry();
+    writer.write_string(kTrainStateEntry);
+    writer.write_pod(kEntryBlob);
+    write_train_state(writer, *state);
+    writer.end_entry();
+  }
+  const std::uint32_t crc = writer.file_crc();
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  ORBIT2_REQUIRE(out.good(), "short checkpoint write");
+}
+
+// Writes `path` atomically: body goes to `path.tmp`, which is flushed,
+// fsynced, and renamed over `path`; the directory entry is fsynced too.
+// On any failure the temp file is removed and the original is untouched.
+template <typename WriteBody>
+void atomic_write(const std::string& path, WriteBody&& write_body) {
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    ORBIT2_REQUIRE(out.good(), "cannot open " << tmp << " for writing");
+    write_body(out);
+    out.flush();
+    ORBIT2_REQUIRE(out.good(), "flush failure writing " << tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  ORBIT2_REQUIRE(fd >= 0, "cannot reopen " << tmp << " for fsync");
+  const int fsync_rc = ::fsync(fd);
+  ::close(fd);
+  if (fsync_rc != 0) {
+    std::remove(tmp.c_str());
+    ORBIT2_FAIL("fsync failed for " << tmp);
+  }
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    ORBIT2_FAIL("cannot rename " << tmp << " to " << path);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Make the rename itself durable.
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int dir_fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+#endif
+}
+
+// ---- v2 reading -----------------------------------------------------------
+
+struct LoadedTensor {
+  Shape shape;
+  std::vector<float> payload;  // empty when peeking
+};
+
+// Walks every entry of an open v2 stream, verifying entry CRCs and the
+// whole-file CRC. When `materialize` is false, tensor payloads are
+// checksummed in bounded chunks and dropped.
+CheckpointInfo read_v2(std::ifstream& in, std::uint64_t file_size,
+                       const std::string& path, bool materialize,
+                       std::unordered_map<std::string, LoadedTensor>* tensors) {
+  ORBIT2_REQUIRE(file_size >= sizeof(kMagicV2) + sizeof(std::uint32_t) +
+                                  sizeof(std::uint64_t) + sizeof(std::uint32_t),
+                 "checkpoint " << path << " too small to be valid");
+  // Everything before the trailing file CRC is the reader's byte budget.
+  CrcReader reader(in, file_size - sizeof(std::uint32_t), path);
+
   char magic[4] = {};
-  in.read(magic, sizeof(magic));
-  ORBIT2_REQUIRE(std::equal(magic, magic + 4, kMagic),
-                 "not an ORBIT-2 checkpoint: " << path);
+  reader.read(magic, sizeof(magic));
+  ORBIT2_CHECK(std::equal(magic, magic + 4, kMagicV2), "v2 magic re-read");
+  const auto version = reader.read_pod<std::uint32_t>();
+  ORBIT2_REQUIRE(version == kFormatVersion,
+                 "unsupported checkpoint version " << version << " in "
+                                                   << path);
+  const auto entry_count = reader.read_pod<std::uint64_t>();
+  // Each entry costs at least name_len + type + crc bytes.
+  ORBIT2_REQUIRE(entry_count <= reader.remaining() / 9,
+                 "implausible entry count " << entry_count << " in " << path);
+
+  CheckpointInfo info;
+  info.version = 2;
+  for (std::uint64_t e = 0; e < entry_count; ++e) {
+    reader.begin_entry();
+    const std::string name = reader.read_string();
+    const auto type = reader.read_pod<std::uint8_t>();
+    if (type == kEntryTensor) {
+      const auto rank = reader.read_pod<std::uint8_t>();
+      ORBIT2_REQUIRE(rank <= Shape::kMaxRank,
+                     "entry '" << name << "' rank " << int{rank}
+                               << " exceeds max " << Shape::kMaxRank);
+      Shape shape;
+      {
+        std::array<std::int64_t, Shape::kMaxRank> dims{};
+        for (int axis = 0; axis < int{rank}; ++axis) {
+          dims[static_cast<std::size_t>(axis)] =
+              reader.read_pod<std::int64_t>();
+          ORBIT2_REQUIRE(dims[static_cast<std::size_t>(axis)] >= 0,
+                         "negative dimension in entry '" << name << "'");
+        }
+        switch (rank) {
+          case 0: shape = Shape{}; break;
+          case 1: shape = Shape{dims[0]}; break;
+          case 2: shape = Shape{dims[0], dims[1]}; break;
+          case 3: shape = Shape{dims[0], dims[1], dims[2]}; break;
+          default: shape = Shape{dims[0], dims[1], dims[2], dims[3]}; break;
+        }
+      }
+      // numel() is overflow-checked; bound the payload by the bytes that
+      // actually remain in the file BEFORE allocating anything.
+      const std::uint64_t numel = static_cast<std::uint64_t>(shape.numel());
+      ORBIT2_REQUIRE(numel <= reader.remaining() / sizeof(float),
+                     "entry '" << name << "' declares " << numel
+                               << " elements but only " << reader.remaining()
+                               << " bytes remain in " << path);
+      LoadedTensor loaded;
+      loaded.shape = shape;
+      if (materialize) {
+        loaded.payload.resize(static_cast<std::size_t>(numel));
+        reader.read(loaded.payload.data(),
+                    static_cast<std::size_t>(numel) * sizeof(float));
+      } else {
+        reader.skip(numel * sizeof(float));
+      }
+      reader.end_entry(name);
+      if (tensors != nullptr) {
+        ORBIT2_REQUIRE(tensors->emplace(name, std::move(loaded)).second,
+                       "duplicate checkpoint entry '" << name << "' in "
+                                                      << path);
+      }
+    } else if (type == kEntryBlob) {
+      ORBIT2_REQUIRE(name == kTrainStateEntry,
+                     "unknown blob entry '" << name << "' in " << path);
+      ORBIT2_REQUIRE(!info.has_train_state,
+                     "duplicate checkpoint entry '" << name << "' in "
+                                                    << path);
+      info.state = read_train_state(reader, path);
+      info.has_train_state = true;
+      reader.end_entry(name);
+    } else {
+      ORBIT2_FAIL("unknown entry type " << int{type} << " for '" << name
+                                        << "' in " << path);
+    }
+  }
+  ORBIT2_REQUIRE(reader.remaining() == 0,
+                 "trailing garbage in checkpoint " << path);
+  const std::uint32_t expected = reader.file_crc();
+  std::uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  ORBIT2_REQUIRE(in.good(), "read failure in checkpoint " << path);
+  ORBIT2_REQUIRE(stored == expected,
+                 "whole-file CRC mismatch in " << path);
+  return info;
+}
+
+// Legacy v1: magic, u32 count, then (name, u64 numel, f32 payload) triples.
+// No shapes, no checksums; lengths are still bounded by the file size
+// before any allocation.
+void read_v1(std::ifstream& in, std::uint64_t file_size,
+             const std::string& path, const autograd::Module& module) {
+  std::uint64_t remaining = file_size - sizeof(kMagicV1);
+  auto bounded_read = [&](void* data, std::size_t size) {
+    ORBIT2_REQUIRE(size <= remaining, "truncated checkpoint " << path);
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    ORBIT2_REQUIRE(in.good(), "read failure in checkpoint " << path);
+    remaining -= size;
+  };
+
   std::uint32_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  bounded_read(&count, sizeof(count));
 
   std::unordered_map<std::string, std::vector<float>> entries;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::string name = read_string(in);
+    std::uint32_t len = 0;
+    bounded_read(&len, sizeof(len));
+    ORBIT2_REQUIRE(len <= kMaxNameLen,
+                   "entry name length " << len << " exceeds limit "
+                                        << kMaxNameLen << " in " << path);
+    std::string name(len, '\0');
+    bounded_read(name.data(), len);
     std::uint64_t numel = 0;
-    in.read(reinterpret_cast<char*>(&numel), sizeof(numel));
-    std::vector<float> payload(numel);
-    in.read(reinterpret_cast<char*>(payload.data()),
-            static_cast<std::streamsize>(numel * sizeof(float)));
-    ORBIT2_REQUIRE(in.good(), "corrupt checkpoint at entry " << name);
+    bounded_read(&numel, sizeof(numel));
+    ORBIT2_REQUIRE(numel <= remaining / sizeof(float),
+                   "entry '" << name << "' declares " << numel
+                             << " elements but only " << remaining
+                             << " bytes remain in " << path);
+    std::vector<float> payload(static_cast<std::size_t>(numel));
+    bounded_read(payload.data(),
+                 static_cast<std::size_t>(numel) * sizeof(float));
     ORBIT2_REQUIRE(entries.emplace(name, std::move(payload)).second,
                    "duplicate checkpoint entry " << name);
   }
@@ -76,6 +468,166 @@ void load_checkpoint(const std::string& path, const autograd::Module& module) {
                        p->value.numel(),
                    "size mismatch for " << p->name);
     std::copy(it->second.begin(), it->second.end(), p->value.data().begin());
+  }
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const autograd::Module& module,
+                     const autograd::AdamW* optimizer,
+                     const TrainState* state) {
+  atomic_write(path, [&](std::ofstream& out) {
+    write_v2_body(out, module, optimizer, state);
+  });
+}
+
+CheckpointInfo load_checkpoint(const std::string& path,
+                               autograd::Module& module,
+                               autograd::AdamW* optimizer) {
+  std::ifstream in(path, std::ios::binary);
+  ORBIT2_REQUIRE(in.good(), "cannot open " << path);
+  const std::uint64_t file_size = file_size_of(in, path);
+  ORBIT2_REQUIRE(file_size >= sizeof(kMagicV1),
+                 "checkpoint " << path << " too small to be valid");
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  ORBIT2_REQUIRE(in.good(), "read failure in checkpoint " << path);
+
+  if (std::equal(magic, magic + 4, kMagicV1)) {
+    read_v1(in, file_size, path, module);
+    CheckpointInfo info;
+    info.version = 1;
+    return info;
+  }
+  ORBIT2_REQUIRE(std::equal(magic, magic + 4, kMagicV2),
+                 "not an ORBIT-2 checkpoint: " << path);
+  in.seekg(0, std::ios::beg);
+  ORBIT2_REQUIRE(in.good(), "cannot rewind " << path);
+
+  std::unordered_map<std::string, LoadedTensor> tensors;
+  CheckpointInfo info =
+      read_v2(in, file_size, path, /*materialize=*/true, &tensors);
+
+  const auto params = module.parameters();
+  std::size_t param_entries = 0;
+  for (const auto& [name, tensor] : tensors) {
+    if (has_prefix(name, kParamPrefix)) ++param_entries;
+  }
+  ORBIT2_REQUIRE(param_entries == params.size(),
+                 "checkpoint has " << param_entries
+                                   << " parameter entries, model has "
+                                   << params.size());
+  for (const auto& p : params) {
+    auto it = tensors.find(kParamPrefix + p->name);
+    ORBIT2_REQUIRE(it != tensors.end(),
+                   "checkpoint missing parameter " << p->name);
+    ORBIT2_REQUIRE(it->second.shape == p->value.shape(),
+                   "shape mismatch for " << p->name << ": checkpoint "
+                                         << it->second.shape.to_string()
+                                         << " vs model "
+                                         << p->value.shape().to_string());
+    std::copy(it->second.payload.begin(), it->second.payload.end(),
+              p->value.data().begin());
+  }
+
+  const bool has_moments =
+      !params.empty() &&
+      tensors.find(kMomentMPrefix + params.front()->name) != tensors.end();
+  info.has_optimizer_state = has_moments;
+  if (optimizer != nullptr && has_moments) {
+    std::vector<Tensor> m;
+    std::vector<Tensor> v;
+    m.reserve(params.size());
+    v.reserve(params.size());
+    for (const auto& p : params) {
+      for (const char* prefix : {kMomentMPrefix, kMomentVPrefix}) {
+        auto it = tensors.find(prefix + p->name);
+        ORBIT2_REQUIRE(it != tensors.end(),
+                       "checkpoint missing optimizer moment for " << p->name);
+        ORBIT2_REQUIRE(it->second.shape == p->value.shape(),
+                       "moment shape mismatch for " << p->name);
+        Tensor tensor(it->second.shape);
+        std::copy(it->second.payload.begin(), it->second.payload.end(),
+                  tensor.data().begin());
+        (prefix == kMomentMPrefix ? m : v).push_back(std::move(tensor));
+      }
+    }
+    ORBIT2_REQUIRE(info.has_train_state,
+                   "checkpoint " << path
+                                 << " has moments but no train state");
+    optimizer->restore(info.state.optimizer_steps, m, v);
+  }
+  return info;
+}
+
+CheckpointInfo peek_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ORBIT2_REQUIRE(in.good(), "cannot open " << path);
+  const std::uint64_t file_size = file_size_of(in, path);
+  ORBIT2_REQUIRE(file_size >= sizeof(kMagicV2),
+                 "checkpoint " << path << " too small to be valid");
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  ORBIT2_REQUIRE(in.good(), "read failure in checkpoint " << path);
+  if (std::equal(magic, magic + 4, kMagicV1)) {
+    CheckpointInfo info;
+    info.version = 1;
+    return info;
+  }
+  ORBIT2_REQUIRE(std::equal(magic, magic + 4, kMagicV2),
+                 "not an ORBIT-2 checkpoint: " << path);
+  in.seekg(0, std::ios::beg);
+  ORBIT2_REQUIRE(in.good(), "cannot rewind " << path);
+  std::unordered_map<std::string, LoadedTensor> tensors;
+  CheckpointInfo info =
+      read_v2(in, file_size, path, /*materialize=*/false, &tensors);
+  for (const auto& [name, tensor] : tensors) {
+    if (has_prefix(name, kMomentMPrefix)) {
+      info.has_optimizer_state = true;
+      break;
+    }
+  }
+  return info;
+}
+
+// ---- CheckpointManager ----------------------------------------------------
+
+CheckpointManager::CheckpointManager(std::string directory)
+    : directory_(std::move(directory)),
+      best_metric_(std::numeric_limits<double>::infinity()) {
+  ORBIT2_REQUIRE(!directory_.empty(), "empty checkpoint directory");
+  std::filesystem::create_directories(directory_);
+  // Recover the best metric across restarts from an existing best file.
+  if (std::filesystem::exists(best_path())) {
+    const CheckpointInfo info = peek_checkpoint(best_path());
+    if (info.has_train_state) best_metric_ = info.state.metric;
+  }
+}
+
+std::string CheckpointManager::latest_path() const {
+  return (std::filesystem::path(directory_) / "latest.o2ck").string();
+}
+
+std::string CheckpointManager::best_path() const {
+  return (std::filesystem::path(directory_) / "best.o2ck").string();
+}
+
+bool CheckpointManager::has_latest() const {
+  return std::filesystem::exists(latest_path());
+}
+
+bool CheckpointManager::has_best() const {
+  return std::filesystem::exists(best_path());
+}
+
+void CheckpointManager::save(const autograd::Module& module,
+                             const autograd::AdamW* optimizer,
+                             TrainState state, double metric) {
+  state.metric = metric;
+  save_checkpoint(latest_path(), module, optimizer, &state);
+  if (metric < best_metric_) {
+    best_metric_ = metric;
+    save_checkpoint(best_path(), module, optimizer, &state);
   }
 }
 

@@ -1,19 +1,95 @@
 #pragma once
-// Checkpointing: parameter save/load keyed by parameter name, so a model
-// rebuilt with the same config round-trips exactly (pretrain -> fine-tune ->
-// inference, as in the paper's Table I pipeline).
+// Checkpoint v2: versioned full-training-state container (see docs/API.md
+// "Checkpoint format" for the byte layout).
+//
+// A v2 file carries named entries — parameter tensors with their full
+// shapes, AdamW moment tensors, and a scalar TrainState blob (global step,
+// epoch/sample cursor, GradScaler state, data-order RNG stream) — each
+// protected by a CRC32, plus a whole-file CRC32. Files are written
+// atomically: temp file + fsync + rename, so a crash mid-write never
+// corrupts or truncates an existing checkpoint. Legacy v1 files
+// (parameters only, no shapes or checksums) are still readable.
 
+#include <cstdint>
 #include <string>
 
 #include "autograd/nn.hpp"
+#include "autograd/optim.hpp"
+#include "core/rng.hpp"
 
 namespace orbit2::train {
 
-/// Writes all parameters (name, shape, fp32 payload) of `module` to `path`.
-void save_checkpoint(const std::string& path, const autograd::Module& module);
+/// Scalar training-loop state carried in a v2 checkpoint next to tensors.
+/// Checkpoints are taken at optimizer-step boundaries, so restoring this
+/// plus parameters and moments resumes a run bit-identically.
+struct TrainState {
+  std::int64_t global_step = 0;
+  std::int64_t epoch = 0;
+  /// Samples already consumed in the current epoch; resume skips this many.
+  std::int64_t sample_cursor = 0;
+  /// AdamW step counter (drives bias correction).
+  std::int64_t optimizer_steps = 0;
+  /// GradScaler state; scaler_scale == 0 means no scaler state stored.
+  float scaler_scale = 0.0f;
+  std::int64_t scaler_good_steps = 0;
+  std::int64_t scaler_skipped = 0;
+  /// Data-order RNG stream (epoch shuffling); valid when has_rng.
+  bool has_rng = false;
+  RngState data_rng{};
+  /// Validation metric attached by CheckpointManager (lower = better).
+  double metric = 0.0;
+};
 
-/// Loads parameters by name into `module`. Every parameter in the module
-/// must be present with a matching shape; extra entries in the file throw.
-void load_checkpoint(const std::string& path, const autograd::Module& module);
+/// What a load (or peek) found in the file.
+struct CheckpointInfo {
+  int version = 2;  // 1 = legacy parameters-only format
+  bool has_optimizer_state = false;
+  bool has_train_state = false;
+  TrainState state;
+};
+
+/// Writes a checkpoint: all parameters of `module` (name, shape, fp32
+/// payload), plus AdamW moments when `optimizer` is non-null and the scalar
+/// train state when `state` is non-null. Atomic: the target path is either
+/// the previous file or the complete new one, never a partial write.
+void save_checkpoint(const std::string& path, const autograd::Module& module,
+                     const autograd::AdamW* optimizer = nullptr,
+                     const TrainState* state = nullptr);
+
+/// Loads parameters by name into `module`. Every module parameter must be
+/// present with a matching shape (v2) or element count (legacy v1); extra
+/// parameter entries throw. When `optimizer` is non-null and the file
+/// carries moments, the optimizer is restored too. All CRCs are verified.
+CheckpointInfo load_checkpoint(const std::string& path,
+                               autograd::Module& module,
+                               autograd::AdamW* optimizer = nullptr);
+
+/// Reads and CRC-verifies a checkpoint's structure and TrainState without
+/// loading tensors into a model (payloads are checksummed in bounded
+/// chunks, never materialized).
+CheckpointInfo peek_checkpoint(const std::string& path);
+
+/// Latest/best rotation over a checkpoint directory: `save` atomically
+/// replaces `latest.o2ck` every time and `best.o2ck` whenever `metric`
+/// improves on the best seen (recovered from an existing best.o2ck on
+/// construction, so rotation survives process restarts).
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(std::string directory);
+
+  /// Writes latest (and best, on improvement). `metric`: lower = better.
+  void save(const autograd::Module& module, const autograd::AdamW* optimizer,
+            TrainState state, double metric);
+
+  std::string latest_path() const;
+  std::string best_path() const;
+  bool has_latest() const;
+  bool has_best() const;
+  double best_metric() const { return best_metric_; }
+
+ private:
+  std::string directory_;
+  double best_metric_;
+};
 
 }  // namespace orbit2::train

@@ -1,7 +1,5 @@
 #include "train/tiles_trainer.hpp"
 
-#include <atomic>
-
 #include "core/timer.hpp"
 #include "data/generator.hpp"
 #include "model/loss.hpp"
@@ -34,25 +32,122 @@ TilesTrainer::TilesTrainer(ReplicaFactory factory, TileSpec tile_spec,
   pool_ = std::make_unique<ThreadPool>(tiles);
 }
 
-EpochStats TilesTrainer::train_epoch(const data::SyntheticDataset& dataset,
-                                     const std::vector<std::int64_t>& indices) {
+Rng TilesTrainer::order_rng_for_epoch(std::int64_t epoch) const {
+  std::uint64_t sm = config_.shuffle_seed ^
+                     (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(epoch + 1));
+  return Rng(splitmix64(sm));
+}
+
+std::vector<std::int64_t> TilesTrainer::epoch_order(
+    const std::vector<std::int64_t>& indices, Rng& order_rng) const {
+  std::vector<std::int64_t> order = indices;
+  if (!config_.shuffle) return order;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(order_rng.uniform_index(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+TrainState TilesTrainer::snapshot_state() const {
+  TrainState state;
+  state.global_step = global_step_;
+  state.epoch = epoch_;
+  state.sample_cursor = cursor_;
+  state.optimizer_steps = optimizers_.front()->steps_taken();
+  state.has_rng = config_.shuffle;
+  state.data_rng = epoch_rng_state_;
+  return state;
+}
+
+void TilesTrainer::save_state(const std::string& path) const {
+  // Replica 0 stands in for all replicas: the sync invariant (identical
+  // start, all-reduced gradients, identical steps) keeps them bit-equal.
+  const TrainState state = snapshot_state();
+  save_checkpoint(path, *replicas_.front(), optimizers_.front().get(), &state);
+}
+
+void TilesTrainer::load_state(const std::string& path) {
+  const CheckpointInfo info = load_checkpoint(path, *replicas_.front(),
+                                              optimizers_.front().get());
+  ORBIT2_REQUIRE(info.has_train_state,
+                 "checkpoint " << path << " carries no train state");
+  broadcast_parameters(replica_params_.front(), replica_params_);
+  for (std::size_t t = 1; t < optimizers_.size(); ++t) {
+    optimizers_[t]->restore(optimizers_.front()->steps_taken(),
+                            optimizers_.front()->first_moments(),
+                            optimizers_.front()->second_moments());
+  }
+  global_step_ = info.state.global_step;
+  epoch_ = info.state.epoch;
+  cursor_ = info.state.sample_cursor;
+  steps_since_checkpoint_ = 0;
+  pending_order_rng_.reset();
+  if (info.state.has_rng && cursor_ > 0) {
+    pending_order_rng_ = info.state.data_rng;
+  }
+  for (auto& params : replica_params_) {
+    for (const auto& p : params) p->zero_grad();
+  }
+}
+
+EpochStats TilesTrainer::run_samples(const data::SyntheticDataset& dataset,
+                                     const std::vector<std::int64_t>& order,
+                                     std::int64_t start,
+                                     CheckpointManager* manager) {
   EpochStats stats;
   WallTimer timer;
   const std::int64_t upscale = dataset.config().upscale;
 
   std::int64_t in_batch = 0;
   double loss_sum = 0.0;
+  double batch_loss_sum = 0.0;
   for (auto& params : replica_params_) {
     for (const auto& p : params) p->zero_grad();
   }
 
-  for (std::int64_t index : indices) {
-    const data::Sample sample = dataset.sample(index);
+  // One gradient all-reduce + identical per-replica steps, then advance the
+  // resumable cursor to this step boundary.
+  auto step_boundary = [&](std::int64_t batch_samples,
+                           std::int64_t consumed) {
+    allreduce_mean_gradients(replica_params_);
+    const float grad_scale = 1.0f / static_cast<float>(batch_samples);
+    const float lr = schedule_.lr_at(global_step_);
+    for (std::size_t t = 0; t < replicas_.size(); ++t) {
+      if (config_.grad_clip > 0.0f) {
+        autograd::clip_grad_norm(replica_params_[t],
+                                 config_.grad_clip / grad_scale);
+      }
+      optimizers_[t]->set_lr(lr);
+      optimizers_[t]->step(grad_scale);
+      for (const auto& p : replica_params_[t]) p->zero_grad();
+    }
+    ++global_step_;
+    cursor_ = consumed;
+    const double batch_loss =
+        batch_loss_sum / static_cast<double>(batch_samples);
+    batch_loss_sum = 0.0;
+    if (manager != nullptr && config_.checkpoint_every_steps > 0 &&
+        ++steps_since_checkpoint_ >= config_.checkpoint_every_steps) {
+      steps_since_checkpoint_ = 0;
+      manager->save(*replicas_.front(), optimizers_.front().get(),
+                    snapshot_state(), batch_loss);
+    }
+    if (step_hook_) step_hook_(global_step_, batch_loss);
+  };
+
+  for (std::size_t i = static_cast<std::size_t>(start); i < order.size();
+       ++i) {
+    const data::Sample sample = dataset.sample(order[i]);
     const std::int64_t h = sample.input.dim(1), w = sample.input.dim(2);
     const auto regions = partition_tiles(h, w, tile_spec_);
 
     // HR target tiles correspond to the padded input regions x upscale.
-    std::atomic<double> sample_loss{0.0};
+    // Per-tile losses land in fixed slots and are reduced in tile order
+    // after the barrier, so the reported loss is bit-deterministic across
+    // runs (a completion-order atomic sum would not be).
+    std::vector<double> tile_losses(regions.size(), 0.0);
     for (std::size_t t = 0; t < regions.size(); ++t) {
       pool_->submit([&, t] {
         const Tensor tile_input = extract_tile(sample.input, regions[t]);
@@ -74,40 +169,71 @@ EpochStats TilesTrainer::train_epoch(const data::SyntheticDataset& dataset,
         } else {
           loss = model::mse_loss(prediction, tile_target);
         }
-        // Atomic add for doubles via CAS.
-        double expected = sample_loss.load();
-        const double value = loss.value().item();
-        while (!sample_loss.compare_exchange_weak(expected, expected + value)) {
-        }
+        tile_losses[t] = loss.value().item();
         autograd::backward(loss);
       });
     }
     pool_->wait_idle();
-    loss_sum += sample_loss.load() / static_cast<double>(regions.size());
+    double sample_loss = 0.0;
+    for (double tile_loss : tile_losses) sample_loss += tile_loss;
+    const double mean_tile_loss =
+        sample_loss / static_cast<double>(regions.size());
+    loss_sum += mean_tile_loss;
+    batch_loss_sum += mean_tile_loss;
     ++stats.samples;
 
     if (++in_batch < config_.batch_size) continue;
     in_batch = 0;
-
-    // The TILES collective: one gradient all-reduce per batch.
-    allreduce_mean_gradients(replica_params_);
-    const float grad_scale = 1.0f / static_cast<float>(config_.batch_size);
-    const float lr = schedule_.lr_at(global_step_);
-    for (std::size_t t = 0; t < replicas_.size(); ++t) {
-      if (config_.grad_clip > 0.0f) {
-        autograd::clip_grad_norm(replica_params_[t],
-                                 config_.grad_clip / grad_scale);
-      }
-      optimizers_[t]->set_lr(lr);
-      optimizers_[t]->step(grad_scale);
-      for (const auto& p : replica_params_[t]) p->zero_grad();
-    }
-    ++global_step_;
+    step_boundary(config_.batch_size, static_cast<std::int64_t>(i) + 1);
+  }
+  // Flush a trailing partial batch.
+  if (in_batch > 0) {
+    step_boundary(in_batch, static_cast<std::int64_t>(order.size()));
   }
 
-  stats.mean_loss = stats.samples > 0 ? loss_sum / stats.samples : 0.0;
+  stats.mean_loss = stats.samples > 0
+                        ? loss_sum / static_cast<double>(stats.samples)
+                        : 0.0;
   stats.seconds = timer.seconds();
   return stats;
+}
+
+EpochStats TilesTrainer::train_epoch(const data::SyntheticDataset& dataset,
+                                     const std::vector<std::int64_t>& indices) {
+  return run_samples(dataset, indices, 0, nullptr);
+}
+
+EpochStats TilesTrainer::fit(const data::SyntheticDataset& dataset,
+                             const std::vector<std::int64_t>& indices) {
+  std::unique_ptr<CheckpointManager> manager;
+  if (!config_.checkpoint_dir.empty()) {
+    manager = std::make_unique<CheckpointManager>(config_.checkpoint_dir);
+  }
+  EpochStats last;
+  while (epoch_ < config_.epochs) {
+    Rng order_rng = pending_order_rng_.has_value()
+                        ? [&] {
+                            Rng restored(0);
+                            restored.set_state(*pending_order_rng_);
+                            return restored;
+                          }()
+                        : order_rng_for_epoch(epoch_);
+    pending_order_rng_.reset();
+    epoch_rng_state_ = order_rng.state();
+    const std::vector<std::int64_t> order = epoch_order(indices, order_rng);
+    ORBIT2_REQUIRE(cursor_ <= static_cast<std::int64_t>(order.size()),
+                   "resume cursor " << cursor_ << " beyond epoch of "
+                                    << order.size() << " samples");
+    last = run_samples(dataset, order, cursor_, manager.get());
+    ++epoch_;
+    cursor_ = 0;
+    if (manager != nullptr) {
+      manager->save(*replicas_.front(), optimizers_.front().get(),
+                    snapshot_state(), last.mean_loss);
+      steps_since_checkpoint_ = 0;
+    }
+  }
+  return last;
 }
 
 Tensor TilesTrainer::predict(const Tensor& input) const {

@@ -7,9 +7,18 @@
 // all-reduced (averaged) once per batch — the paper's single low-frequency
 // collective — and every replica applies the identical optimizer step, so
 // replicas never diverge (an invariant the tests assert).
+//
+// Resumable like Trainer: full state is checkpointed at optimizer-step
+// boundaries (replica-0 parameters + optimizer moments stand in for all
+// replicas, which the sync invariant makes exact), and `fit` continues
+// bit-identically after `load_state`.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "core/thread_pool.hpp"
 #include "data/dataset.hpp"
@@ -32,6 +41,22 @@ class TilesTrainer {
   EpochStats train_epoch(const data::SyntheticDataset& dataset,
                          const std::vector<std::int64_t>& indices);
 
+  /// Full run from the current (epoch, cursor) position; writes latest/best
+  /// checkpoints when `config.checkpoint_dir` is set.
+  EpochStats fit(const data::SyntheticDataset& dataset,
+                 const std::vector<std::int64_t>& indices);
+
+  /// Writes a full-state v2 checkpoint of replica 0 (parameters + AdamW
+  /// moments + cursor state) atomically to `path`.
+  void save_state(const std::string& path) const;
+
+  /// Restores a full-state checkpoint into every replica (load into replica
+  /// 0, broadcast parameters, copy optimizer state).
+  void load_state(const std::string& path);
+
+  /// Observes optimizer-step boundaries (testing/logging).
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+
   /// Tiled inference: each replica downscales its tile, cores are stitched.
   Tensor predict(const Tensor& input) const;
 
@@ -40,8 +65,19 @@ class TilesTrainer {
 
   std::size_t replica_count() const { return replicas_.size(); }
   model::Downscaler& replica(std::size_t i) { return *replicas_[i]; }
+  std::int64_t global_step() const { return global_step_; }
+  std::int64_t epoch() const { return epoch_; }
+  std::int64_t sample_cursor() const { return cursor_; }
 
  private:
+  Rng order_rng_for_epoch(std::int64_t epoch) const;
+  std::vector<std::int64_t> epoch_order(
+      const std::vector<std::int64_t>& indices, Rng& order_rng) const;
+  EpochStats run_samples(const data::SyntheticDataset& dataset,
+                         const std::vector<std::int64_t>& order,
+                         std::int64_t start, CheckpointManager* manager);
+  TrainState snapshot_state() const;
+
   TileSpec tile_spec_;
   TrainerConfig config_;
   std::vector<std::unique_ptr<model::Downscaler>> replicas_;
@@ -50,6 +86,12 @@ class TilesTrainer {
   autograd::CosineSchedule schedule_;
   std::unique_ptr<ThreadPool> pool_;
   std::int64_t global_step_ = 0;
+  std::int64_t epoch_ = 0;
+  std::int64_t cursor_ = 0;
+  std::int64_t steps_since_checkpoint_ = 0;
+  RngState epoch_rng_state_{};
+  std::optional<RngState> pending_order_rng_;
+  StepHook step_hook_;
 };
 
 }  // namespace orbit2::train

@@ -34,42 +34,87 @@ Var Trainer::compute_loss(const Var& prediction, const Tensor& target) const {
   return model::bayesian_loss(prediction, target, latitude_weights_, params);
 }
 
-EpochStats Trainer::train_epoch(const data::SyntheticDataset& dataset,
-                                const std::vector<std::int64_t>& indices) {
+Rng Trainer::order_rng_for_epoch(std::int64_t epoch) const {
+  // Hash (seed, epoch) into one stream so every epoch's order is
+  // reconstructible from the config alone.
+  std::uint64_t sm = config_.shuffle_seed ^
+                     (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(epoch + 1));
+  return Rng(splitmix64(sm));
+}
+
+std::vector<std::int64_t> Trainer::epoch_order(
+    const std::vector<std::int64_t>& indices, Rng& order_rng) const {
+  std::vector<std::int64_t> order = indices;
+  if (!config_.shuffle) return order;
+  // Fisher-Yates from the order stream.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(order_rng.uniform_index(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+TrainState Trainer::snapshot_state() const {
+  TrainState state;
+  state.global_step = global_step_;
+  state.epoch = epoch_;
+  state.sample_cursor = cursor_;
+  state.optimizer_steps = optimizer_.steps_taken();
+  state.scaler_scale = scaler_.scale();
+  state.scaler_good_steps = scaler_.good_steps();
+  state.scaler_skipped = scaler_.skipped_steps();
+  state.has_rng = config_.shuffle;
+  state.data_rng = epoch_rng_state_;
+  return state;
+}
+
+void Trainer::save_state(const std::string& path) const {
+  const TrainState state = snapshot_state();
+  save_checkpoint(path, model_, &optimizer_, &state);
+}
+
+void Trainer::load_state(const std::string& path) {
+  const CheckpointInfo info = load_checkpoint(path, model_, &optimizer_);
+  ORBIT2_REQUIRE(info.has_train_state,
+                 "checkpoint " << path << " carries no train state; use "
+                                  "load_checkpoint for parameters-only files");
+  global_step_ = info.state.global_step;
+  epoch_ = info.state.epoch;
+  cursor_ = info.state.sample_cursor;
+  steps_since_checkpoint_ = 0;
+  if (info.state.scaler_scale > 0.0f) {
+    scaler_.restore(info.state.scaler_scale, info.state.scaler_good_steps,
+                    info.state.scaler_skipped);
+  }
+  pending_order_rng_.reset();
+  if (info.state.has_rng && cursor_ > 0) {
+    // Mid-epoch resume: replay the interrupted epoch's order from the saved
+    // stream rather than re-deriving it.
+    pending_order_rng_ = info.state.data_rng;
+  }
+  model_.zero_grad();
+}
+
+EpochStats Trainer::run_samples(const data::SyntheticDataset& dataset,
+                                const std::vector<std::int64_t>& order,
+                                std::int64_t start,
+                                CheckpointManager* manager) {
   EpochStats stats;
   WallTimer timer;
   const std::int64_t skipped_before = scaler_.skipped_steps();
 
   double loss_sum = 0.0;
+  double batch_loss_sum = 0.0;
   std::int64_t in_batch = 0;
   model_.zero_grad();
 
-  for (std::int64_t index : indices) {
-    const data::Sample sample = dataset.sample(index);
-    if (latitude_weights_.shape() != Shape({sample.target.dim(1)})) {
-      latitude_weights_ = data::latitude_weights(sample.target.dim(1));
-    }
-    if (config_.mixed_precision) {
-      // Parameters live in bf16 storage between steps (master copies are
-      // the optimizer's job in real AMP; rounding models the forward).
-      for (const auto& p : params_) p->value.round_to_bf16_inplace();
-    }
-
-    Var prediction = model_.downscale(sample.input);
-    Var loss = compute_loss(prediction, sample.target);
-    loss_sum += loss.value().item();
-    ++stats.samples;
-
-    Var scaled = config_.mixed_precision
-                     ? autograd::scale(loss, scaler_.scale())
-                     : loss;
-    autograd::backward(scaled);
-
-    if (++in_batch < config_.batch_size) continue;
-    in_batch = 0;
-
+  // Applies one optimizer step over the `batch_samples` accumulated
+  // gradients, then advances the resumable cursor to the step boundary.
+  auto step_boundary = [&](std::int64_t batch_samples,
+                           std::int64_t consumed) {
     bool do_step = true;
-    float grad_scale = 1.0f / static_cast<float>(config_.batch_size);
+    float grad_scale = 1.0f / static_cast<float>(batch_samples);
     if (config_.mixed_precision) {
       do_step = scaler_.unscale_and_check(params_);
       grad_scale /= scaler_.scale();
@@ -84,36 +129,95 @@ EpochStats Trainer::train_epoch(const data::SyntheticDataset& dataset,
       ++global_step_;
     }
     model_.zero_grad();
+    cursor_ = consumed;
+    const double batch_loss =
+        batch_loss_sum / static_cast<double>(batch_samples);
+    batch_loss_sum = 0.0;
+    if (manager != nullptr && config_.checkpoint_every_steps > 0 &&
+        ++steps_since_checkpoint_ >= config_.checkpoint_every_steps) {
+      steps_since_checkpoint_ = 0;
+      manager->save(model_, &optimizer_, snapshot_state(), batch_loss);
+    }
+    if (step_hook_) step_hook_(global_step_, batch_loss);
+  };
+
+  for (std::size_t i = static_cast<std::size_t>(start); i < order.size();
+       ++i) {
+    const data::Sample sample = dataset.sample(order[i]);
+    if (latitude_weights_.shape() != Shape({sample.target.dim(1)})) {
+      latitude_weights_ = data::latitude_weights(sample.target.dim(1));
+    }
+    if (config_.mixed_precision) {
+      // Parameters live in bf16 storage between steps (master copies are
+      // the optimizer's job in real AMP; rounding models the forward).
+      for (const auto& p : params_) p->value.round_to_bf16_inplace();
+    }
+
+    Var prediction = model_.downscale(sample.input);
+    Var loss = compute_loss(prediction, sample.target);
+    loss_sum += loss.value().item();
+    batch_loss_sum += loss.value().item();
+    ++stats.samples;
+
+    Var scaled = config_.mixed_precision
+                     ? autograd::scale(loss, scaler_.scale())
+                     : loss;
+    autograd::backward(scaled);
+
+    if (++in_batch < config_.batch_size) continue;
+    in_batch = 0;
+    step_boundary(config_.batch_size, static_cast<std::int64_t>(i) + 1);
   }
   // Flush a trailing partial batch.
   if (in_batch > 0) {
-    bool do_step = true;
-    float grad_scale = 1.0f / static_cast<float>(in_batch);
-    if (config_.mixed_precision) {
-      do_step = scaler_.unscale_and_check(params_);
-      grad_scale /= scaler_.scale();
-    }
-    if (do_step) {
-      optimizer_.set_lr(schedule_.lr_at(global_step_));
-      optimizer_.step(grad_scale);
-      ++global_step_;
-    }
-    model_.zero_grad();
+    step_boundary(in_batch, static_cast<std::int64_t>(order.size()));
   }
 
-  stats.mean_loss = stats.samples > 0 ? loss_sum / stats.samples : 0.0;
+  stats.mean_loss = stats.samples > 0
+                        ? loss_sum / static_cast<double>(stats.samples)
+                        : 0.0;
   stats.seconds = timer.seconds();
   stats.skipped_steps = scaler_.skipped_steps() - skipped_before;
   return stats;
 }
 
+EpochStats Trainer::train_epoch(const data::SyntheticDataset& dataset,
+                                const std::vector<std::int64_t>& indices) {
+  return run_samples(dataset, indices, 0, nullptr);
+}
+
 EpochStats Trainer::fit(const data::SyntheticDataset& dataset,
                         const std::vector<std::int64_t>& indices) {
+  std::unique_ptr<CheckpointManager> manager;
+  if (!config_.checkpoint_dir.empty()) {
+    manager = std::make_unique<CheckpointManager>(config_.checkpoint_dir);
+  }
   EpochStats last;
-  for (std::int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    last = train_epoch(dataset, indices);
-    ORBIT2_LOG_DEBUG("epoch " << epoch << " loss " << last.mean_loss << " ("
-                              << last.seconds << " s)");
+  while (epoch_ < config_.epochs) {
+    Rng order_rng = pending_order_rng_.has_value()
+                        ? [&] {
+                            Rng restored(0);
+                            restored.set_state(*pending_order_rng_);
+                            return restored;
+                          }()
+                        : order_rng_for_epoch(epoch_);
+    pending_order_rng_.reset();
+    epoch_rng_state_ = order_rng.state();
+    const std::vector<std::int64_t> order = epoch_order(indices, order_rng);
+    ORBIT2_REQUIRE(cursor_ <= static_cast<std::int64_t>(order.size()),
+                   "resume cursor " << cursor_ << " beyond epoch of "
+                                    << order.size() << " samples");
+    last = run_samples(dataset, order, cursor_, manager.get());
+    ++epoch_;
+    cursor_ = 0;
+    if (manager != nullptr) {
+      // End-of-epoch rotation; cursor 0 means the saved RNG state is
+      // ignored on resume (the next epoch derives its own stream).
+      manager->save(model_, &optimizer_, snapshot_state(), last.mean_loss);
+      steps_since_checkpoint_ = 0;
+    }
+    ORBIT2_LOG_DEBUG("epoch " << (epoch_ - 1) << " loss " << last.mean_loss
+                              << " (" << last.seconds << " s)");
   }
   return last;
 }

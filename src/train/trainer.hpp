@@ -4,14 +4,27 @@
 // cosine LR schedule, gradient clipping, and the Bayesian objective.
 // A TILES-mode trainer drives per-tile replicas and the once-per-batch
 // gradient all-reduce.
+//
+// Both trainers are resumable: `fit` can be interrupted at any optimizer
+// step and continued from the last checkpoint with a bit-identical loss
+// trajectory versus an uninterrupted run. Checkpoints (v2 full state:
+// parameters, AdamW moments, GradScaler, schedule step, epoch/sample
+// cursor, data-order RNG) are taken at optimizer-step boundaries; resume
+// reconstructs the epoch's sample order from the saved RNG/cursor and
+// replays from the boundary.
 
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "autograd/optim.hpp"
 #include "data/dataset.hpp"
 #include "model/downscaler.hpp"
 #include "model/loss.hpp"
+#include "train/checkpoint.hpp"
 
 namespace orbit2::train {
 
@@ -30,6 +43,15 @@ struct TrainerConfig {
   bool mixed_precision = false;
   /// Use the latitude-weighted Bayesian loss (Reslim) vs plain MSE.
   bool bayesian_loss = true;
+  /// Shuffle the sample order each epoch with a stream derived from
+  /// (shuffle_seed, epoch); off by default (caller-supplied order).
+  bool shuffle = false;
+  std::uint64_t shuffle_seed = 0x0281702ull;
+  /// Directory for fit()'s latest/best checkpoint rotation; empty = no
+  /// automatic checkpointing.
+  std::string checkpoint_dir;
+  /// Checkpoint every N optimizer steps during fit (0 = epoch end only).
+  std::int64_t checkpoint_every_steps = 0;
 };
 
 struct EpochStats {
@@ -42,6 +64,11 @@ struct EpochStats {
   }
 };
 
+/// Called after each optimizer-step boundary (after any due checkpoint was
+/// written, so a hook that aborts training leaves a resumable state behind).
+using StepHook =
+    std::function<void(std::int64_t global_step, double batch_loss)>;
+
 /// Single-replica trainer.
 class Trainer {
  public:
@@ -51,7 +78,10 @@ class Trainer {
   EpochStats train_epoch(const data::SyntheticDataset& dataset,
                          const std::vector<std::int64_t>& indices);
 
-  /// Full run: `config.epochs` epochs; returns last epoch stats.
+  /// Full run: continues from the current (epoch, cursor) position — the
+  /// start for a fresh trainer, the restored position after `load_state` —
+  /// through `config.epochs` epochs; returns last epoch stats. Writes
+  /// latest/best checkpoints when `config.checkpoint_dir` is set.
   EpochStats fit(const data::SyntheticDataset& dataset,
                  const std::vector<std::int64_t>& indices);
 
@@ -59,12 +89,35 @@ class Trainer {
   double validation_loss(const data::SyntheticDataset& dataset,
                          const std::vector<std::int64_t>& indices);
 
+  /// Writes a full-state v2 checkpoint (parameters, moments, scaler, step,
+  /// epoch/sample cursor, data-order RNG) atomically to `path`.
+  void save_state(const std::string& path) const;
+
+  /// Restores a full-state checkpoint; the next `fit` resumes bit-identically
+  /// from the saved optimizer-step boundary.
+  void load_state(const std::string& path);
+
+  /// Observes optimizer-step boundaries (testing/logging).
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+
   autograd::AdamW& optimizer() { return optimizer_; }
   std::int64_t global_step() const { return global_step_; }
+  std::int64_t epoch() const { return epoch_; }
+  std::int64_t sample_cursor() const { return cursor_; }
 
  private:
   autograd::Var compute_loss(const autograd::Var& prediction,
                              const Tensor& target) const;
+  /// Seed stream that generates epoch `epoch`'s shuffle order.
+  Rng order_rng_for_epoch(std::int64_t epoch) const;
+  std::vector<std::int64_t> epoch_order(
+      const std::vector<std::int64_t>& indices, Rng& order_rng) const;
+  /// Trains over `order[start..]`; updates the sample cursor at each
+  /// optimizer-step boundary and writes due checkpoints.
+  EpochStats run_samples(const data::SyntheticDataset& dataset,
+                         const std::vector<std::int64_t>& order,
+                         std::int64_t start, CheckpointManager* manager);
+  TrainState snapshot_state() const;
 
   model::Downscaler& model_;
   TrainerConfig config_;
@@ -74,6 +127,16 @@ class Trainer {
   autograd::GradScaler scaler_;
   Tensor latitude_weights_;  // built lazily per target height
   std::int64_t global_step_ = 0;
+  std::int64_t epoch_ = 0;
+  std::int64_t cursor_ = 0;  // samples consumed in the current epoch
+  std::int64_t steps_since_checkpoint_ = 0;
+  /// Order stream for the epoch currently (or last) trained; checkpointed
+  /// so resume reconstructs the same epoch order without re-deriving it.
+  RngState epoch_rng_state_{};
+  /// Set by load_state when resuming mid-epoch: the saved order stream for
+  /// the interrupted epoch.
+  std::optional<RngState> pending_order_rng_;
+  StepHook step_hook_;
 };
 
 }  // namespace orbit2::train

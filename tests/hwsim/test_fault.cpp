@@ -1,0 +1,224 @@
+// Fault-model tests: seeded determinism, exponential failure statistics,
+// straggler/link property hashing, recovery-cost arithmetic, the Young/Daly
+// interior optimum in the analytic goodput curve, and agreement between the
+// Monte-Carlo run simulation and the analytic model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "hwsim/fault.hpp"
+
+namespace orbit2::hwsim {
+namespace {
+
+// ORBIT-2 pretraining scale: 10B parameters on 32,768 GCDs.
+constexpr std::int64_t kParams10B = 10'000'000'000;
+constexpr std::int64_t kGcds = 32768;
+
+TEST(FaultModel, SeededStreamsAreDeterministic) {
+  FaultModel a(kGcds);
+  FaultModel b(kGcds);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.sample_time_to_failure(), b.sample_time_to_failure());
+  }
+  // Reseeding restarts the stream.
+  a.reseed(123);
+  b.reseed(123);
+  EXPECT_EQ(a.sample_time_to_failure(), b.sample_time_to_failure());
+
+  // Per-GCD / per-link properties are pure functions of (seed, id).
+  for (std::int64_t g = 0; g < 64; ++g) {
+    EXPECT_EQ(a.straggler_factor(g), b.straggler_factor(g));
+    EXPECT_EQ(a.link_bandwidth_factor(g), b.link_bandwidth_factor(g));
+  }
+}
+
+TEST(FaultModel, FailureRateScalesWithJobSize) {
+  FaultModelConfig config;
+  config.gcd_mtbf_seconds = 1.0e8;
+  FaultModel one(1, config);
+  FaultModel many(kGcds, config);
+  EXPECT_DOUBLE_EQ(one.failure_rate(), 1.0 / 1.0e8);
+  EXPECT_DOUBLE_EQ(many.failure_rate(), kGcds / 1.0e8);
+  // 32k GCDs at 1e8 s each -> job MTBF ~ 3052 s: failure is routine.
+  EXPECT_NEAR(many.mean_time_between_failures(), 1.0e8 / kGcds, 1e-9);
+}
+
+TEST(FaultModel, TimeToFailureIsExponentialWithTheRightMean) {
+  FaultModelConfig config;
+  config.gcd_mtbf_seconds = 1.0e8;
+  config.seed = 7;
+  FaultModel model(kGcds, config);
+  const double mtbf = model.mean_time_between_failures();
+  const int n = 20000;
+  double sum = 0.0;
+  double below_mtbf = 0;
+  for (int i = 0; i < n; ++i) {
+    const double t = model.sample_time_to_failure();
+    ASSERT_GT(t, 0.0);
+    sum += t;
+    if (t < mtbf) ++below_mtbf;
+  }
+  // Sample mean within 3 sigma (sigma = mtbf / sqrt(n) for exponential).
+  EXPECT_NEAR(sum / n, mtbf, 3.0 * mtbf / std::sqrt(double(n)));
+  // P(T < mean) = 1 - 1/e ~ 0.632 for an exponential.
+  EXPECT_NEAR(below_mtbf / n, 1.0 - std::exp(-1.0), 0.02);
+}
+
+TEST(FaultModel, StragglerFractionAndSlowdownBehave) {
+  FaultModelConfig config;
+  config.straggler_fraction = 0.01;
+  config.straggler_slowdown = 1.25;
+  FaultModel model(kGcds, config);
+  const std::int64_t stragglers = model.straggler_count();
+  // ~1% of 32768 = ~328; allow generous statistical slack.
+  EXPECT_GT(stragglers, 150);
+  EXPECT_LT(stragglers, 600);
+  EXPECT_DOUBLE_EQ(model.step_slowdown(), 1.25);
+
+  // No stragglers -> no slowdown.
+  FaultModelConfig clean = config;
+  clean.straggler_fraction = 0.0;
+  FaultModel healthy(kGcds, clean);
+  EXPECT_EQ(healthy.straggler_count(), 0);
+  EXPECT_DOUBLE_EQ(healthy.step_slowdown(), 1.0);
+
+  for (std::int64_t g = 0; g < 256; ++g) {
+    const double f = model.straggler_factor(g);
+    EXPECT_TRUE(f == 1.0 || f == 1.25);
+    const double l = model.link_bandwidth_factor(g);
+    EXPECT_TRUE(l == 1.0 || l == 0.25);
+  }
+  EXPECT_THROW(model.straggler_factor(-1), Error);
+  EXPECT_THROW(model.straggler_factor(kGcds), Error);
+}
+
+TEST(FaultModel, RejectsNonsenseConfigs) {
+  EXPECT_THROW(FaultModel(0), Error);
+  FaultModelConfig bad_mtbf;
+  bad_mtbf.gcd_mtbf_seconds = 0.0;
+  EXPECT_THROW(FaultModel(8, bad_mtbf), Error);
+  FaultModelConfig bad_slow;
+  bad_slow.straggler_slowdown = 0.5;
+  EXPECT_THROW(FaultModel(8, bad_slow), Error);
+  FaultModelConfig bad_frac;
+  bad_frac.straggler_fraction = 1.5;
+  EXPECT_THROW(FaultModel(8, bad_frac), Error);
+}
+
+TEST(Recovery, CheckpointCostsFollowStateSize) {
+  RecoveryCostConfig recovery;
+  // 10B params x 12 bytes (weights + AdamW m + v) = 120 GB.
+  EXPECT_DOUBLE_EQ(checkpoint_bytes(kParams10B), 120.0e9);
+  EXPECT_DOUBLE_EQ(checkpoint_write_seconds(kParams10B, recovery),
+                   120.0e9 / recovery.write_bandwidth);
+  EXPECT_DOUBLE_EQ(recovery_seconds(kParams10B, recovery),
+                   recovery.detect_seconds + recovery.restart_seconds +
+                       120.0e9 / recovery.read_bandwidth);
+}
+
+TEST(Goodput, YoungDalyOptimumIsInteriorAndNearClosedForm) {
+  FaultModelConfig config;
+  config.gcd_mtbf_seconds = 1.0e8;
+  config.straggler_fraction = 0.0;
+  FaultModel faults(kGcds, config);
+  RecoveryCostConfig recovery;
+  const double write_cost = checkpoint_write_seconds(kParams10B, recovery);
+  const double lambda = faults.failure_rate();
+  const double tau_star = young_daly_interval(write_cost, lambda);
+  // tau* = sqrt(2 C / lambda): a sane fraction of the job MTBF.
+  EXPECT_GT(tau_star, write_cost);
+  EXPECT_LT(tau_star, faults.mean_time_between_failures());
+
+  // The goodput curve must fall off on both sides of the optimum.
+  std::vector<double> intervals;
+  for (double m = 0.05; m <= 20.0; m *= 1.3) intervals.push_back(tau_star * m);
+  const auto points =
+      goodput_sweep(faults, recovery, kParams10B, intervals);
+  ASSERT_EQ(points.size(), intervals.size());
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_GT(points[i].goodput, 0.0);
+    EXPECT_LT(points[i].goodput, 1.0);
+    if (points[i].goodput > points[best].goodput) best = i;
+  }
+  EXPECT_GT(best, 0u);                      // interior, not left edge
+  EXPECT_LT(best, points.size() - 1);       // interior, not right edge
+  // The empirical argmax lands within the sweep step of the closed form.
+  EXPECT_NEAR(std::log(points[best].interval_seconds / tau_star), 0.0, 0.7);
+}
+
+TEST(Goodput, CheckpointingBeatsNoCheckpointingUnderFailures) {
+  FaultModelConfig config;
+  config.gcd_mtbf_seconds = 1.0e8;
+  config.straggler_fraction = 0.0;
+  FaultModel faults(kGcds, config);
+  RecoveryCostConfig recovery;
+  const double write_cost = checkpoint_write_seconds(kParams10B, recovery);
+  const double recover = recovery_seconds(kParams10B, recovery);
+  const double tau_star = young_daly_interval(write_cost, faults.failure_rate());
+  const double at_optimum = expected_goodput(tau_star, write_cost,
+                                             faults.failure_rate(), recover);
+  // "Checkpoint once a day" loses badly when the job MTBF is ~an hour.
+  const double rarely = expected_goodput(86400.0, write_cost,
+                                         faults.failure_rate(), recover);
+  EXPECT_GT(at_optimum, 2.0 * rarely);
+  EXPECT_GT(at_optimum, 0.5);  // a tuned interval keeps the machine useful
+}
+
+TEST(Goodput, SimulationAgreesWithAnalyticModel) {
+  FaultModelConfig config;
+  config.gcd_mtbf_seconds = 1.0e8;
+  config.straggler_fraction = 0.0;
+  config.seed = 99;
+  FaultModel faults(kGcds, config);
+  RecoveryCostConfig recovery;
+  const double write_cost = checkpoint_write_seconds(kParams10B, recovery);
+  const double recover = recovery_seconds(kParams10B, recovery);
+  const double tau_star = young_daly_interval(write_cost, faults.failure_rate());
+
+  // Long horizon (~1000 failures) so Monte-Carlo noise averages out.
+  const double target = 1000.0 * faults.mean_time_between_failures();
+  SimulatedRun run =
+      simulate_run(faults, recovery, kParams10B, tau_star, target);
+  EXPECT_GT(run.failures, 100);
+  EXPECT_GT(run.checkpoints_written, 100);
+  EXPECT_NEAR(run.useful_seconds, target, 1e-3);
+
+  const double analytic = expected_goodput(tau_star, write_cost,
+                                           faults.failure_rate(), recover);
+  EXPECT_NEAR(run.goodput(), analytic, 0.1 * analytic);
+
+  // Same seed -> bit-identical simulation.
+  faults.reseed(config.seed);
+  FaultModel again(kGcds, config);
+  SimulatedRun rerun =
+      simulate_run(again, recovery, kParams10B, tau_star, target);
+  EXPECT_EQ(run.wall_seconds, rerun.wall_seconds);
+  EXPECT_EQ(run.failures, rerun.failures);
+}
+
+TEST(Goodput, StragglersStretchSimulatedWallClock) {
+  FaultModelConfig config;
+  config.gcd_mtbf_seconds = 1.0e12;  // effectively failure-free
+  config.straggler_fraction = 0.5;
+  config.straggler_slowdown = 2.0;
+  FaultModel slow(kGcds, config);
+  FaultModelConfig clean = config;
+  clean.straggler_fraction = 0.0;
+  FaultModel fast(kGcds, clean);
+  RecoveryCostConfig recovery;
+  SimulatedRun slow_run = simulate_run(slow, recovery, kParams10B, 3600.0, 7200.0);
+  SimulatedRun fast_run = simulate_run(fast, recovery, kParams10B, 3600.0, 7200.0);
+  EXPECT_GT(slow_run.wall_seconds, 1.9 * fast_run.wall_seconds -
+                                       2.0 * checkpoint_write_seconds(
+                                                 kParams10B, recovery));
+  EXPECT_DOUBLE_EQ(slow_run.useful_seconds, fast_run.useful_seconds);
+}
+
+}  // namespace
+}  // namespace orbit2::hwsim

@@ -1,0 +1,338 @@
+// Checkpoint v2 robustness tests: round trips with optimizer + train state,
+// corruption paths (truncation, bit flips vs CRC, bad magic, duplicate
+// entries, shape mismatch), hostile declared lengths rejected before
+// allocation, legacy v1 reads, atomic-write hygiene, latest/best rotation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/crc32.hpp"
+#include "train/checkpoint.hpp"
+
+namespace orbit2::train {
+namespace {
+
+// Minimal module with explicitly shaped parameters; lets tests control the
+// exact on-disk layout.
+class TinyModule : public autograd::Module {
+ public:
+  TinyModule(std::vector<std::pair<std::string, Shape>> specs, float base) {
+    float next = base;
+    for (auto& [name, shape] : specs) {
+      Tensor value(shape);
+      for (float& v : value.data()) v = next += 0.5f;
+      params_.push_back(
+          std::make_shared<autograd::Parameter>(name, std::move(value)));
+    }
+  }
+
+  void collect_parameters(std::vector<autograd::ParamPtr>& out) const override {
+    for (const auto& p : params_) out.push_back(p);
+  }
+
+  std::vector<autograd::ParamPtr> params_;
+};
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+template <typename T>
+void append_pod(std::vector<char>& bytes, const T& value) {
+  const char* raw = reinterpret_cast<const char*>(&value);
+  bytes.insert(bytes.end(), raw, raw + sizeof(T));
+}
+
+TrainState sample_state() {
+  TrainState state;
+  state.global_step = 42;
+  state.epoch = 3;
+  state.sample_cursor = 7;
+  state.optimizer_steps = 42;
+  state.scaler_scale = 4096.0f;
+  state.scaler_good_steps = 100;
+  state.scaler_skipped = 2;
+  state.has_rng = true;
+  Rng rng(123);
+  rng.normal();  // populate the Box-Muller cache
+  state.data_rng = rng.state();
+  state.metric = 0.125;
+  return state;
+}
+
+TEST(CheckpointV2, RoundTripRestoresOptimizerAndTrainState) {
+  TinyModule module({{"w", Shape{2, 3}}, {"b", Shape{3}}}, 0.0f);
+  auto params = module.parameters();
+  autograd::AdamW optimizer(params, {});
+  // One real step so the moments are non-trivial.
+  for (const auto& p : params) p->grad.fill(0.25f);
+  optimizer.step(1.0f);
+
+  TrainState state = sample_state();
+  state.optimizer_steps = optimizer.steps_taken();
+  const std::string path = temp_path("orbit2_ckpt_v2_roundtrip.o2ck");
+  save_checkpoint(path, module, &optimizer, &state);
+
+  TinyModule restored({{"w", Shape{2, 3}}, {"b", Shape{3}}}, 100.0f);
+  auto restored_params = restored.parameters();
+  autograd::AdamW restored_opt(restored_params, {});
+  const CheckpointInfo info = load_checkpoint(path, restored, &restored_opt);
+
+  EXPECT_EQ(info.version, 2);
+  EXPECT_TRUE(info.has_optimizer_state);
+  ASSERT_TRUE(info.has_train_state);
+  EXPECT_EQ(info.state.global_step, state.global_step);
+  EXPECT_EQ(info.state.epoch, state.epoch);
+  EXPECT_EQ(info.state.sample_cursor, state.sample_cursor);
+  EXPECT_EQ(info.state.scaler_scale, state.scaler_scale);
+  EXPECT_EQ(info.state.scaler_good_steps, state.scaler_good_steps);
+  EXPECT_TRUE(info.state.has_rng);
+  EXPECT_EQ(info.state.data_rng.words, state.data_rng.words);
+  EXPECT_EQ(info.state.data_rng.cached_normal_bits,
+            state.data_rng.cached_normal_bits);
+  EXPECT_EQ(info.state.metric, state.metric);
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (std::int64_t j = 0; j < params[i]->numel(); ++j) {
+      EXPECT_EQ(params[i]->value[j], restored_params[i]->value[j]);
+    }
+  }
+  EXPECT_EQ(restored_opt.steps_taken(), optimizer.steps_taken());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    for (std::int64_t j = 0; j < params[i]->numel(); ++j) {
+      EXPECT_EQ(optimizer.first_moments()[i][j],
+                restored_opt.first_moments()[i][j]);
+      EXPECT_EQ(optimizer.second_moments()[i][j],
+                restored_opt.second_moments()[i][j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, TruncatedFileThrows) {
+  TinyModule module({{"w", Shape{4, 4}}}, 1.0f);
+  const std::string path = temp_path("orbit2_ckpt_v2_trunc.o2ck");
+  save_checkpoint(path, module);
+  auto bytes = read_bytes(path);
+  ASSERT_GT(bytes.size(), 8u);
+  // Every proper prefix must be rejected, never crash or misload.
+  for (std::size_t keep : {bytes.size() - 1, bytes.size() / 2, std::size_t{5}}) {
+    write_bytes(path, std::vector<char>(bytes.begin(),
+                                        bytes.begin() +
+                                            static_cast<std::ptrdiff_t>(keep)));
+    TinyModule target({{"w", Shape{4, 4}}}, 0.0f);
+    EXPECT_THROW(load_checkpoint(path, target), Error) << "prefix " << keep;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, BitFlipAnywhereIsCaught) {
+  TinyModule module({{"w", Shape{3, 3}}}, 2.0f);
+  const TrainState state = sample_state();
+  const std::string path = temp_path("orbit2_ckpt_v2_flip.o2ck");
+  save_checkpoint(path, module, nullptr, &state);
+  const auto clean = read_bytes(path);
+  // Flip one bit at a sweep of offsets: header, payload, CRCs.
+  for (std::size_t offset = 4; offset < clean.size();
+       offset += clean.size() / 13 + 1) {
+    auto corrupt = clean;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x10);
+    write_bytes(path, corrupt);
+    TinyModule target({{"w", Shape{3, 3}}}, 0.0f);
+    EXPECT_THROW(load_checkpoint(path, target), Error) << "offset " << offset;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, BadMagicAndTinyFilesThrow) {
+  const std::string path = temp_path("orbit2_ckpt_v2_magic.o2ck");
+  write_bytes(path, {'N', 'O', 'P', 'E', 0, 0, 0, 0, 1, 2, 3});
+  TinyModule target({{"w", Shape{2}}}, 0.0f);
+  EXPECT_THROW(load_checkpoint(path, target), Error);
+  EXPECT_THROW(peek_checkpoint(path), Error);
+  write_bytes(path, {'O', '2'});
+  EXPECT_THROW(load_checkpoint(path, target), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, DuplicateEntryThrows) {
+  TinyModule module({{"w", Shape{2}}}, 3.0f);
+  const std::string path = temp_path("orbit2_ckpt_v2_dup.o2ck");
+  save_checkpoint(path, module);
+  auto bytes = read_bytes(path);
+  // Layout: magic(4) version(4) count(8) entry... file_crc(4). Duplicate the
+  // single entry, bump the count, and re-derive the (valid) file CRC so only
+  // the duplicate-name check can fire.
+  const std::size_t header = 16;
+  ASSERT_GT(bytes.size(), header + 4);
+  const std::vector<char> entry(bytes.begin() + header, bytes.end() - 4);
+  std::vector<char> crafted(bytes.begin(), bytes.begin() + header);
+  std::uint64_t count = 2;
+  std::memcpy(crafted.data() + 8, &count, sizeof(count));
+  crafted.insert(crafted.end(), entry.begin(), entry.end());
+  crafted.insert(crafted.end(), entry.begin(), entry.end());
+  append_pod(crafted, crc32(crafted.data(), crafted.size()));
+  write_bytes(path, crafted);
+  TinyModule target({{"w", Shape{2}}}, 0.0f);
+  EXPECT_THROW(load_checkpoint(path, target), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, HostileDeclaredLengthsRejectedBeforeAllocation) {
+  const std::string path = temp_path("orbit2_ckpt_v2_hostile.o2ck");
+  TinyModule target({{"w", Shape{2}}}, 0.0f);
+
+  // A tensor entry declaring ~4 TiB of payload in a tiny file must be
+  // rejected by the byte budget, not by a failed/attempted allocation.
+  std::vector<char> huge = {'O', '2', 'K', '2'};
+  append_pod(huge, std::uint32_t{2});       // version
+  append_pod(huge, std::uint64_t{1});       // entry count
+  const std::string name = "param/w";
+  append_pod(huge, static_cast<std::uint32_t>(name.size()));
+  huge.insert(huge.end(), name.begin(), name.end());
+  append_pod(huge, std::uint8_t{0});        // tensor entry
+  append_pod(huge, std::uint8_t{1});        // rank 1
+  append_pod(huge, std::int64_t{1} << 40);  // dims[0]: 2^40 floats
+  write_bytes(path, huge);
+  EXPECT_THROW(load_checkpoint(path, target), Error);
+
+  // Same for an absurd name length.
+  std::vector<char> long_name = {'O', '2', 'K', '2'};
+  append_pod(long_name, std::uint32_t{2});
+  append_pod(long_name, std::uint64_t{1});
+  append_pod(long_name, std::uint32_t{0xffffffffu});  // name_len
+  write_bytes(path, long_name);
+  EXPECT_THROW(load_checkpoint(path, target), Error);
+
+  // And an implausible entry count.
+  std::vector<char> many = {'O', '2', 'K', '2'};
+  append_pod(many, std::uint32_t{2});
+  append_pod(many, std::uint64_t{1} << 60);
+  append_pod(many, std::uint32_t{0});
+  write_bytes(path, many);
+  EXPECT_THROW(load_checkpoint(path, target), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, ShapeMismatchWithEqualNumelThrows) {
+  TinyModule module({{"w", Shape{2, 3}}}, 4.0f);
+  const std::string path = temp_path("orbit2_ckpt_v2_shape.o2ck");
+  save_checkpoint(path, module);
+  // Same element count, transposed shape: a numel-only check would pass.
+  TinyModule transposed({{"w", Shape{3, 2}}}, 0.0f);
+  EXPECT_THROW(load_checkpoint(path, transposed), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, LegacyV1FileStillLoads) {
+  // Hand-written v1: magic, u32 count, (u32 name_len, name, u64 numel, f32...).
+  std::vector<char> v1 = {'O', '2', 'C', 'K'};
+  append_pod(v1, std::uint32_t{1});
+  append_pod(v1, std::uint32_t{1});
+  v1.push_back('w');
+  append_pod(v1, std::uint64_t{2});
+  append_pod(v1, 1.5f);
+  append_pod(v1, -2.5f);
+  const std::string path = temp_path("orbit2_ckpt_v1_legacy.o2ck");
+  write_bytes(path, v1);
+
+  TinyModule target({{"w", Shape{2}}}, 0.0f);
+  const CheckpointInfo info = load_checkpoint(path, target);
+  EXPECT_EQ(info.version, 1);
+  EXPECT_FALSE(info.has_train_state);
+  EXPECT_EQ(target.params_[0]->value[0], 1.5f);
+  EXPECT_EQ(target.params_[0]->value[1], -2.5f);
+
+  // Truncated v1 payload must throw, not read garbage.
+  write_bytes(path, std::vector<char>(v1.begin(), v1.end() - 5));
+  TinyModule target2({{"w", Shape{2}}}, 0.0f);
+  EXPECT_THROW(load_checkpoint(path, target2), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, SaveIsAtomicAndLeavesNoTempFile) {
+  TinyModule module({{"w", Shape{2}}}, 5.0f);
+  const std::string path = temp_path("orbit2_ckpt_v2_atomic.o2ck");
+  save_checkpoint(path, module);
+  const auto first = read_bytes(path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  // Overwrite with different contents: the file is fully replaced.
+  TinyModule other({{"w", Shape{2}}}, 50.0f);
+  save_checkpoint(path, other);
+  const auto second = read_bytes(path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(first.size(), second.size());
+  EXPECT_NE(first, second);
+
+  // A failed save (unwritable directory) must not clobber anything.
+  EXPECT_THROW(save_checkpoint("/nonexistent_dir_zz/x.o2ck", module), Error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, PeekReportsStateWithoutAModel) {
+  TinyModule module({{"w", Shape{8, 8}}}, 6.0f);
+  auto params = module.parameters();
+  autograd::AdamW optimizer(params, {});
+  for (const auto& p : params) p->grad.fill(0.1f);
+  optimizer.step(1.0f);
+  const TrainState state = sample_state();
+  const std::string path = temp_path("orbit2_ckpt_v2_peek.o2ck");
+  save_checkpoint(path, module, &optimizer, &state);
+
+  const CheckpointInfo info = peek_checkpoint(path);
+  EXPECT_EQ(info.version, 2);
+  EXPECT_TRUE(info.has_optimizer_state);
+  ASSERT_TRUE(info.has_train_state);
+  EXPECT_EQ(info.state.global_step, 42);
+  EXPECT_EQ(info.state.metric, 0.125);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, ManagerRotatesLatestAndBestAcrossRestarts) {
+  const std::string dir = temp_path("orbit2_ckpt_v2_mgr");
+  std::filesystem::remove_all(dir);
+  TinyModule module({{"w", Shape{2}}}, 7.0f);
+  auto params = module.parameters();
+  autograd::AdamW optimizer(params, {});
+
+  {
+    CheckpointManager manager(dir);
+    EXPECT_FALSE(manager.has_latest());
+    manager.save(module, &optimizer, sample_state(), 1.0);
+    EXPECT_TRUE(manager.has_latest());
+    EXPECT_TRUE(manager.has_best());
+    EXPECT_EQ(manager.best_metric(), 1.0);
+    manager.save(module, &optimizer, sample_state(), 2.0);  // worse
+    EXPECT_EQ(manager.best_metric(), 1.0);
+    manager.save(module, &optimizer, sample_state(), 0.5);  // better
+    EXPECT_EQ(manager.best_metric(), 0.5);
+  }
+  // A fresh manager (process restart) recovers the best metric from disk.
+  CheckpointManager reborn(dir);
+  EXPECT_EQ(reborn.best_metric(), 0.5);
+  reborn.save(module, &optimizer, sample_state(), 0.75);  // not an improvement
+  EXPECT_EQ(reborn.best_metric(), 0.5);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace orbit2::train
