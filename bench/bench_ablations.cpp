@@ -10,7 +10,7 @@
 //      vs halo cost).
 
 #include "bench/common.hpp"
-#include "core/thread_pool.hpp"
+#include "core/kernels.hpp"
 #include "tiles/tiles.hpp"
 
 namespace orbit2 {
@@ -109,7 +109,7 @@ int main() {
     }
     const data::Sample sample = dataset.sample(9);
     const Tensor monolithic = model.predict_field(sample.input);
-    ThreadPool pool(4);
+    kernels::set_max_threads(4);
     std::printf("%6s %18s %14s\n", "halo", "border-band MSE",
                 "tile work (+%)");
     bench::print_rule();
@@ -119,7 +119,7 @@ int main() {
       const auto regions =
           partition_tiles(sample.input.dim(1), sample.input.dim(2), spec);
       const Tensor tiled = tiled_apply(
-          sample.input, spec, 4, pool,
+          sample.input, spec, 4,
           [&model](std::size_t, const Tensor& tile) {
             return model.predict_field(tile);
           });
@@ -138,6 +138,7 @@ int main() {
     std::printf("-> larger halos suppress border artifacts at the cost of "
                 "redundant tile work\n   (the paper's empirical halo-width "
                 "trade-off).\n");
+    kernels::set_max_threads(0);
   }
   return 0;
 }

@@ -10,7 +10,7 @@
 //     grid, demonstrating the attention-window reduction on real kernels.
 
 #include "bench/common.hpp"
-#include "core/thread_pool.hpp"
+#include "core/kernels.hpp"
 #include "core/timer.hpp"
 #include "hwsim/perf_model.hpp"
 #include "hwsim/sequence_parallel.hpp"
@@ -63,15 +63,16 @@ void real_tiled_inference() {
   for (int i = 0; i < 3; ++i) model.predict_field(sample.input);
   const double mono = mono_timer.seconds() / 3.0;
 
-  ThreadPool pool(4);
+  kernels::set_max_threads(4);
   const TileSpec spec{2, 2, 2};
   WallTimer tiled_timer;
   for (int i = 0; i < 3; ++i) {
-    tiled_apply(sample.input, spec, 4, pool,
+    tiled_apply(sample.input, spec, 4,
                 [&model](std::size_t, const Tensor& tile) {
                   return model.predict_field(tile);
                 });
   }
+  kernels::set_max_threads(0);
   const double tiled = tiled_timer.seconds() / 3.0;
 
   std::printf("%-22s %12.4f s\n", "monolithic inference", mono);

@@ -1,142 +1,460 @@
-// Kernel-level microbenchmarks (google-benchmark): the performance claims
-// underneath the paper tables — blocked matmul, flash vs naive attention
-// across sequence lengths (the O(N^2) -> O(N) memory story), conv2d,
-// Canny + quad-tree partitioning overhead, FFT, and the GRF generator.
+// Kernel-layer microbenchmarks: legacy serial reference kernels vs the
+// unified parallel kernel layer (core/kernels.hpp), at 1 thread and at the
+// requested thread count. Emits a JSON array on stdout so EXPERIMENTS.md and
+// CI can diff runs mechanically.
+//
+// The "legacy" variants are the pre-kernel-layer implementations, kept here
+// verbatim as a fixed baseline: float-accumulator blocked NN GEMM with the
+// zero-skip branch, double-accumulator NT row dots, rank-1 TN updates with
+// zero-skip, the serial direct conv2d forward, and the serial online-softmax
+// flash forward. They are intentionally NOT the library kernels, so this
+// harness keeps measuring the same baseline even as the library evolves.
+//
+// Usage: bench_kernels [--reps N] [--threads N] [--quick]
+//   --reps N     timing repetitions per case, best-of (default 3)
+//   --threads N  thread count for the parallel "kernels" variant (default 4)
+//   --quick      drop the largest GEMM/attention shapes (CI smoke runs)
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "attention/attention.hpp"
-#include "attention/window_attention.hpp"
-#include "hwsim/sequence_parallel.hpp"
+#include "core/kernels.hpp"
 #include "core/rng.hpp"
-#include "data/generator.hpp"
-#include "fft/fft.hpp"
-#include "image/filters.hpp"
-#include "quadtree/quadtree.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/matmul.hpp"
+#include "tensor/tensor.hpp"
 
-namespace orbit2 {
 namespace {
 
-void BM_MatmulBlocked(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng(1);
-  Tensor a = Tensor::randn(Shape{n, n}, rng);
-  Tensor b = Tensor::randn(Shape{n, n}, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(matmul(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_MatmulBlocked)->Arg(64)->Arg(128)->Arg(256);
+using orbit2::Conv2dSpec;
+using orbit2::FlashParams;
+using orbit2::Rng;
+using orbit2::Shape;
+using orbit2::Tensor;
 
-void BM_AttentionNaive(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng(2);
-  Tensor q = Tensor::randn(Shape{n, 32}, rng);
-  Tensor k = Tensor::randn(Shape{n, 32}, rng);
-  Tensor v = Tensor::randn(Shape{n, 32}, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(attention_naive_forward(q, k, v, 0.17f, nullptr));
-  }
-}
-BENCHMARK(BM_AttentionNaive)->Arg(128)->Arg(512)->Arg(2048);
+// ---------------------------------------------------------------------------
+// Legacy serial reference kernels (pre-kernel-layer implementations).
+// ---------------------------------------------------------------------------
 
-void BM_AttentionFlash(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng(3);
-  Tensor q = Tensor::randn(Shape{n, 32}, rng);
-  Tensor k = Tensor::randn(Shape{n, 32}, rng);
-  Tensor v = Tensor::randn(Shape{n, 32}, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(attention_flash_forward(q, k, v, 0.17f, nullptr));
-  }
-}
-BENCHMARK(BM_AttentionFlash)->Arg(128)->Arg(512)->Arg(2048);
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 64;
+constexpr std::int64_t kBlockK = 64;
 
-void BM_Conv2d3x3(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng(4);
-  Tensor x = Tensor::randn(Shape{8, n, n}, rng);
-  Tensor w = Tensor::randn(Shape{8, 8, 3, 3}, rng, 0.1f);
-  Tensor b = Tensor::zeros(Shape{8});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(conv2d_forward(x, w, b, {3, 3, 1, 1}));
+// out(M,N) += a(M,K) * b(K,N): blocked, float accumulator, zero-skip.
+void legacy_gemm_nn(float* out, const float* a, const float* b, std::int64_t m,
+                    std::int64_t n, std::int64_t k) {
+  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::int64_t i1 = std::min(m, i0 + kBlockM);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::int64_t k1 = std::min(k, k0 + kBlockK);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::int64_t j1 = std::min(n, j0 + kBlockN);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          for (std::int64_t kk = k0; kk < k1; ++kk) {
+            const float aik = a[i * k + kk];
+            if (aik == 0.0f) continue;
+            const float* brow = b + kk * n;
+            float* orow = out + i * n;
+            for (std::int64_t j = j0; j < j1; ++j) orow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
   }
 }
-BENCHMARK(BM_Conv2d3x3)->Arg(32)->Arg(64)->Arg(128);
 
-void BM_CannyPlusQuadtree(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng(5);
-  Tensor field = gaussian_blur(
-      Tensor::uniform(Shape{n, n}, rng, 0.0f, 1.0f), 1.0f);
-  for (auto _ : state) {
-    Tensor edges = canny(field);
-    benchmark::DoNotOptimize(partition_with_target_ratio(edges, 8.0f));
+// out(M,N) = a(M,K) * b(N,K)^T: row-dot products, double accumulator.
+void legacy_gemm_nt(float* out, const float* a, const float* b, std::int64_t m,
+                    std::int64_t n, std::int64_t k) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* ra = a + i * k;
+      const float* rb = b + j * k;
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(ra[kk]) * rb[kk];
+      }
+      out[i * n + j] = static_cast<float>(acc);
+    }
   }
 }
-BENCHMARK(BM_CannyPlusQuadtree)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_Fft2d(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng(6);
-  Tensor field = Tensor::randn(Shape{n, n}, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(radial_power_spectrum(field));
+// out(M,N) += a(K,M)^T * b(K,N): rank-1 updates, zero-skip.
+void legacy_gemm_tn(float* out, const float* a, const float* b, std::int64_t m,
+                    std::int64_t n, std::int64_t k) {
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* ra = a + kk * m;
+    const float* rb = b + kk * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = ra[i];
+      if (av == 0.0f) continue;
+      float* ro = out + i * n;
+      for (std::int64_t j = 0; j < n; ++j) ro[j] += av * rb[j];
+    }
   }
 }
-BENCHMARK(BM_Fft2d)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_GaussianRandomField(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        data::gaussian_random_field(n, n, 3.0f, rng));
+// Serial direct conv2d forward, [C,H,W] x [O,C,kh,kw].
+Tensor legacy_conv2d_forward(const Tensor& input, const Tensor& weight,
+                             const Tensor& bias, const Conv2dSpec& spec) {
+  const std::int64_t cin = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const std::int64_t cout = weight.dim(0);
+  const std::int64_t oh =
+      orbit2::conv2d_out_dim(h, spec.kernel_h, spec.stride, spec.pad);
+  const std::int64_t ow =
+      orbit2::conv2d_out_dim(w, spec.kernel_w, spec.stride, spec.pad);
+  Tensor out = Tensor::zeros(Shape{cout, oh, ow});
+  const float* in = input.data().data();
+  const float* wt = weight.data().data();
+  float* po = out.data().data();
+  for (std::int64_t oc = 0; oc < cout; ++oc) {
+    const float b = bias[oc];
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        double acc = b;
+        const std::int64_t iy0 = oy * spec.stride - spec.pad;
+        const std::int64_t ix0 = ox * spec.stride - spec.pad;
+        for (std::int64_t ic = 0; ic < cin; ++ic) {
+          const float* in_c = in + ic * h * w;
+          const float* wt_c =
+              wt + ((oc * cin + ic) * spec.kernel_h) * spec.kernel_w;
+          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+            const std::int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+              const std::int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += static_cast<double>(in_c[iy * w + ix]) *
+                     wt_c[ky * spec.kernel_w + kx];
+            }
+          }
+        }
+        po[(oc * oh + oy) * ow + ox] = static_cast<float>(acc);
+      }
+    }
   }
+  return out;
 }
-BENCHMARK(BM_GaussianRandomField)->Arg(64)->Arg(128);
 
-void BM_QuadtreePoolScatter(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng(8);
-  Tensor edges = Tensor::uniform(Shape{n, n}, rng, 0.0f, 1.0f)
-                     .map([](float v) { return v > 0.85f ? 1.0f : 0.0f; });
-  const auto leaves = partition_with_target_ratio(edges, 8.0f);
-  Tensor tokens = Tensor::randn(Shape{n * n, 32}, rng);
-  for (auto _ : state) {
-    Tensor pooled = pool_tokens(tokens, n, n, leaves);
-    benchmark::DoNotOptimize(scatter_tokens(pooled, n, n, leaves));
+// Serial online-softmax flash forward (pre-kernel-layer implementation).
+Tensor legacy_flash_forward(const Tensor& q, const Tensor& k, const Tensor& v,
+                            float scale, const FlashParams& params) {
+  const std::int64_t nq = q.dim(0), nk = k.dim(0);
+  const std::int64_t d = q.dim(1), dv = v.dim(1);
+  Tensor output = Tensor::zeros(Shape{nq, dv});
+  const float* pq = q.data().data();
+  const float* pk = k.data().data();
+  const float* pv = v.data().data();
+  float* po = output.data().data();
+  std::vector<float> row_max(static_cast<std::size_t>(nq),
+                             -std::numeric_limits<float>::infinity());
+  std::vector<float> row_sum(static_cast<std::size_t>(nq), 0.0f);
+  std::vector<float> scores(
+      static_cast<std::size_t>(params.block_q * params.block_kv));
+  for (std::int64_t q0 = 0; q0 < nq; q0 += params.block_q) {
+    const std::int64_t q1 = std::min(nq, q0 + params.block_q);
+    for (std::int64_t k0 = 0; k0 < nk; k0 += params.block_kv) {
+      const std::int64_t k1 = std::min(nk, k0 + params.block_kv);
+      const std::int64_t bk = k1 - k0;
+      for (std::int64_t i = q0; i < q1; ++i) {
+        const float* qrow = pq + i * d;
+        float* srow = scores.data() + (i - q0) * params.block_kv;
+        for (std::int64_t j = 0; j < bk; ++j) {
+          const float* krow = pk + (k0 + j) * d;
+          double acc = 0.0;
+          for (std::int64_t t = 0; t < d; ++t) {
+            acc += static_cast<double>(qrow[t]) * krow[t];
+          }
+          srow[j] = static_cast<float>(acc) * scale;
+        }
+      }
+      for (std::int64_t i = q0; i < q1; ++i) {
+        float* srow = scores.data() + (i - q0) * params.block_kv;
+        float block_max = srow[0];
+        for (std::int64_t j = 1; j < bk; ++j) {
+          block_max = std::max(block_max, srow[j]);
+        }
+        const float old_max = row_max[static_cast<std::size_t>(i)];
+        const float new_max = std::max(old_max, block_max);
+        const float correction =
+            (old_max == -std::numeric_limits<float>::infinity())
+                ? 0.0f
+                : std::exp(old_max - new_max);
+        float* orow = po + i * dv;
+        for (std::int64_t t = 0; t < dv; ++t) orow[t] *= correction;
+        row_sum[static_cast<std::size_t>(i)] *= correction;
+        for (std::int64_t j = 0; j < bk; ++j) {
+          const float p = std::exp(srow[j] - new_max);
+          row_sum[static_cast<std::size_t>(i)] += p;
+          const float* vrow = pv + (k0 + j) * dv;
+          for (std::int64_t t = 0; t < dv; ++t) orow[t] += p * vrow[t];
+        }
+        row_max[static_cast<std::size_t>(i)] = new_max;
+      }
+    }
   }
+  for (std::int64_t i = 0; i < nq; ++i) {
+    const float inv = 1.0f / row_sum[static_cast<std::size_t>(i)];
+    float* orow = po + i * dv;
+    for (std::int64_t t = 0; t < dv; ++t) orow[t] *= inv;
+  }
+  return output;
 }
-BENCHMARK(BM_QuadtreePoolScatter)->Arg(32)->Arg(64);
 
-void BM_WindowAttention(benchmark::State& state) {
-  const auto side = state.range(0);
-  Rng rng(9);
-  Tensor q = Tensor::randn(Shape{side * side, 32}, rng);
-  WindowAttentionSpec spec{side, side, 8, 4};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(window_attention_forward(q, q, q, 0.18f, spec));
-  }
-}
-BENCHMARK(BM_WindowAttention)->Arg(16)->Arg(32)->Arg(64);
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
 
-void BM_RingAttention(benchmark::State& state) {
-  const auto n = state.range(0);
-  Rng rng(10);
-  Tensor q = Tensor::randn(Shape{n, 32}, rng);
-  for (auto _ : state) {
-    hwsim::CommStats stats;
-    benchmark::DoNotOptimize(
-        hwsim::ring_attention(q, q, q, 0.18f, 4, stats));
-  }
+struct Record {
+  std::string bench;    // e.g. "gemm_nn"
+  std::string shape;    // e.g. "square:1024x1024x1024"
+  std::string variant;  // "legacy_serial" or "kernels"
+  std::size_t threads = 1;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double checksum = 0.0;  // sum of output elements; sanity, not bit-exactness
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
-BENCHMARK(BM_RingAttention)->Arg(256)->Arg(1024);
+
+// Best-of-`reps` wall time of fn(); fn returns a checksum so the work cannot
+// be optimized away. Cases slower than a second stop after one rep to bound
+// total harness runtime.
+template <typename Fn>
+Record time_case(const std::string& bench, const std::string& shape,
+                 const std::string& variant, std::size_t threads, int reps,
+                 double flops, Fn&& fn) {
+  Record rec;
+  rec.bench = bench;
+  rec.shape = shape;
+  rec.variant = variant;
+  rec.threads = threads;
+  rec.seconds = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    rec.checksum = fn();
+    const double t1 = now_seconds();
+    rec.seconds = std::min(rec.seconds, t1 - t0);
+    if (t1 - t0 > 1.0) break;
+  }
+  rec.gflops = rec.seconds > 0.0 ? flops / rec.seconds * 1e-9 : 0.0;
+  return rec;
+}
+
+double tensor_checksum(const Tensor& t) {
+  double acc = 0.0;
+  for (const float v : t.data()) acc += static_cast<double>(v);
+  return acc;
+}
+
+double buffer_checksum(const std::vector<float>& buf) {
+  double acc = 0.0;
+  for (const float v : buf) acc += static_cast<double>(v);
+  return acc;
+}
+
+void emit_json(const std::vector<Record>& records) {
+  std::printf("[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::printf(
+        "  {\"bench\": \"%s\", \"shape\": \"%s\", \"variant\": \"%s\", "
+        "\"threads\": %zu, \"seconds\": %.6f, \"gflops\": %.3f, "
+        "\"checksum\": %.6g}%s\n",
+        r.bench.c_str(), r.shape.c_str(), r.variant.c_str(), r.threads,
+        r.seconds, r.gflops, r.checksum, i + 1 < records.size() ? "," : "");
+  }
+  std::printf("]\n");
+}
+
+struct GemmShape {
+  const char* tag;  // provenance of the shape
+  std::int64_t m, n, k;
+};
 
 }  // namespace
-}  // namespace orbit2
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int reps = 3;
+  std::size_t threads = 4;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::max(1, std::atoi(argv[++i])));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--reps N] [--threads N] [--quick]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Rng rng(1234);
+  std::vector<Record> records;
+  const std::size_t kSerial = 1;
+
+  // --- GEMM: square scaling points plus Reslim/ViT-shaped rectangles. ---
+  std::vector<GemmShape> gemm_shapes = {
+      {"square", 256, 256, 256},
+      {"square", 512, 512, 512},
+      {"vit_mlp", 1024, 1024, 256},         // tokens x hidden x embed
+      {"reslim_proj", 4096, 128, 128},      // 64x64 token grid projection
+      {"reslim_patchify", 1024, 192, 576},  // tokens x embed x (C*ps*ps)
+  };
+  if (!quick) gemm_shapes.push_back({"square", 1024, 1024, 1024});
+
+  for (const GemmShape& s : gemm_shapes) {
+    const Tensor a = Tensor::randn(Shape{s.m, s.k}, rng);
+    const Tensor b = Tensor::randn(Shape{s.k, s.n}, rng);
+    const double flops = 2.0 * static_cast<double>(s.m) *
+                         static_cast<double>(s.n) * static_cast<double>(s.k);
+    char shape[64];
+    std::snprintf(shape, sizeof(shape), "%s:%lldx%lldx%lld", s.tag,
+                  static_cast<long long>(s.m), static_cast<long long>(s.n),
+                  static_cast<long long>(s.k));
+    std::vector<float> out(static_cast<std::size_t>(s.m * s.n));
+    records.push_back(
+        time_case("gemm_nn", shape, "legacy_serial", kSerial, reps, flops, [&] {
+          std::fill(out.begin(), out.end(), 0.0f);
+          legacy_gemm_nn(out.data(), a.data().data(), b.data().data(), s.m, s.n,
+                         s.k);
+          return buffer_checksum(out);
+        }));
+    for (const std::size_t t : {kSerial, threads}) {
+      orbit2::kernels::set_max_threads(t);
+      records.push_back(time_case("gemm_nn", shape, "kernels", t, reps, flops,
+                                  [&] {
+                                    const Tensor c = orbit2::matmul(a, b);
+                                    return tensor_checksum(c);
+                                  }));
+    }
+    orbit2::kernels::set_max_threads(0);
+  }
+
+  // --- GEMM transpose variants at one mid-size shape. ---
+  {
+    const std::int64_t m = 512, n = 512, k = 512;
+    const double flops = 2.0 * 512.0 * 512.0 * 512.0;
+    const Tensor a = Tensor::randn(Shape{m, k}, rng);
+    const Tensor bt = Tensor::randn(Shape{n, k}, rng);  // for NT
+    const Tensor at = Tensor::randn(Shape{k, m}, rng);  // for TN
+    const Tensor b = Tensor::randn(Shape{k, n}, rng);
+    std::vector<float> out(static_cast<std::size_t>(m * n));
+    records.push_back(time_case("gemm_nt", "512x512x512", "legacy_serial",
+                                kSerial, reps, flops, [&] {
+                                  legacy_gemm_nt(out.data(), a.data().data(),
+                                                 bt.data().data(), m, n, k);
+                                  return buffer_checksum(out);
+                                }));
+    records.push_back(time_case("gemm_tn", "512x512x512", "legacy_serial",
+                                kSerial, reps, flops, [&] {
+                                  std::fill(out.begin(), out.end(), 0.0f);
+                                  legacy_gemm_tn(out.data(), at.data().data(),
+                                                 b.data().data(), m, n, k);
+                                  return buffer_checksum(out);
+                                }));
+    for (const std::size_t t : {kSerial, threads}) {
+      orbit2::kernels::set_max_threads(t);
+      records.push_back(time_case("gemm_nt", "512x512x512", "kernels", t, reps,
+                                  flops, [&] {
+                                    const Tensor c = orbit2::matmul_nt(a, bt);
+                                    return tensor_checksum(c);
+                                  }));
+      records.push_back(time_case("gemm_tn", "512x512x512", "kernels", t, reps,
+                                  flops, [&] {
+                                    const Tensor c = orbit2::matmul_tn(at, b);
+                                    return tensor_checksum(c);
+                                  }));
+    }
+    orbit2::kernels::set_max_threads(0);
+  }
+
+  // --- Attention: sequence-length sweep, flash + naive forward. ---
+  {
+    const std::int64_t d = 32;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+    std::vector<std::int64_t> seqs = {128, 512};
+    if (!quick) seqs.push_back(2048);
+    for (const std::int64_t seq : seqs) {
+      const Tensor q = Tensor::randn(Shape{seq, d}, rng);
+      const Tensor k = Tensor::randn(Shape{seq, d}, rng);
+      const Tensor v = Tensor::randn(Shape{seq, d}, rng);
+      // Scores and the weighted sum are each 2*seq^2*d flops.
+      const double flops = 4.0 * static_cast<double>(seq) *
+                           static_cast<double>(seq) * static_cast<double>(d);
+      const std::string shape = std::to_string(seq) + "x" + std::to_string(d);
+      const FlashParams params;
+      records.push_back(time_case(
+          "attention_flash_fwd", shape, "legacy_serial", kSerial, reps, flops,
+          [&] {
+            const Tensor o = legacy_flash_forward(q, k, v, scale, params);
+            return tensor_checksum(o);
+          }));
+      for (const std::size_t t : {kSerial, threads}) {
+        orbit2::kernels::set_max_threads(t);
+        records.push_back(time_case(
+            "attention_flash_fwd", shape, "kernels", t, reps, flops, [&] {
+              const Tensor o = orbit2::attention_flash_forward(
+                  q, k, v, scale, nullptr, params);
+              return tensor_checksum(o);
+            }));
+        records.push_back(time_case(
+            "attention_naive_fwd", shape, "kernels", t, reps, flops, [&] {
+              const Tensor o =
+                  orbit2::attention_naive_forward(q, k, v, scale, nullptr);
+              return tensor_checksum(o);
+            }));
+      }
+      orbit2::kernels::set_max_threads(0);
+    }
+  }
+
+  // --- Conv2d forward: Reslim-style 3x3 stems. ---
+  {
+    const std::int64_t cin = 8, cout = 16;
+    for (const std::int64_t n : {std::int64_t{64}, std::int64_t{128}}) {
+      const Tensor input = Tensor::randn(Shape{cin, n, n}, rng);
+      const Tensor weight = Tensor::randn(Shape{cout, cin, 3, 3}, rng);
+      const Tensor bias = Tensor::randn(Shape{cout}, rng);
+      const Conv2dSpec spec{3, 3, 1, 1};
+      const double flops = 2.0 * static_cast<double>(cout * cin * 9) *
+                           static_cast<double>(n) * static_cast<double>(n);
+      const std::string shape = std::to_string(cin) + "x" + std::to_string(n) +
+                                "x" + std::to_string(n) + "->" +
+                                std::to_string(cout);
+      records.push_back(time_case(
+          "conv2d_fwd", shape, "legacy_serial", kSerial, reps, flops, [&] {
+            const Tensor o = legacy_conv2d_forward(input, weight, bias, spec);
+            return tensor_checksum(o);
+          }));
+      for (const std::size_t t : {kSerial, threads}) {
+        orbit2::kernels::set_max_threads(t);
+        records.push_back(time_case(
+            "conv2d_fwd", shape, "kernels", t, reps, flops, [&] {
+              const Tensor o = orbit2::conv2d_forward(input, weight, bias, spec);
+              return tensor_checksum(o);
+            }));
+      }
+      orbit2::kernels::set_max_threads(0);
+    }
+  }
+
+  emit_json(records);
+  return 0;
+}

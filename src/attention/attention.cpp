@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "core/kernels.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 
@@ -57,6 +59,13 @@ AttentionGrads attention_naive_backward(const AttentionContext& ctx,
   return {std::move(dq), std::move(dk), std::move(dv)};
 }
 
+// The blocked online-softmax (flash) kernels parallelize over the dimension
+// whose outputs they own — query blocks in the forward and dq pass, key
+// blocks in the dk/dv pass — while walking the other dimension serially in
+// ascending block order inside each chunk. Every output row is therefore
+// produced by exactly one chunk in a fixed accumulation order, making
+// results bit-identical for any thread count.
+
 Tensor attention_flash_forward(const Tensor& q, const Tensor& k,
                                const Tensor& v, float scale,
                                AttentionContext* ctx,
@@ -76,70 +85,80 @@ Tensor attention_flash_forward(const Tensor& q, const Tensor& k,
   float* po = output.data().data();
   float* plse = logsumexp.data().data();
 
-  // Running row statistics: max m_i and normalizer l_i.
-  std::vector<float> row_max(static_cast<std::size_t>(nq),
-                             -std::numeric_limits<float>::infinity());
-  std::vector<float> row_sum(static_cast<std::size_t>(nq), 0.0f);
-  // Scratch score block.
-  std::vector<float> scores(
-      static_cast<std::size_t>(params.block_q * params.block_kv));
+  const std::int64_t q_blocks = (nq + params.block_q - 1) / params.block_q;
+  kernels::parallel_for(q_blocks, 1, [&](std::int64_t qb0, std::int64_t qb1) {
+    // Per-chunk scratch: score tile and running row statistics (max m_i,
+    // normalizer l_i) for this chunk's query rows only.
+    std::vector<float> scores(
+        static_cast<std::size_t>(params.block_q * params.block_kv));
+    std::vector<float> row_max(static_cast<std::size_t>(params.block_q));
+    std::vector<float> row_sum(static_cast<std::size_t>(params.block_q));
+    for (std::int64_t qb = qb0; qb < qb1; ++qb) {
+      const std::int64_t q0 = qb * params.block_q;
+      const std::int64_t q1 = std::min(nq, q0 + params.block_q);
+      std::fill(row_max.begin(), row_max.end(),
+                -std::numeric_limits<float>::infinity());
+      std::fill(row_sum.begin(), row_sum.end(), 0.0f);
 
-  for (std::int64_t q0 = 0; q0 < nq; q0 += params.block_q) {
-    const std::int64_t q1 = std::min(nq, q0 + params.block_q);
-    for (std::int64_t k0 = 0; k0 < nk; k0 += params.block_kv) {
-      const std::int64_t k1 = std::min(nk, k0 + params.block_kv);
-      const std::int64_t bk = k1 - k0;
+      for (std::int64_t k0 = 0; k0 < nk; k0 += params.block_kv) {
+        const std::int64_t k1 = std::min(nk, k0 + params.block_kv);
+        const std::int64_t bk = k1 - k0;
 
-      // Score tile S = Qb Kb^T * scale (fits in cache by construction).
-      for (std::int64_t i = q0; i < q1; ++i) {
-        const float* qrow = pq + i * d;
-        float* srow = scores.data() + (i - q0) * params.block_kv;
-        for (std::int64_t j = 0; j < bk; ++j) {
-          const float* krow = pk + (k0 + j) * d;
-          double acc = 0.0;
-          for (std::int64_t t = 0; t < d; ++t) acc += static_cast<double>(qrow[t]) * krow[t];
-          srow[j] = static_cast<float>(acc) * scale;
+        // Score tile S = Qb Kb^T * scale (fits in cache by construction).
+        for (std::int64_t i = q0; i < q1; ++i) {
+          const float* qrow = pq + i * d;
+          float* srow = scores.data() + (i - q0) * params.block_kv;
+          for (std::int64_t j = 0; j < bk; ++j) {
+            const float* krow = pk + (k0 + j) * d;
+            double acc = 0.0;
+            for (std::int64_t t = 0; t < d; ++t) {
+              acc += static_cast<double>(qrow[t]) * krow[t];
+            }
+            srow[j] = static_cast<float>(acc) * scale;
+          }
+        }
+
+        // Online softmax update per row: rescale previous accumulators when
+        // a new maximum appears, then fold in this block's contributions.
+        for (std::int64_t i = q0; i < q1; ++i) {
+          float* srow = scores.data() + (i - q0) * params.block_kv;
+          float block_max = srow[0];
+          for (std::int64_t j = 1; j < bk; ++j) {
+            block_max = std::max(block_max, srow[j]);
+          }
+
+          const float old_max = row_max[static_cast<std::size_t>(i - q0)];
+          const float new_max = std::max(old_max, block_max);
+          const float correction =
+              (old_max == -std::numeric_limits<float>::infinity())
+                  ? 0.0f
+                  : std::exp(old_max - new_max);
+
+          float* orow = po + i * dv;
+          for (std::int64_t t = 0; t < dv; ++t) orow[t] *= correction;
+          row_sum[static_cast<std::size_t>(i - q0)] *= correction;
+
+          for (std::int64_t j = 0; j < bk; ++j) {
+            const float p = std::exp(srow[j] - new_max);
+            row_sum[static_cast<std::size_t>(i - q0)] += p;
+            const float* vrow = pv + (k0 + j) * dv;
+            for (std::int64_t t = 0; t < dv; ++t) orow[t] += p * vrow[t];
+          }
+          row_max[static_cast<std::size_t>(i - q0)] = new_max;
         }
       }
 
-      // Online softmax update per row: rescale previous accumulators when a
-      // new maximum appears, then fold in this block's contributions.
+      // Final normalization and log-sum-exp bookkeeping for this block.
       for (std::int64_t i = q0; i < q1; ++i) {
-        float* srow = scores.data() + (i - q0) * params.block_kv;
-        float block_max = srow[0];
-        for (std::int64_t j = 1; j < bk; ++j) block_max = std::max(block_max, srow[j]);
-
-        const float old_max = row_max[static_cast<std::size_t>(i)];
-        const float new_max = std::max(old_max, block_max);
-        const float correction =
-            (old_max == -std::numeric_limits<float>::infinity())
-                ? 0.0f
-                : std::exp(old_max - new_max);
-
+        const float l = row_sum[static_cast<std::size_t>(i - q0)];
+        ORBIT2_CHECK(l > 0.0f, "flash attention: zero normalizer at row " << i);
+        const float inv = 1.0f / l;
         float* orow = po + i * dv;
-        for (std::int64_t t = 0; t < dv; ++t) orow[t] *= correction;
-        row_sum[static_cast<std::size_t>(i)] *= correction;
-
-        for (std::int64_t j = 0; j < bk; ++j) {
-          const float p = std::exp(srow[j] - new_max);
-          row_sum[static_cast<std::size_t>(i)] += p;
-          const float* vrow = pv + (k0 + j) * dv;
-          for (std::int64_t t = 0; t < dv; ++t) orow[t] += p * vrow[t];
-        }
-        row_max[static_cast<std::size_t>(i)] = new_max;
+        for (std::int64_t t = 0; t < dv; ++t) orow[t] *= inv;
+        plse[i] = row_max[static_cast<std::size_t>(i - q0)] + std::log(l);
       }
     }
-  }
-
-  // Final normalization and log-sum-exp bookkeeping.
-  for (std::int64_t i = 0; i < nq; ++i) {
-    const float l = row_sum[static_cast<std::size_t>(i)];
-    ORBIT2_CHECK(l > 0.0f, "flash attention: zero normalizer at row " << i);
-    const float inv = 1.0f / l;
-    float* orow = po + i * dv;
-    for (std::int64_t t = 0; t < dv; ++t) orow[t] *= inv;
-    plse[i] = row_max[static_cast<std::size_t>(i)] + std::log(l);
-  }
+  });
 
   if (ctx) {
     ctx->q = q;
@@ -180,64 +199,111 @@ AttentionGrads attention_flash_backward(const AttentionContext& ctx,
 
   // D_i = rowsum(dO_i * O_i): the softmax-backward dot term, computed once.
   std::vector<float> delta(static_cast<std::size_t>(nq));
-  for (std::int64_t i = 0; i < nq; ++i) {
-    double acc = 0.0;
-    for (std::int64_t t = 0; t < dv; ++t) {
-      acc += static_cast<double>(pgo[i * dv + t]) * po[i * dv + t];
-    }
-    delta[static_cast<std::size_t>(i)] = static_cast<float>(acc);
-  }
-
-  std::vector<float> probs(
-      static_cast<std::size_t>(params.block_q * params.block_kv));
-
-  for (std::int64_t k0 = 0; k0 < nk; k0 += params.block_kv) {
-    const std::int64_t k1 = std::min(nk, k0 + params.block_kv);
-    const std::int64_t bk = k1 - k0;
-    for (std::int64_t q0 = 0; q0 < nq; q0 += params.block_q) {
-      const std::int64_t q1 = std::min(nq, q0 + params.block_q);
-
-      // Recompute P tile from Q, K and saved logsumexp.
-      for (std::int64_t i = q0; i < q1; ++i) {
-        const float* qrow = pq + i * d;
-        float* prow = probs.data() + (i - q0) * params.block_kv;
-        const float lse = plse[i];
-        for (std::int64_t j = 0; j < bk; ++j) {
-          const float* krow = pk + (k0 + j) * d;
+  kernels::parallel_for(
+      nq, kernels::grain_for(dv), [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
           double acc = 0.0;
-          for (std::int64_t t = 0; t < d; ++t) acc += static_cast<double>(qrow[t]) * krow[t];
-          prow[j] = std::exp(static_cast<float>(acc) * ctx.scale - lse);
-        }
-      }
-
-      for (std::int64_t i = q0; i < q1; ++i) {
-        const float* prow = probs.data() + (i - q0) * params.block_kv;
-        const float* gorow = pgo + i * dv;
-        const float* qrow = pq + i * d;
-        float* dqrow = pdq + i * d;
-        for (std::int64_t j = 0; j < bk; ++j) {
-          const float p = prow[j];
-          if (p == 0.0f) continue;
-          const float* vrow = pv + (k0 + j) * dv;
-          float* dvrow = pdv + (k0 + j) * dv;
-          // dV_j += p * dO_i
-          double dp = 0.0;
           for (std::int64_t t = 0; t < dv; ++t) {
-            dvrow[t] += p * gorow[t];
-            dp += static_cast<double>(gorow[t]) * vrow[t];
+            acc += static_cast<double>(pgo[i * dv + t]) * po[i * dv + t];
           }
-          // dS_ij = p * (dP_ij - D_i), scaled.
-          const float ds = p * (static_cast<float>(dp) - delta[static_cast<std::size_t>(i)]) * ctx.scale;
-          const float* krow = pk + (k0 + j) * d;
-          float* dkrow = pdk + (k0 + j) * d;
-          for (std::int64_t t = 0; t < d; ++t) {
-            dqrow[t] += ds * krow[t];
-            dkrow[t] += ds * qrow[t];
+          delta[static_cast<std::size_t>(i)] = static_cast<float>(acc);
+        }
+      });
+
+  const std::int64_t q_blocks = (nq + params.block_q - 1) / params.block_q;
+  const std::int64_t k_blocks = (nk + params.block_kv - 1) / params.block_kv;
+
+  // Recomputes the probability tile for query rows [q0, q1) x keys
+  // [k0, k0+bk) from Q, K and the saved logsumexp.
+  auto recompute_probs = [&](std::int64_t q0, std::int64_t q1, std::int64_t k0,
+                             std::int64_t bk, std::vector<float>& probs) {
+    for (std::int64_t i = q0; i < q1; ++i) {
+      const float* qrow = pq + i * d;
+      float* prow = probs.data() + (i - q0) * params.block_kv;
+      const float lse = plse[i];
+      for (std::int64_t j = 0; j < bk; ++j) {
+        const float* krow = pk + (k0 + j) * d;
+        double acc = 0.0;
+        for (std::int64_t t = 0; t < d; ++t) {
+          acc += static_cast<double>(qrow[t]) * krow[t];
+        }
+        prow[j] = std::exp(static_cast<float>(acc) * ctx.scale - lse);
+      }
+    }
+  };
+
+  // Pass 1 — dQ: query blocks own disjoint dq rows; key blocks are walked
+  // serially in ascending order inside each chunk.
+  kernels::parallel_for(q_blocks, 1, [&](std::int64_t qb0, std::int64_t qb1) {
+    std::vector<float> probs(
+        static_cast<std::size_t>(params.block_q * params.block_kv));
+    for (std::int64_t qb = qb0; qb < qb1; ++qb) {
+      const std::int64_t q0 = qb * params.block_q;
+      const std::int64_t q1 = std::min(nq, q0 + params.block_q);
+      for (std::int64_t k0 = 0; k0 < nk; k0 += params.block_kv) {
+        const std::int64_t bk = std::min(nk, k0 + params.block_kv) - k0;
+        recompute_probs(q0, q1, k0, bk, probs);
+        for (std::int64_t i = q0; i < q1; ++i) {
+          const float* prow = probs.data() + (i - q0) * params.block_kv;
+          const float* gorow = pgo + i * dv;
+          float* dqrow = pdq + i * d;
+          for (std::int64_t j = 0; j < bk; ++j) {
+            const float p = prow[j];
+            const float* vrow = pv + (k0 + j) * dv;
+            double dp = 0.0;
+            for (std::int64_t t = 0; t < dv; ++t) {
+              dp += static_cast<double>(gorow[t]) * vrow[t];
+            }
+            // dS_ij = p * (dP_ij - D_i), scaled.
+            const float ds = p *
+                             (static_cast<float>(dp) -
+                              delta[static_cast<std::size_t>(i)]) *
+                             ctx.scale;
+            const float* krow = pk + (k0 + j) * d;
+            for (std::int64_t t = 0; t < d; ++t) dqrow[t] += ds * krow[t];
           }
         }
       }
     }
-  }
+  });
+
+  // Pass 2 — dK, dV: key blocks own disjoint dk/dv rows; query blocks are
+  // walked serially in ascending order inside each chunk.
+  kernels::parallel_for(k_blocks, 1, [&](std::int64_t kb0, std::int64_t kb1) {
+    std::vector<float> probs(
+        static_cast<std::size_t>(params.block_q * params.block_kv));
+    for (std::int64_t kb = kb0; kb < kb1; ++kb) {
+      const std::int64_t k0 = kb * params.block_kv;
+      const std::int64_t bk = std::min(nk, k0 + params.block_kv) - k0;
+      for (std::int64_t q0 = 0; q0 < nq; q0 += params.block_q) {
+        const std::int64_t q1 = std::min(nq, q0 + params.block_q);
+        recompute_probs(q0, q1, k0, bk, probs);
+        for (std::int64_t i = q0; i < q1; ++i) {
+          const float* prow = probs.data() + (i - q0) * params.block_kv;
+          const float* gorow = pgo + i * dv;
+          const float* qrow = pq + i * d;
+          for (std::int64_t j = 0; j < bk; ++j) {
+            const float p = prow[j];
+            const float* vrow = pv + (k0 + j) * dv;
+            float* dvrow = pdv + (k0 + j) * dv;
+            // dV_j += p * dO_i
+            double dp = 0.0;
+            for (std::int64_t t = 0; t < dv; ++t) {
+              dvrow[t] += p * gorow[t];
+              dp += static_cast<double>(gorow[t]) * vrow[t];
+            }
+            const float ds = p *
+                             (static_cast<float>(dp) -
+                              delta[static_cast<std::size_t>(i)]) *
+                             ctx.scale;
+            float* dkrow = pdk + (k0 + j) * d;
+            for (std::int64_t t = 0; t < d; ++t) dkrow[t] += ds * qrow[t];
+          }
+        }
+      }
+    }
+  });
+
   return {std::move(dq), std::move(dk), std::move(dvt)};
 }
 

@@ -1,6 +1,7 @@
 #include "attention/window_attention.hpp"
 
 #include "attention/attention.hpp"
+#include "core/kernels.hpp"
 
 namespace orbit2 {
 
@@ -99,43 +100,51 @@ Tensor window_attention_forward(const Tensor& q, const Tensor& k,
   const std::int64_t dv = v.dim(1);
   Tensor out(Shape{gh * gw, dv});
 
+  // Windows are independent and write disjoint rows of `out`, so they
+  // parallelize through the kernel layer; per-window math is unchanged, so
+  // results are bit-identical for any thread count. Kernels invoked inside a
+  // window (matmul, softmax) detect the enclosing parallel region and run
+  // inline-serial.
   const std::int64_t wy_count = gh / w, wx_count = gw / w;
   const std::int64_t tokens_per_window = w * w;
-  for (std::int64_t wy = 0; wy < wy_count; ++wy) {
-    for (std::int64_t wx = 0; wx < wx_count; ++wx) {
-      // Gather the window's tokens into contiguous buffers.
-      Tensor qw(Shape{tokens_per_window, d});
-      Tensor kw(Shape{tokens_per_window, d});
-      Tensor vw(Shape{tokens_per_window, dv});
-      for (std::int64_t iy = 0; iy < w; ++iy) {
-        for (std::int64_t ix = 0; ix < w; ++ix) {
-          const std::int64_t grid_index =
-              (wy * w + iy) * gw + (wx * w + ix);
-          const std::int64_t local = iy * w + ix;
-          std::copy(qs.data().begin() + grid_index * d,
-                    qs.data().begin() + (grid_index + 1) * d,
-                    qw.data().begin() + local * d);
-          std::copy(ks.data().begin() + grid_index * d,
-                    ks.data().begin() + (grid_index + 1) * d,
-                    kw.data().begin() + local * d);
-          std::copy(vs.data().begin() + grid_index * dv,
-                    vs.data().begin() + (grid_index + 1) * dv,
-                    vw.data().begin() + local * dv);
+  kernels::parallel_for(
+      wy_count * wx_count, 1, [&](std::int64_t win0, std::int64_t win1) {
+        for (std::int64_t win = win0; win < win1; ++win) {
+          const std::int64_t wy = win / wx_count;
+          const std::int64_t wx = win % wx_count;
+          // Gather the window's tokens into contiguous buffers.
+          Tensor qw(Shape{tokens_per_window, d});
+          Tensor kw(Shape{tokens_per_window, d});
+          Tensor vw(Shape{tokens_per_window, dv});
+          for (std::int64_t iy = 0; iy < w; ++iy) {
+            for (std::int64_t ix = 0; ix < w; ++ix) {
+              const std::int64_t grid_index =
+                  (wy * w + iy) * gw + (wx * w + ix);
+              const std::int64_t local = iy * w + ix;
+              std::copy(qs.data().begin() + grid_index * d,
+                        qs.data().begin() + (grid_index + 1) * d,
+                        qw.data().begin() + local * d);
+              std::copy(ks.data().begin() + grid_index * d,
+                        ks.data().begin() + (grid_index + 1) * d,
+                        kw.data().begin() + local * d);
+              std::copy(vs.data().begin() + grid_index * dv,
+                        vs.data().begin() + (grid_index + 1) * dv,
+                        vw.data().begin() + local * dv);
+            }
+          }
+          const Tensor ow = attention_naive_forward(qw, kw, vw, scale, nullptr);
+          for (std::int64_t iy = 0; iy < w; ++iy) {
+            for (std::int64_t ix = 0; ix < w; ++ix) {
+              const std::int64_t grid_index =
+                  (wy * w + iy) * gw + (wx * w + ix);
+              const std::int64_t local = iy * w + ix;
+              std::copy(ow.data().begin() + local * dv,
+                        ow.data().begin() + (local + 1) * dv,
+                        out.data().begin() + grid_index * dv);
+            }
+          }
         }
-      }
-      const Tensor ow = attention_naive_forward(qw, kw, vw, scale, nullptr);
-      for (std::int64_t iy = 0; iy < w; ++iy) {
-        for (std::int64_t ix = 0; ix < w; ++ix) {
-          const std::int64_t grid_index =
-              (wy * w + iy) * gw + (wx * w + ix);
-          const std::int64_t local = iy * w + ix;
-          std::copy(ow.data().begin() + local * dv,
-                    ow.data().begin() + (local + 1) * dv,
-                    out.data().begin() + grid_index * dv);
-        }
-      }
-    }
-  }
+      });
 
   return spec.shift ? cyclic_shift_tokens(out, gh, gw, spec.shift, spec.shift)
                     : out;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "attention/attention.hpp"
+#include "core/kernels.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/resize.hpp"
@@ -13,6 +14,11 @@ namespace orbit2::autograd {
 
 namespace {
 
+// Data-movement helpers dispatch through kernels::parallel_for. Each output
+// element is written by exactly one chunk (copies parallelize over rows;
+// colsum over disjoint column ranges, walking rows in ascending order inside
+// each chunk), so results are bit-identical for any thread count.
+
 /// Copy of columns [start, start+len) of a rank-2 tensor.
 Tensor slice_cols(const Tensor& x, std::int64_t start, std::int64_t len) {
   const std::int64_t rows = x.dim(0), cols = x.dim(1);
@@ -20,10 +26,13 @@ Tensor slice_cols(const Tensor& x, std::int64_t start, std::int64_t len) {
   Tensor out(Shape{rows, len});
   const float* src = x.data().data();
   float* dst = out.data().data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    std::copy(src + r * cols + start, src + r * cols + start + len,
-              dst + r * len);
-  }
+  kernels::parallel_for(
+      rows, kernels::grain_for(len), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          std::copy(src + r * cols + start, src + r * cols + start + len,
+                    dst + r * len);
+        }
+      });
   return out;
 }
 
@@ -35,22 +44,43 @@ void set_cols(Tensor& x, std::int64_t start, const Tensor& block) {
                "set_cols shape mismatch");
   const float* src = block.data().data();
   float* dst = x.data().data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    std::copy(src + r * len, src + r * len + len, dst + r * cols + start);
-  }
+  kernels::parallel_for(
+      rows, kernels::grain_for(len), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          std::copy(src + r * len, src + r * len + len, dst + r * cols + start);
+        }
+      });
 }
 
-/// Column-wise sum of a rank-2 tensor -> [D].
+/// Column-wise sum of a rank-2 tensor -> [D]. Parallel over disjoint column
+/// ranges: every output column is reduced by one chunk over rows in
+/// ascending order, matching the serial accumulation exactly.
 Tensor colsum(const Tensor& x) {
   const std::int64_t rows = x.dim(0), cols = x.dim(1);
   Tensor out = Tensor::zeros(Shape{cols});
   const float* src = x.data().data();
   float* dst = out.data().data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* row = src + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) dst[c] += row[c];
-  }
+  kernels::parallel_for(
+      cols, kernels::grain_for(rows), [&](std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float* row = src + r * cols;
+          for (std::int64_t c = c0; c < c1; ++c) dst[c] += row[c];
+        }
+      });
   return out;
+}
+
+/// In-place row-broadcast bias add on a rank-2 tensor.
+void add_bias_inplace(Tensor& x, const float* bias) {
+  const std::int64_t rows = x.dim(0), cols = x.dim(1);
+  float* dst = x.data().data();
+  kernels::parallel_for(
+      rows, kernels::grain_for(cols), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          float* row = dst + r * cols;
+          for (std::int64_t c = 0; c < cols; ++c) row[c] += bias[c];
+        }
+      });
 }
 
 }  // namespace
@@ -114,15 +144,7 @@ Var add_bias_rows(const Var& x, const Var& bias) {
   ORBIT2_REQUIRE(x.value().dim(1) == bias.value().dim(0),
                  "add_bias_rows width mismatch");
   Tensor value = x.value().clone();
-  {
-    const std::int64_t rows = value.dim(0), cols = value.dim(1);
-    float* dst = value.data().data();
-    const float* b = bias.value().data().data();
-    for (std::int64_t r = 0; r < rows; ++r) {
-      float* row = dst + r * cols;
-      for (std::int64_t c = 0; c < cols; ++c) row[c] += b[c];
-    }
-  }
+  add_bias_inplace(value, bias.value().data().data());
   return make_op(std::move(value), {x, bias}, [x, bias](const Tensor& g) {
     accumulate_into(x, g);
     if (bias.needs_grad()) accumulate_into(bias, colsum(g));
@@ -196,18 +218,26 @@ Var permute_rows(const Var& x, const std::vector<std::int64_t>& perm) {
   Tensor out(value.shape());
   const float* src = value.data().data();
   float* dst = out.data().data();
-  for (std::int64_t i = 0; i < rows; ++i) {
-    const std::int64_t from = perm[static_cast<std::size_t>(i)];
-    std::copy(src + from * inner, src + (from + 1) * inner, dst + i * inner);
-  }
+  kernels::parallel_for(
+      rows, kernels::grain_for(inner), [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const std::int64_t from = perm[static_cast<std::size_t>(i)];
+          std::copy(src + from * inner, src + (from + 1) * inner,
+                    dst + i * inner);
+        }
+      });
   return make_op(std::move(out), {x}, [x, inverse, inner, rows](const Tensor& g) {
     Tensor grad(g.shape());
     const float* gs = g.data().data();
     float* gd = grad.data().data();
-    for (std::int64_t i = 0; i < rows; ++i) {
-      const std::int64_t to = inverse[static_cast<std::size_t>(i)];
-      std::copy(gs + to * inner, gs + (to + 1) * inner, gd + i * inner);
-    }
+    kernels::parallel_for(
+        rows, kernels::grain_for(inner),
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const std::int64_t to = inverse[static_cast<std::size_t>(i)];
+            std::copy(gs + to * inner, gs + (to + 1) * inner, gd + i * inner);
+          }
+        });
     accumulate_into(x, grad);
   });
 }
@@ -294,18 +324,22 @@ Tensor image_to_tokens_raw(const Tensor& image, std::int64_t patch) {
   Tensor out(Shape{tokens, feat});
   const float* src = image.data().data();
   float* dst = out.data().data();
-  for (std::int64_t by = 0; by < gh; ++by) {
-    for (std::int64_t bx = 0; bx < gw; ++bx) {
-      float* token = dst + (by * gw + bx) * feat;
-      for (std::int64_t ch = 0; ch < c; ++ch) {
-        for (std::int64_t dy = 0; dy < patch; ++dy) {
-          const float* row = src + ch * h * w + (by * patch + dy) * w + bx * patch;
-          float* cell = token + ch * patch * patch + dy * patch;
-          std::copy(row, row + patch, cell);
+  kernels::parallel_for(
+      tokens, kernels::grain_for(feat), [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t by = t / gw;
+          const std::int64_t bx = t % gw;
+          float* token = dst + t * feat;
+          for (std::int64_t ch = 0; ch < c; ++ch) {
+            for (std::int64_t dy = 0; dy < patch; ++dy) {
+              const float* row =
+                  src + ch * h * w + (by * patch + dy) * w + bx * patch;
+              float* cell = token + ch * patch * patch + dy * patch;
+              std::copy(row, row + patch, cell);
+            }
+          }
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -322,18 +356,23 @@ Tensor tokens_to_image_raw(const Tensor& tokens, std::int64_t channels,
   Tensor out(Shape{channels, h, w});
   const float* src = tokens.data().data();
   float* dst = out.data().data();
-  for (std::int64_t by = 0; by < gh; ++by) {
-    for (std::int64_t bx = 0; bx < gw; ++bx) {
-      const float* token = src + (by * gw + bx) * feat;
-      for (std::int64_t ch = 0; ch < channels; ++ch) {
-        for (std::int64_t dy = 0; dy < patch; ++dy) {
-          const float* cell = token + ch * patch * patch + dy * patch;
-          float* row = dst + ch * h * w + (by * patch + dy) * w + bx * patch;
-          std::copy(cell, cell + patch, row);
+  kernels::parallel_for(
+      gh * gw, kernels::grain_for(feat),
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t by = t / gw;
+          const std::int64_t bx = t % gw;
+          const float* token = src + t * feat;
+          for (std::int64_t ch = 0; ch < channels; ++ch) {
+            for (std::int64_t dy = 0; dy < patch; ++dy) {
+              const float* cell = token + ch * patch * patch + dy * patch;
+              float* row =
+                  dst + ch * h * w + (by * patch + dy) * w + bx * patch;
+              std::copy(cell, cell + patch, row);
+            }
+          }
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -372,12 +411,7 @@ Var multihead_self_attention(const Var& x, const MhaWeights& weights,
   // Projections.
   auto project = [&](const Var& w, const Var& b) {
     Tensor out = orbit2::matmul(xv, w.value());
-    const std::int64_t rows = out.dim(0), cols = out.dim(1);
-    float* po = out.data().data();
-    const float* pb = b.value().data().data();
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t c = 0; c < cols; ++c) po[r * cols + c] += pb[c];
-    }
+    add_bias_inplace(out, b.value().data().data());
     return out;
   };
   Tensor q = project(weights.wq, weights.bq);
@@ -401,13 +435,7 @@ Var multihead_self_attention(const Var& x, const MhaWeights& weights,
 
   // Output projection.
   Tensor out = orbit2::matmul(concat, weights.wo.value());
-  {
-    float* po = out.data().data();
-    const float* pb = weights.bo.value().data().data();
-    for (std::int64_t r = 0; r < n; ++r) {
-      for (std::int64_t c = 0; c < d; ++c) po[r * d + c] += pb[c];
-    }
-  }
+  add_bias_inplace(out, weights.bo.value().data().data());
 
   std::vector<Var> parents = {x,          weights.wq, weights.wk, weights.wv,
                               weights.wo, weights.bq, weights.bk, weights.bv,

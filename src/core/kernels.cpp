@@ -1,0 +1,329 @@
+#include "core/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace orbit2::kernels {
+
+namespace {
+
+// Pool configuration. `configured_threads` == 0 means "resolve from the
+// environment"; the pool itself is rebuilt lazily after set_max_threads.
+std::mutex& pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::unique_ptr<ThreadPool>& pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+std::size_t& configured_threads() {
+  static std::size_t n = 0;
+  return n;
+}
+
+std::size_t resolve_threads_locked() {
+  if (configured_threads() != 0) return configured_threads();
+  if (const char* env = std::getenv("ORBIT2_NUM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+// Set while the current thread is executing a kernel chunk; nested kernel
+// invocations observe it and run inline (composition instead of
+// oversubscription, and no wait-for-own-pool deadlocks).
+thread_local bool tl_in_parallel_region = false;
+
+struct RegionScope {
+  bool saved;
+  RegionScope() : saved(tl_in_parallel_region) { tl_in_parallel_region = true; }
+  ~RegionScope() { tl_in_parallel_region = saved; }
+};
+
+/// Executes run(chunk) for chunk in [0, num_chunks). Chunks are pulled from
+/// a shared counter by the calling thread plus up to (pool workers) helper
+/// tasks, so which thread runs a chunk is dynamic — callers must make chunk
+/// *results* independent of assignment (disjoint writes or indexed partial
+/// slots). Blocks until every chunk and helper has finished; rethrows the
+/// first chunk exception.
+void run_chunks(std::int64_t num_chunks,
+                const std::function<void(std::int64_t)>& run) {
+  if (num_chunks <= 0) return;
+  const std::size_t threads = max_threads();
+  if (num_chunks == 1 || threads <= 1 || tl_in_parallel_region) {
+    // Inline serial execution. The region flag is left as-is: a one-chunk
+    // outer loop must not stop nested kernels from going parallel.
+    for (std::int64_t chunk = 0; chunk < num_chunks; ++chunk) run(chunk);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::int64_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::int64_t chunks_done = 0;
+    std::size_t helpers_finished = 0;
+    std::exception_ptr first_error;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  auto drain = [shared, num_chunks, &run] {
+    RegionScope scope;
+    for (;;) {
+      const std::int64_t chunk =
+          shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) return;
+      try {
+        run(chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (!shared->first_error) shared->first_error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      if (++shared->chunks_done == num_chunks) shared->done_cv.notify_all();
+    }
+  };
+
+  const std::size_t helpers = std::min<std::size_t>(
+      threads - 1, static_cast<std::size_t>(num_chunks - 1));
+  ThreadPool& pool = global_pool();
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([shared, drain] {
+      drain();
+      std::lock_guard<std::mutex> lock(shared->mutex);
+      ++shared->helpers_finished;
+      shared->done_cv.notify_all();
+    });
+  }
+  drain();  // the caller participates instead of blocking idle
+
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  shared->done_cv.wait(lock, [&] {
+    return shared->chunks_done == num_chunks &&
+           shared->helpers_finished == helpers;
+  });
+  if (shared->first_error) std::rethrow_exception(shared->first_error);
+}
+
+std::int64_t num_chunks_for(std::int64_t count, std::int64_t grain) {
+  ORBIT2_REQUIRE(grain >= 1, "kernel grain must be >= 1, have " << grain);
+  return (count + grain - 1) / grain;
+}
+
+}  // namespace
+
+std::size_t max_threads() {
+  std::lock_guard<std::mutex> lock(pool_mutex());
+  return resolve_threads_locked();
+}
+
+void set_max_threads(std::size_t n) {
+  std::lock_guard<std::mutex> lock(pool_mutex());
+  configured_threads() = n;
+  pool_slot().reset();  // rebuilt lazily at the new size
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(pool_mutex());
+  if (!pool_slot()) {
+    pool_slot() = std::make_unique<ThreadPool>(resolve_threads_locked());
+  }
+  return *pool_slot();
+}
+
+bool in_parallel_region() { return tl_in_parallel_region; }
+
+void parallel_for(std::int64_t count, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+  if (count <= 0) return;
+  const std::int64_t chunks = num_chunks_for(count, grain);
+  run_chunks(chunks, [count, grain, &body](std::int64_t chunk) {
+    const std::int64_t begin = chunk * grain;
+    body(begin, std::min(count, begin + grain));
+  });
+}
+
+double parallel_reduce(
+    std::int64_t count, std::int64_t grain,
+    const std::function<double(std::int64_t, std::int64_t)>& chunk_fn) {
+  if (count <= 0) return 0.0;
+  const std::int64_t chunks = num_chunks_for(count, grain);
+  // Partials land in per-chunk slots and are combined in ascending chunk
+  // order; the serial path runs the identical chunking, so the float/double
+  // addition order — and therefore the result — is thread-count-invariant.
+  std::vector<double> partials(static_cast<std::size_t>(chunks), 0.0);
+  run_chunks(chunks, [count, grain, &chunk_fn, &partials](std::int64_t chunk) {
+    const std::int64_t begin = chunk * grain;
+    partials[static_cast<std::size_t>(chunk)] =
+        chunk_fn(begin, std::min(count, begin + grain));
+  });
+  double total = 0.0;
+  for (const double partial : partials) total += partial;
+  return total;
+}
+
+std::int64_t grain_for(std::int64_t work_per_item, std::int64_t target_work) {
+  work_per_item = std::max<std::int64_t>(1, work_per_item);
+  target_work = std::max<std::int64_t>(1, target_work);
+  return std::max<std::int64_t>(1, target_work / work_per_item);
+}
+
+// ---- GEMM -----------------------------------------------------------------
+
+namespace {
+
+// Panel geometry. MC rows x (NC-column strips) of C are produced per task
+// with a persistent double accumulator tile; the K dimension is walked in
+// KC-sized cache blocks but never split across tasks, keeping each output
+// element's accumulation a single ascending-k double sum.
+constexpr std::int64_t kGemmMC = 64;
+constexpr std::int64_t kGemmNC = 128;
+constexpr std::int64_t kGemmKC = 256;
+// Column span of one task: several NC strips so small-n problems still form
+// enough tasks without making tasks tiny.
+constexpr std::int64_t kGemmNOuter = 512;
+// Below this many flops (2*m*n*k) dispatch overhead dominates: run the
+// identical kernel serially in one chunk.
+constexpr std::int64_t kGemmSerialFlops = 1 << 20;
+
+/// dst (rows x cols, row-major) = src^T where src is cols x rows row-major.
+void transpose_pack(const float* src, float* dst, std::int64_t rows,
+                    std::int64_t cols) {
+  constexpr std::int64_t kBlock = 64;
+  const std::int64_t grain = std::max<std::int64_t>(
+      kBlock, grain_for(cols, 1 << 16));
+  parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t c0 = 0; c0 < cols; c0 += kBlock) {
+      const std::int64_t c1 = std::min(cols, c0 + kBlock);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          dst[r * cols + c] = src[c * rows + r];
+        }
+      }
+    }
+  });
+}
+
+/// One C panel: rows [i0,i1) x cols [j0,j1) of C = A(m x k) * B(k x n),
+/// both dense row-major, double accumulators, ascending k.
+void gemm_nn_panel(const float* a, const float* b, float* c, std::int64_t n,
+                   std::int64_t k, std::int64_t i0, std::int64_t i1,
+                   std::int64_t j0, std::int64_t j1, bool accumulate,
+                   std::vector<double>& acc) {
+  for (std::int64_t jc = j0; jc < j1; jc += kGemmNC) {
+    const std::int64_t jw = std::min(j1 - jc, kGemmNC);
+    std::fill(acc.begin(),
+              acc.begin() + static_cast<std::size_t>((i1 - i0) * kGemmNC), 0.0);
+    for (std::int64_t kk = 0; kk < k; kk += kGemmKC) {
+      const std::int64_t kend = std::min(k, kk + kGemmKC);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        double* arow = acc.data() + (i - i0) * kGemmNC;
+        const float* apanel = a + i * k;
+        for (std::int64_t kq = kk; kq < kend; ++kq) {
+          const double aik = static_cast<double>(apanel[kq]);
+          const float* brow = b + kq * n + jc;
+          for (std::int64_t j = 0; j < jw; ++j) {
+            arow[j] += aik * static_cast<double>(brow[j]);
+          }
+        }
+      }
+    }
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const double* arow = acc.data() + (i - i0) * kGemmNC;
+      float* crow = c + i * n + jc;
+      if (accumulate) {
+        for (std::int64_t j = 0; j < jw; ++j) {
+          crow[j] += static_cast<float>(arow[j]);
+        }
+      } else {
+        for (std::int64_t j = 0; j < jw; ++j) {
+          crow[j] = static_cast<float>(arow[j]);
+        }
+      }
+    }
+  }
+}
+
+/// Canonical NN kernel over `batch` independent row-major problems. The
+/// task grid is (batch x row-panels x column-strips) with fixed panel sizes,
+/// so the split — and every accumulation order — is thread-count-invariant.
+void gemm_nn_batched(std::int64_t batch, std::int64_t m, std::int64_t n,
+                     std::int64_t k, const float* a, const float* b, float* c,
+                     bool accumulate) {
+  const std::int64_t mi = (m + kGemmMC - 1) / kGemmMC;
+  const std::int64_t nj = (n + kGemmNOuter - 1) / kGemmNOuter;
+  const std::int64_t tasks = batch * mi * nj;
+  const std::int64_t flops = 2 * batch * m * n * k;
+  const std::int64_t grain = flops < kGemmSerialFlops ? tasks : 1;
+  parallel_for(tasks, grain, [&](std::int64_t t0, std::int64_t t1) {
+    std::vector<double> acc(static_cast<std::size_t>(kGemmMC * kGemmNC));
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t bi = t / (mi * nj);
+      const std::int64_t ip = (t / nj) % mi;
+      const std::int64_t jp = t % nj;
+      const std::int64_t i0 = ip * kGemmMC;
+      const std::int64_t j0 = jp * kGemmNOuter;
+      gemm_nn_panel(a + bi * m * k, b + bi * k * n, c + bi * m * n, n, k, i0,
+                    std::min(m, i0 + kGemmMC), j0,
+                    std::min(n, j0 + kGemmNOuter), accumulate, acc);
+    }
+  });
+}
+
+}  // namespace
+
+void gemm_batched(Trans ta, Trans tb, std::int64_t batch, std::int64_t m,
+                  std::int64_t n, std::int64_t k, const float* a,
+                  const float* b, float* c, bool accumulate) {
+  ORBIT2_REQUIRE(batch >= 0 && m >= 0 && n >= 0 && k >= 0,
+                 "gemm dimensions must be non-negative");
+  if (batch == 0 || m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) {
+      std::fill(c, c + batch * m * n, 0.0f);
+    }
+    return;
+  }
+  // Canonicalize to NN: transpose-pack the T operand(s) once, up front.
+  // The packing is a pure copy, so it cannot change results; afterwards one
+  // inner kernel serves every variant, which is what makes the variants'
+  // accumulation (double, ascending k) agree bitwise.
+  std::vector<float> a_packed;
+  std::vector<float> b_packed;
+  const float* a_eff = a;
+  const float* b_eff = b;
+  if (ta == Trans::kT) {
+    a_packed.resize(static_cast<std::size_t>(batch * m * k));
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+      transpose_pack(a + bi * m * k, a_packed.data() + bi * m * k, m, k);
+    }
+    a_eff = a_packed.data();
+  }
+  if (tb == Trans::kT) {
+    b_packed.resize(static_cast<std::size_t>(batch * k * n));
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+      transpose_pack(b + bi * k * n, b_packed.data() + bi * k * n, k, n);
+    }
+    b_eff = b_packed.data();
+  }
+  gemm_nn_batched(batch, m, n, k, a_eff, b_eff, c, accumulate);
+}
+
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, const float* b, float* c, bool accumulate) {
+  gemm_batched(ta, tb, 1, m, n, k, a, b, c, accumulate);
+}
+
+}  // namespace orbit2::kernels

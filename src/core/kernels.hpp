@@ -1,0 +1,94 @@
+#pragma once
+// Unified parallel kernel execution layer.
+//
+// Every tensor/attention/autograd hot path dispatches through this one
+// substrate instead of hand-rolled per-file loops. It owns the process-wide
+// worker pool and provides:
+//
+//   * parallel_for / parallel_reduce with grain-size-aware, *deterministic*
+//     chunking: chunk boundaries are a pure function of (count, grain) and
+//     never depend on the thread count, so serial and parallel execution are
+//     bit-identical and checkpoint-resume reproducibility survives.
+//   * A packed, cache-blocked GEMM micro-kernel family (NN / NT / TN /
+//     batched). All variants canonicalize to one NN inner kernel that
+//     accumulates in double precision in ascending-k order, so the variants
+//     agree bitwise with each other and with any thread count.
+//   * Nested-call composition: a kernel invoked from inside another kernel's
+//     worker chunk runs inline and serial, so outer parallelism (TILES tiles,
+//     sharded devices) composes with inner parallelism (GEMM panels) instead
+//     of oversubscribing the machine.
+//
+// Thread count resolution order: set_max_threads(n) > ORBIT2_NUM_THREADS env
+// > std::thread::hardware_concurrency().
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/thread_pool.hpp"
+
+namespace orbit2::kernels {
+
+/// Number of threads kernel dispatch will use (>= 1).
+std::size_t max_threads();
+
+/// Overrides the kernel thread count; 0 restores the default resolution
+/// (ORBIT2_NUM_THREADS env, else hardware concurrency). Tears down and
+/// lazily rebuilds the global pool, so it must not be called while kernels
+/// are executing — intended for tests and benchmark sweeps.
+void set_max_threads(std::size_t n);
+
+/// The process-wide pool, lazily constructed at max_threads() workers.
+ThreadPool& global_pool();
+
+/// True while the calling thread is executing a kernel chunk; nested kernel
+/// calls observe this and run inline.
+bool in_parallel_region();
+
+/// Runs body(begin, end) over [0, count) in chunks of `grain` indices.
+/// Chunk boundaries are [0,g), [g,2g), ... regardless of thread count; the
+/// final chunk is short. Serial when nested, when only one chunk exists, or
+/// when only one thread is configured. Exceptions from chunks are rethrown
+/// on the calling thread after all chunks finish.
+void parallel_for(std::int64_t count, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+/// Deterministic sum reduction: chunk(begin, end) returns the partial for
+/// one grain-sized chunk; partials are combined in ascending chunk order.
+/// The serial path uses the same chunk boundaries and combine order, so the
+/// result is bit-identical for any thread count.
+double parallel_reduce(
+    std::int64_t count, std::int64_t grain,
+    const std::function<double(std::int64_t, std::int64_t)>& chunk);
+
+/// Picks a grain so one chunk carries roughly `target_work` units given
+/// `work_per_item` units per index (both clamped to >= 1).
+std::int64_t grain_for(std::int64_t work_per_item,
+                       std::int64_t target_work = 1 << 15);
+
+// ---- GEMM micro-kernel family ---------------------------------------------
+
+enum class Trans { kN, kT };
+
+/// C (m x n, row-major) = [accumulate ? C : 0] + op(A) * op(B) where
+/// op(X) is X or X^T per the Trans flags. A is m x k after op, B is k x n
+/// after op; storage is dense row-major of the *untransposed* operands.
+///
+/// Accumulation policy (applies to every variant, documented contract):
+/// each output element is accumulated in double precision over k in
+/// ascending order, then rounded to float once (and added to C in float
+/// when `accumulate`). There are no data-dependent skips (a zero operand
+/// entry still participates), so NaN/Inf propagate correctly and NN/NT/TN
+/// agree bitwise on transposed views of the same operands. Work is split
+/// over fixed-size output panels only, so results are independent of the
+/// thread count.
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          const float* a, const float* b, float* c, bool accumulate = false);
+
+/// Batched gemm over `batch` independent problems laid out contiguously:
+/// a + bi*m*k, b + bi*k*n, c + bi*m*n. Same policy as gemm().
+void gemm_batched(Trans ta, Trans tb, std::int64_t batch, std::int64_t m,
+                  std::int64_t n, std::int64_t k, const float* a,
+                  const float* b, float* c, bool accumulate = false);
+
+}  // namespace orbit2::kernels

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "core/kernels.hpp"
 
 namespace orbit2 {
 
@@ -99,8 +100,10 @@ void ThreadPool::parallel_for_chunks(
 }
 
 ThreadPool& default_thread_pool() {
-  static ThreadPool pool;  // immutable after construction; tasks synchronize
-  return pool;
+  // One process-wide pool: the kernel layer owns it (sized by
+  // ORBIT2_NUM_THREADS / kernels::set_max_threads), so ad-hoc users and
+  // kernel dispatch share workers instead of oversubscribing.
+  return kernels::global_pool();
 }
 
 }  // namespace orbit2

@@ -62,9 +62,10 @@ class ThreadPool {
   std::exception_ptr first_error_;
 };
 
-/// Process-wide default pool (lazily constructed, never destroyed before
-/// exit). Modules that need ad-hoc parallelism without owning a pool use
-/// this; TILES owns its own pool so tile count == worker count.
+/// The process-wide pool. This is the kernel layer's global pool (see
+/// core/kernels.hpp): one shared set of workers serves ad-hoc submitters,
+/// TILES tile tasks, and tensor/attention kernel dispatch, so nested
+/// parallelism composes instead of oversubscribing.
 ThreadPool& default_thread_pool();
 
 }  // namespace orbit2

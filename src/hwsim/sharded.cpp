@@ -1,13 +1,27 @@
 #include "hwsim/sharded.hpp"
 
 #include "core/debug_check.hpp"
-#include "core/thread_pool.hpp"
+#include "core/kernels.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 
 namespace orbit2::hwsim {
 
 namespace {
+
+/// Row-broadcast bias add, parallel over rows through the kernel layer.
+void add_bias_rows_inplace(Tensor& y, const Tensor& bias) {
+  const std::int64_t rows = y.dim(0), cols = y.dim(1);
+  float* py = y.data().data();
+  const float* pb = bias.data().data();
+  kernels::parallel_for(
+      rows, kernels::grain_for(cols), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          float* row = py + r * cols;
+          for (std::int64_t c = 0; c < cols; ++c) row[c] += pb[c];
+        }
+      });
+}
 
 /// Splits a [in, out] weight along `axis` into `devices` equal shards.
 std::vector<Tensor> split_weight(const Tensor& weight, int axis,
@@ -52,24 +66,22 @@ std::vector<Tensor> ShardedLinear::forward_local(
   ORBIT2_REQUIRE(x_per_device.size() == weights_.size(),
                  "one input per device required");
   std::vector<Tensor> outputs(weights_.size());
-  // Each virtual device computes its shard on a pool worker; slots are
-  // disjoint, which the WriteRegion scope asserts under ORBIT2_DEBUG_CHECKS.
-  default_thread_pool().parallel_for(weights_.size(), [&](std::size_t d) {
-    const debug::WriteRegion write_scope(
-        outputs.data(),
-        debug::WriteInterval{static_cast<std::int64_t>(d),
-                             static_cast<std::int64_t>(d) + 1},
-        "ShardedLinear::forward_local device slot");
-    Tensor y = matmul(x_per_device[d], weights_[d]);
-    // Add the bias shard.
-    const std::int64_t rows = y.dim(0), cols = y.dim(1);
-    float* py = y.data().data();
-    const float* pb = biases_[d].data().data();
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t c = 0; c < cols; ++c) py[r * cols + c] += pb[c];
-    }
-    outputs[d] = std::move(y);
-  });
+  // Each virtual device computes its shard as one kernel-layer task (grain
+  // 1); slots are disjoint, which the WriteRegion scope asserts under
+  // ORBIT2_DEBUG_CHECKS.
+  kernels::parallel_for(
+      static_cast<std::int64_t>(weights_.size()), 1,
+      [&](std::int64_t d0, std::int64_t d1) {
+        for (std::int64_t di = d0; di < d1; ++di) {
+          const auto d = static_cast<std::size_t>(di);
+          const debug::WriteRegion write_scope(
+              outputs.data(), debug::WriteInterval{di, di + 1},
+              "ShardedLinear::forward_local device slot");
+          Tensor y = matmul(x_per_device[d], weights_[d]);
+          add_bias_rows_inplace(y, biases_[d]);
+          outputs[d] = std::move(y);
+        }
+      });
   return outputs;
 }
 
@@ -104,12 +116,7 @@ Tensor ShardedLinear::forward(const std::vector<Tensor>& x_per_device,
                            static_cast<std::int64_t>(sizeof(float)) / n;
   ++stats.collective_calls;
   // Bias once, post-reduction.
-  const std::int64_t rows = sum.dim(0), cols = sum.dim(1);
-  float* py = sum.data().data();
-  const float* pb = biases_.front().data().data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t c = 0; c < cols; ++c) py[r * cols + c] += pb[c];
-  }
+  add_bias_rows_inplace(sum, biases_.front());
   return sum;
 }
 
@@ -182,12 +189,7 @@ Tensor LayerwiseFsdpStack::forward(const Tensor& x, CommStats& stats) const {
     peak_transient_bytes_ = std::max(peak_transient_bytes_, gathered_bytes);
 
     Tensor y = matmul(h, full);
-    const std::int64_t rows = y.dim(0), cols = y.dim(1);
-    float* py = y.data().data();
-    const float* pb = biases_[layer].data().data();
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t c = 0; c < cols; ++c) py[r * cols + c] += pb[c];
-    }
+    add_bias_rows_inplace(y, biases_[layer]);
     // GELU between layers (not after the last).
     h = (layer + 1 < weight_shards_.size()) ? gelu(y) : y;
     // `full` drops here: the transient gathered copy never outlives the

@@ -1,5 +1,7 @@
 #include "tensor/conv.hpp"
 
+#include "core/kernels.hpp"
+
 namespace orbit2 {
 
 std::int64_t conv2d_out_dim(std::int64_t in, std::int64_t kernel,
@@ -9,6 +11,14 @@ std::int64_t conv2d_out_dim(std::int64_t in, std::int64_t kernel,
   ORBIT2_REQUIRE(padded >= 0, "conv kernel larger than padded input");
   return padded / stride + 1;
 }
+
+// All three conv kernels dispatch through kernels::parallel_for with each
+// output element produced wholly inside one chunk (direct-blocked form), so
+// results are bit-identical for any thread count: forward and
+// backward_params parallelize over (output channel, row) slabs, and
+// backward_input is written in gather form — each input cell sums its own
+// contributions in fixed (oc, ky, kx) order instead of racing scattered
+// accumulations.
 
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, const Conv2dSpec& spec) {
@@ -26,38 +36,44 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
 
   const std::int64_t oh = conv2d_out_dim(h, spec.kernel_h, spec.stride, spec.pad);
   const std::int64_t ow = conv2d_out_dim(w, spec.kernel_w, spec.stride, spec.pad);
-  Tensor out = Tensor::zeros(Shape{cout, oh, ow});
+  Tensor out(Shape{cout, oh, ow});
 
   const float* in = input.data().data();
   const float* wt = weight.data().data();
+  const float* pb = bias.data().data();
   float* po = out.data().data();
 
-  for (std::int64_t oc = 0; oc < cout; ++oc) {
-    const float b = bias[oc];
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        double acc = b;
-        const std::int64_t iy0 = oy * spec.stride - spec.pad;
-        const std::int64_t ix0 = ox * spec.stride - spec.pad;
-        for (std::int64_t ic = 0; ic < cin; ++ic) {
-          const float* in_c = in + ic * h * w;
-          const float* wt_c =
-              wt + ((oc * cin + ic) * spec.kernel_h) * spec.kernel_w;
-          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
-            const std::int64_t iy = iy0 + ky;
-            if (iy < 0 || iy >= h) continue;
-            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
-              const std::int64_t ix = ix0 + kx;
-              if (ix < 0 || ix >= w) continue;
-              acc += static_cast<double>(in_c[iy * w + ix]) *
-                     wt_c[ky * spec.kernel_w + kx];
+  const std::int64_t work_per_row = ow * cin * spec.kernel_h * spec.kernel_w;
+  kernels::parallel_for(
+      cout * oh, kernels::grain_for(work_per_row),
+      [&](std::int64_t row0, std::int64_t row1) {
+        for (std::int64_t row = row0; row < row1; ++row) {
+          const std::int64_t oc = row / oh;
+          const std::int64_t oy = row % oh;
+          const float b = pb[oc];
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            double acc = b;
+            const std::int64_t iy0 = oy * spec.stride - spec.pad;
+            const std::int64_t ix0 = ox * spec.stride - spec.pad;
+            for (std::int64_t ic = 0; ic < cin; ++ic) {
+              const float* in_c = in + ic * h * w;
+              const float* wt_c =
+                  wt + ((oc * cin + ic) * spec.kernel_h) * spec.kernel_w;
+              for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+                const std::int64_t iy = iy0 + ky;
+                if (iy < 0 || iy >= h) continue;
+                for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+                  const std::int64_t ix = ix0 + kx;
+                  if (ix < 0 || ix >= w) continue;
+                  acc += static_cast<double>(in_c[iy * w + ix]) *
+                         wt_c[ky * spec.kernel_w + kx];
+                }
+              }
             }
+            po[(oc * oh + oy) * ow + ox] = static_cast<float>(acc);
           }
         }
-        po[(oc * oh + oy) * ow + ox] = static_cast<float>(acc);
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -71,35 +87,46 @@ Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
   const std::int64_t cin = weight.dim(1);
   ORBIT2_REQUIRE(weight.dim(0) == cout, "conv2d_backward_input channel mismatch");
 
-  Tensor grad_input = Tensor::zeros(Shape{cin, in_h, in_w});
+  Tensor grad_input(Shape{cin, in_h, in_w});
   const float* go = grad_output.data().data();
   const float* wt = weight.data().data();
   float* gi = grad_input.data().data();
 
-  for (std::int64_t oc = 0; oc < cout; ++oc) {
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        const float g = go[(oc * oh + oy) * ow + ox];
-        if (g == 0.0f) continue;
-        const std::int64_t iy0 = oy * spec.stride - spec.pad;
-        const std::int64_t ix0 = ox * spec.stride - spec.pad;
-        for (std::int64_t ic = 0; ic < cin; ++ic) {
-          float* gi_c = gi + ic * in_h * in_w;
-          const float* wt_c =
-              wt + ((oc * cin + ic) * spec.kernel_h) * spec.kernel_w;
-          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
-            const std::int64_t iy = iy0 + ky;
-            if (iy < 0 || iy >= in_h) continue;
-            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
-              const std::int64_t ix = ix0 + kx;
-              if (ix < 0 || ix >= in_w) continue;
-              gi_c[iy * in_w + ix] += g * wt_c[ky * spec.kernel_w + kx];
+  // Gather form: gi[ic, iy, ix] = sum over (oc, ky, kx) of
+  // go[oc, oy, ox] * w[oc, ic, ky, kx] at the unique (oy, ox) that reads
+  // (iy, ix) through tap (ky, kx), when it exists on the stride grid.
+  const std::int64_t work_per_row = in_w * cout * spec.kernel_h * spec.kernel_w;
+  kernels::parallel_for(
+      cin * in_h, kernels::grain_for(work_per_row),
+      [&](std::int64_t row0, std::int64_t row1) {
+        for (std::int64_t row = row0; row < row1; ++row) {
+          const std::int64_t ic = row / in_h;
+          const std::int64_t iy = row % in_h;
+          for (std::int64_t ix = 0; ix < in_w; ++ix) {
+            double acc = 0.0;
+            for (std::int64_t oc = 0; oc < cout; ++oc) {
+              const float* go_c = go + oc * oh * ow;
+              const float* wt_c =
+                  wt + ((oc * cin + ic) * spec.kernel_h) * spec.kernel_w;
+              for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+                const std::int64_t ty = iy + spec.pad - ky;
+                if (ty < 0 || ty % spec.stride != 0) continue;
+                const std::int64_t oy = ty / spec.stride;
+                if (oy >= oh) continue;
+                for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+                  const std::int64_t tx = ix + spec.pad - kx;
+                  if (tx < 0 || tx % spec.stride != 0) continue;
+                  const std::int64_t ox = tx / spec.stride;
+                  if (ox >= ow) continue;
+                  acc += static_cast<double>(go_c[oy * ow + ox]) *
+                         wt_c[ky * spec.kernel_w + kx];
+                }
+              }
             }
+            gi[(ic * in_h + iy) * in_w + ix] = static_cast<float>(acc);
           }
         }
-      }
-    }
-  }
+      });
   return grad_input;
 }
 
@@ -122,32 +149,40 @@ void conv2d_backward_params(const Tensor& grad_output, const Tensor& input,
   float* gw = grad_weight.data().data();
   float* gb = grad_bias.data().data();
 
-  for (std::int64_t oc = 0; oc < cout; ++oc) {
-    double bias_acc = 0.0;
-    for (std::int64_t oy = 0; oy < oh; ++oy) {
-      for (std::int64_t ox = 0; ox < ow; ++ox) {
-        const float g = go[(oc * oh + oy) * ow + ox];
-        bias_acc += g;
-        if (g == 0.0f) continue;
-        const std::int64_t iy0 = oy * spec.stride - spec.pad;
-        const std::int64_t ix0 = ox * spec.stride - spec.pad;
-        for (std::int64_t ic = 0; ic < cin; ++ic) {
-          const float* in_c = in + ic * h * w;
-          float* gw_c = gw + ((oc * cin + ic) * spec.kernel_h) * spec.kernel_w;
-          for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
-            const std::int64_t iy = iy0 + ky;
-            if (iy < 0 || iy >= h) continue;
-            for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
-              const std::int64_t ix = ix0 + kx;
-              if (ix < 0 || ix >= w) continue;
-              gw_c[ky * spec.kernel_w + kx] += g * in_c[iy * w + ix];
+  // Each output channel owns disjoint slices of grad_weight/grad_bias, so
+  // channels parallelize with no races; the inner accumulation keeps the
+  // original serial (oy, ox) order per channel.
+  const std::int64_t work_per_oc = oh * ow * cin * spec.kernel_h * spec.kernel_w;
+  kernels::parallel_for(
+      cout, kernels::grain_for(work_per_oc),
+      [&](std::int64_t oc0, std::int64_t oc1) {
+        for (std::int64_t oc = oc0; oc < oc1; ++oc) {
+          double bias_acc = 0.0;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox) {
+              const float g = go[(oc * oh + oy) * ow + ox];
+              bias_acc += g;
+              const std::int64_t iy0 = oy * spec.stride - spec.pad;
+              const std::int64_t ix0 = ox * spec.stride - spec.pad;
+              for (std::int64_t ic = 0; ic < cin; ++ic) {
+                const float* in_c = in + ic * h * w;
+                float* gw_c =
+                    gw + ((oc * cin + ic) * spec.kernel_h) * spec.kernel_w;
+                for (std::int64_t ky = 0; ky < spec.kernel_h; ++ky) {
+                  const std::int64_t iy = iy0 + ky;
+                  if (iy < 0 || iy >= h) continue;
+                  for (std::int64_t kx = 0; kx < spec.kernel_w; ++kx) {
+                    const std::int64_t ix = ix0 + kx;
+                    if (ix < 0 || ix >= w) continue;
+                    gw_c[ky * spec.kernel_w + kx] += g * in_c[iy * w + ix];
+                  }
+                }
+              }
             }
           }
+          gb[oc] += static_cast<float>(bias_acc);
         }
-      }
-    }
-    gb[oc] += static_cast<float>(bias_acc);
-  }
+      });
 }
 
 }  // namespace orbit2

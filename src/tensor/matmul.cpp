@@ -1,42 +1,17 @@
 #include "tensor/matmul.hpp"
 
-#include <algorithm>
+#include "core/kernels.hpp"
 
 namespace orbit2 {
 
-namespace {
-
-// Cache block sizes tuned for typical L1 (32 KiB) / L2 on x86: the inner
-// kernel touches roughly kBlockM*kBlockK + kBlockK*kBlockN + kBlockM*kBlockN
-// floats at a time.
-constexpr std::int64_t kBlockM = 64;
-constexpr std::int64_t kBlockN = 64;
-constexpr std::int64_t kBlockK = 64;
-
-// out(M,N) += a(M,K) * b(K,N), raw pointers, row-major.
-void gemm_block_accumulate(float* out, const float* a, const float* b,
-                           std::int64_t m, std::int64_t n, std::int64_t k) {
-  for (std::int64_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::int64_t i1 = std::min(m, i0 + kBlockM);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::int64_t k1 = std::min(k, k0 + kBlockK);
-      for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::int64_t j1 = std::min(n, j0 + kBlockN);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          for (std::int64_t kk = k0; kk < k1; ++kk) {
-            const float aik = a[i * k + kk];
-            if (aik == 0.0f) continue;
-            const float* brow = b + kk * n;
-            float* orow = out + i * n;
-            for (std::int64_t j = j0; j < j1; ++j) orow[j] += aik * brow[j];
-          }
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
+// All four entry points route through the unified kernel layer's packed,
+// cache-blocked GEMM (core/kernels.hpp). Accumulation policy, shared by
+// every variant: double-precision accumulators over k in ascending order,
+// rounded to float once per output element, with no data-dependent skips
+// (the old `if (a_ik == 0) continue` sparsity branches are gone — they made
+// throughput input-dependent and dropped NaN/Inf propagation). NN/NT/TN
+// therefore agree bitwise on transposed views of the same operands, and
+// results are identical for any thread count.
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   ORBIT2_REQUIRE(a.rank() == 2 && b.rank() == 2,
@@ -45,8 +20,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   ORBIT2_REQUIRE(a.dim(1) == b.dim(0), "matmul inner dim mismatch: "
                                            << a.shape().to_string() << " x "
                                            << b.shape().to_string());
-  Tensor out = Tensor::zeros(Shape{a.dim(0), b.dim(1)});
-  matmul_accumulate(out, a, b);
+  Tensor out(Shape{a.dim(0), b.dim(1)});
+  kernels::gemm(kernels::Trans::kN, kernels::Trans::kN, a.dim(0), b.dim(1),
+                a.dim(1), a.data().data(), b.data().data(), out.data().data());
   return out;
 }
 
@@ -56,8 +32,9 @@ void matmul_accumulate(Tensor& out, const Tensor& a, const Tensor& b) {
   ORBIT2_REQUIRE(a.dim(1) == b.dim(0) && out.dim(0) == a.dim(0) &&
                      out.dim(1) == b.dim(1),
                  "matmul_accumulate shape mismatch");
-  gemm_block_accumulate(out.data().data(), a.data().data(), b.data().data(),
-                        a.dim(0), b.dim(1), a.dim(1));
+  kernels::gemm(kernels::Trans::kN, kernels::Trans::kN, a.dim(0), b.dim(1),
+                a.dim(1), a.data().data(), b.data().data(), out.data().data(),
+                /*accumulate=*/true);
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
@@ -65,21 +42,9 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   ORBIT2_REQUIRE(a.dim(1) == b.dim(1), "matmul_nt inner dim mismatch: "
                                            << a.shape().to_string() << " x "
                                            << b.shape().to_string() << "^T");
-  const std::int64_t m = a.dim(0), n = b.dim(0), k = a.dim(1);
-  Tensor out = Tensor::zeros(Shape{m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* po = out.data().data();
-  // Both operands are traversed row-wise: dot products of rows.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* ra = pa + i * k;
-      const float* rb = pb + j * k;
-      double acc = 0.0;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(ra[kk]) * rb[kk];
-      po[i * n + j] = static_cast<float>(acc);
-    }
-  }
+  Tensor out(Shape{a.dim(0), b.dim(0)});
+  kernels::gemm(kernels::Trans::kN, kernels::Trans::kT, a.dim(0), b.dim(0),
+                a.dim(1), a.data().data(), b.data().data(), out.data().data());
   return out;
 }
 
@@ -88,22 +53,9 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   ORBIT2_REQUIRE(a.dim(0) == b.dim(0), "matmul_tn inner dim mismatch: "
                                            << a.shape().to_string() << "^T x "
                                            << b.shape().to_string());
-  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  Tensor out = Tensor::zeros(Shape{m, n});
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* po = out.data().data();
-  // Accumulate rank-1 updates; each pass streams a row of a and b.
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* ra = pa + kk * m;
-    const float* rb = pb + kk * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = ra[i];
-      if (av == 0.0f) continue;
-      float* ro = po + i * n;
-      for (std::int64_t j = 0; j < n; ++j) ro[j] += av * rb[j];
-    }
-  }
+  Tensor out(Shape{a.dim(1), b.dim(1)});
+  kernels::gemm(kernels::Trans::kT, kernels::Trans::kN, a.dim(1), b.dim(1),
+                a.dim(0), a.data().data(), b.data().data(), out.data().data());
   return out;
 }
 
@@ -111,13 +63,10 @@ Tensor bmm(const Tensor& a, const Tensor& b) {
   ORBIT2_REQUIRE(a.rank() == 3 && b.rank() == 3, "bmm needs rank-3 operands");
   ORBIT2_REQUIRE(a.dim(0) == b.dim(0), "bmm batch mismatch");
   ORBIT2_REQUIRE(a.dim(2) == b.dim(1), "bmm inner dim mismatch");
-  const std::int64_t batch = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
-  Tensor out = Tensor::zeros(Shape{batch, m, n});
-  for (std::int64_t bi = 0; bi < batch; ++bi) {
-    gemm_block_accumulate(out.data().data() + bi * m * n,
-                          a.data().data() + bi * m * k,
-                          b.data().data() + bi * k * n, m, n, k);
-  }
+  Tensor out(Shape{a.dim(0), a.dim(1), b.dim(2)});
+  kernels::gemm_batched(kernels::Trans::kN, kernels::Trans::kN, a.dim(0),
+                        a.dim(1), b.dim(2), a.dim(2), a.data().data(),
+                        b.data().data(), out.data().data());
   return out;
 }
 

@@ -1,8 +1,15 @@
 #include "tensor/ops.hpp"
 
 #include <cmath>
+#include <vector>
+
+#include "core/kernels.hpp"
 
 namespace orbit2 {
+
+// Row-wise kernels parallelize over rows through the kernel layer; every
+// row is produced wholly inside one chunk with the original serial
+// per-row arithmetic, so results are bit-identical for any thread count.
 
 Tensor softmax_rows(const Tensor& logits) {
   ORBIT2_REQUIRE(logits.rank() == 2, "softmax_rows requires rank-2");
@@ -10,19 +17,22 @@ Tensor softmax_rows(const Tensor& logits) {
   Tensor out(logits.shape());
   const float* in = logits.data().data();
   float* po = out.data().data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* x = in + r * cols;
-    float* y = po + r * cols;
-    float row_max = x[0];
-    for (std::int64_t c = 1; c < cols; ++c) row_max = std::max(row_max, x[c]);
-    double denom = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      y[c] = std::exp(x[c] - row_max);
-      denom += y[c];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
-  }
+  kernels::parallel_for(
+      rows, kernels::grain_for(cols), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* x = in + r * cols;
+          float* y = po + r * cols;
+          float row_max = x[0];
+          for (std::int64_t c = 1; c < cols; ++c) row_max = std::max(row_max, x[c]);
+          double denom = 0.0;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            y[c] = std::exp(x[c] - row_max);
+            denom += y[c];
+          }
+          const float inv = static_cast<float>(1.0 / denom);
+          for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
+        }
+      });
   return out;
 }
 
@@ -36,16 +46,21 @@ Tensor softmax_rows_backward(const Tensor& softmax_output,
   const float* y = softmax_output.data().data();
   const float* gy = grad_output.data().data();
   float* gx = grad_input.data().data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* yr = y + r * cols;
-    const float* gr = gy + r * cols;
-    float* xr = gx + r * cols;
-    double dot = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) dot += static_cast<double>(yr[c]) * gr[c];
-    for (std::int64_t c = 0; c < cols; ++c) {
-      xr[c] = yr[c] * (gr[c] - static_cast<float>(dot));
-    }
-  }
+  kernels::parallel_for(
+      rows, kernels::grain_for(cols), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* yr = y + r * cols;
+          const float* gr = gy + r * cols;
+          float* xr = gx + r * cols;
+          double dot = 0.0;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            dot += static_cast<double>(yr[c]) * gr[c];
+          }
+          for (std::int64_t c = 0; c < cols; ++c) {
+            xr[c] = yr[c] * (gr[c] - static_cast<float>(dot));
+          }
+        }
+      });
   return grad_input;
 }
 
@@ -64,23 +79,29 @@ Tensor layernorm_rows(const Tensor& input, const Tensor& gamma,
   const float* g = gamma.data().data();
   const float* b = beta.data().data();
   float* po = out.data().data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* x = in + r * cols;
-    double sum = 0.0, sum_sq = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      sum += x[c];
-      sum_sq += static_cast<double>(x[c]) * x[c];
-    }
-    const double mu = sum / static_cast<double>(cols);
-    const double var = std::max(0.0, sum_sq / static_cast<double>(cols) - mu * mu);
-    const double istd = 1.0 / std::sqrt(var + epsilon);
-    mean[r] = static_cast<float>(mu);
-    inv_std[r] = static_cast<float>(istd);
-    float* y = po + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      y[c] = static_cast<float>((x[c] - mu) * istd) * g[c] + b[c];
-    }
-  }
+  float* pm = mean.data().data();
+  float* ps = inv_std.data().data();
+  kernels::parallel_for(
+      rows, kernels::grain_for(cols), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* x = in + r * cols;
+          double sum = 0.0, sum_sq = 0.0;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            sum += x[c];
+            sum_sq += static_cast<double>(x[c]) * x[c];
+          }
+          const double mu = sum / static_cast<double>(cols);
+          const double var =
+              std::max(0.0, sum_sq / static_cast<double>(cols) - mu * mu);
+          const double istd = 1.0 / std::sqrt(var + epsilon);
+          pm[r] = static_cast<float>(mu);
+          ps[r] = static_cast<float>(istd);
+          float* y = po + r * cols;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            y[c] = static_cast<float>((x[c] - mu) * istd) * g[c] + b[c];
+          }
+        }
+      });
   if (saved_mean) *saved_mean = mean;
   if (saved_inv_std) *saved_inv_std = inv_std;
   return out;
@@ -103,28 +124,53 @@ Tensor layernorm_rows_backward(const Tensor& grad_output, const Tensor& input,
   float* gg = grad_gamma.data().data();
   float* gb = grad_beta.data().data();
 
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* x = in + r * cols;
-    const float* dy = gy + r * cols;
-    float* dx = gi + r * cols;
-    const float m = mu[r];
-    const float is = istd[r];
-    // xhat = (x - mu) * istd ; dL/dxhat = dy * gamma.
-    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const float xhat = (x[c] - m) * is;
-      const float dxhat = dy[c] * g[c];
-      sum_dxhat += dxhat;
-      sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
-      gg[c] += dy[c] * xhat;
-      gb[c] += dy[c];
+  // grad_input rows are independent; grad_gamma/grad_beta are reductions
+  // over rows, so each chunk fills an indexed partial slot and the partials
+  // are combined in ascending chunk order. Chunk boundaries depend only on
+  // (rows, grain), keeping the combine order — and the result — identical
+  // for any thread count.
+  const std::int64_t grain = kernels::grain_for(2 * cols);
+  const std::int64_t chunks = (rows + grain - 1) / grain;
+  std::vector<std::vector<double>> gg_parts(static_cast<std::size_t>(chunks));
+  std::vector<std::vector<double>> gb_parts(static_cast<std::size_t>(chunks));
+  kernels::parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+    const std::size_t chunk = static_cast<std::size_t>(r0 / grain);
+    std::vector<double>& gg_part = gg_parts[chunk];
+    std::vector<double>& gb_part = gb_parts[chunk];
+    gg_part.assign(static_cast<std::size_t>(cols), 0.0);
+    gb_part.assign(static_cast<std::size_t>(cols), 0.0);
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const float* x = in + r * cols;
+      const float* dy = gy + r * cols;
+      float* dx = gi + r * cols;
+      const float m = mu[r];
+      const float is = istd[r];
+      // xhat = (x - mu) * istd ; dL/dxhat = dy * gamma.
+      double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float xhat = (x[c] - m) * is;
+        const float dxhat = dy[c] * g[c];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+        gg_part[static_cast<std::size_t>(c)] +=
+            static_cast<double>(dy[c]) * xhat;
+        gb_part[static_cast<std::size_t>(c)] += dy[c];
+      }
+      const float mean_dxhat =
+          static_cast<float>(sum_dxhat / static_cast<double>(cols));
+      const float mean_dxhat_xhat =
+          static_cast<float>(sum_dxhat_xhat / static_cast<double>(cols));
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float xhat = (x[c] - m) * is;
+        const float dxhat = dy[c] * g[c];
+        dx[c] = (dxhat - mean_dxhat - xhat * mean_dxhat_xhat) * is;
+      }
     }
-    const float mean_dxhat = static_cast<float>(sum_dxhat / static_cast<double>(cols));
-    const float mean_dxhat_xhat = static_cast<float>(sum_dxhat_xhat / static_cast<double>(cols));
+  });
+  for (std::size_t chunk = 0; chunk < gg_parts.size(); ++chunk) {
     for (std::int64_t c = 0; c < cols; ++c) {
-      const float xhat = (x[c] - m) * is;
-      const float dxhat = dy[c] * g[c];
-      dx[c] = (dxhat - mean_dxhat - xhat * mean_dxhat_xhat) * is;
+      gg[c] += static_cast<float>(gg_parts[chunk][static_cast<std::size_t>(c)]);
+      gb[c] += static_cast<float>(gb_parts[chunk][static_cast<std::size_t>(c)]);
     }
   }
   return grad_input;
@@ -133,6 +179,7 @@ Tensor layernorm_rows_backward(const Tensor& grad_output, const Tensor& input,
 namespace {
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 constexpr float kGeluA = 0.044715f;
+constexpr std::int64_t kElementwiseGrain = 1 << 14;
 }  // namespace
 
 float gelu_scalar(float x) {
@@ -148,17 +195,31 @@ float gelu_grad_scalar(float x) {
   return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
 }
 
-Tensor gelu(const Tensor& input) { return input.map(gelu_scalar); }
+Tensor gelu(const Tensor& input) {
+  Tensor out(input.shape());
+  const float* x = input.data().data();
+  float* y = out.data().data();
+  kernels::parallel_for(input.numel(), kElementwiseGrain,
+                        [&](std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            y[i] = gelu_scalar(x[i]);
+                          }
+                        });
+  return out;
+}
 
 Tensor gelu_backward(const Tensor& input, const Tensor& grad_output) {
   check_same_shape(input, grad_output, "gelu_backward");
   Tensor out(input.shape());
-  auto x = input.data();
-  auto gy = grad_output.data();
-  auto gx = out.data();
-  for (std::size_t i = 0; i < gx.size(); ++i) {
-    gx[i] = gy[i] * gelu_grad_scalar(x[i]);
-  }
+  const float* x = input.data().data();
+  const float* gy = grad_output.data().data();
+  float* gx = out.data().data();
+  kernels::parallel_for(input.numel(), kElementwiseGrain,
+                        [&](std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            gx[i] = gy[i] * gelu_grad_scalar(x[i]);
+                          }
+                        });
   return out;
 }
 

@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels.hpp"
+
 namespace orbit2 {
+
+// Resampling kernels dispatch through kernels::parallel_for. Forward /
+// nearest / area parallelize over (channel, output row) — each output pixel
+// is written once by one chunk — and the bilinear backward parallelizes
+// over channels only, because adjacent output rows scatter into overlapping
+// input rows. Results are bit-identical for any thread count.
 
 namespace {
 
@@ -40,23 +48,27 @@ Tensor resize_bilinear(const Tensor& input, std::int64_t out_h,
 
   const float* in = input.data().data();
   float* po = out.data().data();
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    const float* src = in + ch * h * w;
-    float* dst = po + ch * out_h * out_w;
-    for (std::int64_t y = 0; y < out_h; ++y) {
-      const Tap& ty = ytaps[static_cast<std::size_t>(y)];
-      for (std::int64_t x = 0; x < out_w; ++x) {
-        const Tap& tx = xtaps[static_cast<std::size_t>(x)];
-        const float v00 = src[ty.lo * w + tx.lo];
-        const float v01 = src[ty.lo * w + tx.hi];
-        const float v10 = src[ty.hi * w + tx.lo];
-        const float v11 = src[ty.hi * w + tx.hi];
-        const float top = v00 + (v01 - v00) * tx.frac;
-        const float bot = v10 + (v11 - v10) * tx.frac;
-        dst[y * out_w + x] = top + (bot - top) * ty.frac;
-      }
-    }
-  }
+  kernels::parallel_for(
+      c * out_h, kernels::grain_for(out_w),
+      [&](std::int64_t row0, std::int64_t row1) {
+        for (std::int64_t row = row0; row < row1; ++row) {
+          const std::int64_t ch = row / out_h;
+          const std::int64_t y = row % out_h;
+          const float* src = in + ch * h * w;
+          float* dst = po + ch * out_h * out_w;
+          const Tap& ty = ytaps[static_cast<std::size_t>(y)];
+          for (std::int64_t x = 0; x < out_w; ++x) {
+            const Tap& tx = xtaps[static_cast<std::size_t>(x)];
+            const float v00 = src[ty.lo * w + tx.lo];
+            const float v01 = src[ty.lo * w + tx.hi];
+            const float v10 = src[ty.hi * w + tx.lo];
+            const float v11 = src[ty.hi * w + tx.hi];
+            const float top = v00 + (v01 - v00) * tx.frac;
+            const float bot = v10 + (v11 - v10) * tx.frac;
+            dst[y * out_w + x] = top + (bot - top) * ty.frac;
+          }
+        }
+      });
   return out;
 }
 
@@ -75,21 +87,23 @@ Tensor resize_bilinear_backward(const Tensor& grad_output, std::int64_t in_h,
 
   const float* go = grad_output.data().data();
   float* gi = grad_input.data().data();
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    const float* src = go + ch * oh * ow;
-    float* dst = gi + ch * in_h * in_w;
-    for (std::int64_t y = 0; y < oh; ++y) {
-      const Tap& ty = ytaps[static_cast<std::size_t>(y)];
-      for (std::int64_t x = 0; x < ow; ++x) {
-        const Tap& tx = xtaps[static_cast<std::size_t>(x)];
-        const float g = src[y * ow + x];
-        dst[ty.lo * in_w + tx.lo] += g * (1 - ty.frac) * (1 - tx.frac);
-        dst[ty.lo * in_w + tx.hi] += g * (1 - ty.frac) * tx.frac;
-        dst[ty.hi * in_w + tx.lo] += g * ty.frac * (1 - tx.frac);
-        dst[ty.hi * in_w + tx.hi] += g * ty.frac * tx.frac;
+  kernels::parallel_for(c, 1, [&](std::int64_t ch0, std::int64_t ch1) {
+    for (std::int64_t ch = ch0; ch < ch1; ++ch) {
+      const float* src = go + ch * oh * ow;
+      float* dst = gi + ch * in_h * in_w;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        const Tap& ty = ytaps[static_cast<std::size_t>(y)];
+        for (std::int64_t x = 0; x < ow; ++x) {
+          const Tap& tx = xtaps[static_cast<std::size_t>(x)];
+          const float g = src[y * ow + x];
+          dst[ty.lo * in_w + tx.lo] += g * (1 - ty.frac) * (1 - tx.frac);
+          dst[ty.lo * in_w + tx.hi] += g * (1 - ty.frac) * tx.frac;
+          dst[ty.hi * in_w + tx.lo] += g * ty.frac * (1 - tx.frac);
+          dst[ty.hi * in_w + tx.hi] += g * ty.frac * tx.frac;
+        }
       }
     }
-  }
+  });
   return grad_input;
 }
 
@@ -100,17 +114,21 @@ Tensor resize_nearest(const Tensor& input, std::int64_t out_h,
   Tensor out(Shape{c, out_h, out_w});
   const float* in = input.data().data();
   float* po = out.data().data();
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    const float* src = in + ch * h * w;
-    float* dst = po + ch * out_h * out_w;
-    for (std::int64_t y = 0; y < out_h; ++y) {
-      const std::int64_t sy = std::min(h - 1, y * h / out_h);
-      for (std::int64_t x = 0; x < out_w; ++x) {
-        const std::int64_t sx = std::min(w - 1, x * w / out_w);
-        dst[y * out_w + x] = src[sy * w + sx];
-      }
-    }
-  }
+  kernels::parallel_for(
+      c * out_h, kernels::grain_for(out_w),
+      [&](std::int64_t row0, std::int64_t row1) {
+        for (std::int64_t row = row0; row < row1; ++row) {
+          const std::int64_t ch = row / out_h;
+          const std::int64_t y = row % out_h;
+          const float* src = in + ch * h * w;
+          float* dst = po + ch * out_h * out_w;
+          const std::int64_t sy = std::min(h - 1, y * h / out_h);
+          for (std::int64_t x = 0; x < out_w; ++x) {
+            const std::int64_t sx = std::min(w - 1, x * w / out_w);
+            dst[y * out_w + x] = src[sy * w + sx];
+          }
+        }
+      });
   return out;
 }
 
@@ -126,20 +144,24 @@ Tensor coarsen_area(const Tensor& input, std::int64_t factor) {
   const float inv = 1.0f / static_cast<float>(factor * factor);
   const float* in = input.data().data();
   float* po = out.data().data();
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    const float* src = in + ch * h * w;
-    float* dst = po + ch * oh * ow;
-    for (std::int64_t y = 0; y < oh; ++y) {
-      for (std::int64_t x = 0; x < ow; ++x) {
-        double acc = 0.0;
-        for (std::int64_t dy = 0; dy < factor; ++dy) {
-          const float* row = src + (y * factor + dy) * w + x * factor;
-          for (std::int64_t dx = 0; dx < factor; ++dx) acc += row[dx];
+  kernels::parallel_for(
+      c * oh, kernels::grain_for(ow * factor * factor),
+      [&](std::int64_t row0, std::int64_t row1) {
+        for (std::int64_t out_row = row0; out_row < row1; ++out_row) {
+          const std::int64_t ch = out_row / oh;
+          const std::int64_t y = out_row % oh;
+          const float* src = in + ch * h * w;
+          float* dst = po + ch * oh * ow;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            double acc = 0.0;
+            for (std::int64_t dy = 0; dy < factor; ++dy) {
+              const float* row = src + (y * factor + dy) * w + x * factor;
+              for (std::int64_t dx = 0; dx < factor; ++dx) acc += row[dx];
+            }
+            dst[y * ow + x] = static_cast<float>(acc) * inv;
+          }
         }
-        dst[y * ow + x] = static_cast<float>(acc) * inv;
-      }
-    }
-  }
+      });
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/debug_check.hpp"
+#include "core/kernels.hpp"
 
 namespace orbit2 {
 
@@ -64,7 +65,7 @@ Tensor extract_tile(const Tensor& image, const TileRegion& region) {
 
 Tensor stitch_tiles(const std::vector<Tensor>& outputs,
                     const std::vector<TileRegion>& regions, std::int64_t h,
-                    std::int64_t w, std::int64_t upscale, ThreadPool* pool) {
+                    std::int64_t w, std::int64_t upscale) {
   ORBIT2_REQUIRE(outputs.size() == regions.size(),
                  "outputs/regions size mismatch");
   ORBIT2_REQUIRE(!outputs.empty(), "no tiles to stitch");
@@ -111,36 +112,41 @@ Tensor stitch_tiles(const std::vector<Tensor>& outputs,
     }
   };
 
-  if (pool != nullptr && outputs.size() > 1) {
-    pool->parallel_for(outputs.size(), stitch_one);
-  } else {
-    for (std::size_t i = 0; i < outputs.size(); ++i) stitch_one(i);
-  }
+  // Tiles write disjoint core rectangles, so they stitch in parallel
+  // through the shared kernel layer (grain 1 = one tile per task).
+  kernels::parallel_for(static_cast<std::int64_t>(outputs.size()), 1,
+                        [&](std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            stitch_one(static_cast<std::size_t>(i));
+                          }
+                        });
   return out;
 }
 
 Tensor tiled_apply(
     const Tensor& image, const TileSpec& spec, std::int64_t upscale,
-    ThreadPool& pool,
     const std::function<Tensor(std::size_t, const Tensor&)>& process) {
   const std::int64_t h = image.dim(1), w = image.dim(2);
   const std::vector<TileRegion> regions = partition_tiles(h, w, spec);
   std::vector<Tensor> outputs(regions.size());
-  // One task per tile; outputs slots are disjoint so no synchronization is
-  // needed beyond the pool join. The WriteRegion scope asserts that slot
-  // disjointness under ORBIT2_DEBUG_CHECKS.
-  for (std::size_t i = 0; i < regions.size(); ++i) {
-    pool.submit([&, i] {
-      const debug::WriteRegion write_scope(
-          outputs.data(),
-          debug::WriteInterval{static_cast<std::int64_t>(i),
-                               static_cast<std::int64_t>(i) + 1},
-          "tiled_apply output slot");
-      outputs[i] = process(i, extract_tile(image, regions[i]));
-    });
-  }
-  pool.wait_idle();
-  return stitch_tiles(outputs, regions, h, w, upscale, &pool);
+  // One task per tile (grain 1); output slots are disjoint so no
+  // synchronization is needed beyond the parallel_for join. The WriteRegion
+  // scope asserts that slot disjointness under ORBIT2_DEBUG_CHECKS. Kernels
+  // invoked by `process` inside a tile detect the enclosing parallel region
+  // and run inline-serial.
+  kernels::parallel_for(
+      static_cast<std::int64_t>(regions.size()), 1,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const debug::WriteRegion write_scope(
+              outputs.data(), debug::WriteInterval{i, i + 1},
+              "tiled_apply output slot");
+          outputs[static_cast<std::size_t>(i)] = process(
+              static_cast<std::size_t>(i),
+              extract_tile(image, regions[static_cast<std::size_t>(i)]));
+        }
+      });
+  return stitch_tiles(outputs, regions, h, w, upscale);
 }
 
 float border_band_mse(const Tensor& a, const Tensor& b,

@@ -16,7 +16,6 @@
 #include <vector>
 
 #include "autograd/variable.hpp"
-#include "core/thread_pool.hpp"
 #include "tensor/tensor.hpp"
 
 namespace orbit2 {
@@ -55,19 +54,19 @@ Tensor extract_tile(const Tensor& image, const TileRegion& region);
 /// s = `upscale` is the downscaling refinement factor. Each `outputs[i]`
 /// must be the model output for the padded tile i (shape
 /// [C, pad_h*s, pad_w*s]); only the upscaled core region is copied out.
-/// With a pool, tiles are stitched in parallel; each tile's core write is
-/// declared through debug::WriteRegion, so in ORBIT2_DEBUG_CHECKS builds an
-/// overlapping (racy) tile layout throws instead of corrupting the output.
+/// Tiles stitch in parallel through the shared kernel layer; each tile's
+/// core write is declared through debug::WriteRegion, so in
+/// ORBIT2_DEBUG_CHECKS builds an overlapping (racy) tile layout throws
+/// instead of corrupting the output.
 Tensor stitch_tiles(const std::vector<Tensor>& outputs,
                     const std::vector<TileRegion>& regions, std::int64_t h,
-                    std::int64_t w, std::int64_t upscale,
-                    ThreadPool* pool = nullptr);
+                    std::int64_t w, std::int64_t upscale);
 
-/// Runs `process(tile_index, padded_tile)` for every tile on `pool`
-/// (one task per tile — each worker is a virtual GPU), then stitches.
+/// Runs `process(tile_index, padded_tile)` for every tile on the shared
+/// kernel-layer pool (one task per tile — each worker is a virtual GPU),
+/// then stitches.
 Tensor tiled_apply(
     const Tensor& image, const TileSpec& spec, std::int64_t upscale,
-    ThreadPool& pool,
     const std::function<Tensor(std::size_t, const Tensor&)>& process);
 
 /// Mean squared difference restricted to pixels within `band` of any tile

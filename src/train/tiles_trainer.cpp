@@ -1,5 +1,6 @@
 #include "train/tiles_trainer.hpp"
 
+#include "core/kernels.hpp"
 #include "core/timer.hpp"
 #include "data/generator.hpp"
 #include "model/loss.hpp"
@@ -29,7 +30,6 @@ TilesTrainer::TilesTrainer(ReplicaFactory factory, TileSpec tile_spec,
   }
   // Ensure bit-identical starting points even if the factory is stochastic.
   broadcast_parameters(replica_params_.front(), replica_params_);
-  pool_ = std::make_unique<ThreadPool>(tiles);
 }
 
 Rng TilesTrainer::order_rng_for_epoch(std::int64_t epoch) const {
@@ -144,36 +144,39 @@ EpochStats TilesTrainer::run_samples(const data::SyntheticDataset& dataset,
     const auto regions = partition_tiles(h, w, tile_spec_);
 
     // HR target tiles correspond to the padded input regions x upscale.
-    // Per-tile losses land in fixed slots and are reduced in tile order
-    // after the barrier, so the reported loss is bit-deterministic across
-    // runs (a completion-order atomic sum would not be).
+    // One task per tile (grain 1) on the shared kernel-layer pool; per-tile
+    // losses land in fixed slots and are reduced in tile order after the
+    // join, so the reported loss is bit-deterministic across runs (a
+    // completion-order atomic sum would not be).
     std::vector<double> tile_losses(regions.size(), 0.0);
-    for (std::size_t t = 0; t < regions.size(); ++t) {
-      pool_->submit([&, t] {
-        const Tensor tile_input = extract_tile(sample.input, regions[t]);
-        TileRegion hr_region;
-        hr_region.pad_y0 = regions[t].pad_y0 * upscale;
-        hr_region.pad_x0 = regions[t].pad_x0 * upscale;
-        hr_region.pad_h = regions[t].pad_h * upscale;
-        hr_region.pad_w = regions[t].pad_w * upscale;
-        const Tensor tile_target = extract_tile(sample.target, hr_region);
+    kernels::parallel_for(
+        static_cast<std::int64_t>(regions.size()), 1,
+        [&](std::int64_t t0, std::int64_t t1) {
+          for (std::int64_t ti = t0; ti < t1; ++ti) {
+            const auto t = static_cast<std::size_t>(ti);
+            const Tensor tile_input = extract_tile(sample.input, regions[t]);
+            TileRegion hr_region;
+            hr_region.pad_y0 = regions[t].pad_y0 * upscale;
+            hr_region.pad_x0 = regions[t].pad_x0 * upscale;
+            hr_region.pad_h = regions[t].pad_h * upscale;
+            hr_region.pad_w = regions[t].pad_w * upscale;
+            const Tensor tile_target = extract_tile(sample.target, hr_region);
 
-        Var prediction = replicas_[t]->downscale(tile_input);
-        Var loss;
-        if (config_.bayesian_loss) {
-          model::BayesianLossParams params;
-          params.tv_weight = config_.tv_weight;
-          loss = model::bayesian_loss(
-              prediction, tile_target,
-              data::latitude_weights(tile_target.dim(1)), params);
-        } else {
-          loss = model::mse_loss(prediction, tile_target);
-        }
-        tile_losses[t] = loss.value().item();
-        autograd::backward(loss);
-      });
-    }
-    pool_->wait_idle();
+            Var prediction = replicas_[t]->downscale(tile_input);
+            Var loss;
+            if (config_.bayesian_loss) {
+              model::BayesianLossParams params;
+              params.tv_weight = config_.tv_weight;
+              loss = model::bayesian_loss(
+                  prediction, tile_target,
+                  data::latitude_weights(tile_target.dim(1)), params);
+            } else {
+              loss = model::mse_loss(prediction, tile_target);
+            }
+            tile_losses[t] = loss.value().item();
+            autograd::backward(loss);
+          }
+        });
     double sample_loss = 0.0;
     for (double tile_loss : tile_losses) sample_loss += tile_loss;
     const double mean_tile_loss =
@@ -238,7 +241,7 @@ EpochStats TilesTrainer::fit(const data::SyntheticDataset& dataset,
 
 Tensor TilesTrainer::predict(const Tensor& input) const {
   const std::int64_t upscale = replicas_.front()->model_config().upscale;
-  return tiled_apply(input, tile_spec_, upscale, *pool_,
+  return tiled_apply(input, tile_spec_, upscale,
                      [this](std::size_t tile, const Tensor& padded) {
                        return replicas_[tile]->predict_field(padded);
                      });

@@ -20,7 +20,6 @@
 #include <string>
 #include <vector>
 
-#include "core/thread_pool.hpp"
 #include "data/dataset.hpp"
 #include "model/downscaler.hpp"
 #include "tiles/tiles.hpp"
@@ -84,7 +83,6 @@ class TilesTrainer {
   std::vector<std::vector<autograd::ParamPtr>> replica_params_;
   std::vector<std::unique_ptr<autograd::AdamW>> optimizers_;
   autograd::CosineSchedule schedule_;
-  std::unique_ptr<ThreadPool> pool_;
   std::int64_t global_step_ = 0;
   std::int64_t epoch_ = 0;
   std::int64_t cursor_ = 0;

@@ -14,8 +14,8 @@
 
 #include "core/debug_check.hpp"
 #include "core/error.hpp"
+#include "core/kernels.hpp"
 #include "core/shape.hpp"
-#include "core/thread_pool.hpp"
 #include "tensor/tensor.hpp"
 #include "tiles/tiles.hpp"
 
@@ -154,16 +154,17 @@ TEST(DebugCheck, SameThreadNestedRegionsAllowed) {
 TEST(DebugCheck, ParallelStitchOfDisjointTilesIsClean) {
   // End-to-end: tiled_apply stitches disjoint cores concurrently under the
   // writer guards; must be race-free in every build.
-  ThreadPool pool(4);
+  kernels::set_max_threads(4);
   Tensor image = Tensor::full(Shape{2, 16, 16}, 3.0f);
   TileSpec spec;
   spec.rows = 4;
   spec.cols = 4;
   spec.halo = 2;
-  Tensor out = tiled_apply(image, spec, 1, pool,
+  Tensor out = tiled_apply(image, spec, 1,
                            [](std::size_t, const Tensor& tile) {
                              return tile.clone();
                            });
+  kernels::set_max_threads(0);
   EXPECT_EQ(out.shape(), (Shape{2, 16, 16}));
   EXPECT_FLOAT_EQ(out.min(), 3.0f);
   EXPECT_FLOAT_EQ(out.max(), 3.0f);

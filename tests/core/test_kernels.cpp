@@ -1,0 +1,325 @@
+// Kernel execution layer tests: deterministic chunking, serial-vs-parallel
+// bit-identity for every refactored hot path, and the unified GEMM
+// accumulation policy (cross-variant bitwise agreement, no data-dependent
+// skips).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "attention/attention.hpp"
+#include "attention/window_attention.hpp"
+#include "core/kernels.hpp"
+#include "core/rng.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/resize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace orbit2 {
+namespace {
+
+/// Runs `make` at 1 thread and at 4 threads and asserts the two results are
+/// bitwise identical — the kernel layer's determinism contract.
+void expect_thread_invariant(const std::function<Tensor()>& make) {
+  kernels::set_max_threads(1);
+  const Tensor serial = make();
+  kernels::set_max_threads(4);
+  const Tensor parallel = make();
+  kernels::set_max_threads(0);
+  ASSERT_EQ(serial.shape(), parallel.shape());
+  for (std::int64_t i = 0; i < serial.numel(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "mismatch at flat index " << i;
+  }
+}
+
+TEST(Kernels, ParallelForCoversEveryIndexOnceAnyGrain) {
+  kernels::set_max_threads(4);
+  for (std::int64_t count : {0, 1, 7, 64, 1000}) {
+    for (std::int64_t grain : {1, 3, 64, 4096}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+      kernels::parallel_for(count, grain,
+                            [&](std::int64_t b, std::int64_t e) {
+                              for (std::int64_t i = b; i < e; ++i) {
+                                hits[static_cast<std::size_t>(i)]++;
+                              }
+                            });
+      for (std::int64_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "count " << count << " grain " << grain << " index " << i;
+      }
+    }
+  }
+  kernels::set_max_threads(0);
+}
+
+TEST(Kernels, ParallelForPropagatesExceptions) {
+  kernels::set_max_threads(4);
+  EXPECT_THROW(
+      kernels::parallel_for(100, 1,
+                            [](std::int64_t b, std::int64_t) {
+                              if (b >= 50) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<std::int64_t> total{0};
+  kernels::parallel_for(10, 1, [&](std::int64_t b, std::int64_t e) {
+    total += e - b;
+  });
+  EXPECT_EQ(total.load(), 10);
+  kernels::set_max_threads(0);
+}
+
+TEST(Kernels, ParallelReduceBitIdenticalAcrossThreadCounts) {
+  // Sum of values whose float rounding is order-sensitive; fixed chunking +
+  // ascending combine order must make the result thread-count-invariant.
+  std::vector<double> values;
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(static_cast<double>(rng.normal()) * std::pow(10.0, i % 7));
+  }
+  auto reduce = [&] {
+    return kernels::parallel_reduce(
+        static_cast<std::int64_t>(values.size()), 128,
+        [&](std::int64_t b, std::int64_t e) {
+          double acc = 0.0;
+          for (std::int64_t i = b; i < e; ++i) {
+            acc += values[static_cast<std::size_t>(i)];
+          }
+          return acc;
+        });
+  };
+  kernels::set_max_threads(1);
+  const double serial = reduce();
+  kernels::set_max_threads(4);
+  const double parallel = reduce();
+  kernels::set_max_threads(0);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Kernels, NestedParallelForRunsInlineWithoutDeadlock) {
+  kernels::set_max_threads(4);
+  std::vector<std::atomic<int>> hits(64);
+  kernels::parallel_for(8, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t outer = b; outer < e; ++outer) {
+      EXPECT_TRUE(kernels::in_parallel_region());
+      kernels::parallel_for(8, 1, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t inner = ib; inner < ie; ++inner) {
+          hits[static_cast<std::size_t>(outer * 8 + inner)]++;
+        }
+      });
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(kernels::in_parallel_region());
+  kernels::set_max_threads(0);
+}
+
+TEST(Kernels, GrainForTargetsWorkBudget) {
+  EXPECT_GE(kernels::grain_for(1), 1);
+  EXPECT_EQ(kernels::grain_for(1 << 15), 1);
+  EXPECT_EQ(kernels::grain_for((1 << 15) + 1), 1);
+  EXPECT_GT(kernels::grain_for(16), 1);
+}
+
+// ---- GEMM policy ----------------------------------------------------------
+
+TEST(Kernels, GemmVariantsAgreeBitwiseOnOddSizes) {
+  // matmul_nt(a, b) must equal matmul(a, b^T) bit-for-bit, and matmul_tn
+  // likewise — the unified accumulation policy makes the canonicalized
+  // variants identical, not merely close.
+  Rng rng(11);
+  const Tensor a = Tensor::randn(Shape{17, 31}, rng);
+  const Tensor b = Tensor::randn(Shape{23, 31}, rng);  // for NT: [n, k]
+  const Tensor nt = matmul_nt(a, b);
+  const Tensor nn = matmul(a, b.transpose2d());
+  ASSERT_EQ(nt.shape(), nn.shape());
+  for (std::int64_t i = 0; i < nt.numel(); ++i) ASSERT_EQ(nt[i], nn[i]);
+
+  const Tensor at = Tensor::randn(Shape{31, 17}, rng);  // for TN: [k, m]
+  const Tensor bb = Tensor::randn(Shape{31, 23}, rng);
+  const Tensor tn = matmul_tn(at, bb);
+  const Tensor nn2 = matmul(at.transpose2d(), bb);
+  ASSERT_EQ(tn.shape(), nn2.shape());
+  for (std::int64_t i = 0; i < tn.numel(); ++i) ASSERT_EQ(tn[i], nn2[i]);
+}
+
+TEST(Kernels, GemmPropagatesNanThroughZeroOperands) {
+  // The old kernels skipped a_ik == 0 as a sparsity shortcut, which silently
+  // dropped NaN/Inf from the other operand. The unified policy must not.
+  Tensor a = Tensor::zeros(Shape{2, 2});
+  Tensor b = Tensor::full(Shape{2, 2}, std::numeric_limits<float>::quiet_NaN());
+  const Tensor c = matmul(a, b);
+  for (std::int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_TRUE(std::isnan(c[i])) << "NaN dropped at " << i;
+  }
+}
+
+TEST(Kernels, GemmAccumulateAddsToExistingOutput) {
+  Rng rng(5);
+  const Tensor a = Tensor::randn(Shape{9, 13}, rng);
+  const Tensor b = Tensor::randn(Shape{13, 7}, rng);
+  const Tensor product = matmul(a, b);
+  Tensor out = Tensor::full(Shape{9, 7}, 2.0f);
+  matmul_accumulate(out, a, b);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_EQ(out[i], 2.0f + product[i]);
+  }
+}
+
+TEST(Kernels, GemmThreadCountInvariant) {
+  Rng rng(21);
+  const Tensor a = Tensor::randn(Shape{67, 129}, rng);
+  const Tensor b = Tensor::randn(Shape{129, 43}, rng);
+  expect_thread_invariant([&] { return matmul(a, b); });
+  expect_thread_invariant([&] { return matmul_tn(a, a); });
+  expect_thread_invariant([&] { return matmul_nt(b, b); });
+}
+
+TEST(Kernels, BmmMatchesPerBatchMatmulBitwise) {
+  Rng rng(7);
+  const Tensor a = Tensor::randn(Shape{3, 17, 23}, rng);
+  const Tensor b = Tensor::randn(Shape{3, 23, 19}, rng);
+  const Tensor batched = bmm(a, b);
+  for (std::int64_t bi = 0; bi < 3; ++bi) {
+    const Tensor ai = a.slice(0, bi, 1).reshape(Shape{17, 23});
+    const Tensor bi_t = b.slice(0, bi, 1).reshape(Shape{23, 19});
+    const Tensor ref = matmul(ai, bi_t);
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      ASSERT_EQ(batched[bi * ref.numel() + i], ref[i]);
+    }
+  }
+}
+
+// ---- Serial vs parallel bit-identity for every refactored kernel ----------
+
+TEST(Kernels, ConvKernelsThreadCountInvariant) {
+  Rng rng(13);
+  const Tensor input = Tensor::randn(Shape{3, 13, 17}, rng);
+  const Tensor weight = Tensor::randn(Shape{5, 3, 3, 3}, rng);
+  const Tensor bias = Tensor::randn(Shape{5}, rng);
+  Conv2dSpec spec;
+  spec.kernel_h = 3;
+  spec.kernel_w = 3;
+  spec.stride = 2;
+  spec.pad = 1;
+  const Tensor out = conv2d_forward(input, weight, bias, spec);
+  const Tensor grad = Tensor::randn(out.shape(), rng);
+
+  expect_thread_invariant(
+      [&] { return conv2d_forward(input, weight, bias, spec); });
+  expect_thread_invariant(
+      [&] { return conv2d_backward_input(grad, weight, 13, 17, spec); });
+  expect_thread_invariant([&] {
+    Tensor gw = Tensor::zeros(weight.shape());
+    Tensor gb = Tensor::zeros(Shape{5});
+    conv2d_backward_params(grad, input, gw, gb, spec);
+    // Pack both grads into one tensor for comparison.
+    Tensor packed(Shape{gw.numel() + gb.numel()});
+    for (std::int64_t i = 0; i < gw.numel(); ++i) packed[i] = gw[i];
+    for (std::int64_t i = 0; i < gb.numel(); ++i) packed[gw.numel() + i] = gb[i];
+    return packed;
+  });
+}
+
+TEST(Kernels, RowwiseOpsThreadCountInvariant) {
+  Rng rng(17);
+  const Tensor x = Tensor::randn(Shape{37, 53}, rng);
+  const Tensor gamma = Tensor::randn(Shape{53}, rng);
+  const Tensor beta = Tensor::randn(Shape{53}, rng);
+  const Tensor grad = Tensor::randn(Shape{37, 53}, rng);
+
+  expect_thread_invariant([&] { return softmax_rows(x); });
+  const Tensor probs = softmax_rows(x);
+  expect_thread_invariant([&] { return softmax_rows_backward(probs, grad); });
+  expect_thread_invariant(
+      [&] { return layernorm_rows(x, gamma, beta, 1e-5f, nullptr, nullptr); });
+  expect_thread_invariant([&] {
+    Tensor mean, inv_std;
+    layernorm_rows(x, gamma, beta, 1e-5f, &mean, &inv_std);
+    Tensor gg = Tensor::zeros(Shape{53});
+    Tensor gb = Tensor::zeros(Shape{53});
+    Tensor gi = layernorm_rows_backward(grad, x, gamma, mean, inv_std, gg, gb);
+    Tensor packed(Shape{gi.numel() + gg.numel() + gb.numel()});
+    std::int64_t at = 0;
+    for (std::int64_t i = 0; i < gi.numel(); ++i) packed[at++] = gi[i];
+    for (std::int64_t i = 0; i < gg.numel(); ++i) packed[at++] = gg[i];
+    for (std::int64_t i = 0; i < gb.numel(); ++i) packed[at++] = gb[i];
+    return packed;
+  });
+  expect_thread_invariant([&] { return gelu(x); });
+  expect_thread_invariant([&] { return gelu_backward(x, grad); });
+}
+
+TEST(Kernels, AttentionThreadCountInvariant) {
+  Rng rng(19);
+  const Tensor q = Tensor::randn(Shape{75, 16}, rng);
+  const Tensor k = Tensor::randn(Shape{91, 16}, rng);
+  const Tensor v = Tensor::randn(Shape{91, 16}, rng);
+  const float scale = 0.25f;
+  FlashParams params;
+  params.block_q = 16;
+  params.block_kv = 16;
+
+  expect_thread_invariant(
+      [&] { return attention_naive_forward(q, k, v, scale, nullptr); });
+  expect_thread_invariant(
+      [&] { return attention_flash_forward(q, k, v, scale, nullptr, params); });
+
+  AttentionContext ctx;
+  attention_flash_forward(q, k, v, scale, &ctx, params);
+  const Tensor grad = Tensor::randn(Shape{75, 16}, rng);
+  expect_thread_invariant([&] {
+    AttentionGrads grads = attention_flash_backward(ctx, grad, params);
+    Tensor packed(
+        Shape{grads.dq.numel() + grads.dk.numel() + grads.dv.numel()});
+    std::int64_t at = 0;
+    for (std::int64_t i = 0; i < grads.dq.numel(); ++i) packed[at++] = grads.dq[i];
+    for (std::int64_t i = 0; i < grads.dk.numel(); ++i) packed[at++] = grads.dk[i];
+    for (std::int64_t i = 0; i < grads.dv.numel(); ++i) packed[at++] = grads.dv[i];
+    return packed;
+  });
+}
+
+TEST(Kernels, WindowAttentionThreadCountInvariant) {
+  Rng rng(23);
+  const Tensor q = Tensor::randn(Shape{64, 12}, rng);
+  const Tensor k = Tensor::randn(Shape{64, 12}, rng);
+  const Tensor v = Tensor::randn(Shape{64, 12}, rng);
+  WindowAttentionSpec spec;
+  spec.grid_h = 8;
+  spec.grid_w = 8;
+  spec.window = 4;
+  spec.shift = 2;
+  expect_thread_invariant(
+      [&] { return window_attention_forward(q, k, v, 0.3f, spec); });
+}
+
+TEST(Kernels, ResizeThreadCountInvariant) {
+  Rng rng(29);
+  const Tensor image = Tensor::randn(Shape{3, 15, 21}, rng);
+  const Tensor grad = Tensor::randn(Shape{3, 30, 42}, rng);
+  expect_thread_invariant([&] { return resize_bilinear(image, 30, 42); });
+  expect_thread_invariant(
+      [&] { return resize_bilinear_backward(grad, 15, 21); });
+  expect_thread_invariant([&] { return resize_nearest(image, 29, 43); });
+  const Tensor even = Tensor::randn(Shape{2, 12, 18}, rng);
+  expect_thread_invariant([&] { return coarsen_area(even, 3); });
+}
+
+TEST(Kernels, SetMaxThreadsControlsPoolSize) {
+  kernels::set_max_threads(3);
+  EXPECT_EQ(kernels::max_threads(), 3u);
+  kernels::set_max_threads(0);
+  EXPECT_GE(kernels::max_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace orbit2

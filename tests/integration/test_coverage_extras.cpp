@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "autograd/ops.hpp"
+#include "core/kernels.hpp"
 #include "core/log.hpp"
 #include "core/timer.hpp"
 #include "data/bias_correction.hpp"
@@ -50,11 +51,12 @@ TEST(AutogradExtras, ScalarGraphChainsThroughReshape) {
 TEST(TilesExtras, SingleWorkerPoolStillCorrect) {
   Rng rng(2);
   Tensor image = Tensor::randn(Shape{2, 8, 8}, rng);
-  ThreadPool pool(1);  // serial execution path
-  Tensor out = tiled_apply(image, TileSpec{2, 2, 2}, 1, pool,
+  kernels::set_max_threads(1);  // serial execution path
+  Tensor out = tiled_apply(image, TileSpec{2, 2, 2}, 1,
                            [](std::size_t, const Tensor& t) {
                              return t.mul_scalar(3.0f);
                            });
+  kernels::set_max_threads(0);
   for (std::int64_t c = 0; c < 2; ++c) {
     for (std::int64_t y = 0; y < 8; ++y) {
       for (std::int64_t x = 0; x < 8; ++x) {

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "core/kernels.hpp"
 #include "data/io.hpp"
 #include "model/reslim.hpp"
 #include "tiles/tiles.hpp"
@@ -91,18 +92,19 @@ TEST(FailureInjection, UnwritablePathsRejected) {
 
 TEST(FailureInjection, TiledApplyPropagatesWorkerException) {
   Tensor image = Tensor::zeros(Shape{1, 8, 8});
-  ThreadPool pool(2);
+  kernels::set_max_threads(2);
   EXPECT_THROW(
-      tiled_apply(image, TileSpec{2, 2, 0}, 1, pool,
+      tiled_apply(image, TileSpec{2, 2, 0}, 1,
                   [](std::size_t tile, const Tensor& t) -> Tensor {
                     if (tile == 3) ORBIT2_FAIL("injected tile failure");
                     return t.clone();
                   }),
       Error);
-  // Pool remains usable after the failure.
-  Tensor ok = tiled_apply(image, TileSpec{2, 2, 0}, 1, pool,
+  // The shared pool remains usable after the failure.
+  Tensor ok = tiled_apply(image, TileSpec{2, 2, 0}, 1,
                           [](std::size_t, const Tensor& t) { return t.clone(); });
   EXPECT_EQ(ok.shape(), image.shape());
+  kernels::set_max_threads(0);
 }
 
 TEST(FailureInjection, AmpRecoversFromPoisonedParameters) {

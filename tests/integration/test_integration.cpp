@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "core/kernels.hpp"
 #include "model/reslim.hpp"
 #include "tiles/tiles.hpp"
 #include "train/checkpoint.hpp"
@@ -105,9 +106,9 @@ TEST(TilesParity, TiledPredictionMatchesMonolithicAwayFromBorders) {
   const Tensor monolithic = shared->predict_field(sample.input);
 
   const TileSpec spec{2, 2, 2};
-  ThreadPool pool(4);
+  kernels::set_max_threads(4);
   const Tensor tiled = tiled_apply(
-      sample.input, spec, 4, pool,
+      sample.input, spec, 4,
       [&shared](std::size_t, const Tensor& tile) {
         return shared->predict_field(tile);
       });
@@ -128,10 +129,11 @@ TEST(TilesParity, TiledPredictionMatchesMonolithicAwayFromBorders) {
 
   // And larger halos keep the deviation in the same regime.
   const Tensor tiled_bighalo = tiled_apply(
-      sample.input, TileSpec{2, 2, 4}, 4, pool,
+      sample.input, TileSpec{2, 2, 4}, 4,
       [&shared](std::size_t, const Tensor& tile) {
         return shared->predict_field(tile);
       });
+  kernels::set_max_threads(0);
   double num_big = 0.0;
   for (std::int64_t i = 0; i < tiled_bighalo.numel(); ++i) {
     const double d = static_cast<double>(tiled_bighalo[i]) - monolithic[i];

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/kernels.hpp"
 #include "core/rng.hpp"
 #include "tensor/resize.hpp"
 #include "tiles/tiles.hpp"
@@ -73,12 +74,13 @@ TEST(TilesStitch, IdentityProcessingReconstructsUpscaledCores) {
   Rng rng(2);
   Tensor image = Tensor::randn(Shape{3, 8, 12}, rng);
   const TileSpec spec{2, 3, 2};
-  ThreadPool pool(4);
-  Tensor tiled = tiled_apply(image, spec, 2, pool,
+  kernels::set_max_threads(4);
+  Tensor tiled = tiled_apply(image, spec, 2,
                              [](std::size_t, const Tensor& tile) {
                                return resize_nearest(tile, tile.dim(1) * 2,
                                                      tile.dim(2) * 2);
                              });
+  kernels::set_max_threads(0);
   Tensor reference = resize_nearest(image, 16, 24);
   ASSERT_EQ(tiled.shape(), reference.shape());
   for (std::int64_t i = 0; i < tiled.numel(); ++i) {

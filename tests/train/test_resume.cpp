@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/kernels.hpp"
 #include "model/reslim.hpp"
 #include "train/tiles_trainer.hpp"
 #include "train/trainer.hpp"
@@ -224,6 +225,69 @@ TEST(Resume, TilesTrainerKilledMidRunContinuesBitIdentically) {
   EXPECT_LT(resume_trainer.replica_divergence(), 1e-6f);
   const auto expect = ref_trainer.replica(0).parameters();
   const auto got = resume_trainer.replica(0).parameters();
+  ASSERT_EQ(expect.size(), got.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    for (std::int64_t j = 0; j < expect[i]->numel(); ++j) {
+      ASSERT_EQ(expect[i]->value[j], got[i]->value[j])
+          << "param " << expect[i]->name << "[" << j << "]";
+    }
+  }
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(dir + "_ref");
+}
+
+TEST(Resume, KillResumeBitIdenticalAcrossThreadCounts) {
+  // The strongest form of the kernel-layer determinism contract: a serial
+  // uninterrupted run must match a kill->resume run executed with
+  // multithreaded kernels, bit for bit, in both loss trajectory and final
+  // parameters.
+  const data::SyntheticDataset dataset(resume_dataset_config());
+  const auto indices = range_indices(4);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "orbit2_resume_mt").string();
+  std::filesystem::remove_all(dir);
+  const auto config = resume_trainer_config(dir);
+
+  // Reference: uninterrupted, strictly serial kernels.
+  kernels::set_max_threads(1);
+  Trajectory reference;
+  Rng ref_rng(9);
+  model::ReslimModel ref_model(resume_model_config(), ref_rng);
+  auto ref_config = config;
+  ref_config.checkpoint_dir = dir + "_ref";
+  Trainer ref_trainer(ref_model, ref_config);
+  ref_trainer.set_step_hook(
+      [&](std::int64_t step, double loss) { reference[step] = loss; });
+  ref_trainer.fit(dataset, indices);
+
+  // Killed + resumed run with parallel kernels.
+  kernels::set_max_threads(4);
+  Trajectory interrupted;
+  Rng kill_rng(9);
+  model::ReslimModel kill_model(resume_model_config(), kill_rng);
+  Trainer kill_trainer(kill_model, config);
+  kill_trainer.set_step_hook([&](std::int64_t step, double loss) {
+    interrupted[step] = loss;
+    if (step >= 1) throw SimulatedKill();
+  });
+  EXPECT_THROW(kill_trainer.fit(dataset, indices), SimulatedKill);
+
+  Rng resume_rng(999);
+  model::ReslimModel resume_model(resume_model_config(), resume_rng);
+  Trainer resume_trainer(resume_model, config);
+  resume_trainer.load_state(
+      (std::filesystem::path(dir) / "latest.o2ck").string());
+  resume_trainer.set_step_hook(
+      [&](std::int64_t step, double loss) { interrupted[step] = loss; });
+  resume_trainer.fit(dataset, indices);
+  kernels::set_max_threads(0);
+
+  ASSERT_EQ(interrupted.size(), reference.size());
+  for (const auto& [step, loss] : reference) {
+    EXPECT_EQ(interrupted.at(step), loss) << "loss diverged at step " << step;
+  }
+  const auto expect = ref_model.parameters();
+  const auto got = resume_model.parameters();
   ASSERT_EQ(expect.size(), got.size());
   for (std::size_t i = 0; i < expect.size(); ++i) {
     for (std::int64_t j = 0; j < expect[i]->numel(); ++j) {
