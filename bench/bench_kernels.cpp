@@ -10,10 +10,11 @@
 // flash forward. They are intentionally NOT the library kernels, so this
 // harness keeps measuring the same baseline even as the library evolves.
 //
-// Usage: bench_kernels [--reps N] [--threads N] [--quick]
+// Usage: bench_kernels [--reps N] [--threads N] [--quick] [--trace PATH]
 //   --reps N     timing repetitions per case, best-of (default 3)
 //   --threads N  thread count for the parallel "kernels" variant (default 4)
 //   --quick      drop the largest GEMM/attention shapes (CI smoke runs)
+//   --trace PATH enable obs tracing and write Chrome trace JSON to PATH
 
 #include <algorithm>
 #include <chrono>
@@ -28,6 +29,7 @@
 
 #include "attention/attention.hpp"
 #include "core/kernels.hpp"
+#include "core/obs.hpp"
 #include "core/rng.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/matmul.hpp"
@@ -291,6 +293,7 @@ int main(int argc, char** argv) {
   int reps = 3;
   std::size_t threads = 4;
   bool quick = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::max(1, std::atoi(argv[++i]));
@@ -298,12 +301,17 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::max(1, std::atoi(argv[++i])));
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--reps N] [--threads N] [--quick]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--reps N] [--threads N] [--quick] "
+                   "[--trace PATH]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (!trace_path.empty()) orbit2::obs::set_enabled(true);
 
   Rng rng(1234);
   std::vector<Record> records;
@@ -456,5 +464,10 @@ int main(int argc, char** argv) {
   }
 
   emit_json(records);
+  if (!trace_path.empty()) {
+    orbit2::obs::set_enabled(false);
+    orbit2::obs::write_chrome_trace(trace_path);
+    std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+  }
   return 0;
 }

@@ -2,7 +2,11 @@
 // paired climate data for a few epochs, downscale a held-out sample, and
 // print accuracy metrics.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [--trace PATH]
+//
+// With --trace PATH, the run records observability spans (train phases,
+// kernels, attention) and writes Chrome trace-event JSON to PATH — load it
+// in chrome://tracing or Perfetto, or summarize with tools/orbit2_trace.py.
 //
 // This walks the same API surface a real application uses:
 //   data::SyntheticDataset  -> paired LR->HR samples
@@ -11,14 +15,28 @@
 //   train::evaluate_model   -> Table-IV style metrics
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "core/obs.hpp"
 #include "data/dataset.hpp"
 #include "model/reslim.hpp"
 #include "train/evaluate.hpp"
 #include "train/trainer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace orbit2;
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) obs::set_enabled(true);
 
   // 1. A paired downscaling dataset: 4x refinement, 23 ERA5-like input
   //    variables, 3 DAYMET-like outputs, deterministic in (seed, index).
@@ -69,5 +87,11 @@ int main() {
   }
   std::printf("\nDone. See examples/us_downscaling.cpp for the full "
               "fine-tuning scenario.\n");
+
+  if (!trace_path.empty()) {
+    obs::set_enabled(false);
+    obs::write_chrome_trace(trace_path);
+    std::printf("trace written to %s\n", trace_path.c_str());
+  }
   return 0;
 }

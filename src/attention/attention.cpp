@@ -6,12 +6,21 @@
 #include <vector>
 
 #include "core/kernels.hpp"
+#include "core/obs.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 
 namespace orbit2 {
 
 namespace {
+
+// Approximate FLOP accounting: 2*Nq*Nk*(d + d_v) for a forward pass (score
+// GEMM + weighted sum), doubled for a backward pass. Exponentials and
+// rescaling are ignored; the counter tracks GEMM-dominated work only.
+std::int64_t attention_fwd_flops(std::int64_t nq, std::int64_t nk,
+                                 std::int64_t d, std::int64_t dv) {
+  return 2 * nq * nk * (d + dv);
+}
 
 void check_qkv(const Tensor& q, const Tensor& k, const Tensor& v) {
   ORBIT2_REQUIRE(q.rank() == 2 && k.rank() == 2 && v.rank() == 2,
@@ -26,6 +35,11 @@ Tensor attention_naive_forward(const Tensor& q, const Tensor& k,
                                const Tensor& v, float scale,
                                AttentionContext* ctx) {
   check_qkv(q, k, v);
+  const std::int64_t naive_flops =
+      attention_fwd_flops(q.dim(0), k.dim(0), q.dim(1), v.dim(1));
+  ORBIT2_OBS_SPAN_ARG("attention_naive_forward", "attention", "flops",
+                      naive_flops);
+  ORBIT2_OBS_COUNT("attention.flops", naive_flops);
   Tensor scores = matmul_nt(q, k);          // [Nq, Nk]
   scores.scale_inplace(scale);
   const Tensor probs = softmax_rows(scores);  // [Nq, Nk]
@@ -45,6 +59,12 @@ Tensor attention_naive_forward(const Tensor& q, const Tensor& k,
 AttentionGrads attention_naive_backward(const AttentionContext& ctx,
                                         const Tensor& grad_output) {
   ORBIT2_REQUIRE(!ctx.used_flash, "context came from flash forward");
+  const std::int64_t bwd_flops =
+      2 * attention_fwd_flops(ctx.q.dim(0), ctx.k.dim(0), ctx.q.dim(1),
+                              ctx.v.dim(1));
+  ORBIT2_OBS_SPAN_ARG("attention_naive_backward", "attention", "flops",
+                      bwd_flops);
+  ORBIT2_OBS_COUNT("attention.flops", bwd_flops);
   const Tensor& probs = ctx.probs;
   // dV = P^T dO
   Tensor dv = matmul_tn(probs, grad_output);
@@ -75,6 +95,10 @@ Tensor attention_flash_forward(const Tensor& q, const Tensor& k,
                  "flash block sizes must be positive");
   const std::int64_t nq = q.dim(0), nk = k.dim(0);
   const std::int64_t d = q.dim(1), dv = v.dim(1);
+  const std::int64_t flash_flops = attention_fwd_flops(nq, nk, d, dv);
+  ORBIT2_OBS_SPAN_ARG("attention_flash_forward", "attention", "flops",
+                      flash_flops);
+  ORBIT2_OBS_COUNT("attention.flops", flash_flops);
 
   Tensor output = Tensor::zeros(Shape{nq, dv});
   Tensor logsumexp(Shape{nq});
@@ -182,6 +206,10 @@ AttentionGrads attention_flash_backward(const AttentionContext& ctx,
   const std::int64_t nq = q.dim(0), nk = k.dim(0);
   const std::int64_t d = q.dim(1), dv = v.dim(1);
   check_same_shape(grad_output, ctx.output, "attention_flash_backward");
+  const std::int64_t fbwd_flops = 2 * attention_fwd_flops(nq, nk, d, dv);
+  ORBIT2_OBS_SPAN_ARG("attention_flash_backward", "attention", "flops",
+                      fbwd_flops);
+  ORBIT2_OBS_COUNT("attention.flops", fbwd_flops);
 
   Tensor dq = Tensor::zeros(q.shape());
   Tensor dk = Tensor::zeros(k.shape());

@@ -2,6 +2,7 @@
 
 #include "attention/attention.hpp"
 #include "core/kernels.hpp"
+#include "core/obs.hpp"
 
 namespace orbit2 {
 
@@ -90,6 +91,8 @@ Tensor window_attention_forward(const Tensor& q, const Tensor& k,
                          << w);
   ORBIT2_REQUIRE(spec.shift >= 0 && spec.shift < w,
                  "shift must be in [0, window)");
+  ORBIT2_OBS_SPAN_ARG("window_attention_forward", "attention", "tokens",
+                      gh * gw);
 
   // Swin: shift tokens, window-attend, shift back.
   const Tensor qs = spec.shift ? cyclic_shift_tokens(q, gh, gw, -spec.shift, -spec.shift) : q;

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "core/obs.hpp"
+
 namespace orbit2::autograd {
 
 void Node::accumulate(const Tensor& upstream) {
@@ -60,6 +62,7 @@ void accumulate_into(const Var& target, const Tensor& contribution) {
 }
 
 void backward(const Var& root, const Tensor* seed) {
+  ORBIT2_OBS_SPAN("autograd_backward", "autograd");
   const NodePtr root_node = root.node();
   ORBIT2_REQUIRE(root_node->needs_grad,
                  "backward() on a graph with no trainable inputs");

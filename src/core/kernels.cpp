@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/obs.hpp"
 
 namespace orbit2::kernels {
 
@@ -148,6 +149,10 @@ bool in_parallel_region() { return tl_in_parallel_region; }
 void parallel_for(std::int64_t count, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& body) {
   if (count <= 0) return;
+  // One span per dispatch, on the dispatching thread (not per chunk): the
+  // span stream a thread observes is thread-count-invariant.
+  ORBIT2_OBS_SPAN_ARG("parallel_for", "kernels", "count", count);
+  ORBIT2_OBS_COUNT("kernels.parallel_for_calls", 1);
   const std::int64_t chunks = num_chunks_for(count, grain);
   run_chunks(chunks, [count, grain, &body](std::int64_t chunk) {
     const std::int64_t begin = chunk * grain;
@@ -159,6 +164,8 @@ double parallel_reduce(
     std::int64_t count, std::int64_t grain,
     const std::function<double(std::int64_t, std::int64_t)>& chunk_fn) {
   if (count <= 0) return 0.0;
+  ORBIT2_OBS_SPAN_ARG("parallel_reduce", "kernels", "count", count);
+  ORBIT2_OBS_COUNT("kernels.parallel_reduce_calls", 1);
   const std::int64_t chunks = num_chunks_for(count, grain);
   // Partials land in per-chunk slots and are combined in ascending chunk
   // order; the serial path runs the identical chunking, so the float/double
@@ -290,6 +297,9 @@ void gemm_batched(Trans ta, Trans tb, std::int64_t batch, std::int64_t m,
   ORBIT2_REQUIRE(batch >= 0 && m >= 0 && n >= 0 && k >= 0,
                  "gemm dimensions must be non-negative");
   if (batch == 0 || m == 0 || n == 0) return;
+  ORBIT2_OBS_SPAN_ARG("gemm", "kernels", "flops", 2 * batch * m * n * k);
+  ORBIT2_OBS_COUNT("kernels.gemm_calls", 1);
+  ORBIT2_OBS_COUNT("kernels.gemm_flops", 2 * batch * m * n * k);
   if (k == 0) {
     if (!accumulate) {
       std::fill(c, c + batch * m * n, 0.0f);

@@ -1,0 +1,239 @@
+#pragma once
+// Observability substrate: process-wide tracing + metrics registry.
+//
+// ORBIT-2's headline numbers (sustained EFLOPS, strong-scaling efficiency)
+// come from per-kernel and per-collective timing at scale; this layer is the
+// repo's equivalent measurement substrate. It provides:
+//
+//   * Scoped spans (RAII) recorded into per-thread buffers and exported as
+//     Chrome trace-event JSON, loadable in chrome://tracing or Perfetto.
+//     Spans are recorded by the *dispatching* thread (one span per kernel
+//     dispatch, not per chunk), so the span stream observed on a given
+//     thread is deterministic across kernel thread counts.
+//   * Named counters / gauges / histograms (bytes moved, FLOPs, checkpoint
+//     bytes, simulated collective volumes). Counter references returned by
+//     the registry are stable for the process lifetime; `reset()` zeroes
+//     values without invalidating cached references.
+//   * A simulated-time track: hwsim's modeled step phases land on a second
+//     trace process ("clock") so estimated time never mixes with wall time.
+//
+// Overhead policy: when tracing is disabled (the default), every entry point
+// is a single relaxed-atomic load and branch; disabled-mode span/counter
+// macros perform no allocation. Configuring with -DORBIT2_OBS=OFF compiles
+// the macros out entirely and turns `enabled()` into `constexpr false`, so
+// guarded instrumentation blocks are dead-stripped.
+//
+// Span/counter/category names must be string literals (or otherwise outlive
+// the process): the hot path stores the pointer, not a copy.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace orbit2::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+#if defined(ORBIT2_OBS_DISABLED)
+/// Compile-time off: instrumentation guarded on enabled() is dead code.
+constexpr bool enabled() { return false; }
+#else
+/// True while trace/metric recording is on. Single relaxed load.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+#endif
+
+/// Turns recording on/off. A no-op in ORBIT2_OBS=OFF builds.
+void set_enabled(bool on);
+
+/// Clears recorded spans, zeroes all registered metrics, resets the
+/// simulated clock and the dropped-event count. Cached Counter/Gauge/
+/// Histogram references stay valid. Must not race with executing kernels.
+void reset();
+
+// ---- Spans ----------------------------------------------------------------
+
+/// RAII span: records [construction, destruction) on the calling thread's
+/// buffer. When recording is disabled at construction the span does nothing
+/// (and allocates nothing). Optionally carries one integer argument that
+/// shows up in the trace viewer (e.g. {"global_step": 12}).
+class Span {
+ public:
+  Span(const char* name, const char* category);
+  Span(const char* name, const char* category, const char* arg_name,
+       std::int64_t arg_value);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  const char* arg_name_;
+  std::int64_t arg_value_;
+  std::int64_t start_ns_ = -1;  // -1: disabled at construction
+  std::int32_t depth_ = 0;
+};
+
+// ---- Metrics --------------------------------------------------------------
+
+/// Monotonic counter. add() is a relaxed fetch_add gated on enabled(), so
+/// concurrent adds from kernel workers sum exactly.
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    if (!enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-value-wins gauge.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// count/sum/min/max summary histogram (enough for rollups; no buckets).
+/// Mutex-guarded: observations are span-granularity, not per-element.
+class Histogram {
+ public:
+  void observe(double v);
+  std::int64_t count() const;
+  double sum() const;
+  double min() const;  // +inf when empty
+  double max() const;  // -inf when empty
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Registry lookups: the first call for a name creates the metric; the
+/// returned reference is stable for the process lifetime. Lookups take a
+/// mutex — cache the reference at hot call sites (the macros below do).
+Counter& counter(const char* name);
+Gauge& gauge(const char* name);
+Histogram& histogram(const char* name);
+
+// ---- Simulated-time track -------------------------------------------------
+
+/// Advances the global simulated clock by `seconds`, returning the clock
+/// value *before* the advance (the start offset for the caller's spans).
+double sim_advance(double seconds);
+
+/// Current simulated clock value in seconds.
+double sim_now();
+
+/// Records a complete span on the simulated-time track (a separate trace
+/// process), at [begin_seconds, begin_seconds + duration_seconds) of
+/// simulated time. No-op while disabled.
+void sim_span(const char* name, const char* category, double begin_seconds,
+              double duration_seconds);
+
+// ---- Introspection / export ----------------------------------------------
+
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  std::string arg_name;  // empty: no argument
+  std::int64_t arg_value = 0;
+  std::uint32_t tid = 0;       // registration-order thread id (main is 0
+                               // only if it recorded first; don't assume)
+  std::int64_t start_ns = 0;   // relative to the process trace epoch
+  std::int64_t dur_ns = 0;
+  std::int32_t depth = 0;      // nesting depth on the recording thread
+  bool simulated = false;      // true: start/dur are simulated nanoseconds
+};
+
+/// All recorded spans, sorted by (tid, start, -dur) so a parent sorts
+/// before its children. Synchronizes with recorders; safe to call while
+/// kernels run, but the snapshot is only complete once they quiesce.
+std::vector<SpanRecord> snapshot_spans();
+
+/// The tid the calling thread records spans under (registers it if new).
+std::uint32_t current_tid();
+
+/// Registered (name, value) pairs, sorted by name.
+std::vector<std::pair<std::string, std::int64_t>> counters();
+std::vector<std::pair<std::string, double>> gauges();
+
+/// Spans dropped because a per-thread buffer hit its cap.
+std::int64_t dropped_spans();
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}) with one "X" event per
+/// span (wall spans on pid 1, simulated-time spans on pid 2), "M" metadata
+/// naming processes/threads, and one final "C" event per counter/gauge.
+std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path` (truncating). Throws on IO failure.
+void write_chrome_trace(const std::string& path);
+
+}  // namespace orbit2::obs
+
+// ---- Instrumentation macros ----------------------------------------------
+// Use these (not the classes directly) in instrumented code so ORBIT2_OBS=OFF
+// compiles the instrumentation out.
+
+#define ORBIT2_OBS_CONCAT_IMPL(a, b) a##b
+#define ORBIT2_OBS_CONCAT(a, b) ORBIT2_OBS_CONCAT_IMPL(a, b)
+
+#if !defined(ORBIT2_OBS_DISABLED)
+
+/// Scoped span covering the rest of the enclosing block.
+#define ORBIT2_OBS_SPAN(name, category)                                \
+  ::orbit2::obs::Span ORBIT2_OBS_CONCAT(orbit2_obs_span_, __LINE__) {  \
+    name, category                                                     \
+  }
+
+/// Scoped span with one integer argument (shown in the trace viewer).
+#define ORBIT2_OBS_SPAN_ARG(name, category, arg_name, arg_value)       \
+  ::orbit2::obs::Span ORBIT2_OBS_CONCAT(orbit2_obs_span_, __LINE__) {  \
+    name, category, arg_name, arg_value                                \
+  }
+
+/// Adds to a named counter; the registry lookup happens once per call site.
+#define ORBIT2_OBS_COUNT(name, delta)                                  \
+  do {                                                                 \
+    if (::orbit2::obs::enabled()) {                                    \
+      static ::orbit2::obs::Counter& orbit2_obs_counter_ref =          \
+          ::orbit2::obs::counter(name);                                \
+      orbit2_obs_counter_ref.add(delta);                               \
+    }                                                                  \
+  } while (false)
+
+#else  // ORBIT2_OBS_DISABLED
+
+#define ORBIT2_OBS_SPAN(name, category) \
+  do {                                  \
+  } while (false)
+#define ORBIT2_OBS_SPAN_ARG(name, category, arg_name, arg_value) \
+  do {                                                           \
+  } while (false)
+#define ORBIT2_OBS_COUNT(name, delta) \
+  do {                                \
+  } while (false)
+
+#endif  // ORBIT2_OBS_DISABLED

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "core/obs.hpp"
 
 namespace orbit2::hwsim {
 
@@ -96,6 +97,21 @@ StepTimeBreakdown estimate_step(const WorkloadSpec& spec,
                       jitter;
   out.per_sample_seconds = out.total_seconds / static_cast<double>(plan.ddp);
   out.sustained_flops = costs.train_flops / out.per_sample_seconds;
+
+  if (obs::enabled()) {
+    // Modeled time lands on the simulated-clock track: one envelope span
+    // per estimated step with the phase breakdown laid out consecutively
+    // inside it, so traces never mix modeled and wall durations.
+    const double start = obs::sim_advance(out.total_seconds);
+    obs::sim_span("hwsim/step", "hwsim.sim", start, out.total_seconds);
+    obs::sim_span("hwsim/compute", "hwsim.sim", start, out.compute_seconds);
+    obs::sim_span("hwsim/overhead", "hwsim.sim",
+                  start + out.compute_seconds, out.overhead_seconds);
+    obs::sim_span("hwsim/comm", "hwsim.sim",
+                  start + out.compute_seconds + out.overhead_seconds,
+                  out.communication_seconds);
+    ORBIT2_OBS_COUNT("hwsim.estimated_steps", 1);
+  }
   return out;
 }
 

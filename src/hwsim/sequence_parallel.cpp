@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/obs.hpp"
+
 namespace orbit2::hwsim {
 
 Tensor ring_attention(const Tensor& q, const Tensor& k, const Tensor& v,
@@ -19,6 +21,7 @@ Tensor ring_attention(const Tensor& q, const Tensor& k, const Tensor& v,
                            << " devices");
   const std::int64_t rows_per_device = n / devices;
   ORBIT2_REQUIRE(k.dim(0) == n, "ring layout requires Nq == Nk");
+  ORBIT2_OBS_SPAN_ARG("ring_attention", "hwsim", "devices", devices);
 
   // Device-local state: Q shard (static), running output / max / sum.
   Tensor output = Tensor::zeros(Shape{n, dv});
@@ -36,9 +39,13 @@ Tensor ring_attention(const Tensor& q, const Tensor& k, const Tensor& v,
   // involved a real transfer of one KV block pair per device.
   for (std::int64_t step = 0; step < devices; ++step) {
     if (step > 0) {
-      stats.allgather_bytes += devices * rows_per_device * (d + dv) *
-                               static_cast<std::int64_t>(sizeof(float));
+      const std::int64_t rotation_bytes =
+          devices * rows_per_device * (d + dv) *
+          static_cast<std::int64_t>(sizeof(float));
+      stats.allgather_bytes += rotation_bytes;
       ++stats.collective_calls;
+      ORBIT2_OBS_COUNT("hwsim.allgather_bytes", rotation_bytes);
+      ORBIT2_OBS_COUNT("hwsim.collective_calls", 1);
     }
     for (std::int64_t dev = 0; dev < devices; ++dev) {
       const std::int64_t kv_block = (dev + step) % devices;

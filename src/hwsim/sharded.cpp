@@ -2,6 +2,7 @@
 
 #include "core/debug_check.hpp"
 #include "core/kernels.hpp"
+#include "core/obs.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 
@@ -93,11 +94,14 @@ Tensor ShardedLinear::forward(const std::vector<Tensor>& x_per_device,
     // Local slices, then all-gather along features.
     std::vector<Tensor> local = forward_local(x_per_device);
     Tensor gathered = Tensor::concat(1, local);
+    std::int64_t gathered_bytes = 0;
     for (const Tensor& part : local) {
-      stats.allgather_bytes +=
-          part.numel() * static_cast<std::int64_t>(sizeof(float));
+      gathered_bytes += part.numel() * static_cast<std::int64_t>(sizeof(float));
     }
+    stats.allgather_bytes += gathered_bytes;
     ++stats.collective_calls;
+    ORBIT2_OBS_COUNT("hwsim.allgather_bytes", gathered_bytes);
+    ORBIT2_OBS_COUNT("hwsim.collective_calls", 1);
     return gathered;
   }
   // Row mode: partial products summed by all-reduce.
@@ -112,9 +116,12 @@ Tensor ShardedLinear::forward(const std::vector<Tensor>& x_per_device,
   }
   // Wire cost of a ring all-reduce: 2 * (n-1)/n * |T| per participant.
   const auto n = static_cast<std::int64_t>(weights_.size());
-  stats.allreduce_bytes += 2 * (n - 1) * sum.numel() *
-                           static_cast<std::int64_t>(sizeof(float)) / n;
+  const std::int64_t wire_bytes = 2 * (n - 1) * sum.numel() *
+                                  static_cast<std::int64_t>(sizeof(float)) / n;
+  stats.allreduce_bytes += wire_bytes;
   ++stats.collective_calls;
+  ORBIT2_OBS_COUNT("hwsim.allreduce_bytes", wire_bytes);
+  ORBIT2_OBS_COUNT("hwsim.collective_calls", 1);
   // Bias once, post-reduction.
   add_bias_rows_inplace(sum, biases_.front());
   return sum;
@@ -186,6 +193,8 @@ Tensor LayerwiseFsdpStack::forward(const Tensor& x, CommStats& stats) const {
         full.numel() * static_cast<std::int64_t>(sizeof(float));
     stats.allgather_bytes += gathered_bytes;
     ++stats.collective_calls;
+    ORBIT2_OBS_COUNT("hwsim.allgather_bytes", gathered_bytes);
+    ORBIT2_OBS_COUNT("hwsim.collective_calls", 1);
     peak_transient_bytes_ = std::max(peak_transient_bytes_, gathered_bytes);
 
     Tensor y = matmul(h, full);

@@ -1,6 +1,7 @@
 #include "tensor/conv.hpp"
 
 #include "core/kernels.hpp"
+#include "core/obs.hpp"
 
 namespace orbit2 {
 
@@ -36,6 +37,10 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
 
   const std::int64_t oh = conv2d_out_dim(h, spec.kernel_h, spec.stride, spec.pad);
   const std::int64_t ow = conv2d_out_dim(w, spec.kernel_w, spec.stride, spec.pad);
+  const std::int64_t conv_flops =
+      2 * cout * cin * spec.kernel_h * spec.kernel_w * oh * ow;
+  ORBIT2_OBS_SPAN_ARG("conv2d_forward", "tensor", "flops", conv_flops);
+  ORBIT2_OBS_COUNT("tensor.conv2d_flops", conv_flops);
   Tensor out(Shape{cout, oh, ow});
 
   const float* in = input.data().data();

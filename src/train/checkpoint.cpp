@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <system_error>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #endif
 
 #include "core/crc32.hpp"
+#include "core/obs.hpp"
 
 namespace orbit2::train {
 
@@ -476,17 +478,31 @@ void read_v1(std::ifstream& in, std::uint64_t file_size,
 void save_checkpoint(const std::string& path, const autograd::Module& module,
                      const autograd::AdamW* optimizer,
                      const TrainState* state) {
+  ORBIT2_OBS_SPAN("checkpoint/save", "checkpoint");
   atomic_write(path, [&](std::ofstream& out) {
     write_v2_body(out, module, optimizer, state);
   });
+  if (obs::enabled()) {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path, ec);
+    if (!ec) {
+      ORBIT2_OBS_COUNT("checkpoint.bytes_written",
+                       static_cast<std::int64_t>(bytes));
+      ORBIT2_OBS_COUNT("checkpoint.saves", 1);
+    }
+  }
 }
 
 CheckpointInfo load_checkpoint(const std::string& path,
                                autograd::Module& module,
                                autograd::AdamW* optimizer) {
+  ORBIT2_OBS_SPAN("checkpoint/load", "checkpoint");
   std::ifstream in(path, std::ios::binary);
   ORBIT2_REQUIRE(in.good(), "cannot open " << path);
   const std::uint64_t file_size = file_size_of(in, path);
+  ORBIT2_OBS_COUNT("checkpoint.bytes_read",
+                   static_cast<std::int64_t>(file_size));
+  ORBIT2_OBS_COUNT("checkpoint.loads", 1);
   ORBIT2_REQUIRE(file_size >= sizeof(kMagicV1),
                  "checkpoint " << path << " too small to be valid");
   char magic[4] = {};

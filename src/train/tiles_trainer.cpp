@@ -1,6 +1,7 @@
 #include "train/tiles_trainer.hpp"
 
 #include "core/kernels.hpp"
+#include "core/obs.hpp"
 #include "core/timer.hpp"
 #include "data/generator.hpp"
 #include "model/loss.hpp"
@@ -111,19 +112,25 @@ EpochStats TilesTrainer::run_samples(const data::SyntheticDataset& dataset,
   // resumable cursor to this step boundary.
   auto step_boundary = [&](std::int64_t batch_samples,
                            std::int64_t consumed) {
-    allreduce_mean_gradients(replica_params_);
-    const float grad_scale = 1.0f / static_cast<float>(batch_samples);
-    const float lr = schedule_.lr_at(global_step_);
-    for (std::size_t t = 0; t < replicas_.size(); ++t) {
-      if (config_.grad_clip > 0.0f) {
-        autograd::clip_grad_norm(replica_params_[t],
-                                 config_.grad_clip / grad_scale);
+    {
+      // Pre-increment global step: a resumed run's first optimizer span
+      // carries the restored step.
+      ORBIT2_OBS_SPAN_ARG("train/optimizer", "train", "global_step",
+                          global_step_);
+      allreduce_mean_gradients(replica_params_);
+      const float grad_scale = 1.0f / static_cast<float>(batch_samples);
+      const float lr = schedule_.lr_at(global_step_);
+      for (std::size_t t = 0; t < replicas_.size(); ++t) {
+        if (config_.grad_clip > 0.0f) {
+          autograd::clip_grad_norm(replica_params_[t],
+                                   config_.grad_clip / grad_scale);
+        }
+        optimizers_[t]->set_lr(lr);
+        optimizers_[t]->step(grad_scale);
+        for (const auto& p : replica_params_[t]) p->zero_grad();
       }
-      optimizers_[t]->set_lr(lr);
-      optimizers_[t]->step(grad_scale);
-      for (const auto& p : replica_params_[t]) p->zero_grad();
+      ++global_step_;
     }
-    ++global_step_;
     cursor_ = consumed;
     const double batch_loss =
         batch_loss_sum / static_cast<double>(batch_samples);
@@ -131,6 +138,7 @@ EpochStats TilesTrainer::run_samples(const data::SyntheticDataset& dataset,
     if (manager != nullptr && config_.checkpoint_every_steps > 0 &&
         ++steps_since_checkpoint_ >= config_.checkpoint_every_steps) {
       steps_since_checkpoint_ = 0;
+      ORBIT2_OBS_SPAN("train/checkpoint", "train");
       manager->save(*replicas_.front(), optimizers_.front().get(),
                     snapshot_state(), batch_loss);
     }
@@ -139,7 +147,10 @@ EpochStats TilesTrainer::run_samples(const data::SyntheticDataset& dataset,
 
   for (std::size_t i = static_cast<std::size_t>(start); i < order.size();
        ++i) {
-    const data::Sample sample = dataset.sample(order[i]);
+    const data::Sample sample = [&] {
+      ORBIT2_OBS_SPAN("train/data", "train");
+      return dataset.sample(order[i]);
+    }();
     const std::int64_t h = sample.input.dim(1), w = sample.input.dim(2);
     const auto regions = partition_tiles(h, w, tile_spec_);
 
@@ -162,19 +173,28 @@ EpochStats TilesTrainer::run_samples(const data::SyntheticDataset& dataset,
             hr_region.pad_w = regions[t].pad_w * upscale;
             const Tensor tile_target = extract_tile(sample.target, hr_region);
 
-            Var prediction = replicas_[t]->downscale(tile_input);
+            // Forward/backward spans land on whichever pool thread ran the
+            // tile; tests assert counts and tile args, not cross-thread
+            // order.
             Var loss;
-            if (config_.bayesian_loss) {
-              model::BayesianLossParams params;
-              params.tv_weight = config_.tv_weight;
-              loss = model::bayesian_loss(
-                  prediction, tile_target,
-                  data::latitude_weights(tile_target.dim(1)), params);
-            } else {
-              loss = model::mse_loss(prediction, tile_target);
+            {
+              ORBIT2_OBS_SPAN_ARG("train/forward", "train", "tile", ti);
+              Var prediction = replicas_[t]->downscale(tile_input);
+              if (config_.bayesian_loss) {
+                model::BayesianLossParams params;
+                params.tv_weight = config_.tv_weight;
+                loss = model::bayesian_loss(
+                    prediction, tile_target,
+                    data::latitude_weights(tile_target.dim(1)), params);
+              } else {
+                loss = model::mse_loss(prediction, tile_target);
+              }
             }
             tile_losses[t] = loss.value().item();
-            autograd::backward(loss);
+            {
+              ORBIT2_OBS_SPAN_ARG("train/backward", "train", "tile", ti);
+              autograd::backward(loss);
+            }
           }
         });
     double sample_loss = 0.0;
@@ -214,6 +234,7 @@ EpochStats TilesTrainer::fit(const data::SyntheticDataset& dataset,
   }
   EpochStats last;
   while (epoch_ < config_.epochs) {
+    ORBIT2_OBS_SPAN_ARG("train/epoch", "train", "epoch", epoch_);
     Rng order_rng = pending_order_rng_.has_value()
                         ? [&] {
                             Rng restored(0);
@@ -231,6 +252,7 @@ EpochStats TilesTrainer::fit(const data::SyntheticDataset& dataset,
     ++epoch_;
     cursor_ = 0;
     if (manager != nullptr) {
+      ORBIT2_OBS_SPAN("train/checkpoint", "train");
       manager->save(*replicas_.front(), optimizers_.front().get(),
                     snapshot_state(), last.mean_loss);
       steps_since_checkpoint_ = 0;

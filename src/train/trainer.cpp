@@ -1,6 +1,7 @@
 #include "train/trainer.hpp"
 
 #include "core/log.hpp"
+#include "core/obs.hpp"
 #include "core/timer.hpp"
 #include "data/generator.hpp"
 
@@ -113,22 +114,29 @@ EpochStats Trainer::run_samples(const data::SyntheticDataset& dataset,
   // gradients, then advances the resumable cursor to the step boundary.
   auto step_boundary = [&](std::int64_t batch_samples,
                            std::int64_t consumed) {
-    bool do_step = true;
-    float grad_scale = 1.0f / static_cast<float>(batch_samples);
-    if (config_.mixed_precision) {
-      do_step = scaler_.unscale_and_check(params_);
-      grad_scale /= scaler_.scale();
-    }
-    if (do_step) {
-      if (config_.grad_clip > 0.0f) {
-        // Clip on the unscaled gradient norm.
-        autograd::clip_grad_norm(params_, config_.grad_clip / grad_scale);
+    {
+      // The argument is the global step this optimizer phase starts from
+      // (pre-increment), so a resumed run's first span carries the restored
+      // step.
+      ORBIT2_OBS_SPAN_ARG("train/optimizer", "train", "global_step",
+                          global_step_);
+      bool do_step = true;
+      float grad_scale = 1.0f / static_cast<float>(batch_samples);
+      if (config_.mixed_precision) {
+        do_step = scaler_.unscale_and_check(params_);
+        grad_scale /= scaler_.scale();
       }
-      optimizer_.set_lr(schedule_.lr_at(global_step_));
-      optimizer_.step(grad_scale);
-      ++global_step_;
+      if (do_step) {
+        if (config_.grad_clip > 0.0f) {
+          // Clip on the unscaled gradient norm.
+          autograd::clip_grad_norm(params_, config_.grad_clip / grad_scale);
+        }
+        optimizer_.set_lr(schedule_.lr_at(global_step_));
+        optimizer_.step(grad_scale);
+        ++global_step_;
+      }
+      model_.zero_grad();
     }
-    model_.zero_grad();
     cursor_ = consumed;
     const double batch_loss =
         batch_loss_sum / static_cast<double>(batch_samples);
@@ -136,6 +144,7 @@ EpochStats Trainer::run_samples(const data::SyntheticDataset& dataset,
     if (manager != nullptr && config_.checkpoint_every_steps > 0 &&
         ++steps_since_checkpoint_ >= config_.checkpoint_every_steps) {
       steps_since_checkpoint_ = 0;
+      ORBIT2_OBS_SPAN("train/checkpoint", "train");
       manager->save(model_, &optimizer_, snapshot_state(), batch_loss);
     }
     if (step_hook_) step_hook_(global_step_, batch_loss);
@@ -143,7 +152,10 @@ EpochStats Trainer::run_samples(const data::SyntheticDataset& dataset,
 
   for (std::size_t i = static_cast<std::size_t>(start); i < order.size();
        ++i) {
-    const data::Sample sample = dataset.sample(order[i]);
+    const data::Sample sample = [&] {
+      ORBIT2_OBS_SPAN("train/data", "train");
+      return dataset.sample(order[i]);
+    }();
     if (latitude_weights_.shape() != Shape({sample.target.dim(1)})) {
       latitude_weights_ = data::latitude_weights(sample.target.dim(1));
     }
@@ -153,16 +165,23 @@ EpochStats Trainer::run_samples(const data::SyntheticDataset& dataset,
       for (const auto& p : params_) p->value.round_to_bf16_inplace();
     }
 
-    Var prediction = model_.downscale(sample.input);
-    Var loss = compute_loss(prediction, sample.target);
+    Var loss;
+    {
+      ORBIT2_OBS_SPAN("train/forward", "train");
+      Var prediction = model_.downscale(sample.input);
+      loss = compute_loss(prediction, sample.target);
+    }
     loss_sum += loss.value().item();
     batch_loss_sum += loss.value().item();
     ++stats.samples;
 
-    Var scaled = config_.mixed_precision
-                     ? autograd::scale(loss, scaler_.scale())
-                     : loss;
-    autograd::backward(scaled);
+    {
+      ORBIT2_OBS_SPAN("train/backward", "train");
+      Var scaled = config_.mixed_precision
+                       ? autograd::scale(loss, scaler_.scale())
+                       : loss;
+      autograd::backward(scaled);
+    }
 
     if (++in_batch < config_.batch_size) continue;
     in_batch = 0;
@@ -194,6 +213,7 @@ EpochStats Trainer::fit(const data::SyntheticDataset& dataset,
   }
   EpochStats last;
   while (epoch_ < config_.epochs) {
+    ORBIT2_OBS_SPAN_ARG("train/epoch", "train", "epoch", epoch_);
     Rng order_rng = pending_order_rng_.has_value()
                         ? [&] {
                             Rng restored(0);
@@ -213,6 +233,7 @@ EpochStats Trainer::fit(const data::SyntheticDataset& dataset,
     if (manager != nullptr) {
       // End-of-epoch rotation; cursor 0 means the saved RNG state is
       // ignored on resume (the next epoch derives its own stream).
+      ORBIT2_OBS_SPAN("train/checkpoint", "train");
       manager->save(model_, &optimizer_, snapshot_state(), last.mean_loss);
       steps_since_checkpoint_ = 0;
     }

@@ -98,6 +98,53 @@ TEST(Fft2d, SeparableToneInCorrectBin) {
   EXPECT_NEAR(std::abs(coeffs[static_cast<std::size_t>(1 * w + 1)]), 0.0, 1e-6);
 }
 
+TEST(Fft2d, NonPowerOfTwoRectangularParseval) {
+  // 12x18 exercises the Bluestein path on both axes of the 2-D transform;
+  // the unnormalized forward satisfies sum|F|^2 == H*W * sum|x|^2.
+  const std::int64_t h = 12, w = 18;
+  Rng rng(7);
+  Tensor field = Tensor::randn(Shape{h, w}, rng);
+  double time_energy = 0.0;
+  for (std::int64_t i = 0; i < field.numel(); ++i) {
+    time_energy += static_cast<double>(field[i]) * field[i];
+  }
+  auto coeffs = fft2d(field);
+  double freq_energy = 0.0;
+  for (const auto& c : coeffs) freq_energy += std::norm(c);
+  const double expected = time_energy * static_cast<double>(h * w);
+  EXPECT_NEAR(freq_energy, expected, 1e-6 * expected);
+}
+
+TEST(Fft2d, NonPowerOfTwoToneInCorrectBin) {
+  // A separable tone on a 10x14 grid (neither axis a power of two) must
+  // land in its (ky, kx) bin and the conjugate mirror, at magnitude H*W/2.
+  const std::int64_t h = 10, w = 14;
+  Tensor field(Shape{h, w});
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      field.at(y, x) = static_cast<float>(
+          std::cos(2 * M_PI * (1.0 * y / h + 3.0 * x / w)));
+    }
+  }
+  auto coeffs = fft2d(field);
+  const double peak = static_cast<double>(h * w) / 2.0;
+  EXPECT_NEAR(std::abs(coeffs[static_cast<std::size_t>(1 * w + 3)]), peak, 1e-6);
+  EXPECT_NEAR(std::abs(coeffs[static_cast<std::size_t>((h - 1) * w + (w - 3))]),
+              peak, 1e-6);
+  EXPECT_NEAR(std::abs(coeffs[static_cast<std::size_t>(2 * w + 2)]), 0.0, 1e-6);
+}
+
+TEST(RadialSpectrum, NonSquareFieldUsesShorterAxisForBins) {
+  // Bin count follows min(H, W)/2; a constant field stays pure DC.
+  Tensor field = Tensor::full(Shape{16, 40}, 1.5f);
+  auto spectrum = radial_power_spectrum(field);
+  EXPECT_EQ(spectrum.size(), 9u);  // k = 0..8
+  EXPECT_GT(spectrum[0], 0.0);
+  for (std::size_t k = 1; k < spectrum.size(); ++k) {
+    EXPECT_NEAR(spectrum[k], 0.0, 1e-6);
+  }
+}
+
 TEST(RadialSpectrum, BinCountAndDc) {
   Tensor field = Tensor::full(Shape{32, 32}, 3.0f);
   auto spectrum = radial_power_spectrum(field);

@@ -130,6 +130,62 @@ TEST(QuadTree, CheckPartitionDetectsGap) {
   EXPECT_THROW(check_partition(8, 8, gappy), Error);
 }
 
+TEST(QuadTree, FullySplitsToSinglePixelLeaves) {
+  // Maximal splitting pressure with min_patch = 1 refines every cell into
+  // its own leaf; compression bottoms out at 1x.
+  Tensor edges = Tensor::ones(Shape{8, 8});
+  QuadTreeParams params;
+  params.density_threshold = 0.0f;
+  params.min_patch = 1;
+  auto leaves = adaptive_partition(edges, params);
+  check_partition(8, 8, leaves);
+  EXPECT_EQ(leaves.size(), 64u);
+  for (const auto& leaf : leaves) {
+    EXPECT_EQ(leaf.h, 1);
+    EXPECT_EQ(leaf.w, 1);
+  }
+  EXPECT_FLOAT_EQ(compression_ratio(8, 8, leaves), 1.0f);
+}
+
+TEST(QuadTree, SinglePixelLeavesOnOddGrid) {
+  // Odd dimensions split unevenly but still bottom out at 1x1 leaves.
+  Tensor edges = Tensor::ones(Shape{7, 5});
+  QuadTreeParams params;
+  params.density_threshold = 0.0f;
+  params.min_patch = 1;
+  auto leaves = adaptive_partition(edges, params);
+  check_partition(7, 5, leaves);
+  EXPECT_EQ(leaves.size(), 35u);
+  for (const auto& leaf : leaves) EXPECT_EQ(leaf.area(), 1);
+}
+
+TEST(QuadTree, MaxDepthCapsRefinement) {
+  // Two levels of splitting on 32x32 stop at 8x8 leaves even though the
+  // density and min_patch would allow refining all the way down.
+  Tensor edges = Tensor::ones(Shape{32, 32});
+  QuadTreeParams params;
+  params.density_threshold = 0.0f;
+  params.min_patch = 1;
+  params.max_depth = 2;
+  auto leaves = adaptive_partition(edges, params);
+  check_partition(32, 32, leaves);
+  EXPECT_EQ(leaves.size(), 16u);
+  for (const auto& leaf : leaves) {
+    EXPECT_EQ(leaf.h, 8);
+    EXPECT_EQ(leaf.w, 8);
+  }
+}
+
+TEST(QuadTree, MaxDepthZeroKeepsRootLeaf) {
+  Tensor edges = Tensor::ones(Shape{16, 16});
+  QuadTreeParams params;
+  params.density_threshold = 0.0f;
+  params.max_depth = 0;
+  auto leaves = adaptive_partition(edges, params);
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0], (PatchRect{0, 0, 16, 16}));
+}
+
 // ---- pooling / scatter kernels --------------------------------------------
 
 TEST(QuadTreeTokens, PoolAveragesWithinLeaf) {
@@ -216,6 +272,23 @@ TEST(QuadTreeTokens, DifferentiableRoundTripGradients) {
     const float down = forward().value().sum();
     param->value[i] = original;
     EXPECT_NEAR(param->grad[i], (up - down) / (2 * eps), 2e-2f) << i;
+  }
+}
+
+TEST(QuadTreeTokens, SinglePixelLeavesMakePoolScatterIdentity) {
+  // With every leaf a single cell, pooling and scattering are both the
+  // identity map (up to leaf ordering, undone by the scatter).
+  Tensor edges = Tensor::ones(Shape{4, 4});
+  QuadTreeParams params;
+  params.density_threshold = 0.0f;
+  params.min_patch = 1;
+  auto leaves = adaptive_partition(edges, params);
+  ASSERT_EQ(leaves.size(), 16u);
+  Rng rng(11);
+  Tensor tokens = Tensor::randn(Shape{16, 3}, rng);
+  Tensor round = scatter_tokens(pool_tokens(tokens, 4, 4, leaves), 4, 4, leaves);
+  for (std::int64_t i = 0; i < tokens.numel(); ++i) {
+    EXPECT_FLOAT_EQ(round[i], tokens[i]) << i;
   }
 }
 

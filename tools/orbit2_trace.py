@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate and summarize ORBIT-2 Chrome trace-event JSON.
+
+Usage:
+    orbit2_trace.py TRACE.json              # validate + print summary
+    orbit2_trace.py --validate TRACE.json   # validate only (exit 1 on errors)
+    orbit2_trace.py --top N TRACE.json      # show N top spans (default 15)
+
+The input is the format written by orbit2::obs::write_chrome_trace():
+{"traceEvents": [...], ...} with "X" (complete) span events, "M" metadata
+events, and "C" counter events. Wall-clock spans live on pid 1, simulated
+hwsim time on pid 2. The same file loads in chrome://tracing and Perfetto.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+VALID_PHASES = {"X", "M", "C"}
+
+
+def validate(trace):
+    """Returns a list of schema-violation strings (empty = valid)."""
+    errors = []
+    if not isinstance(trace, dict):
+        return ["top level is not a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            errors.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing/empty name")
+        if ph == "M":
+            continue
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(ev.get(key), (int, float)):
+                errors.append(f"{where}: missing numeric {key}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)):
+                errors.append(f"{where}: X event missing numeric dur")
+            elif dur < 0:
+                errors.append(f"{where}: negative dur {dur}")
+            if isinstance(ev.get("ts"), (int, float)) and ev["ts"] < 0:
+                errors.append(f"{where}: negative ts {ev['ts']}")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            errors.append(f"{where}: C event missing args")
+    return errors
+
+
+def span_events(trace, simulated):
+    want_pid = 2 if simulated else 1
+    for ev in trace["traceEvents"]:
+        if ev.get("ph") == "X" and ev.get("pid") == want_pid:
+            yield ev
+
+
+def summarize(trace, top_n):
+    lines = []
+    for simulated, label in ((False, "wall clock"), (True, "simulated clock")):
+        by_name = defaultdict(lambda: [0, 0.0])  # name -> [count, total_us]
+        by_cat = defaultdict(float)
+        for ev in span_events(trace, simulated):
+            entry = by_name[ev["name"]]
+            entry[0] += 1
+            entry[1] += ev["dur"]
+            by_cat[ev.get("cat", "?")] += ev["dur"]
+        if not by_name:
+            continue
+        lines.append(f"== spans ({label}) ==")
+        lines.append(f"{'name':<32} {'count':>8} {'total ms':>12} {'mean us':>12}")
+        ranked = sorted(by_name.items(), key=lambda kv: -kv[1][1])
+        for name, (count, total_us) in ranked[:top_n]:
+            lines.append(
+                f"{name:<32} {count:>8} {total_us / 1000.0:>12.3f} "
+                f"{total_us / count:>12.1f}"
+            )
+        if len(ranked) > top_n:
+            lines.append(f"... {len(ranked) - top_n} more span names")
+        lines.append("")
+        lines.append(f"== per-category totals ({label}) ==")
+        for cat, total_us in sorted(by_cat.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{cat:<32} {total_us / 1000.0:>12.3f} ms")
+        lines.append("")
+
+    counters = [
+        ev for ev in trace["traceEvents"]
+        if ev.get("ph") == "C" and isinstance(ev.get("args"), dict)
+    ]
+    if counters:
+        lines.append("== counters ==")
+        for ev in sorted(counters, key=lambda e: e["name"]):
+            for key, value in ev["args"].items():
+                lines.append(f"{ev['name']:<40} {key} = {value}")
+        lines.append("")
+
+    other = trace.get("otherData", {})
+    if other:
+        lines.append("== otherData ==")
+        for key, value in sorted(other.items()):
+            lines.append(f"{key} = {value}")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--validate", action="store_true",
+                        help="validate only; no summary output")
+    parser.add_argument("--top", type=int, default=15, metavar="N",
+                        help="top span names to show (default 15)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot parse {args.trace}: {err}", file=sys.stderr)
+        return 1
+
+    errors = validate(trace)
+    if errors:
+        for err in errors[:50]:
+            print(f"error: {err}", file=sys.stderr)
+        if len(errors) > 50:
+            print(f"error: ... {len(errors) - 50} more", file=sys.stderr)
+        return 1
+
+    n_events = len(trace["traceEvents"])
+    print(f"{args.trace}: valid ({n_events} events)")
+    if not args.validate:
+        summary = summarize(trace, args.top)
+        if summary:
+            print()
+            print(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # e.g. `orbit2_trace.py t.json | head`; exit quietly like cat does.
+        sys.exit(0)
