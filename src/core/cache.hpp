@@ -1,0 +1,95 @@
+#pragma once
+// Thread-safe bounded memo cache for the data pipeline.
+//
+// The synthetic data path recomputes expensive pure functions of small keys
+// on every sample (terrain per (h, w, seed), GRF spectral filters per
+// (h, w, beta)); this cache turns those into compute-once lookups. Values
+// are held behind shared_ptr<const V> so a hit hands back an immutable
+// handle that outlives any eviction, and the factory is only ever run
+// outside the lock — a miss never serializes unrelated lookups behind a
+// slow compute. Two threads missing the same key may both run the factory;
+// the first insert wins and both observe that entry, which is safe exactly
+// because cached values must be pure functions of the key (the determinism
+// policy tests rely on cache-hit == cache-miss bitwise).
+//
+// Capacity is a hard bound with least-recently-used eviction, so workloads
+// whose keys never repeat (fresh terrain per sample) stay O(capacity).
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace orbit2 {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    ORBIT2_REQUIRE(capacity >= 1, "LruCache capacity must be >= 1");
+  }
+
+  /// Returns the cached value for `key`, running `factory()` on a miss.
+  /// `factory` must be a pure function of `key`; it runs without the cache
+  /// lock held, so concurrent misses on the same key may compute twice (the
+  /// first insert wins and is returned to everyone).
+  template <typename Factory>
+  std::shared_ptr<const Value> get_or_create(const Key& key,
+                                             Factory&& factory) {
+    if (auto hit = lookup(key)) return hit;
+    auto fresh = std::make_shared<const Value>(factory());
+    return insert(key, std::move(fresh));
+  }
+
+  /// Cache probe without populating (testing / metrics).
+  std::shared_ptr<const Value> lookup(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);  // mark most recent
+    return it->second->second;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index_.clear();
+    order_.clear();
+  }
+
+ private:
+  using Entry = std::pair<Key, std::shared_ptr<const Value>>;
+
+  std::shared_ptr<const Value> insert(const Key& key,
+                                      std::shared_ptr<const Value> value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {  // lost the race: keep the first insert
+      order_.splice(order_.begin(), order_, it->second);
+      return it->second->second;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    return order_.front().second;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+};
+
+}  // namespace orbit2

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/kernels.hpp"
+#include "core/obs.hpp"
 #include "tensor/resize.hpp"
 
 namespace orbit2::data {
@@ -28,9 +30,12 @@ void Normalizer::normalize(Tensor& stack) const {
     const float mean = means_[c];
     const float inv_std = 1.0f / stds_[c];
     float* channel = p + static_cast<std::int64_t>(c) * plane;
-    for (std::int64_t i = 0; i < plane; ++i) {
-      channel[i] = (channel[i] - mean) * inv_std;
-    }
+    kernels::parallel_for(plane, kernels::grain_for(2),
+                          [&](std::int64_t i0, std::int64_t i1) {
+                            for (std::int64_t i = i0; i < i1; ++i) {
+                              channel[i] = (channel[i] - mean) * inv_std;
+                            }
+                          });
   }
 }
 
@@ -41,10 +46,15 @@ void Normalizer::denormalize(Tensor& stack) const {
   const std::int64_t plane = stack.dim(1) * stack.dim(2);
   float* p = stack.data().data();
   for (std::size_t c = 0; c < means_.size(); ++c) {
+    const float std_c = stds_[c];
+    const float mean = means_[c];
     float* channel = p + static_cast<std::int64_t>(c) * plane;
-    for (std::int64_t i = 0; i < plane; ++i) {
-      channel[i] = channel[i] * stds_[c] + means_[c];
-    }
+    kernels::parallel_for(plane, kernels::grain_for(2),
+                          [&](std::int64_t i0, std::int64_t i1) {
+                            for (std::int64_t i = i0; i < i1; ++i) {
+                              channel[i] = channel[i] * std_c + mean;
+                            }
+                          });
   }
 }
 
@@ -71,14 +81,25 @@ Sample SyntheticDataset::sample_physical(std::int64_t index) const {
 
 Sample SyntheticDataset::build(std::int64_t index, bool normalized) const {
   ORBIT2_REQUIRE(index >= 0, "negative sample index");
+  ORBIT2_OBS_SPAN_ARG("data/sample_build", "data", "index", index);
   const std::int64_t h = config_.hr_h, w = config_.hr_w;
 
   // Terrain: shared across samples for a fixed region, fresh otherwise.
+  // synthetic_topography is a pure function of (h, w, terrain_seed), so the
+  // memo hands back the bit-identical field the direct call would produce.
   const std::uint64_t terrain_seed =
       config_.fixed_region
           ? config_.seed
           : config_.seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(index + 1));
-  const Tensor topo = synthetic_topography(h, w, terrain_seed);
+  std::shared_ptr<const Tensor> topo_entry = topo_cache_.lookup(terrain_seed);
+  if (topo_entry) {
+    ORBIT2_OBS_COUNT("data.topo_cache_hits", 1);
+  } else {
+    ORBIT2_OBS_COUNT("data.topo_cache_misses", 1);
+    topo_entry = topo_cache_.get_or_create(
+        terrain_seed, [&] { return synthetic_topography(h, w, terrain_seed); });
+  }
+  const Tensor& topo = *topo_entry;  // read-only below; never written through
 
   // Weather RNG: unique per (seed, index).
   std::uint64_t sm = config_.seed ^
@@ -116,13 +137,15 @@ Sample SyntheticDataset::build(std::int64_t index, bool normalized) const {
     const std::int64_t t2m_src = maybe_index("t2m");
 
     Tensor field;
+    // Aliasing note: Tensor::slice copies the selected channel into fresh
+    // storage (it is not a view), so both analogue paths below already own
+    // their data and may be mutated freely without touching hr_inputs. The
+    // reshape is a view of that private copy; no clone is needed.
     if (out_vars[v].name == "prcp" && precip_src >= 0) {
       field = hr_inputs.slice(0, precip_src, 1).reshape(Shape{h, w});
     } else if ((out_vars[v].name == "tmin" || out_vars[v].name == "tmax") &&
                t2m_src >= 0) {
-      field = hr_inputs.slice(0, t2m_src, 1)
-                  .reshape(Shape{h, w})
-                  .clone();
+      field = hr_inputs.slice(0, t2m_src, 1).reshape(Shape{h, w});
       // tmin/tmax offset from t2m with a smooth diurnal-range field.
       Rng range_rng = weather.split();
       const Tensor diurnal = gaussian_random_field(h, w, 3.5f, range_rng);

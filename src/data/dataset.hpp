@@ -8,9 +8,11 @@
 // a dataset is fully determined by (config.seed, i): no storage needed, and
 // any subset can be regenerated on any worker.
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "core/cache.hpp"
 #include "data/generator.hpp"
 #include "data/variables.hpp"
 #include "tensor/tensor.hpp"
@@ -80,6 +82,13 @@ class SyntheticDataset {
   DatasetConfig config_;
   Normalizer input_norm_;
   Normalizer output_norm_;
+  // Terrain memo per terrain seed (grid size is fixed per dataset). With
+  // fixed_region the single terrain is computed once and every sample hits;
+  // with fresh terrain per sample the cache still bounds repeat cost when
+  // the same indices are revisited across epochs. Guarded internally, so
+  // sample() stays safe to call from multiple threads; cached tensors are
+  // only ever read (build() never writes through the shared handle).
+  mutable LruCache<std::uint64_t, Tensor> topo_cache_{8};
 };
 
 /// Deterministic train/val/test split over [0, count): the paper splits

@@ -86,7 +86,9 @@ Sample TemporalSequence::next_day() {
       field = hr_inputs.slice(0, precip_src, 1).reshape(Shape{h, w});
     } else if ((out_vars[v].name == "tmin" || out_vars[v].name == "tmax") &&
                t2m_src >= 0) {
-      field = hr_inputs.slice(0, t2m_src, 1).reshape(Shape{h, w}).clone();
+      // slice() copies the channel (it is not a view), so the diurnal offset
+      // below cannot touch hr_inputs; no clone needed.
+      field = hr_inputs.slice(0, t2m_src, 1).reshape(Shape{h, w});
       Rng range_rng = rng_.split();
       const Tensor diurnal = gaussian_random_field(h, w, 3.5f, range_rng);
       const float sign = out_vars[v].name == "tmin" ? -1.0f : 1.0f;
@@ -108,7 +110,9 @@ Sample TemporalSequence::next_day() {
   }
 
   physical_.input = coarsen_area(hr_inputs, config_.base.upscale);
-  physical_.target = target;
+  // Hand the freshly built target straight to physical_; the only copy made
+  // of it is the clone that normalization mutates below.
+  physical_.target = std::move(target);
 
   Sample normalized;
   normalized.input = physical_.input.clone();

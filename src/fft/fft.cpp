@@ -1,6 +1,13 @@
 #include "fft/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "core/cache.hpp"
+#include "core/kernels.hpp"
+#include "core/obs.hpp"
 
 namespace orbit2 {
 
@@ -8,27 +15,71 @@ namespace {
 
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
-// Iterative radix-2 Cooley-Tukey; requires power-of-two length.
-void fft_radix2(std::vector<Complex>& a, bool inverse) {
-  const std::size_t n = a.size();
-  // Bit-reversal permutation.
+// Precomputed per-length transform state. Twiddles are generated with the
+// exact sequential `w *= root` recurrence the in-loop version used, so a
+// plan-driven butterfly multiplies by bit-identical factors and the
+// transform output is unchanged down to the last ulp — the caches here are
+// pure call-amortization, not an algorithm change.
+struct Radix2Plan {
+  // bitrev[i] is the reversal target the incremental swap loop visits.
+  std::vector<std::uint32_t> bitrev;
+  // Stages concatenated smallest-first; stage `len` starts at len/2 - 1
+  // (1 + 2 + ... + len/4 entries precede it) and holds len/2 factors.
+  std::vector<Complex> twiddles;
+};
+
+Radix2Plan build_radix2_plan(std::size_t n, bool inverse) {
+  Radix2Plan plan;
+  plan.bitrev.resize(n, 0);
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
+    plan.bitrev[i] = static_cast<std::uint32_t>(j);
   }
+  plan.twiddles.reserve(n > 1 ? n - 1 : 0);
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
     const Complex root(std::cos(angle), std::sin(angle));
+    Complex w(1.0, 0.0);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      plan.twiddles.push_back(w);
+      w *= root;
+    }
+  }
+  return plan;
+}
+
+std::shared_ptr<const Radix2Plan> radix2_plan(std::size_t n, bool inverse) {
+  static LruCache<std::uint64_t, Radix2Plan> cache(16);
+  const std::uint64_t key = (static_cast<std::uint64_t>(n) << 1) |
+                            static_cast<std::uint64_t>(inverse);
+  if (auto hit = cache.lookup(key)) {
+    ORBIT2_OBS_COUNT("fft.plan_cache_hits", 1);
+    return hit;
+  }
+  ORBIT2_OBS_COUNT("fft.plan_cache_misses", 1);
+  return cache.get_or_create(key, [&] { return build_radix2_plan(n, inverse); });
+}
+
+// Iterative radix-2 Cooley-Tukey; requires power-of-two length.
+void fft_radix2(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  const std::shared_ptr<const Radix2Plan> plan = radix2_plan(n, inverse);
+  const std::uint32_t* rev = plan->bitrev.data();
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = rev[i];
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  const Complex* tw = plan->twiddles.data();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const Complex* stage = tw + (len / 2 - 1);
     for (std::size_t i = 0; i < n; i += len) {
-      Complex w(1.0, 0.0);
       for (std::size_t k = 0; k < len / 2; ++k) {
         const Complex u = a[i + k];
-        const Complex v = a[i + k + len / 2] * w;
+        const Complex v = a[i + k + len / 2] * stage[k];
         a[i + k] = u + v;
         a[i + k + len / 2] = u - v;
-        w *= root;
       }
     }
   }
@@ -40,37 +91,102 @@ std::size_t next_power_of_two(std::size_t n) {
   return p;
 }
 
-// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
-// convolution, evaluated with power-of-two FFTs.
-void fft_bluestein(std::vector<Complex>& a, bool inverse) {
-  const std::size_t n = a.size();
-  const double sign = inverse ? 1.0 : -1.0;
+// Per-(n, direction) Bluestein state: the chirp and the forward transform
+// of the convolution kernel are pure functions of the length, so they are
+// computed once and the per-call cost drops from three power-of-two FFTs
+// to two (plus the pointwise products).
+struct BluesteinPlan {
+  std::size_t m = 0;               // padded convolution length
+  std::vector<Complex> chirp;      // w_k = exp(sign * i * pi * k^2 / n)
+  std::vector<Complex> kernel_fft; // forward FFT of conj(chirp) wrapped to m
+};
 
-  // Chirp: w_k = exp(sign * i * pi * k^2 / n).
-  std::vector<Complex> chirp(n);
+BluesteinPlan build_bluestein_plan(std::size_t n, bool inverse) {
+  const double sign = inverse ? 1.0 : -1.0;
+  BluesteinPlan plan;
+  plan.chirp.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
     // k^2 mod 2n avoids precision loss for large k.
     const std::size_t k2 = (k * k) % (2 * n);
     const double angle = sign * M_PI * static_cast<double>(k2) / static_cast<double>(n);
-    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+    plan.chirp[k] = Complex(std::cos(angle), std::sin(angle));
   }
-
-  const std::size_t m = next_power_of_two(2 * n - 1);
-  std::vector<Complex> x(m, Complex(0, 0));
-  std::vector<Complex> y(m, Complex(0, 0));
-  for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k];
-  y[0] = std::conj(chirp[0]);
+  plan.m = next_power_of_two(2 * n - 1);
+  plan.kernel_fft.assign(plan.m, Complex(0, 0));
+  plan.kernel_fft[0] = std::conj(plan.chirp[0]);
   for (std::size_t k = 1; k < n; ++k) {
-    y[k] = std::conj(chirp[k]);
-    y[m - k] = std::conj(chirp[k]);
+    plan.kernel_fft[k] = std::conj(plan.chirp[k]);
+    plan.kernel_fft[plan.m - k] = std::conj(plan.chirp[k]);
   }
+  fft_radix2(plan.kernel_fft, false);
+  return plan;
+}
 
+std::shared_ptr<const BluesteinPlan> bluestein_plan(std::size_t n,
+                                                    bool inverse) {
+  static LruCache<std::uint64_t, BluesteinPlan> cache(16);
+  const std::uint64_t key = (static_cast<std::uint64_t>(n) << 1) |
+                            static_cast<std::uint64_t>(inverse);
+  if (auto hit = cache.lookup(key)) {
+    ORBIT2_OBS_COUNT("fft.plan_cache_hits", 1);
+    return hit;
+  }
+  ORBIT2_OBS_COUNT("fft.plan_cache_misses", 1);
+  return cache.get_or_create(key,
+                             [&] { return build_bluestein_plan(n, inverse); });
+}
+
+// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
+// convolution, evaluated with power-of-two FFTs.
+void fft_bluestein(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  const std::shared_ptr<const BluesteinPlan> plan = bluestein_plan(n, inverse);
+  const std::size_t m = plan->m;
+  const Complex* chirp = plan->chirp.data();
+
+  std::vector<Complex> x(m, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k];
   fft_radix2(x, false);
-  fft_radix2(y, false);
-  for (std::size_t k = 0; k < m; ++k) x[k] *= y[k];
+  const Complex* kernel = plan->kernel_fft.data();
+  for (std::size_t k = 0; k < m; ++k) x[k] *= kernel[k];
   fft_radix2(x, true);
   const double inv_m = 1.0 / static_cast<double>(m);
   for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * inv_m * chirp[k];
+}
+
+// Row then column 1-D transforms over an H x W row-major coefficient grid.
+// One line per work item with chunk-local scratch: every line's arithmetic
+// is identical to the serial loop, and lines write disjoint ranges, so the
+// result is bit-identical for any thread count.
+void transform_2d(std::vector<Complex>& coeffs, std::int64_t h, std::int64_t w,
+                  bool inverse) {
+  // A line of length n costs ~n log n; target a few lines per chunk on
+  // typical grids without making chunks tiny.
+  const std::int64_t row_grain = kernels::grain_for(w, 1 << 12);
+  kernels::parallel_for(h, row_grain, [&](std::int64_t y0, std::int64_t y1) {
+    std::vector<Complex> row(static_cast<std::size_t>(w));
+    for (std::int64_t y = y0; y < y1; ++y) {
+      std::copy(coeffs.begin() + y * w, coeffs.begin() + (y + 1) * w,
+                row.begin());
+      fft(row, inverse);
+      std::copy(row.begin(), row.end(), coeffs.begin() + y * w);
+    }
+  });
+  const std::int64_t col_grain = kernels::grain_for(h, 1 << 12);
+  kernels::parallel_for(w, col_grain, [&](std::int64_t x0, std::int64_t x1) {
+    std::vector<Complex> col(static_cast<std::size_t>(h));
+    for (std::int64_t x = x0; x < x1; ++x) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        col[static_cast<std::size_t>(y)] =
+            coeffs[static_cast<std::size_t>(y * w + x)];
+      }
+      fft(col, inverse);
+      for (std::int64_t y = 0; y < h; ++y) {
+        coeffs[static_cast<std::size_t>(y * w + x)] =
+            col[static_cast<std::size_t>(y)];
+      }
+    }
+  });
 }
 
 }  // namespace
@@ -98,27 +214,36 @@ std::vector<Complex> fft_copy(const std::vector<Complex>& data, bool inverse) {
 std::vector<Complex> fft2d(const Tensor& field) {
   ORBIT2_REQUIRE(field.rank() == 2, "fft2d expects [H,W]");
   const std::int64_t h = field.dim(0), w = field.dim(1);
+  ORBIT2_OBS_SPAN_ARG("fft2d", "fft", "numel", h * w);
+  ORBIT2_OBS_COUNT("fft.fft2d_calls", 1);
   std::vector<Complex> coeffs(static_cast<std::size_t>(h * w));
   const float* src = field.data().data();
   for (std::int64_t i = 0; i < h * w; ++i) {
     coeffs[static_cast<std::size_t>(i)] = Complex(src[i], 0.0);
   }
-
-  // Row transforms.
-  std::vector<Complex> row(static_cast<std::size_t>(w));
-  for (std::int64_t y = 0; y < h; ++y) {
-    std::copy(coeffs.begin() + y * w, coeffs.begin() + (y + 1) * w, row.begin());
-    fft(row, false);
-    std::copy(row.begin(), row.end(), coeffs.begin() + y * w);
-  }
-  // Column transforms.
-  std::vector<Complex> col(static_cast<std::size_t>(h));
-  for (std::int64_t x = 0; x < w; ++x) {
-    for (std::int64_t y = 0; y < h; ++y) col[static_cast<std::size_t>(y)] = coeffs[static_cast<std::size_t>(y * w + x)];
-    fft(col, false);
-    for (std::int64_t y = 0; y < h; ++y) coeffs[static_cast<std::size_t>(y * w + x)] = col[static_cast<std::size_t>(y)];
-  }
+  transform_2d(coeffs, h, w, /*inverse=*/false);
   return coeffs;
+}
+
+void ifft2d(std::vector<Complex>& coeffs, std::int64_t h, std::int64_t w) {
+  ORBIT2_REQUIRE(h >= 1 && w >= 1, "ifft2d needs a non-empty grid");
+  ORBIT2_REQUIRE(coeffs.size() == static_cast<std::size_t>(h * w),
+                 "ifft2d: " << coeffs.size() << " coefficients for " << h << "x"
+                            << w);
+  ORBIT2_OBS_SPAN_ARG("ifft2d", "fft", "numel", h * w);
+  ORBIT2_OBS_COUNT("fft.ifft2d_calls", 1);
+  transform_2d(coeffs, h, w, /*inverse=*/true);
+}
+
+Tensor ifft2d_real(std::vector<Complex>& coeffs, std::int64_t h,
+                   std::int64_t w) {
+  ifft2d(coeffs, h, w);
+  Tensor field(Shape{h, w});
+  float* dst = field.data().data();
+  for (std::int64_t i = 0; i < h * w; ++i) {
+    dst[i] = static_cast<float>(coeffs[static_cast<std::size_t>(i)].real());
+  }
+  return field;
 }
 
 std::vector<double> radial_power_spectrum(const Tensor& field) {

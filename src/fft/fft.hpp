@@ -25,8 +25,23 @@ void fft(std::vector<Complex>& data, bool inverse);
 std::vector<Complex> fft_copy(const std::vector<Complex>& data, bool inverse);
 
 /// 2-D FFT of a [H, W] real field; returns H*W complex coefficients in
-/// row-major layout.
+/// row-major layout. Row and column transforms are dispatched through the
+/// kernel layer (one line per work item, line-local arithmetic), so results
+/// are bit-identical for any thread count.
 std::vector<Complex> fft2d(const Tensor& field);
+
+/// In-place inverse 2-D FFT of H*W row-major coefficients: inverse row
+/// transforms then inverse column transforms, each with the 1/n
+/// normalization (so the composition with fft2d is the identity up to
+/// rounding). Shared by every consumer that synthesizes fields in Fourier
+/// space; parallelized like fft2d with the same bit-identical guarantee.
+void ifft2d(std::vector<Complex>& coeffs, std::int64_t h, std::int64_t w);
+
+/// ifft2d + real-part extraction into a [H, W] tensor (imaginary residue is
+/// discarded; callers apply conjugate-symmetric filters for which it is
+/// numerical noise).
+Tensor ifft2d_real(std::vector<Complex>& coeffs, std::int64_t h,
+                   std::int64_t w);
 
 /// Radially averaged power spectral density of a [H, W] field: bin k holds
 /// the mean |F|^2 over all wavenumbers with round(sqrt(kx^2+ky^2)) == k,

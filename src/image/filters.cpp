@@ -6,6 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/kernels.hpp"
+#include "core/obs.hpp"
+
 namespace orbit2 {
 
 namespace {
@@ -36,34 +39,45 @@ Tensor gaussian_blur(const Tensor& image, float sigma) {
   const auto kernel = gaussian_kernel(sigma);
   const int radius = static_cast<int>(kernel.size() / 2);
   const std::int64_t h = image.dim(0), w = image.dim(1);
+  ORBIT2_OBS_SPAN_ARG("gaussian_blur", "image", "numel", h * w);
+
+  // Both passes parallelize over output rows: each pixel's double-precision
+  // accumulation reads a fixed stencil and writes only its own cell, so the
+  // result is bit-identical for any thread count.
+  const std::int64_t taps = 2 * static_cast<std::int64_t>(radius) + 1;
+  const std::int64_t row_grain = kernels::grain_for(w * taps * 2);
 
   // Horizontal pass.
   Tensor tmp(image.shape());
   const float* src = image.data().data();
   float* mid = tmp.data().data();
-  for (std::int64_t y = 0; y < h; ++y) {
-    for (std::int64_t x = 0; x < w; ++x) {
-      double acc = 0.0;
-      for (int k = -radius; k <= radius; ++k) {
-        acc += static_cast<double>(src[y * w + clamp_index(x + k, w)]) *
-               kernel[static_cast<std::size_t>(k + radius)];
+  kernels::parallel_for(h, row_grain, [&](std::int64_t y0, std::int64_t y1) {
+    for (std::int64_t y = y0; y < y1; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+          acc += static_cast<double>(src[y * w + clamp_index(x + k, w)]) *
+                 kernel[static_cast<std::size_t>(k + radius)];
+        }
+        mid[y * w + x] = static_cast<float>(acc);
       }
-      mid[y * w + x] = static_cast<float>(acc);
     }
-  }
+  });
   // Vertical pass.
   Tensor out(image.shape());
   float* dst = out.data().data();
-  for (std::int64_t y = 0; y < h; ++y) {
-    for (std::int64_t x = 0; x < w; ++x) {
-      double acc = 0.0;
-      for (int k = -radius; k <= radius; ++k) {
-        acc += static_cast<double>(mid[clamp_index(y + k, h) * w + x]) *
-               kernel[static_cast<std::size_t>(k + radius)];
+  kernels::parallel_for(h, row_grain, [&](std::int64_t y0, std::int64_t y1) {
+    for (std::int64_t y = y0; y < y1; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        double acc = 0.0;
+        for (int k = -radius; k <= radius; ++k) {
+          acc += static_cast<double>(mid[clamp_index(y + k, h) * w + x]) *
+                 kernel[static_cast<std::size_t>(k + radius)];
+        }
+        dst[y * w + x] = static_cast<float>(acc);
       }
-      dst[y * w + x] = static_cast<float>(acc);
     }
-  }
+  });
   return out;
 }
 

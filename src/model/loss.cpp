@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/kernels.hpp"
+
 namespace orbit2::model {
 
 using autograd::Var;
@@ -22,40 +24,52 @@ Var weighted_mse_loss(const Var& prediction, const Tensor& truth,
   const float* t = truth.data().data();
   const float* wt = row_weights.data().data();
 
-  double acc = 0.0;
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    for (std::int64_t y = 0; y < h; ++y) {
-      const float weight = wt[y];
-      const float* prow = p + ch * h * w + y * w;
-      const float* trow = t + ch * h * w + y * w;
-      for (std::int64_t x = 0; x < w; ++x) {
-        const double diff = static_cast<double>(prow[x]) - trow[x];
-        acc += weight * diff * diff;
-      }
-    }
-  }
-  const float inv_n = 1.0f / static_cast<float>(pred.numel());
-  Tensor value = Tensor::scalar(static_cast<float>(acc) * inv_n);
-
-  return autograd::make_op(
-      std::move(value), {prediction},
-      [prediction, pred, truth, row_weights, inv_n](const Tensor& g) {
-        const float g0 = g.item();
-        const std::int64_t c = pred.dim(0), h = pred.dim(1), w = pred.dim(2);
-        Tensor grad(pred.shape());
-        const float* p = pred.data().data();
-        const float* t = truth.data().data();
-        const float* wt = row_weights.data().data();
-        float* out = grad.data().data();
-        for (std::int64_t ch = 0; ch < c; ++ch) {
-          for (std::int64_t y = 0; y < h; ++y) {
-            const float factor = 2.0f * wt[y] * inv_n * g0;
-            const std::int64_t base = ch * h * w + y * w;
-            for (std::int64_t x = 0; x < w; ++x) {
-              out[base + x] = factor * (p[base + x] - t[base + x]);
-            }
+  // Row-chunked deterministic reduction: one [C*H] row per work item, so the
+  // combine order (and thus the value) is independent of the thread count.
+  const std::int64_t row_grain = kernels::grain_for(w * 4);
+  const double acc = kernels::parallel_reduce(
+      c * h, row_grain, [&](std::int64_t r0, std::int64_t r1) {
+        double partial = 0.0;
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float weight = wt[r % h];
+          const float* prow = p + r * w;
+          const float* trow = t + r * w;
+          for (std::int64_t x = 0; x < w; ++x) {
+            const double diff = static_cast<double>(prow[x]) - trow[x];
+            partial += weight * diff * diff;
           }
         }
+        return partial;
+      });
+  // Scale in double, round once: float(acc) * float(1/n) loses up to a full
+  // ulp on large grids (the accumulated sum exceeds float's 24-bit mantissa
+  // long before the mean does), so divide before narrowing.
+  const double inv_n = 1.0 / static_cast<double>(pred.numel());
+  Tensor value = Tensor::scalar(static_cast<float>(acc * inv_n));
+
+  const float inv_n_f = static_cast<float>(inv_n);
+  return autograd::make_op(
+      std::move(value), {prediction},
+      [prediction, pred, truth, row_weights, inv_n_f](const Tensor& g) {
+        const float g0 = g.item();
+        const std::int64_t gc = pred.dim(0), gh = pred.dim(1), gw = pred.dim(2);
+        Tensor grad(pred.shape());
+        const float* gp = pred.data().data();
+        const float* gt = truth.data().data();
+        const float* gwt = row_weights.data().data();
+        float* out = grad.data().data();
+        // Disjoint per-row writes: bit-identical for any thread count.
+        const std::int64_t grain = kernels::grain_for(gw * 3);
+        kernels::parallel_for(
+            gc * gh, grain, [&](std::int64_t r0, std::int64_t r1) {
+              for (std::int64_t r = r0; r < r1; ++r) {
+                const float factor = 2.0f * gwt[r % gh] * inv_n_f * g0;
+                const std::int64_t base = r * gw;
+                for (std::int64_t x = 0; x < gw; ++x) {
+                  out[base + x] = factor * (gp[base + x] - gt[base + x]);
+                }
+              }
+            });
         accumulate_into(prediction, grad);
       });
 }
@@ -75,59 +89,89 @@ Var tv_prior_loss(const Var& prediction, float epsilon) {
                              1.0f / std::sqrt(2.0f)};
   const double eps2 = static_cast<double>(epsilon) * epsilon;
 
-  double acc = 0.0;
-  for (std::int64_t ch = 0; ch < c; ++ch) {
-    const float* plane = p + ch * h * w;
-    for (std::int64_t y = 0; y < h; ++y) {
-      for (std::int64_t x = 0; x < w; ++x) {
-        for (int o = 0; o < 4; ++o) {
-          const std::int64_t ny = y + kOffsets[o].dy;
-          const std::int64_t nx = x + kOffsets[o].dx;
-          if (ny < 0 || ny >= h || nx < 0 || nx >= w) continue;
-          const double diff = static_cast<double>(plane[y * w + x]) -
-                              plane[ny * w + nx];
-          acc += kWeights[o] * std::sqrt(diff * diff + eps2);
-        }
-      }
-    }
-  }
-  const float inv_n = 1.0f / static_cast<float>(pred.numel());
-  Tensor value = Tensor::scalar(static_cast<float>(acc) * inv_n);
-
-  return autograd::make_op(
-      std::move(value), {prediction},
-      [prediction, pred, epsilon, inv_n](const Tensor& g) {
-        const float g0 = g.item();
-        const std::int64_t c = pred.dim(0), h = pred.dim(1), w = pred.dim(2);
-        const float* p = pred.data().data();
-        Tensor grad = Tensor::zeros(pred.shape());
-        float* out = grad.data().data();
-        static constexpr struct { std::int64_t dy, dx; } kOffsets[4] = {
-            {0, 1}, {1, 0}, {1, 1}, {1, -1}};
-        const float kWeights[4] = {1.0f, 1.0f, 1.0f / std::sqrt(2.0f),
-                                   1.0f / std::sqrt(2.0f)};
-        const double eps2 = static_cast<double>(epsilon) * epsilon;
-        for (std::int64_t ch = 0; ch < c; ++ch) {
+  // Row-chunked deterministic reduction (see weighted_mse_loss). Rows read
+  // their southern neighbours but only the chunk sum is written, so the
+  // overlap is safe.
+  const std::int64_t row_grain = kernels::grain_for(w * 16);
+  const double acc = kernels::parallel_reduce(
+      c * h, row_grain, [&](std::int64_t r0, std::int64_t r1) {
+        double partial = 0.0;
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const std::int64_t ch = r / h, y = r % h;
           const float* plane = p + ch * h * w;
-          float* gplane = out + ch * h * w;
-          for (std::int64_t y = 0; y < h; ++y) {
-            for (std::int64_t x = 0; x < w; ++x) {
-              for (int o = 0; o < 4; ++o) {
-                const std::int64_t ny = y + kOffsets[o].dy;
-                const std::int64_t nx = x + kOffsets[o].dx;
-                if (ny < 0 || ny >= h || nx < 0 || nx >= w) continue;
-                const double diff = static_cast<double>(plane[y * w + x]) -
-                                    plane[ny * w + nx];
-                // d/ddiff of charbonnier = diff / sqrt(diff^2 + eps^2).
-                const float d = static_cast<float>(
-                    kWeights[o] * diff / std::sqrt(diff * diff + eps2)) *
-                    inv_n * g0;
-                gplane[y * w + x] += d;
-                gplane[ny * w + nx] -= d;
-              }
+          for (std::int64_t x = 0; x < w; ++x) {
+            for (int o = 0; o < 4; ++o) {
+              const std::int64_t ny = y + kOffsets[o].dy;
+              const std::int64_t nx = x + kOffsets[o].dx;
+              if (ny < 0 || ny >= h || nx < 0 || nx >= w) continue;
+              const double diff = static_cast<double>(plane[y * w + x]) -
+                                  plane[ny * w + nx];
+              partial += kWeights[o] * std::sqrt(diff * diff + eps2);
             }
           }
         }
+        return partial;
+      });
+  // Divide in double before the single narrowing (same rationale as the MSE
+  // data term).
+  const double inv_n = 1.0 / static_cast<double>(pred.numel());
+  Tensor value = Tensor::scalar(static_cast<float>(acc * inv_n));
+
+  const float inv_n_f = static_cast<float>(inv_n);
+  return autograd::make_op(
+      std::move(value), {prediction},
+      [prediction, pred, epsilon, inv_n_f](const Tensor& g) {
+        const float g0 = g.item();
+        const std::int64_t gc = pred.dim(0), gh = pred.dim(1), gw = pred.dim(2);
+        const float* gp = pred.data().data();
+        Tensor grad(pred.shape());
+        float* out = grad.data().data();
+        static constexpr struct { std::int64_t dy, dx; } kGradOffsets[4] = {
+            {0, 1}, {1, 0}, {1, 1}, {1, -1}};
+        const float kGradWeights[4] = {1.0f, 1.0f, 1.0f / std::sqrt(2.0f),
+                                       1.0f / std::sqrt(2.0f)};
+        const double geps2 = static_cast<double>(epsilon) * epsilon;
+        // Gather form: each pixel accumulates the +d terms where it is the
+        // pair's center and the -d terms where it is the neighbour, then
+        // writes its own cell exactly once. That removes the scatter into
+        // neighbouring rows, so rows parallelize with disjoint writes and
+        // the gradient is bit-identical for any thread count.
+        const std::int64_t grain = kernels::grain_for(gw * 32);
+        kernels::parallel_for(
+            gc * gh, grain, [&](std::int64_t r0, std::int64_t r1) {
+              for (std::int64_t r = r0; r < r1; ++r) {
+                const std::int64_t ch = r / gh, y = r % gh;
+                const float* plane = gp + ch * gh * gw;
+                float* gplane = out + ch * gh * gw;
+                for (std::int64_t x = 0; x < gw; ++x) {
+                  double gsum = 0.0;
+                  for (int o = 0; o < 4; ++o) {
+                    // (y, x) as the pair's center.
+                    const std::int64_t ny = y + kGradOffsets[o].dy;
+                    const std::int64_t nx = x + kGradOffsets[o].dx;
+                    if (ny >= 0 && ny < gh && nx >= 0 && nx < gw) {
+                      const double diff =
+                          static_cast<double>(plane[y * gw + x]) -
+                          plane[ny * gw + nx];
+                      // d/ddiff of charbonnier = diff / sqrt(diff^2+eps^2).
+                      gsum += kGradWeights[o] * diff /
+                              std::sqrt(diff * diff + geps2);
+                    }
+                    // (y, x) as the neighbour of the center at (y-dy, x-dx).
+                    const std::int64_t cy = y - kGradOffsets[o].dy;
+                    const std::int64_t cx = x - kGradOffsets[o].dx;
+                    if (cy >= 0 && cy < gh && cx >= 0 && cx < gw) {
+                      const double diff =
+                          static_cast<double>(plane[cy * gw + cx]) -
+                          plane[y * gw + x];
+                      gsum -= kGradWeights[o] * diff /
+                              std::sqrt(diff * diff + geps2);
+                    }
+                  }
+                  gplane[y * gw + x] = static_cast<float>(gsum) * inv_n_f * g0;
+                }
+              }
+            });
         accumulate_into(prediction, grad);
       });
 }

@@ -16,10 +16,13 @@ Tensor sincos_position_embedding(std::int64_t grid_h, std::int64_t grid_w,
       for (std::int64_t f = 0; f < quarter; ++f) {
         const double freq =
             std::pow(10000.0, -static_cast<double>(f) / static_cast<double>(quarter));
-        token[f] = static_cast<float>(std::sin(y * freq));
-        token[quarter + f] = static_cast<float>(std::cos(y * freq));
-        token[2 * quarter + f] = static_cast<float>(std::sin(x * freq));
-        token[3 * quarter + f] = static_cast<float>(std::cos(x * freq));
+        token[f] = static_cast<float>(std::sin(static_cast<double>(y) * freq));
+        token[quarter + f] =
+            static_cast<float>(std::cos(static_cast<double>(y) * freq));
+        token[2 * quarter + f] =
+            static_cast<float>(std::sin(static_cast<double>(x) * freq));
+        token[3 * quarter + f] =
+            static_cast<float>(std::cos(static_cast<double>(x) * freq));
       }
     }
   }

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
+#include "core/kernels.hpp"
 #include "core/rng.hpp"
 #include "fft/fft.hpp"
 
@@ -132,6 +134,83 @@ TEST(Fft2d, NonPowerOfTwoToneInCorrectBin) {
   EXPECT_NEAR(std::abs(coeffs[static_cast<std::size_t>((h - 1) * w + (w - 3))]),
               peak, 1e-6);
   EXPECT_NEAR(std::abs(coeffs[static_cast<std::size_t>(2 * w + 2)]), 0.0, 1e-6);
+}
+
+// ifft2d must invert fft2d on every code path: radix-2, Bluestein, and the
+// mixed rectangular cases the synthetic data pipeline uses.
+TEST(Ifft2d, RoundTripRecoversFieldAcrossGridShapes) {
+  const std::pair<std::int64_t, std::int64_t> grids[] = {
+      {16, 16},  // radix-2 both axes
+      {12, 18},  // Bluestein both axes
+      {24, 36},  // mixed composite (dataset non-power-of-two case)
+      {10, 14},  // small Bluestein
+  };
+  for (const auto& [h, w] : grids) {
+    Rng rng(static_cast<std::uint64_t>(h * 1000 + w));
+    const Tensor field = Tensor::randn(Shape{h, w}, rng);
+    auto coeffs = fft2d(field);
+    const Tensor back = ifft2d_real(coeffs, h, w);
+    ASSERT_EQ(back.shape(), field.shape());
+    for (std::int64_t i = 0; i < field.numel(); ++i) {
+      EXPECT_NEAR(back[i], field[i], 1e-5) << h << "x" << w << " i=" << i;
+    }
+  }
+}
+
+TEST(Ifft2d, RejectsCoefficientCountMismatch) {
+  std::vector<Complex> coeffs(5);
+  EXPECT_THROW(ifft2d(coeffs, 2, 3), Error);
+  EXPECT_THROW(ifft2d(coeffs, 0, 5), Error);
+}
+
+// The parallel row/column dispatch must not change a single bit versus the
+// serial path: coefficients are doubles compared exactly.
+TEST(Ifft2d, TransformsBitIdenticalAcrossThreadCounts) {
+  const std::int64_t h = 24, w = 36;
+  Rng rng(3);
+  const Tensor field = Tensor::randn(Shape{h, w}, rng);
+
+  kernels::set_max_threads(1);
+  auto serial = fft2d(field);
+  auto serial_back = serial;
+  ifft2d(serial_back, h, w);
+
+  kernels::set_max_threads(4);
+  auto parallel = fft2d(field);
+  auto parallel_back = parallel;
+  ifft2d(parallel_back, h, w);
+  kernels::set_max_threads(0);
+
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].real(), parallel[i].real()) << i;
+    ASSERT_EQ(serial[i].imag(), parallel[i].imag()) << i;
+    ASSERT_EQ(serial_back[i].real(), parallel_back[i].real()) << i;
+    ASSERT_EQ(serial_back[i].imag(), parallel_back[i].imag()) << i;
+  }
+}
+
+// Plan caches (radix-2 twiddle/bit-reversal tables, Bluestein chirp and
+// kernel spectra) only amortize setup: a transform served by a warm plan
+// must match a cold one bit for bit, on both the power-of-two and
+// Bluestein code paths.
+TEST(Fft, PlanCachedTransformsAreBitStable) {
+  for (const std::size_t n : {std::size_t{64}, std::size_t{12}, std::size_t{21}}) {
+    Rng rng(static_cast<std::uint64_t>(n));
+    std::vector<Complex> signal(n);
+    for (auto& c : signal) {
+      c = Complex(rng.normal(), rng.normal());
+    }
+    auto cold = signal;
+    fft(cold, /*inverse=*/false);
+    for (int rep = 0; rep < 3; ++rep) {
+      auto warm = signal;
+      fft(warm, /*inverse=*/false);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(cold[i].real(), warm[i].real()) << "n=" << n << " i=" << i;
+        ASSERT_EQ(cold[i].imag(), warm[i].imag()) << "n=" << n << " i=" << i;
+      }
+    }
+  }
 }
 
 TEST(RadialSpectrum, NonSquareFieldUsesShorterAxisForBins) {

@@ -7,8 +7,10 @@
 
 #include <cmath>
 #include <set>
+#include <tuple>
 
 #include "autograd/ops.hpp"
+#include "core/kernels.hpp"
 #include "autograd/optim.hpp"
 #include "data/generator.hpp"
 #include "model/channel_agg.hpp"
@@ -243,6 +245,111 @@ TEST(Loss, TvGradientMatchesFiniteDifference) {
     const float down = forward().value().item();
     pred->value[i] = original;
     EXPECT_NEAR(pred->grad[i], (up - down) / (2 * eps), 1e-3f) << i;
+  }
+}
+
+// Regression for the forward-value scaling order: the double accumulator
+// must be divided by N in double and narrowed once. The old
+// float(acc) * float(1/N) narrows twice, which differs whenever 1/N is not
+// a power of two (a power-of-two scale commutes with rounding and hides the
+// bug). These inputs were chosen so the two formulations land on different
+// floats; the EXPECT_NE guards that the case actually discriminates.
+TEST(Loss, WeightedMseScalesInDoubleBeforeNarrowing) {
+  const std::int64_t c = 2, h = 64, w = 48;  // numel = 6144, 1/N inexact
+  Tensor pred(Shape{c, h, w});
+  const float mul = 0.53125f;
+  for (std::int64_t i = 0; i < c * h * w; ++i) {
+    pred[i] = static_cast<float>(i % 97) * 0.03125f + 0.5f;
+    pred[i] *= mul;
+  }
+  const Tensor truth = Tensor::zeros(Shape{c, h, w});
+  const Tensor weights = Tensor::ones(Shape{h});
+  const float loss =
+      weighted_mse_loss(Var::constant(pred), truth, weights).value().item();
+
+  // Reference replicates the loss's double accumulation (one reduce chunk
+  // covers this grid, so the combine order is the plain serial order).
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < c * h * w; ++i) {
+    const double diff = static_cast<double>(pred[i]);
+    acc += 1.0 * diff * diff;
+  }
+  const double inv_n = 1.0 / static_cast<double>(c * h * w);
+  const float correct = static_cast<float>(acc * inv_n);
+  const float stale = static_cast<float>(acc) * static_cast<float>(inv_n);
+  EXPECT_EQ(loss, correct);
+  EXPECT_NE(correct, stale);  // the input must discriminate old vs new
+}
+
+TEST(Loss, TvPriorScalesInDoubleBeforeNarrowing) {
+  const std::int64_t h = 32, w = 48;  // numel = 1536, 1/N inexact
+  Tensor pred(Shape{1, h, w});
+  const float mul = 0.53125f;
+  for (std::int64_t i = 0; i < h * w; ++i) {
+    pred[i] = static_cast<float>((i * 7) % 31) * 0.0625f - 0.9375f;
+    pred[i] *= mul;
+  }
+  const float epsilon = 1e-2f;
+  const float loss =
+      tv_prior_loss(Var::constant(pred), epsilon).value().item();
+
+  static constexpr struct { std::int64_t dy, dx; } kOff[4] = {
+      {0, 1}, {1, 0}, {1, 1}, {1, -1}};
+  const float kWt[4] = {1.0f, 1.0f, 1.0f / std::sqrt(2.0f),
+                        1.0f / std::sqrt(2.0f)};
+  const double eps2 = static_cast<double>(epsilon) * epsilon;
+  double acc = 0.0;
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      for (int o = 0; o < 4; ++o) {
+        const std::int64_t ny = y + kOff[o].dy, nx = x + kOff[o].dx;
+        if (ny < 0 || ny >= h || nx < 0 || nx >= w) continue;
+        const double diff =
+            static_cast<double>(pred[y * w + x]) - pred[ny * w + nx];
+        acc += kWt[o] * std::sqrt(diff * diff + eps2);
+      }
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(h * w);
+  const float correct = static_cast<float>(acc * inv_n);
+  const float stale = static_cast<float>(acc) * static_cast<float>(inv_n);
+  EXPECT_EQ(loss, correct);
+  EXPECT_NE(correct, stale);
+}
+
+// The kernel-routed loss loops (reduce forward, row-parallel backward, and
+// the gather-form TV gradient) must be bit-identical for any thread count.
+TEST(Loss, ValuesAndGradientsInvariantToThreadCount) {
+  Rng rng(11);
+  const Shape shape{3, 33, 47};
+  const Tensor base = Tensor::randn(shape, rng);
+  const Tensor truth = Tensor::randn(shape, rng);
+  const Tensor weights = data::latitude_weights(33);
+
+  auto run = [&](std::size_t threads) {
+    kernels::set_max_threads(threads);
+    auto pred = std::make_shared<autograd::Parameter>("pred", base.clone());
+    pred->zero_grad();
+    autograd::backward(
+        weighted_mse_loss(Var::parameter(pred), truth, weights));
+    const float mse = weighted_mse_loss(Var::constant(base), truth, weights)
+                          .value()
+                          .item();
+    auto pred_tv = std::make_shared<autograd::Parameter>("pred", base.clone());
+    pred_tv->zero_grad();
+    autograd::backward(tv_prior_loss(Var::parameter(pred_tv), 1e-2f));
+    const float tv = tv_prior_loss(Var::constant(base), 1e-2f).value().item();
+    kernels::set_max_threads(0);
+    return std::make_tuple(mse, tv, pred->grad.clone(), pred_tv->grad.clone());
+  };
+
+  const auto [mse1, tv1, mse_grad1, tv_grad1] = run(1);
+  const auto [mse4, tv4, mse_grad4, tv_grad4] = run(4);
+  EXPECT_EQ(mse1, mse4);
+  EXPECT_EQ(tv1, tv4);
+  for (std::int64_t i = 0; i < mse_grad1.numel(); ++i) {
+    ASSERT_EQ(mse_grad1[i], mse_grad4[i]) << "mse grad i=" << i;
+    ASSERT_EQ(tv_grad1[i], tv_grad4[i]) << "tv grad i=" << i;
   }
 }
 
