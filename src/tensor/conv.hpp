@@ -6,6 +6,8 @@
 // [C, H, W] single-sample (the trainer batches by looping samples, matching
 // the per-tile execution model of TILES).
 
+#include <cstdint>
+
 #include "tensor/tensor.hpp"
 
 namespace orbit2 {

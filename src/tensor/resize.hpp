@@ -7,6 +7,8 @@
 // that manufactures LR inputs from HR fields (paper Table I's 4x pairs);
 // both backward kernels exist so the residual path is trainable end-to-end.
 
+#include <cstdint>
+
 #include "tensor/tensor.hpp"
 
 namespace orbit2 {

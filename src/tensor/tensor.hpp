@@ -6,8 +6,10 @@
 // explicit. This is deliberately a small, predictable core — the autograd
 // layer above it builds differentiable ops from these kernels.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <span>
 #include <vector>

@@ -249,16 +249,29 @@ void write_v2_body(std::ofstream& out, const autograd::Module& module,
   if (state != nullptr) entries += 1;
   writer.write_pod(entries);
 
+  // Tensor entries are serialized in sorted-name order so the on-disk byte
+  // stream is a pure function of the (name -> payload) mapping: independent
+  // of module registration order and of any hash-table iteration order.
+  // Readers look entries up by name, so order is not load-bearing on input.
+  // The train_state blob goes last (its name also sorts after the
+  // "adamw/"/"param/" prefixes, so the whole file is in sorted entry order).
+  std::vector<std::pair<std::string, const Tensor*>> tensor_entries;
+  tensor_entries.reserve(params.size() * 3);
   for (const auto& p : params) {
-    write_tensor_entry(writer, kParamPrefix + p->name, p->value);
+    tensor_entries.emplace_back(kParamPrefix + p->name, &p->value);
   }
   if (optimizer != nullptr) {
     for (std::size_t i = 0; i < params.size(); ++i) {
-      write_tensor_entry(writer, kMomentMPrefix + params[i]->name,
-                         optimizer->first_moments()[i]);
-      write_tensor_entry(writer, kMomentVPrefix + params[i]->name,
-                         optimizer->second_moments()[i]);
+      tensor_entries.emplace_back(kMomentMPrefix + params[i]->name,
+                                  &optimizer->first_moments()[i]);
+      tensor_entries.emplace_back(kMomentVPrefix + params[i]->name,
+                                  &optimizer->second_moments()[i]);
     }
+  }
+  std::sort(tensor_entries.begin(), tensor_entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [name, tensor] : tensor_entries) {
+    write_tensor_entry(writer, name, *tensor);
   }
   if (state != nullptr) {
     writer.begin_entry();
@@ -350,6 +363,10 @@ CheckpointInfo read_v2(std::ifstream& in, std::uint64_t file_size,
   for (std::uint64_t e = 0; e < entry_count; ++e) {
     reader.begin_entry();
     const std::string name = reader.read_string();
+    // Prefix tallies are streamed here, in file order, so callers never
+    // need to re-iterate the (unordered) entry map to classify contents.
+    if (has_prefix(name, kParamPrefix)) ++info.param_entry_count;
+    if (has_prefix(name, kMomentMPrefix)) info.has_optimizer_state = true;
     const auto type = reader.read_pod<std::uint8_t>();
     if (type == kEntryTensor) {
       const auto rank = reader.read_pod<std::uint8_t>();
@@ -525,12 +542,8 @@ CheckpointInfo load_checkpoint(const std::string& path,
       read_v2(in, file_size, path, /*materialize=*/true, &tensors);
 
   const auto params = module.parameters();
-  std::size_t param_entries = 0;
-  for (const auto& [name, tensor] : tensors) {
-    if (has_prefix(name, kParamPrefix)) ++param_entries;
-  }
-  ORBIT2_REQUIRE(param_entries == params.size(),
-                 "checkpoint has " << param_entries
+  ORBIT2_REQUIRE(info.param_entry_count == params.size(),
+                 "checkpoint has " << info.param_entry_count
                                    << " parameter entries, model has "
                                    << params.size());
   for (const auto& p : params) {
@@ -546,11 +559,7 @@ CheckpointInfo load_checkpoint(const std::string& path,
               p->value.data().begin());
   }
 
-  const bool has_moments =
-      !params.empty() &&
-      tensors.find(kMomentMPrefix + params.front()->name) != tensors.end();
-  info.has_optimizer_state = has_moments;
-  if (optimizer != nullptr && has_moments) {
+  if (optimizer != nullptr && info.has_optimizer_state) {
     std::vector<Tensor> m;
     std::vector<Tensor> v;
     m.reserve(params.size());
@@ -594,16 +603,10 @@ CheckpointInfo peek_checkpoint(const std::string& path) {
                  "not an ORBIT-2 checkpoint: " << path);
   in.seekg(0, std::ios::beg);
   ORBIT2_REQUIRE(in.good(), "cannot rewind " << path);
+  // The map exists only for duplicate-entry detection; prefix facts are
+  // streamed by read_v2 itself, so nothing iterates the hash table.
   std::unordered_map<std::string, LoadedTensor> tensors;
-  CheckpointInfo info =
-      read_v2(in, file_size, path, /*materialize=*/false, &tensors);
-  for (const auto& [name, tensor] : tensors) {
-    if (has_prefix(name, kMomentMPrefix)) {
-      info.has_optimizer_state = true;
-      break;
-    }
-  }
-  return info;
+  return read_v2(in, file_size, path, /*materialize=*/false, &tensors);
 }
 
 // ---- CheckpointManager ----------------------------------------------------

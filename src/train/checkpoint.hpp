@@ -10,6 +10,7 @@
 // corrupts or truncates an existing checkpoint. Legacy v1 files
 // (parameters only, no shapes or checksums) are still readable.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -45,6 +46,9 @@ struct CheckpointInfo {
   int version = 2;  // 1 = legacy parameters-only format
   bool has_optimizer_state = false;
   bool has_train_state = false;
+  /// Count of "param/" tensor entries, tallied in file order while reading
+  /// (never by iterating the loaded hash map, whose order is unspecified).
+  std::size_t param_entry_count = 0;
   TrainState state;
 };
 

@@ -4,6 +4,7 @@
 // precipitation-like variables (log-normal catalogue entries) are compared
 // in log(x+1) space exactly as the paper reports.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

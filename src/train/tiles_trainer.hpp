@@ -13,6 +13,7 @@
 // replicas, which the sync invariant makes exact), and `fit` continues
 // bit-identically after `load_state`.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>

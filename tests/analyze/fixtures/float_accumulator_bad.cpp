@@ -1,0 +1,29 @@
+// Known-bad fixture: loop-carried scalar float accumulators (the PR 5 loss
+// bug class). Lines tagged `EXPECT:` must be reported by orbit2_analyze
+// under every frontend; untagged lines must stay clean.
+
+float narrow_sum(const float* xs, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    acc += xs[i];  // EXPECT: float-accumulator
+  }
+  return acc;
+}
+
+float narrow_difference(const float* xs, int n) {
+  float residual = 1.0f;
+  for (int i = 0; i < n; ++i) {
+    residual -= xs[i];  // EXPECT: float-accumulator
+  }
+  return residual;
+}
+
+float self_assign_drift(const float* xs, int n) {
+  float total = 0.0f;
+  int i = 0;
+  while (i < n) {
+    total = total + xs[i];  // EXPECT: float-accumulator
+    ++i;
+  }
+  return total;
+}

@@ -1,0 +1,33 @@
+// Known-good twin of float_accumulator_bad.cpp: every accumulation here is
+// either widened to double (narrowed once, outside the loop) or not
+// loop-carried at all. orbit2_analyze must report nothing in this file.
+
+float stable_sum(const float* xs, int n) {
+  double acc = 0.0;  // accumulate in double ...
+  for (int i = 0; i < n; ++i) {
+    acc += xs[i];
+  }
+  return static_cast<float>(acc);  // ... narrow once
+}
+
+void per_iteration_scratch(float* ys, const float* xs, int n) {
+  for (int i = 0; i < n; ++i) {
+    float scaled = 0.0f;  // re-initialized every iteration: not carried
+    scaled += xs[i] * 2.0f;
+    ys[i] = scaled;
+  }
+}
+
+void elementwise_axpy(float* ys, const float* xs, int n) {
+  for (int i = 0; i < n; ++i) {
+    ys[i] += xs[i];  // array-element update, not a scalar accumulator
+  }
+}
+
+float running_maximum(const float* xs, int n) {
+  float best = xs[0];  // max-tracking is order-insensitive, and not +=
+  for (int i = 1; i < n; ++i) {
+    best = best < xs[i] ? xs[i] : best;
+  }
+  return best;
+}

@@ -1,0 +1,24 @@
+// Known-bad fixture: nondeterminism sources — global/entropy/clock-seeded
+// RNG and address-as-key casts. Any of these makes a run irreproducible.
+
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int unseeded_roll() {
+  return std::rand() % 6;  // EXPECT: nondeterminism-source
+}
+
+unsigned entropy_seed() {
+  std::random_device device;  // EXPECT: nondeterminism-source
+  return device();
+}
+
+std::time_t clock_seed() {
+  return std::time(nullptr);  // EXPECT: nondeterminism-source
+}
+
+std::uintptr_t address_key(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p);  // EXPECT: nondeterminism-source
+}

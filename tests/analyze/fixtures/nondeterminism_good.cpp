@@ -1,0 +1,15 @@
+// Known-good twin of nondeterminism_bad.cpp: fixed-seed engines are
+// reproducible, and reading a clock to *time* something (not to seed) is
+// fine. orbit2_analyze must report nothing in this file.
+
+#include <chrono>
+#include <random>
+
+std::mt19937 make_fixed_engine() {
+  return std::mt19937(20240808u);  // fixed seed: reproducible
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  const auto finish = std::chrono::steady_clock::now();  // timing, not seeding
+  return std::chrono::duration<double, std::milli>(finish - start).count();
+}

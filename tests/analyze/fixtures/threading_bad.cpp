@@ -1,0 +1,14 @@
+// Known-bad fixture: raw threading primitives outside src/core (the PR 3
+// contract: all parallelism routes through kernels::parallel_for /
+// parallel_reduce). Both the includes and the declarations must trigger.
+
+#include <mutex>   // EXPECT: threading-outside-core
+#include <thread>  // EXPECT: threading-outside-core
+
+void private_worker(int* out) {
+  std::mutex gate;              // EXPECT: threading-outside-core
+  std::thread helper([out] {    // EXPECT: threading-outside-core
+    *out = 1;
+  });
+  helper.join();
+}

@@ -1,0 +1,19 @@
+// Known-good twin of threading_bad.cpp: parallel work expressed through the
+// kernel-layer entry points (stubbed here so the fixture parses standalone).
+// orbit2_analyze must report nothing in this file.
+
+namespace kernels {
+template <typename Body>
+void parallel_for(long count, long grain, Body&& body) {
+  (void)grain;
+  body(0L, count);
+}
+}  // namespace kernels
+
+void scaled_add(float* ys, const float* xs, long count) {
+  kernels::parallel_for(count, 1024L, [&](long begin, long end) {
+    for (long i = begin; i < end; ++i) {
+      ys[i] += 2.0f * xs[i];
+    }
+  });
+}

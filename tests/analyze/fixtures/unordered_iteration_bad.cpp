@@ -1,0 +1,22 @@
+// Known-bad fixture: range-for over unordered containers in order-sensitive
+// context. This file writes output (fprintf), so hash-table iteration order
+// leaks into bytes; the second loop also accumulates floats in hash order.
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+void dump_table(const std::unordered_map<std::string, float>& table,
+                std::FILE* out) {
+  for (const auto& entry : table) {  // EXPECT: unordered-iteration
+    std::fprintf(out, "%s %f\n", entry.first.c_str(), entry.second);
+  }
+}
+
+double order_dependent_total(const std::unordered_map<int, float>& cells) {
+  double total = 0.0;
+  for (const auto& cell : cells) {  // EXPECT: unordered-iteration
+    total += cell.second;
+  }
+  return total;
+}

@@ -1,0 +1,19 @@
+// Known-good twin of unordered_iteration_bad.cpp: ordered containers may be
+// iterated anywhere, and unordered containers are fine for membership
+// lookups. orbit2_analyze must report nothing in this file.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+void dump_sorted(const std::map<std::string, float>& table, std::FILE* out) {
+  for (const auto& entry : table) {  // std::map iterates in key order
+    std::fprintf(out, "%s %f\n", entry.first.c_str(), entry.second);
+  }
+}
+
+bool contains(const std::unordered_map<std::string, float>& index,
+              const std::string& key) {
+  return index.find(key) != index.end();  // membership only: no iteration
+}

@@ -334,5 +334,37 @@ TEST(CheckpointV2, ManagerRotatesLatestAndBestAcrossRestarts) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CheckpointV2, BytesAreDeterministic) {
+  TinyModule module({{"w", Shape{2, 3}}, {"b", Shape{3}}}, 0.0f);
+  TrainState state = sample_state();
+
+  const std::string first = temp_path("orbit2_ckpt_v2_det_a.o2ck");
+  const std::string second = temp_path("orbit2_ckpt_v2_det_b.o2ck");
+  save_checkpoint(first, module, nullptr, &state);
+  save_checkpoint(second, module, nullptr, &state);
+  EXPECT_EQ(read_bytes(first), read_bytes(second));
+
+  // Entries are serialized in sorted-name order, so two modules holding the
+  // same name -> value mapping must produce identical bytes even when their
+  // parameters were registered in opposite orders.
+  TinyModule forward({{"b", Shape{3}}, {"w", Shape{2, 3}}}, 0.0f);
+  TinyModule reversed({{"w", Shape{2, 3}}, {"b", Shape{3}}}, 0.0f);
+  for (TinyModule* m : {&forward, &reversed}) {
+    for (const auto& p : m->parameters()) {
+      float v = p->name == "b" ? 1.0f : 2.0f;
+      for (float& x : p->value.data()) x = v += 0.25f;
+    }
+  }
+  const std::string path_fwd = temp_path("orbit2_ckpt_v2_det_fwd.o2ck");
+  const std::string path_rev = temp_path("orbit2_ckpt_v2_det_rev.o2ck");
+  save_checkpoint(path_fwd, forward, nullptr, &state);
+  save_checkpoint(path_rev, reversed, nullptr, &state);
+  EXPECT_EQ(read_bytes(path_fwd), read_bytes(path_rev));
+
+  for (const auto& p : {first, second, path_fwd, path_rev}) {
+    std::filesystem::remove(p);
+  }
+}
+
 }  // namespace
 }  // namespace orbit2::train

@@ -31,6 +31,9 @@ import sys
 
 SOURCE_DIRS = ("src", "tests", "bench", "tools", "examples")
 
+# Headers in these src/ subdirectories are held to the core-iwyu rule.
+IWYU_DIRS = ("core", "tensor", "train")
+
 # Curated std symbol -> required include map for the core-iwyu rule.
 CORE_IWYU = {
     "std::array": "<array>",
@@ -196,7 +199,8 @@ def main() -> int:
             if top == "src":
                 check_raw_new_delete(rel, text, findings)
             check_require_pure(rel, text, findings)
-            if top == "src" and path.parent.name == "core" and path.suffix == ".hpp":
+            if (top == "src" and path.suffix == ".hpp"
+                    and path.parent.name in IWYU_DIRS):
                 check_core_iwyu(rel, text, findings)
 
     for path, line, rule, message in findings:
