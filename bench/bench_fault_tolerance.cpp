@@ -1,86 +1,230 @@
-// Fault tolerance: expected goodput versus checkpoint interval for an
-// ORBIT-2-scale pretraining job (10B parameters on 32,768 Frontier GCDs).
+// Fault tolerance and elastic recovery: goodput curves as machine-readable
+// JSON, so EXPERIMENTS.md and CI can diff runs mechanically (same contract
+// as bench_kernels / bench_data).
 //
-// At this scale the job-level MTBF is under an hour, so the checkpoint
-// interval is a first-order term in time-to-solution: checkpoint too often
-// and the PFS write cost dominates, too rarely and every failure replays a
-// large amount of lost work. The bench sweeps the interval across four
-// orders of magnitude, prints the analytic goodput curve next to a seeded
-// Monte-Carlo run simulation, and marks the Young/Daly closed-form optimum
-// tau* = sqrt(2 C / lambda).
+// Two sweeps:
+//  1. goodput_vs_interval — classic Young/Daly territory for an ORBIT-2
+//     scale job (10B parameters, 32768 Frontier GCDs): analytic goodput vs
+//     a seeded discrete-event simulation across four orders of magnitude of
+//     checkpoint interval, with tau* marked.
+//  2. elastic_replan_vs_wait — the recovery-policy tradeoff: after losing
+//     workers, re-plan-and-continue on the survivors (pay two reshard
+//     passes, run degraded until repair) or wait for repair (pay the whole
+//     repair window). Analytic curves from elastic::expected_goodput_* next
+//     to simulate_elastic_run driven by the same seeded failure stream; the
+//     crossover repair time is where the policy flips.
+//
+// Usage: bench_fault_tolerance [--reps N] [--quick] [--trace PATH]
+//   --reps N     seeds averaged per simulated point (default 3)
+//   --quick      half the sweep points and shorter simulated runs (CI smoke)
+//   --trace PATH enable obs tracing and write Chrome trace JSON to PATH
+//               (records the elastic/replan policy spans)
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
-#include "bench/common.hpp"
+#include "core/obs.hpp"
+#include "elastic/replan.hpp"
 #include "hwsim/fault.hpp"
+#include "model/config.hpp"
 
-int main() {
-  using namespace orbit2;
-  using namespace orbit2::hwsim;
-  bench::print_header(
-      "Fault tolerance — goodput vs checkpoint interval (10B / 32768 GCDs)");
+namespace {
 
-  const std::int64_t parameters = 10'000'000'000;
-  const std::int64_t gcds = 32768;
+using namespace orbit2;
+using namespace orbit2::hwsim;
 
-  FaultModelConfig fconfig;
-  fconfig.gcd_mtbf_seconds = 1.0e8;  // job MTBF ~ 51 minutes
-  FaultModel faults(gcds, fconfig);
-  RecoveryCostConfig recovery;
+struct Record {
+  std::string bench;    // "goodput_vs_interval" or "elastic_replan_vs_wait"
+  std::string x_name;   // swept variable: "interval_s" or "repair_s"
+  double x = 0.0;
+  std::string variant;  // "analytic" / "simulated" x "replan" / "wait"
+  double goodput = 0.0;
+  double failures = 0.0;   // mean across seeds for simulated points
+  double checkpoints = 0.0;
+  double replans = 0.0;
+  double degraded_s = 0.0;
+};
 
-  const double write_cost = checkpoint_write_seconds(parameters, recovery);
-  const double recover = recovery_seconds(parameters, recovery);
-  const double lambda = faults.failure_rate();
-  const double tau_star = young_daly_interval(write_cost, lambda);
-
-  std::printf("checkpoint state      : %.1f GB (fp32 params + AdamW m/v)\n",
-              checkpoint_bytes(parameters) / 1e9);
-  std::printf("checkpoint write cost : %.2f s  (at %.0f GB/s aggregate)\n",
-              write_cost, recovery.write_bandwidth / 1e9);
-  std::printf("failure rate          : %.3e /s  (job MTBF %.0f s)\n", lambda,
-              faults.mean_time_between_failures());
-  std::printf("recovery cost         : %.1f s  (detect + restart + reload)\n",
-              recover);
-  std::printf("Young/Daly optimum    : tau* = sqrt(2C/lambda) = %.1f s\n",
-              tau_star);
-  std::printf("straggler slowdown    : %.2fx (%lld slow GCDs; the simulated "
-              "column pays it,\n                        the analytic column "
-              "models failures + checkpoints only)\n\n",
-              faults.step_slowdown(),
-              static_cast<long long>(faults.straggler_count()));
-
-  std::vector<double> intervals;
-  for (double tau = tau_star / 32.0; tau <= tau_star * 64.0; tau *= 2.0) {
-    intervals.push_back(tau);
+void emit_json(const std::vector<Record>& records) {
+  std::printf("[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    std::printf(
+        "  {\"bench\": \"%s\", \"%s\": %.1f, \"variant\": \"%s\", "
+        "\"goodput\": %.6f, \"failures\": %.1f, \"checkpoints\": %.1f, "
+        "\"replans\": %.1f, \"degraded_s\": %.1f}%s\n",
+        r.bench.c_str(), r.x_name.c_str(), r.x, r.variant.c_str(), r.goodput,
+        r.failures, r.checkpoints, r.replans, r.degraded_s,
+        i + 1 < records.size() ? "," : "");
   }
-  const auto analytic = goodput_sweep(faults, recovery, parameters, intervals);
+  std::printf("]\n");
+}
 
-  // One simulated week of useful training per interval, common seed.
-  const double target = 7.0 * 86400.0;
-  std::printf("%14s %12s %12s %9s %8s\n", "interval(s)", "analytic",
-              "simulated", "failures", "ckpts");
-  bench::print_rule();
-  std::size_t best = 0;
-  for (std::size_t i = 0; i < intervals.size(); ++i) {
-    faults.reseed(fconfig.seed);
-    const SimulatedRun run =
-        simulate_run(faults, recovery, parameters, intervals[i], target);
-    const char* mark =
-        intervals[i] / tau_star < 2.0 && tau_star / intervals[i] < 2.0
-            ? "  <- near tau*"
-            : "";
-    std::printf("%14.1f %12.4f %12.4f %9lld %8lld%s\n", intervals[i],
-                analytic[i].goodput, run.goodput(),
-                static_cast<long long>(run.failures),
-                static_cast<long long>(run.checkpoints_written), mark);
-    if (analytic[i].goodput > analytic[best].goodput) best = i;
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 3;
+  bool quick = false;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--reps N] [--quick] [--trace PATH]\n",
+                   argv[0]);
+      return 2;
+    }
   }
-  std::printf(
-      "\nAnalytic optimum in sweep: %.1f s (goodput %.4f); the curve falls "
-      "off on\nboth sides — the Young/Daly shape. Checkpointing every "
-      "optimizer step would\nspend the machine on I/O; checkpointing hourly "
-      "would spend it on replay.\n",
-      analytic[best].interval_seconds, analytic[best].goodput);
+  if (!trace_path.empty()) obs::set_enabled(true);
+
+  std::vector<Record> records;
+
+  // --- Sweep 1: goodput vs checkpoint interval (10B / 32768 GCDs). -------
+  {
+    const std::int64_t parameters = 10'000'000'000;
+    const std::int64_t gcds = 32768;
+    FaultModelConfig fconfig;
+    fconfig.gcd_mtbf_seconds = 1.0e8;  // job MTBF ~ 51 minutes
+    FaultModel faults(gcds, fconfig);
+    const RecoveryCostConfig recovery;
+    const double write_cost = checkpoint_write_seconds(parameters, recovery);
+    const double tau_star =
+        young_daly_interval(write_cost, faults.failure_rate());
+    std::fprintf(stderr,
+                 "goodput_vs_interval: C=%.1fs lambda=%.3e tau*=%.1fs\n",
+                 write_cost, faults.failure_rate(), tau_star);
+
+    std::vector<double> intervals;
+    const double step = quick ? 4.0 : 2.0;
+    for (double tau = tau_star / 32.0; tau <= tau_star * 64.0; tau *= step) {
+      intervals.push_back(tau);
+    }
+    const auto analytic =
+        goodput_sweep(faults, recovery, parameters, intervals);
+    const double target = (quick ? 1.0 : 7.0) * 86400.0;
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+      Record a;
+      a.bench = "goodput_vs_interval";
+      a.x_name = "interval_s";
+      a.x = intervals[i];
+      a.variant = "analytic";
+      a.goodput = analytic[i].goodput;
+      records.push_back(a);
+
+      Record s = a;
+      s.variant = "simulated";
+      s.goodput = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        faults.reseed(fconfig.seed + static_cast<std::uint64_t>(r));
+        const SimulatedRun run =
+            simulate_run(faults, recovery, parameters, intervals[i], target);
+        s.goodput += run.goodput();
+        s.failures += static_cast<double>(run.failures);
+        s.checkpoints += static_cast<double>(run.checkpoints_written);
+      }
+      s.goodput /= reps;
+      s.failures /= reps;
+      s.checkpoints /= reps;
+      records.push_back(s);
+    }
+  }
+
+  // --- Sweep 2: elastic re-plan vs wait-for-repair across repair times. --
+  {
+    const std::int64_t parameters = 10'000'000'000;
+    const std::int64_t total = 64, survivors = 56;
+    const double job_mtbf = 20000.0;
+    const double tau = 300.0;
+    FaultModelConfig fconfig;
+    fconfig.gcd_mtbf_seconds = job_mtbf * static_cast<double>(total);
+    fconfig.straggler_fraction = 0.0;  // isolate the recovery tradeoff
+    fconfig.link_degrade_fraction = 0.0;
+    FaultModel faults(total, fconfig);
+    const RecoveryCostConfig recovery;
+    const double ckpt = checkpoint_write_seconds(parameters, recovery);
+    const double rate = faults.failure_rate();
+    const double target = (quick ? 0.5 : 2.0) * 1.0e6;
+
+    std::vector<double> repairs = {100.0, 500.0, 2000.0, 8000.0, 32000.0};
+    if (quick) repairs = {100.0, 2000.0, 32000.0};
+
+    // The policy itself decides each point too (emits elastic/replan spans
+    // into the trace and exercises plan_parallelism feasibility).
+    WorkloadSpec spec;
+    spec.config = model::preset_126m();
+    spec.lr_h = 180;
+    spec.lr_w = 360;
+    spec.tiles = 4;
+
+    for (const double repair : repairs) {
+      elastic::ElasticCostConfig elastic_cost;
+      elastic_cost.repair_seconds = repair;
+
+      elastic::RecoveryPolicyConfig pconfig;
+      pconfig.elastic = elastic_cost;
+      const elastic::RecoveryPolicy policy(pconfig);
+      const auto decision = policy.decide(spec, FrontierTopology{}, faults,
+                                          survivors, tau);
+      std::fprintf(stderr, "repair=%.0fs -> policy says %s\n", repair,
+                   decision.action == elastic::RecoveryAction::kReplanContinue
+                       ? "replan"
+                       : "wait");
+
+      for (const bool replan : {true, false}) {
+        Record a;
+        a.bench = "elastic_replan_vs_wait";
+        a.x_name = "repair_s";
+        a.x = repair;
+        a.variant = replan ? "analytic_replan" : "analytic_wait";
+        a.goodput = replan
+                        ? elastic::expected_goodput_replan(
+                              tau, ckpt, rate, parameters, survivors, total,
+                              recovery, elastic_cost)
+                        : elastic::expected_goodput_wait(
+                              tau, ckpt, rate, parameters, recovery,
+                              elastic_cost);
+        records.push_back(a);
+
+        Record s = a;
+        s.variant = replan ? "simulated_replan" : "simulated_wait";
+        s.goodput = 0.0;
+        const auto action = replan
+                                ? elastic::RecoveryAction::kReplanContinue
+                                : elastic::RecoveryAction::kWaitForRepair;
+        for (int r = 0; r < reps; ++r) {
+          faults.reseed(fconfig.seed + static_cast<std::uint64_t>(r));
+          const auto run = elastic::simulate_elastic_run(
+              faults, recovery, elastic_cost, parameters, survivors, total,
+              tau, target, action);
+          s.goodput += run.goodput();
+          s.failures += static_cast<double>(run.failures);
+          s.checkpoints += static_cast<double>(run.checkpoints_written);
+          s.replans += static_cast<double>(run.replans);
+          s.degraded_s += run.degraded_seconds;
+        }
+        s.goodput /= reps;
+        s.failures /= reps;
+        s.checkpoints /= reps;
+        s.replans /= reps;
+        s.degraded_s /= reps;
+        records.push_back(s);
+      }
+    }
+  }
+
+  emit_json(records);
+  if (!trace_path.empty()) {
+    obs::set_enabled(false);
+    obs::write_chrome_trace(trace_path);
+    std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,31 @@
+#include "core/retry.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace orbit2 {
+
+void retry_with_backoff(const RetryConfig& config,
+                        const std::function<void(int)>& attempt) {
+  ORBIT2_REQUIRE(config.attempts >= 1,
+                 "retry needs at least one attempt, got " << config.attempts);
+  ORBIT2_REQUIRE(config.backoff_ms >= 0,
+                 "backoff must be non-negative, got " << config.backoff_ms);
+  long long delay_ms = config.backoff_ms;
+  for (int try_index = 0;; ++try_index) {
+    try {
+      attempt(try_index);
+      return;
+    } catch (...) {
+      if (try_index + 1 >= config.attempts) throw;
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      delay_ms *= 2;
+    }
+  }
+}
+
+}  // namespace orbit2

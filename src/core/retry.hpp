@@ -1,0 +1,24 @@
+#pragma once
+// Bounded retry-with-backoff for transient failures (PFS hiccups, EINTR-ish
+// I/O errors). Lives in core so callers outside src/core never include
+// <thread>/<chrono> themselves (the threading-outside-core analyzer rule);
+// the sleep is wall-clock only and can never affect computed bits.
+
+#include <functional>
+
+namespace orbit2 {
+
+struct RetryConfig {
+  /// Total tries, >= 1. 1 means "no retry".
+  int attempts = 3;
+  /// Sleep before retry k (1-based) is backoff_ms * 2^(k-1) milliseconds.
+  long long backoff_ms = 10;
+};
+
+/// Runs `attempt(try_index)` (0-based) until it returns without throwing.
+/// Failed tries sleep the exponential backoff, then retry; when every
+/// attempt throws, the last exception is rethrown to the caller.
+void retry_with_backoff(const RetryConfig& config,
+                        const std::function<void(int)>& attempt);
+
+}  // namespace orbit2

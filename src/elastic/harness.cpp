@@ -1,0 +1,78 @@
+#include "elastic/harness.hpp"
+
+#include "core/error.hpp"
+#include "core/kernels.hpp"
+#include "core/obs.hpp"
+#include "elastic/reshard.hpp"
+
+namespace orbit2::elastic {
+
+train::StepHook KillSwitch::hook() {
+  return [this](std::int64_t global_step, double batch_loss) {
+    losses_[global_step] = batch_loss;
+    if (kill_at_step_ >= 0 && global_step >= kill_at_step_ && !fired_) {
+      fired_ = true;
+      ORBIT2_OBS_COUNT("elastic.kills", 1);
+      throw KillSignal{global_step};
+    }
+  };
+}
+
+void reshard_through_layouts(const std::string& full_in,
+                             const std::string& work_prefix,
+                             std::int64_t from_workers,
+                             std::int64_t to_workers,
+                             const std::string& full_out) {
+  ORBIT2_REQUIRE(from_workers >= 1 && to_workers >= 1,
+                 "worker counts must be >= 1, got " << from_workers << " -> "
+                                                    << to_workers);
+  const train::RawCheckpoint full = train::load_checkpoint_raw(full_in);
+  save_sharded(work_prefix, shard_checkpoint(full, from_workers));
+  // Re-read the source layout from disk, reshard, and persist the target
+  // layout — the span around this hop is the recovery cost traces show.
+  const std::vector<train::RawCheckpoint> resharded = reshard_checkpoint(
+      load_sharded(work_prefix, from_workers), to_workers);
+  save_sharded(work_prefix, resharded);
+  train::save_checkpoint_raw(
+      full_out, merge_checkpoint(load_sharded(work_prefix, to_workers)));
+}
+
+ElasticOutcome run_kill_reshard_resume(
+    const ElasticScenario& scenario,
+    const std::function<void(train::StepHook)>& train_phase,
+    const std::function<void(const std::string&, train::StepHook)>&
+        resume_phase) {
+  ORBIT2_REQUIRE(scenario.kill_at_step >= 0,
+                 "kill step must be non-negative, got "
+                     << scenario.kill_at_step);
+  ElasticOutcome outcome;
+
+  kernels::set_max_threads(static_cast<int>(scenario.from_workers));
+  KillSwitch kill_switch(scenario.kill_at_step);
+  bool killed = false;
+  try {
+    train_phase(kill_switch.hook());
+  } catch (const KillSignal& signal) {
+    killed = true;
+    outcome.killed = true;
+    outcome.killed_at_step = signal.step;
+  }
+  ORBIT2_REQUIRE(killed, "training phase finished before the scheduled kill "
+                         "at step " << scenario.kill_at_step);
+
+  reshard_through_layouts(scenario.checkpoint_path, scenario.work_prefix,
+                          scenario.from_workers, scenario.to_workers,
+                          scenario.resume_path);
+
+  kernels::set_max_threads(static_cast<int>(scenario.to_workers));
+  KillSwitch recorder(-1);
+  resume_phase(scenario.resume_path, recorder.hook());
+
+  outcome.losses = kill_switch.losses();
+  for (const auto& [step, loss] : recorder.losses()) {
+    outcome.losses[step] = loss;
+  }
+  return outcome;
+}
+
+}  // namespace orbit2::elastic

@@ -1,0 +1,218 @@
+#include "elastic/replan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/obs.hpp"
+
+namespace orbit2::elastic {
+
+namespace {
+
+/// PFS wall time of one reshard pass: read every byte of the old layout,
+/// write every byte of the new one (layout metadata is noise).
+double reshard_io_seconds(std::int64_t parameters,
+                          const hwsim::RecoveryCostConfig& recovery) {
+  return hwsim::checkpoint_read_seconds(parameters, recovery) +
+         hwsim::checkpoint_write_seconds(parameters, recovery);
+}
+
+}  // namespace
+
+ReplanResult replan_for_survivors(const hwsim::WorkloadSpec& spec,
+                                  const hwsim::FrontierTopology& topo,
+                                  std::int64_t survivors,
+                                  bool favor_sequence) {
+  ORBIT2_REQUIRE(survivors >= 1,
+                 "need at least one survivor, got " << survivors);
+  ReplanResult result;
+  result.survivors = survivors;
+  result.plan = hwsim::plan_parallelism(spec.config, survivors, spec.tiles,
+                                        favor_sequence);
+  result.fit = hwsim::check_fits(spec, result.plan, topo);
+  result.feasible = result.fit.fits;
+  return result;
+}
+
+double replan_pause_seconds(std::int64_t parameters,
+                            const hwsim::RecoveryCostConfig& recovery,
+                            const ElasticCostConfig& elastic) {
+  // Shrink now and grow back at repair time: two plan transitions, each a
+  // fixed re-init plus a reshard pass; state is reloaded once (shrink).
+  return recovery.detect_seconds +
+         2.0 * (elastic.replan_fixed_seconds +
+                reshard_io_seconds(parameters, recovery)) +
+         hwsim::checkpoint_read_seconds(parameters, recovery);
+}
+
+double wait_pause_seconds(std::int64_t parameters,
+                          const hwsim::RecoveryCostConfig& recovery,
+                          const ElasticCostConfig& elastic) {
+  return recovery.detect_seconds + elastic.repair_seconds +
+         recovery.restart_seconds +
+         hwsim::checkpoint_read_seconds(parameters, recovery);
+}
+
+double expected_goodput_replan(double interval_seconds,
+                               double checkpoint_seconds, double failure_rate,
+                               std::int64_t parameters,
+                               std::int64_t survivors,
+                               std::int64_t total_workers,
+                               const hwsim::RecoveryCostConfig& recovery,
+                               const ElasticCostConfig& elastic) {
+  ORBIT2_REQUIRE(survivors >= 1 && survivors <= total_workers,
+                 "survivors " << survivors << " out of range [1, "
+                              << total_workers << "]");
+  // The degraded window forgoes repair * (1 - S/N) useful seconds versus a
+  // full-strength job; fold that deficit into the per-failure recovery term
+  // of the standard Young/Daly goodput form.
+  const double survivor_fraction = static_cast<double>(survivors) /
+                                   static_cast<double>(total_workers);
+  const double deficit =
+      elastic.repair_seconds * (1.0 - survivor_fraction);
+  const double pause = replan_pause_seconds(parameters, recovery, elastic);
+  return hwsim::expected_goodput(interval_seconds, checkpoint_seconds,
+                                 failure_rate, pause + deficit);
+}
+
+double expected_goodput_wait(double interval_seconds,
+                             double checkpoint_seconds, double failure_rate,
+                             std::int64_t parameters,
+                             const hwsim::RecoveryCostConfig& recovery,
+                             const ElasticCostConfig& elastic) {
+  const double pause = wait_pause_seconds(parameters, recovery, elastic);
+  return hwsim::expected_goodput(interval_seconds, checkpoint_seconds,
+                                 failure_rate, pause);
+}
+
+RecoveryPolicy::RecoveryPolicy(RecoveryPolicyConfig config)
+    : config_(config) {
+  ORBIT2_REQUIRE(config_.elastic.replan_fixed_seconds >= 0.0 &&
+                     config_.elastic.repair_seconds >= 0.0,
+                 "elastic costs must be non-negative");
+  ORBIT2_REQUIRE(config_.min_relative_advantage >= 0.0,
+                 "advantage margin must be non-negative, got "
+                     << config_.min_relative_advantage);
+}
+
+RecoveryDecision RecoveryPolicy::decide(const hwsim::WorkloadSpec& spec,
+                                        const hwsim::FrontierTopology& topo,
+                                        const hwsim::FaultModel& faults,
+                                        std::int64_t survivors,
+                                        double interval_seconds) const {
+  ORBIT2_OBS_SPAN("elastic/replan", "elastic");
+  const std::int64_t total_workers = faults.gcds();
+  ORBIT2_REQUIRE(survivors >= 1 && survivors <= total_workers,
+                 "survivors " << survivors << " out of range [1, "
+                              << total_workers << "]");
+  const std::int64_t parameters =
+      hwsim::total_parameter_count(spec.config);
+  const double checkpoint_seconds =
+      hwsim::checkpoint_write_seconds(parameters, config_.recovery);
+  const double failure_rate = faults.failure_rate();
+
+  RecoveryDecision decision;
+  decision.replan = replan_for_survivors(spec, topo, survivors,
+                                         config_.favor_sequence);
+  decision.goodput_wait =
+      expected_goodput_wait(interval_seconds, checkpoint_seconds,
+                            failure_rate, parameters, config_.recovery,
+                            config_.elastic);
+  if (decision.replan.feasible) {
+    decision.goodput_replan = expected_goodput_replan(
+        interval_seconds, checkpoint_seconds, failure_rate, parameters,
+        survivors, total_workers, config_.recovery, config_.elastic);
+  }
+  const bool replan_wins =
+      decision.replan.feasible &&
+      decision.goodput_replan >
+          decision.goodput_wait * (1.0 + config_.min_relative_advantage);
+  decision.action = replan_wins ? RecoveryAction::kReplanContinue
+                                : RecoveryAction::kWaitForRepair;
+  ORBIT2_OBS_COUNT("elastic.replan_decisions", 1);
+  if (replan_wins) ORBIT2_OBS_COUNT("elastic.replans_chosen", 1);
+  return decision;
+}
+
+ElasticSimulatedRun simulate_elastic_run(
+    hwsim::FaultModel& faults, const hwsim::RecoveryCostConfig& recovery,
+    const ElasticCostConfig& elastic, std::int64_t parameters,
+    std::int64_t survivors, std::int64_t total_workers,
+    double interval_seconds, double useful_target_seconds,
+    RecoveryAction action) {
+  ORBIT2_REQUIRE(interval_seconds > 0.0,
+                 "checkpoint interval must be positive, got "
+                     << interval_seconds);
+  ORBIT2_REQUIRE(useful_target_seconds >= 0.0,
+                 "useful target must be non-negative, got "
+                     << useful_target_seconds);
+  ORBIT2_REQUIRE(survivors >= 1 && survivors <= total_workers,
+                 "survivors " << survivors << " out of range [1, "
+                              << total_workers << "]");
+  const double slowdown = faults.step_slowdown();
+  const double write_cost =
+      hwsim::checkpoint_write_seconds(parameters, recovery);
+  const double reload_cost =
+      hwsim::checkpoint_read_seconds(parameters, recovery);
+  // Each plan transition (shrink or grow) pays fixed re-init + one reshard.
+  const double transition_cost =
+      elastic.replan_fixed_seconds + reshard_io_seconds(parameters, recovery);
+  const double wait_cost =
+      wait_pause_seconds(parameters, recovery, elastic);
+  const double degrade_mult = static_cast<double>(total_workers) /
+                              static_cast<double>(survivors);
+
+  ElasticSimulatedRun run;
+  double ttf = faults.sample_time_to_failure();
+  double useful = 0.0;
+  // Wall seconds left in the degraded (shrunken) window; > 0 only on the
+  // re-plan path. The failure clock ticks only while work/checkpoints run,
+  // matching hwsim::simulate_run's convention.
+  double degraded_left = 0.0;
+  bool degraded = false;
+  while (useful < useful_target_seconds) {
+    if (degraded && degraded_left <= 0.0) {
+      // Repair arrived: grow back to full strength.
+      run.wall_seconds += transition_cost;
+      ++run.replans;
+      degraded = false;
+    }
+    const double segment_useful =
+        std::min(interval_seconds, useful_target_seconds - useful);
+    const double rate_mult = slowdown * (degraded ? degrade_mult : 1.0);
+    const double segment_wall = segment_useful * rate_mult + write_cost;
+    if (ttf >= segment_wall) {
+      run.wall_seconds += segment_wall;
+      ttf -= segment_wall;
+      useful += segment_useful;
+      ++run.checkpoints_written;
+      if (degraded) {
+        run.degraded_seconds += segment_wall;
+        degraded_left -= segment_wall;
+      }
+    } else {
+      // Failure mid-segment: work since the last checkpoint is lost.
+      run.wall_seconds += ttf;
+      run.lost_work_seconds += std::min(ttf, segment_useful * rate_mult);
+      if (degraded) run.degraded_seconds += ttf;
+      ++run.failures;
+      if (action == RecoveryAction::kWaitForRepair) {
+        run.wall_seconds += wait_cost;
+      } else {
+        // Shrink to the survivors and keep going; a failure inside an open
+        // degraded window restarts the repair clock (per-incident repair).
+        run.wall_seconds += recovery.detect_seconds + transition_cost +
+                            reload_cost;
+        ++run.replans;
+        degraded = true;
+        degraded_left = elastic.repair_seconds;
+      }
+      ttf = faults.sample_time_to_failure();
+    }
+  }
+  run.useful_seconds = useful;
+  return run;
+}
+
+}  // namespace orbit2::elastic

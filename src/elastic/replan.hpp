@@ -1,0 +1,163 @@
+#pragma once
+// Elastic re-planning: what to do when a fault shrinks the job.
+//
+// ORBIT-2-scale runs lose nodes mid-flight (hwsim::FaultModel); the passive
+// answer — wait for the scheduler to hand back a repaired allocation and
+// restore at the old layout — burns the whole repair window. The elastic
+// answer re-plans: call plan_parallelism for the survivors, gate it with
+// check_fits, reshard the checkpoint (reshard.hpp), and keep training at a
+// degraded rate until the fleet is whole again. Neither choice dominates:
+// re-planning pays two reshard passes (shrink now, grow back later) plus
+// plan/process-group re-initialization, while waiting pays the full repair
+// time. This header extends the Young/Daly goodput model with those costs
+// so a RecoveryPolicy can pick per failure, and provides a discrete-event
+// simulation driven by the same seeded failure stream to cross-check the
+// analytic tradeoff (exported by bench_fault_tolerance).
+
+#include <cstdint>
+
+#include "hwsim/fault.hpp"
+#include "hwsim/hardware.hpp"
+#include "hwsim/parallelism.hpp"
+#include "hwsim/workload.hpp"
+
+namespace orbit2::elastic {
+
+/// Costs specific to the elastic path, on top of hwsim::RecoveryCostConfig.
+struct ElasticCostConfig {
+  /// Fixed re-plan overhead per transition: plan computation, process-group
+  /// and collective re-initialization on the new layout.
+  double replan_fixed_seconds = 60.0;
+  /// Mean wall time until failed hardware rejoins (scheduler + repair).
+  double repair_seconds = 3600.0;
+};
+
+/// Outcome of planning for the survivors of a failure.
+struct ReplanResult {
+  /// True when the survivor plan passes check_fits under the topology.
+  bool feasible = false;
+  std::int64_t survivors = 0;
+  hwsim::ParallelismPlan plan;  // valid when feasible
+  hwsim::FitResult fit;
+};
+
+/// Plans parallelism for `survivors` workers and gates it on memory
+/// feasibility. Infeasible plans (survivors too few to hold the model)
+/// force the policy to wait for repair.
+ReplanResult replan_for_survivors(const hwsim::WorkloadSpec& spec,
+                                  const hwsim::FrontierTopology& topo,
+                                  std::int64_t survivors,
+                                  bool favor_sequence = false);
+
+/// Wall-clock pause of one re-plan-and-continue recovery: detect the
+/// failure, then twice (shrink now, grow back when repaired) pay the fixed
+/// re-plan cost plus a reshard pass (read the old layout + write the new
+/// one through the PFS), then reload state on the survivors.
+double replan_pause_seconds(std::int64_t parameters,
+                            const hwsim::RecoveryCostConfig& recovery,
+                            const ElasticCostConfig& elastic);
+
+/// Wall-clock pause of one wait-for-repair recovery: detect, sit out the
+/// repair, relaunch, reload.
+double wait_pause_seconds(std::int64_t parameters,
+                          const hwsim::RecoveryCostConfig& recovery,
+                          const ElasticCostConfig& elastic);
+
+/// Extended Young/Daly goodput of the re-plan strategy: each failure costs
+/// the re-plan pause plus the work-rate deficit of running on `survivors`
+/// of `total_workers` for the repair window (repair * (1 - S/N) useful
+/// seconds forgone), folded into the standard goodput form as an effective
+/// per-failure recovery cost.
+double expected_goodput_replan(double interval_seconds,
+                               double checkpoint_seconds, double failure_rate,
+                               std::int64_t parameters,
+                               std::int64_t survivors,
+                               std::int64_t total_workers,
+                               const hwsim::RecoveryCostConfig& recovery,
+                               const ElasticCostConfig& elastic);
+
+/// Extended Young/Daly goodput of the wait-for-repair strategy: each
+/// failure costs the wait pause (repair dominates) as its recovery term.
+double expected_goodput_wait(double interval_seconds,
+                             double checkpoint_seconds, double failure_rate,
+                             std::int64_t parameters,
+                             const hwsim::RecoveryCostConfig& recovery,
+                             const ElasticCostConfig& elastic);
+
+enum class RecoveryAction {
+  kReplanContinue,  // shrink to the survivors and keep training
+  kWaitForRepair,   // hold the old layout until the fleet is whole
+};
+
+/// One policy decision with both analytic goodputs attached (so callers and
+/// benches can plot the tradeoff the decision came from).
+struct RecoveryDecision {
+  RecoveryAction action = RecoveryAction::kWaitForRepair;
+  double goodput_replan = 0.0;  // 0 when re-planning is infeasible
+  double goodput_wait = 0.0;
+  ReplanResult replan;
+};
+
+struct RecoveryPolicyConfig {
+  ElasticCostConfig elastic;
+  hwsim::RecoveryCostConfig recovery;
+  /// Re-plan only when its goodput beats waiting by at least this relative
+  /// margin (hysteresis against flapping on near-ties).
+  double min_relative_advantage = 0.0;
+  bool favor_sequence = false;
+};
+
+/// Chooses re-plan-and-continue vs wait-for-repair per failure event, from
+/// the extended Young/Daly model gated by check_fits feasibility.
+class RecoveryPolicy {
+ public:
+  explicit RecoveryPolicy(RecoveryPolicyConfig config);
+
+  const RecoveryPolicyConfig& config() const { return config_; }
+
+  /// Decides for a failure leaving `survivors` of the plan's worker count.
+  /// `interval_seconds` is the checkpoint interval in force (tau);
+  /// parameters and failure rate come from the workload and fault model.
+  RecoveryDecision decide(const hwsim::WorkloadSpec& spec,
+                          const hwsim::FrontierTopology& topo,
+                          const hwsim::FaultModel& faults,
+                          std::int64_t survivors,
+                          double interval_seconds) const;
+
+ private:
+  RecoveryPolicyConfig config_;
+};
+
+/// Outcome of a simulated elastic run (discrete-event, seeded by the
+/// FaultModel — same stream contract as hwsim::simulate_run).
+struct ElasticSimulatedRun {
+  double wall_seconds = 0.0;
+  double useful_seconds = 0.0;
+  std::int64_t failures = 0;
+  std::int64_t checkpoints_written = 0;
+  std::int64_t replans = 0;  // shrink + grow transitions taken
+  double lost_work_seconds = 0.0;
+  double degraded_seconds = 0.0;  // wall time spent below full strength
+
+  double goodput() const {
+    return wall_seconds > 0.0 ? useful_seconds / wall_seconds : 0.0;
+  }
+};
+
+/// Simulates a run needing `useful_target_seconds` of training under
+/// `action`. Wait-for-repair: every failure pays the wait pause and replays
+/// work since the last checkpoint. Re-plan-and-continue: every failure pays
+/// the shrink half of the re-plan pause, runs at survivors/total work rate
+/// for the remaining repair window, then pays the grow half and returns to
+/// full strength (a failure inside the window restarts it — the repair
+/// clock is per-incident). Deterministic for a given FaultModel stream
+/// state; drive both actions from faults.restart() to compare strategies
+/// under one failure history.
+ElasticSimulatedRun simulate_elastic_run(
+    hwsim::FaultModel& faults, const hwsim::RecoveryCostConfig& recovery,
+    const ElasticCostConfig& elastic, std::int64_t parameters,
+    std::int64_t survivors, std::int64_t total_workers,
+    double interval_seconds, double useful_target_seconds,
+    RecoveryAction action);
+
+}  // namespace orbit2::elastic

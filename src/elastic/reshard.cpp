@@ -1,0 +1,179 @@
+#include "elastic/reshard.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/error.hpp"
+#include "core/obs.hpp"
+#include "hwsim/sharded.hpp"
+
+namespace orbit2::elastic {
+
+namespace {
+
+/// Same shape with dim 0 replaced (rank preserved).
+Shape with_dim0(const Shape& shape, std::int64_t dim0) {
+  switch (shape.rank()) {
+    case 1: return Shape{dim0};
+    case 2: return Shape{dim0, shape[1]};
+    case 3: return Shape{dim0, shape[1], shape[2]};
+    default: return Shape{dim0, shape[1], shape[2], shape[3]};
+  }
+}
+
+/// Elements per dim-0 row (0 for zero-row tensors).
+std::int64_t row_elements(const Shape& shape) {
+  std::int64_t elems = 1;
+  for (int axis = 1; axis < shape.rank(); ++axis) elems *= shape[axis];
+  return elems;
+}
+
+bool same_resume_point(const train::TrainState& a,
+                       const train::TrainState& b) {
+  bool same = a.global_step == b.global_step && a.epoch == b.epoch &&
+              a.sample_cursor == b.sample_cursor &&
+              a.optimizer_steps == b.optimizer_steps &&
+              a.scaler_scale == b.scaler_scale &&
+              a.scaler_good_steps == b.scaler_good_steps &&
+              a.scaler_skipped == b.scaler_skipped &&
+              a.has_rng == b.has_rng && a.metric == b.metric &&
+              a.data_rng.cached_normal_bits == b.data_rng.cached_normal_bits &&
+              a.data_rng.has_cached_normal == b.data_rng.has_cached_normal;
+  for (std::size_t w = 0; w < a.data_rng.words.size(); ++w) {
+    same = same && a.data_rng.words[w] == b.data_rng.words[w];
+  }
+  return same;
+}
+
+}  // namespace
+
+std::vector<train::RawCheckpoint> shard_checkpoint(
+    const train::RawCheckpoint& full, std::int64_t shards) {
+  ORBIT2_REQUIRE(shards >= 1, "need at least one shard, got " << shards);
+  std::vector<train::RawCheckpoint> out(static_cast<std::size_t>(shards));
+  for (auto& shard : out) {
+    shard.has_train_state = full.has_train_state;
+    shard.state = full.state;
+    shard.tensors.reserve(full.tensors.size());
+  }
+  for (const train::RawTensorEntry& entry : full.tensors) {
+    ORBIT2_REQUIRE(entry.shape.rank() >= 1,
+                   "cannot shard rank-0 entry '" << entry.name << "'");
+    const std::int64_t rows = entry.shape[0];
+    const std::int64_t per_row = row_elements(entry.shape);
+    for (std::int64_t s = 0; s < shards; ++s) {
+      const hwsim::RowRange range = hwsim::shard_rows(rows, s, shards);
+      train::RawTensorEntry slice;
+      slice.name = entry.name;
+      slice.shape = with_dim0(entry.shape, range.rows());
+      const auto begin =
+          entry.payload.begin() +
+          static_cast<std::ptrdiff_t>(range.begin * per_row);
+      slice.payload.assign(
+          begin, begin + static_cast<std::ptrdiff_t>(range.rows() * per_row));
+      out[static_cast<std::size_t>(s)].tensors.push_back(std::move(slice));
+    }
+  }
+  return out;
+}
+
+train::RawCheckpoint merge_checkpoint(
+    const std::vector<train::RawCheckpoint>& shards) {
+  ORBIT2_REQUIRE(!shards.empty(), "cannot merge zero shards");
+  const std::int64_t n = static_cast<std::int64_t>(shards.size());
+  const train::RawCheckpoint& first = shards.front();
+  for (const train::RawCheckpoint& shard : shards) {
+    ORBIT2_REQUIRE(shard.tensors.size() == first.tensors.size(),
+                   "shard entry counts differ: " << shard.tensors.size()
+                                                 << " vs "
+                                                 << first.tensors.size());
+    ORBIT2_REQUIRE(shard.has_train_state == first.has_train_state &&
+                       (!shard.has_train_state ||
+                        same_resume_point(shard.state, first.state)),
+                   "shards disagree on the resume point");
+  }
+
+  train::RawCheckpoint full;
+  full.has_train_state = first.has_train_state;
+  full.state = first.state;
+  full.tensors.reserve(first.tensors.size());
+  for (std::size_t e = 0; e < first.tensors.size(); ++e) {
+    std::int64_t rows = 0;
+    for (const train::RawCheckpoint& shard : shards) {
+      const train::RawTensorEntry& part = shard.tensors[e];
+      ORBIT2_REQUIRE(part.name == first.tensors[e].name,
+                     "shard entry order mismatch: '"
+                         << part.name << "' vs '" << first.tensors[e].name
+                         << "'");
+      ORBIT2_REQUIRE(part.shape.rank() == first.tensors[e].shape.rank(),
+                     "rank mismatch for '" << part.name << "'");
+      for (int axis = 1; axis < part.shape.rank(); ++axis) {
+        ORBIT2_REQUIRE(part.shape[axis] == first.tensors[e].shape[axis],
+                       "non-row dimension mismatch for '" << part.name
+                                                          << "'");
+      }
+      rows += part.shape[0];
+    }
+    // Every shard must hold exactly its canonical shard_rows range — this
+    // catches shards fed in the wrong order or from mixed layouts.
+    for (std::int64_t s = 0; s < n; ++s) {
+      const hwsim::RowRange range = hwsim::shard_rows(rows, s, n);
+      ORBIT2_REQUIRE(
+          shards[static_cast<std::size_t>(s)].tensors[e].shape[0] ==
+              range.rows(),
+          "shard " << s << " of " << n << " holds "
+                   << shards[static_cast<std::size_t>(s)].tensors[e].shape[0]
+                   << " rows of '" << first.tensors[e].name << "', expected "
+                   << range.rows());
+    }
+    train::RawTensorEntry merged;
+    merged.name = first.tensors[e].name;
+    merged.shape = with_dim0(first.tensors[e].shape, rows);
+    merged.payload.reserve(
+        static_cast<std::size_t>(rows * row_elements(merged.shape)));
+    for (const train::RawCheckpoint& shard : shards) {
+      const std::vector<float>& part = shard.tensors[e].payload;
+      merged.payload.insert(merged.payload.end(), part.begin(), part.end());
+    }
+    full.tensors.push_back(std::move(merged));
+  }
+  return full;
+}
+
+std::vector<train::RawCheckpoint> reshard_checkpoint(
+    const std::vector<train::RawCheckpoint>& from, std::int64_t to_shards) {
+  ORBIT2_OBS_SPAN("elastic/reshard", "elastic");
+  auto out = shard_checkpoint(merge_checkpoint(from), to_shards);
+  ORBIT2_OBS_COUNT("elastic.reshards", 1);
+  return out;
+}
+
+std::string shard_path(const std::string& prefix, std::int64_t shard,
+                       std::int64_t shards) {
+  ORBIT2_REQUIRE(shard >= 0 && shard < shards,
+                 "shard " << shard << " out of range [0, " << shards << ")");
+  return prefix + ".shard" + std::to_string(shard) + "-of-" +
+         std::to_string(shards) + ".o2ck";
+}
+
+void save_sharded(const std::string& prefix,
+                  const std::vector<train::RawCheckpoint>& shards) {
+  const std::int64_t n = static_cast<std::int64_t>(shards.size());
+  for (std::int64_t s = 0; s < n; ++s) {
+    train::save_checkpoint_raw(shard_path(prefix, s, n),
+                               shards[static_cast<std::size_t>(s)]);
+  }
+}
+
+std::vector<train::RawCheckpoint> load_sharded(const std::string& prefix,
+                                               std::int64_t shards) {
+  ORBIT2_REQUIRE(shards >= 1, "need at least one shard, got " << shards);
+  std::vector<train::RawCheckpoint> out;
+  out.reserve(static_cast<std::size_t>(shards));
+  for (std::int64_t s = 0; s < shards; ++s) {
+    out.push_back(train::load_checkpoint_raw(shard_path(prefix, s, shards)));
+  }
+  return out;
+}
+
+}  // namespace orbit2::elastic

@@ -1,0 +1,62 @@
+#pragma once
+// Checkpoint resharding: move full training state between shard layouts.
+//
+// A checkpoint written on N workers must be consumable by M != N survivors
+// for elastic recovery to work. This module operates on the raw (model-
+// free) checkpoint form: every tensor entry — parameters and both AdamW
+// moment buffers — is split along dim 0 by the canonical
+// hwsim::shard_rows ownership map, and the scalar TrainState (global step,
+// epoch/sample cursor, GradScaler, data-order RNG stream) is replicated
+// into every shard, so any single shard set fully determines the resume
+// point. Each shard file is itself a valid v2 checkpoint container.
+//
+// Guarantees (tested):
+//  * merge(shard(full, N)) is byte-identical to `full` for every N — the
+//    split is pure slicing, the merge pure concatenation, and the v2
+//    writer serializes a given (name -> payload) mapping to one byte
+//    stream.
+//  * reshard from N to M equals sharding the full state to M directly, so
+//    a resume at the M-layout is bit-identical to a fresh M-layout run
+//    (the kernel layer makes the math thread-count-invariant; this makes
+//    the state layout-invariant).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "train/checkpoint.hpp"
+
+namespace orbit2::elastic {
+
+/// Splits a full (unsharded) raw checkpoint into `shards` per-worker
+/// checkpoints. Tensor entries must be rank >= 1; each shard takes its
+/// shard_rows dim-0 range (possibly zero rows when a tensor has fewer rows
+/// than shards). TrainState is replicated into every shard.
+std::vector<train::RawCheckpoint> shard_checkpoint(
+    const train::RawCheckpoint& full, std::int64_t shards);
+
+/// Inverse of shard_checkpoint: concatenates each entry's per-shard slices
+/// back into the full tensor. Requires every shard to carry the same entry
+/// names in the same order and identical TrainState bytes-relevant fields.
+train::RawCheckpoint merge_checkpoint(
+    const std::vector<train::RawCheckpoint>& shards);
+
+/// N -> M in one call: merge then re-split. Equivalent (and tested equal)
+/// to shard_checkpoint(merge_checkpoint(from), to_shards).
+std::vector<train::RawCheckpoint> reshard_checkpoint(
+    const std::vector<train::RawCheckpoint>& from, std::int64_t to_shards);
+
+/// Canonical on-disk name of shard `shard` of `shards`:
+/// "<prefix>.shard<k>-of-<n>.o2ck".
+std::string shard_path(const std::string& prefix, std::int64_t shard,
+                       std::int64_t shards);
+
+/// Writes each shard to its shard_path (atomic + retried per file).
+void save_sharded(const std::string& prefix,
+                  const std::vector<train::RawCheckpoint>& shards);
+
+/// Reads `shards` shard files written by save_sharded.
+std::vector<train::RawCheckpoint> load_sharded(const std::string& prefix,
+                                               std::int64_t shards);
+
+}  // namespace orbit2::elastic

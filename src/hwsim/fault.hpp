@@ -61,6 +61,11 @@ class FaultModel {
   /// are unaffected; they depend only on the config seed).
   void reseed(std::uint64_t seed);
 
+  /// Rewinds the failure stream to its initial state (the config seed), so
+  /// the exact same failure sequence replays — the handle elastic policy
+  /// evaluation uses to compare strategies under one failure history.
+  void restart() { reseed(config_.seed); }
+
   /// Deterministic per-GCD slowdown factor: 1 for healthy GCDs,
   /// `straggler_slowdown` for the hash-selected straggler set.
   double straggler_factor(std::int64_t gcd) const;

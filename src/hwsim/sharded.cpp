@@ -42,6 +42,20 @@ std::vector<Tensor> split_weight(const Tensor& weight, int axis,
 
 }  // namespace
 
+RowRange shard_rows(std::int64_t rows, std::int64_t shard,
+                    std::int64_t shards) {
+  ORBIT2_REQUIRE(shards >= 1, "need at least one shard");
+  ORBIT2_REQUIRE(shard >= 0 && shard < shards,
+                 "shard " << shard << " out of range [0, " << shards << ")");
+  ORBIT2_REQUIRE(rows >= 0, "negative row count " << rows);
+  const std::int64_t base = rows / shards;
+  const std::int64_t rem = rows % shards;
+  RowRange range;
+  range.begin = shard * base + std::min(shard, rem);
+  range.end = range.begin + base + (shard < rem ? 1 : 0);
+  return range;
+}
+
 ShardedLinear::ShardedLinear(const Tensor& weight, const Tensor& bias,
                              Mode mode, std::int64_t devices)
     : mode_(mode) {
@@ -168,8 +182,20 @@ LayerwiseFsdpStack::LayerwiseFsdpStack(std::vector<Tensor> weights,
                  "one bias per weight required");
   ORBIT2_REQUIRE(devices >= 1, "need at least one device");
   weight_shards_.reserve(weights.size());
+  // Ownership follows the canonical shard_rows map (remainder rows to the
+  // leading devices), so any device count is valid — including counts that
+  // do not divide the row dimension — and a shrink/grow between counts is
+  // pure re-slicing. forward() gathers the full weight before its matmul,
+  // so the math is bit-identical for every layout.
   for (const Tensor& w : weights) {
-    weight_shards_.push_back(split_weight(w, 0, devices));
+    ORBIT2_REQUIRE(w.rank() == 2, "weight must be rank-2");
+    std::vector<Tensor> shards;
+    shards.reserve(static_cast<std::size_t>(devices));
+    for (std::int64_t d = 0; d < devices; ++d) {
+      const RowRange range = shard_rows(w.dim(0), d, devices);
+      shards.push_back(w.slice(0, range.begin, range.rows()));
+    }
+    weight_shards_.push_back(std::move(shards));
   }
 }
 

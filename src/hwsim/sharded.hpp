@@ -31,6 +31,22 @@
 
 namespace orbit2::hwsim {
 
+/// Contiguous dim-0 row range [begin, end) owned by one shard.
+struct RowRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t rows() const { return end - begin; }
+};
+
+/// Canonical ownership map for splitting `rows` dim-0 rows across `shards`
+/// workers: contiguous ranges, remainder rows going to the leading shards,
+/// so any two shard counts' layouts are related by pure slicing (sizes
+/// differ by at most one row). Every sharded structure in this repo — the
+/// FSDP stack below and elastic checkpoint resharding — uses this map, so
+/// concatenating the shards in order always reconstructs the full tensor.
+RowRange shard_rows(std::int64_t rows, std::int64_t shard,
+                    std::int64_t shards);
+
 /// Tracks bytes moved by each collective, for communication accounting.
 struct CommStats {
   std::int64_t allgather_bytes = 0;
@@ -94,11 +110,13 @@ Tensor column_only_chain(const Tensor& x, const Tensor& w1, const Tensor& b1,
                          std::int64_t devices, CommStats& stats);
 
 /// Layer-wise FSDP over a stack of linear layers: each device permanently
-/// owns rows [d*in/N, (d+1)*in/N) of every W. `forward` gathers one layer
-/// at a time, applies it (with GELU between layers), and drops the gather.
+/// owns the shard_rows(in_l, d, N) row range of every W. `forward` gathers
+/// one layer at a time, applies it (with GELU between layers), and drops
+/// the gather — so results are bit-identical for every device count.
 class LayerwiseFsdpStack {
  public:
-  /// weights[l] is [in_l, out_l]; in_l must divide by `devices`.
+  /// weights[l] is [in_l, out_l]; any `devices` >= 1 is valid (remainder
+  /// rows go to the leading devices per shard_rows).
   LayerwiseFsdpStack(std::vector<Tensor> weights, std::vector<Tensor> biases,
                      std::int64_t devices);
 

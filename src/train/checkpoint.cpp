@@ -18,10 +18,20 @@
 
 #include "core/crc32.hpp"
 #include "core/obs.hpp"
+#include "core/retry.hpp"
 
 namespace orbit2::train {
 
 namespace {
+
+// Test seam for fault-injection tests; see set_checkpoint_write_fault_hook.
+std::function<void(int)> g_write_fault_hook;
+
+// Transient-failure policy for physical checkpoint writes. Three tries with
+// a short exponential backoff: enough to ride out a PFS hiccup, bounded so
+// a genuinely dead filesystem still fails the save promptly.
+constexpr int kWriteAttempts = 3;
+constexpr long long kWriteBackoffMs = 5;
 
 constexpr char kMagicV1[4] = {'O', '2', 'C', 'K'};
 constexpr char kMagicV2[4] = {'O', '2', 'K', '2'};
@@ -217,18 +227,23 @@ TrainState read_train_state(CrcReader& reader, const std::string& path) {
 }
 
 void write_tensor_entry(CrcWriter& writer, const std::string& name,
-                        const Tensor& tensor) {
+                        const Shape& shape, const float* data) {
   writer.begin_entry();
   writer.write_string(name);
   writer.write_pod(kEntryTensor);
-  const Shape& shape = tensor.shape();
   writer.write_pod(static_cast<std::uint8_t>(shape.rank()));
   for (int axis = 0; axis < shape.rank(); ++axis) {
     writer.write_pod(shape[axis]);
   }
-  writer.write(tensor.data().data(),
-               static_cast<std::size_t>(tensor.numel()) * sizeof(float));
+  const std::size_t bytes =
+      static_cast<std::size_t>(shape.numel()) * sizeof(float);
+  if (bytes > 0) writer.write(data, bytes);
   writer.end_entry();
+}
+
+void write_tensor_entry(CrcWriter& writer, const std::string& name,
+                        const Tensor& tensor) {
+  write_tensor_entry(writer, name, tensor.shape(), tensor.data().data());
 }
 
 // Writes the whole v2 body to an already-open stream.
@@ -288,13 +303,19 @@ void write_v2_body(std::ofstream& out, const autograd::Module& module,
 // Writes `path` atomically: body goes to `path.tmp`, which is flushed,
 // fsynced, and renamed over `path`; the directory entry is fsynced too.
 // On any failure the temp file is removed and the original is untouched.
+// `attempt` is the 0-based retry attempt, forwarded to the fault hook.
 template <typename WriteBody>
-void atomic_write(const std::string& path, WriteBody&& write_body) {
+void atomic_write(const std::string& path, int attempt,
+                  WriteBody&& write_body) {
   const std::string tmp = path + ".tmp";
   try {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     ORBIT2_REQUIRE(out.good(), "cannot open " << tmp << " for writing");
     write_body(out);
+    // The fault hook fires after the body is fully staged in the temp file
+    // but before fsync+rename — the worst moment for a torn rotation. A
+    // throw here must leave the target path exactly as it was.
+    if (g_write_fault_hook) g_write_fault_hook(attempt);
     out.flush();
     ORBIT2_REQUIRE(out.good(), "flush failure writing " << tmp);
   } catch (...) {
@@ -327,6 +348,64 @@ void atomic_write(const std::string& path, WriteBody&& write_body) {
 #endif
 }
 
+// Rides out transient I/O failures: the whole atomic write (stage temp,
+// fsync, rename) is retried with bounded exponential backoff. Every failed
+// attempt leaves the target path untouched and no temp file behind, so the
+// worst case after exhausting retries is the *previous* checkpoint intact.
+template <typename WriteBody>
+void retried_atomic_write(const std::string& path, WriteBody&& write_body) {
+  RetryConfig retry;
+  retry.attempts = kWriteAttempts;
+  retry.backoff_ms = kWriteBackoffMs;
+  retry_with_backoff(retry, [&](int attempt) {
+    if (attempt > 0) ORBIT2_OBS_COUNT("checkpoint.write_retries", 1);
+    atomic_write(path, attempt, write_body);
+  });
+}
+
+// Writes a RawCheckpoint body. Entries go out in sorted-name order (the
+// caller's vector order is irrelevant), matching write_v2_body byte for
+// byte on equivalent content.
+void write_v2_body_raw(std::ofstream& out, const RawCheckpoint& ckpt) {
+  CrcWriter writer(out);
+  writer.write(kMagicV2, sizeof(kMagicV2));
+  writer.write_pod(kFormatVersion);
+  std::uint64_t entries = ckpt.tensors.size();
+  if (ckpt.has_train_state) entries += 1;
+  writer.write_pod(entries);
+
+  std::vector<const RawTensorEntry*> ordered;
+  ordered.reserve(ckpt.tensors.size());
+  for (const auto& t : ckpt.tensors) ordered.push_back(&t);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const RawTensorEntry* a, const RawTensorEntry* b) {
+              return a->name < b->name;
+            });
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    ORBIT2_REQUIRE(i == 0 || ordered[i - 1]->name != ordered[i]->name,
+                   "duplicate raw checkpoint entry '" << ordered[i]->name
+                                                      << "'");
+    ORBIT2_REQUIRE(static_cast<std::int64_t>(ordered[i]->payload.size()) ==
+                       ordered[i]->shape.numel(),
+                   "raw entry '" << ordered[i]->name << "' payload has "
+                                 << ordered[i]->payload.size()
+                                 << " floats but shape "
+                                 << ordered[i]->shape.to_string());
+    write_tensor_entry(writer, ordered[i]->name, ordered[i]->shape,
+                       ordered[i]->payload.data());
+  }
+  if (ckpt.has_train_state) {
+    writer.begin_entry();
+    writer.write_string(kTrainStateEntry);
+    writer.write_pod(kEntryBlob);
+    write_train_state(writer, ckpt.state);
+    writer.end_entry();
+  }
+  const std::uint32_t crc = writer.file_crc();
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  ORBIT2_REQUIRE(out.good(), "short checkpoint write");
+}
+
 // ---- v2 reading -----------------------------------------------------------
 
 struct LoadedTensor {
@@ -336,10 +415,13 @@ struct LoadedTensor {
 
 // Walks every entry of an open v2 stream, verifying entry CRCs and the
 // whole-file CRC. When `materialize` is false, tensor payloads are
-// checksummed in bounded chunks and dropped.
+// checksummed in bounded chunks and dropped. When `raw_tensors` is
+// non-null, materialized payloads are appended there in file order (the
+// map keeps empty-payload entries for duplicate detection only).
 CheckpointInfo read_v2(std::ifstream& in, std::uint64_t file_size,
                        const std::string& path, bool materialize,
-                       std::unordered_map<std::string, LoadedTensor>* tensors) {
+                       std::unordered_map<std::string, LoadedTensor>* tensors,
+                       std::vector<RawTensorEntry>* raw_tensors = nullptr) {
   ORBIT2_REQUIRE(file_size >= sizeof(kMagicV2) + sizeof(std::uint32_t) +
                                   sizeof(std::uint64_t) + sizeof(std::uint32_t),
                  "checkpoint " << path << " too small to be valid");
@@ -407,6 +489,11 @@ CheckpointInfo read_v2(std::ifstream& in, std::uint64_t file_size,
         reader.skip(numel * sizeof(float));
       }
       reader.end_entry(name);
+      if (raw_tensors != nullptr) {
+        raw_tensors->push_back(
+            RawTensorEntry{name, loaded.shape, std::move(loaded.payload)});
+        loaded.payload.clear();
+      }
       if (tensors != nullptr) {
         ORBIT2_REQUIRE(tensors->emplace(name, std::move(loaded)).second,
                        "duplicate checkpoint entry '" << name << "' in "
@@ -492,13 +579,66 @@ void read_v1(std::ifstream& in, std::uint64_t file_size,
 
 }  // namespace
 
+void set_checkpoint_write_fault_hook(std::function<void(int)> hook) {
+  g_write_fault_hook = std::move(hook);
+}
+
 void save_checkpoint(const std::string& path, const autograd::Module& module,
                      const autograd::AdamW* optimizer,
                      const TrainState* state) {
   ORBIT2_OBS_SPAN("checkpoint/save", "checkpoint");
-  atomic_write(path, [&](std::ofstream& out) {
+  retried_atomic_write(path, [&](std::ofstream& out) {
     write_v2_body(out, module, optimizer, state);
   });
+  if (obs::enabled()) {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(path, ec);
+    if (!ec) {
+      ORBIT2_OBS_COUNT("checkpoint.bytes_written",
+                       static_cast<std::int64_t>(bytes));
+      ORBIT2_OBS_COUNT("checkpoint.saves", 1);
+    }
+  }
+}
+
+RawCheckpoint load_checkpoint_raw(const std::string& path) {
+  ORBIT2_OBS_SPAN("checkpoint/load", "checkpoint");
+  std::ifstream in(path, std::ios::binary);
+  ORBIT2_REQUIRE(in.good(), "cannot open " << path);
+  const std::uint64_t file_size = file_size_of(in, path);
+  ORBIT2_OBS_COUNT("checkpoint.bytes_read",
+                   static_cast<std::int64_t>(file_size));
+  ORBIT2_OBS_COUNT("checkpoint.loads", 1);
+  ORBIT2_REQUIRE(file_size >= sizeof(kMagicV2),
+                 "checkpoint " << path << " too small to be valid");
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  ORBIT2_REQUIRE(in.good(), "read failure in checkpoint " << path);
+  ORBIT2_REQUIRE(std::equal(magic, magic + 4, kMagicV2),
+                 "raw checkpoint API requires a v2 file: " << path);
+  in.seekg(0, std::ios::beg);
+  ORBIT2_REQUIRE(in.good(), "cannot rewind " << path);
+
+  std::unordered_map<std::string, LoadedTensor> tensors;
+  RawCheckpoint raw;
+  const CheckpointInfo info = read_v2(in, file_size, path,
+                                      /*materialize=*/true, &tensors,
+                                      &raw.tensors);
+  raw.has_train_state = info.has_train_state;
+  raw.state = info.state;
+  // File order is already sorted for files we wrote; sort anyway so the
+  // documented invariant holds for any valid v2 file.
+  std::sort(raw.tensors.begin(), raw.tensors.end(),
+            [](const RawTensorEntry& a, const RawTensorEntry& b) {
+              return a.name < b.name;
+            });
+  return raw;
+}
+
+void save_checkpoint_raw(const std::string& path, const RawCheckpoint& ckpt) {
+  ORBIT2_OBS_SPAN("checkpoint/save", "checkpoint");
+  retried_atomic_write(
+      path, [&](std::ofstream& out) { write_v2_body_raw(out, ckpt); });
   if (obs::enabled()) {
     std::error_code ec;
     const auto bytes = std::filesystem::file_size(path, ec);

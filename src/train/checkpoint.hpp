@@ -12,11 +12,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "autograd/nn.hpp"
 #include "autograd/optim.hpp"
 #include "core/rng.hpp"
+#include "core/shape.hpp"
 
 namespace orbit2::train {
 
@@ -72,6 +75,43 @@ CheckpointInfo load_checkpoint(const std::string& path,
 /// loading tensors into a model (payloads are checksummed in bounded
 /// chunks, never materialized).
 CheckpointInfo peek_checkpoint(const std::string& path);
+
+/// One named tensor entry of a v2 checkpoint, detached from any model.
+struct RawTensorEntry {
+  std::string name;
+  Shape shape;
+  std::vector<float> payload;
+};
+
+/// A v2 checkpoint as data: every tensor entry (sorted by name — the same
+/// order the v2 writer serializes) plus the scalar train state. This is the
+/// substrate elastic resharding operates on: entries can be sliced and
+/// re-stitched without instantiating modules or optimizers.
+struct RawCheckpoint {
+  std::vector<RawTensorEntry> tensors;
+  bool has_train_state = false;
+  TrainState state;
+};
+
+/// Loads a v2 checkpoint into raw (model-free) form. All CRCs are verified;
+/// tensors come back sorted by name. Legacy v1 files are rejected.
+RawCheckpoint load_checkpoint_raw(const std::string& path);
+
+/// Writes a RawCheckpoint as a v2 file (atomic, retried like
+/// save_checkpoint). Byte-identical to save_checkpoint for equivalent
+/// content: entries are serialized in sorted-name order regardless of the
+/// order in `ckpt.tensors`, so the file is a pure function of the
+/// (name -> shape/payload) mapping plus train state.
+void save_checkpoint_raw(const std::string& path, const RawCheckpoint& ckpt);
+
+/// Test seam for transient-I/O fault injection: when set, the hook runs at
+/// the start of every physical write attempt (0-based attempt index) of
+/// every checkpoint save; throwing from it simulates a failed attempt,
+/// which is retried with bounded exponential backoff. The partially
+/// written temp file is always removed and the target path never replaced
+/// by a torn file. Pass nullptr to clear. Not thread-safe: set it before
+/// training starts (it exists for fault-injection tests).
+void set_checkpoint_write_fault_hook(std::function<void(int)> hook);
 
 /// Latest/best rotation over a checkpoint directory: `save` atomically
 /// replaces `latest.o2ck` every time and `best.o2ck` whenever `metric`

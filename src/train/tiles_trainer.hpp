@@ -65,6 +65,11 @@ class TilesTrainer {
 
   std::size_t replica_count() const { return replicas_.size(); }
   model::Downscaler& replica(std::size_t i) { return *replicas_[i]; }
+  /// Replica i's AdamW (all replicas hold identical state in sync runs;
+  /// elastic tests compare moments across layouts through this).
+  const autograd::AdamW& optimizer(std::size_t i) const {
+    return *optimizers_[i];
+  }
   std::int64_t global_step() const { return global_step_; }
   std::int64_t epoch() const { return epoch_; }
   std::int64_t sample_cursor() const { return cursor_; }

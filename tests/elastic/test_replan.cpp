@@ -1,0 +1,236 @@
+// Elastic re-planning tests: feasibility gating via check_fits, the
+// extended Young/Daly goodput tradeoff between re-plan-and-continue and
+// wait-for-repair, and the discrete-event simulation cross-check driven by
+// the same seeded failure stream.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/error.hpp"
+#include "elastic/replan.hpp"
+#include "hwsim/fault.hpp"
+#include "model/config.hpp"
+
+namespace orbit2::elastic {
+namespace {
+
+hwsim::WorkloadSpec small_spec() {
+  hwsim::WorkloadSpec spec;
+  spec.config = model::preset_126m();
+  spec.lr_h = 180;
+  spec.lr_w = 360;
+  spec.tiles = 4;
+  return spec;
+}
+
+hwsim::FaultModelConfig quiet_faults(double job_mtbf, std::int64_t gcds) {
+  hwsim::FaultModelConfig config;
+  config.gcd_mtbf_seconds = job_mtbf * static_cast<double>(gcds);
+  config.straggler_fraction = 0.0;  // isolate the failure/recovery tradeoff
+  config.link_degrade_fraction = 0.0;
+  return config;
+}
+
+TEST(Replan, SurvivorPlanIsFeasibleAndSizedForSurvivors) {
+  const auto result =
+      replan_for_survivors(small_spec(), hwsim::FrontierTopology{}, 56);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.survivors, 56);
+  EXPECT_EQ(result.plan.total_gpus, 56);
+  EXPECT_LE(result.fit.breakdown.total(), result.fit.budget_bytes);
+}
+
+TEST(Replan, OversizedModelOnLoneSurvivorIsInfeasible) {
+  hwsim::WorkloadSpec spec;
+  spec.config = model::preset_10b();
+  spec.tiles = 1;
+  const auto result =
+      replan_for_survivors(spec, hwsim::FrontierTopology{}, 1);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Replan, GoodputCurvesCrossAsRepairTimeGrows) {
+  // Short repairs favor waiting (one relaunch beats two reshard passes);
+  // long repairs favor re-planning (the deficit grows only by 1 - S/N per
+  // repair second while waiting loses the whole window).
+  const std::int64_t params = 10'000'000'000;
+  const std::int64_t total = 64, survivors = 56;
+  const hwsim::RecoveryCostConfig recovery;
+  const double rate = 1.0 / 20000.0;
+  const double tau = 300.0;
+  const double ckpt = hwsim::checkpoint_write_seconds(params, recovery);
+
+  // Expensive transitions (slow collective re-init) make the crossover
+  // visible: two of them outweigh a quick relaunch.
+  ElasticCostConfig cheap_repair;
+  cheap_repair.replan_fixed_seconds = 200.0;
+  cheap_repair.repair_seconds = 10.0;
+  EXPECT_GE(expected_goodput_wait(tau, ckpt, rate, params, recovery,
+                                  cheap_repair),
+            expected_goodput_replan(tau, ckpt, rate, params, survivors,
+                                    total, recovery, cheap_repair));
+
+  ElasticCostConfig slow_repair;
+  slow_repair.replan_fixed_seconds = 200.0;
+  slow_repair.repair_seconds = 20000.0;
+  EXPECT_GT(expected_goodput_replan(tau, ckpt, rate, params, survivors,
+                                    total, recovery, slow_repair),
+            expected_goodput_wait(tau, ckpt, rate, params, recovery,
+                                  slow_repair));
+}
+
+TEST(Replan, PolicyChoosesReplanWhenRepairIsSlowAndPlanFits) {
+  RecoveryPolicyConfig config;
+  config.elastic.repair_seconds = 20000.0;
+  const RecoveryPolicy policy(config);
+  const hwsim::FaultModel faults(64, quiet_faults(20000.0, 64));
+  const auto decision = policy.decide(small_spec(), hwsim::FrontierTopology{},
+                                      faults, 56, 300.0);
+  EXPECT_EQ(decision.action, RecoveryAction::kReplanContinue);
+  EXPECT_TRUE(decision.replan.feasible);
+  EXPECT_GT(decision.goodput_replan, decision.goodput_wait);
+  EXPECT_GT(decision.goodput_wait, 0.0);
+}
+
+TEST(Replan, PolicyWaitsWhenRepairIsFast) {
+  RecoveryPolicyConfig config;
+  config.elastic.repair_seconds = 5.0;
+  config.elastic.replan_fixed_seconds = 120.0;
+  const RecoveryPolicy policy(config);
+  const hwsim::FaultModel faults(64, quiet_faults(20000.0, 64));
+  const auto decision = policy.decide(small_spec(), hwsim::FrontierTopology{},
+                                      faults, 56, 300.0);
+  EXPECT_EQ(decision.action, RecoveryAction::kWaitForRepair);
+}
+
+TEST(Replan, PolicyWaitsWhenSurvivorPlanCannotFit) {
+  hwsim::WorkloadSpec spec;
+  spec.config = model::preset_10b();
+  spec.tiles = 1;
+  RecoveryPolicyConfig config;
+  config.elastic.repair_seconds = 1.0e6;  // waiting is terrible, but forced
+  const RecoveryPolicy policy(config);
+  const hwsim::FaultModel faults(64, quiet_faults(20000.0, 64));
+  const auto decision =
+      policy.decide(spec, hwsim::FrontierTopology{}, faults, 1, 300.0);
+  EXPECT_EQ(decision.action, RecoveryAction::kWaitForRepair);
+  EXPECT_FALSE(decision.replan.feasible);
+  EXPECT_EQ(decision.goodput_replan, 0.0);
+}
+
+TEST(Replan, HysteresisMarginHoldsNearTies) {
+  // With a large required advantage, a marginal re-plan win is rejected.
+  RecoveryPolicyConfig config;
+  config.elastic.repair_seconds = 20000.0;
+  config.min_relative_advantage = 10.0;  // require 11x the wait goodput
+  const RecoveryPolicy policy(config);
+  const hwsim::FaultModel faults(64, quiet_faults(20000.0, 64));
+  const auto decision = policy.decide(small_spec(), hwsim::FrontierTopology{},
+                                      faults, 56, 300.0);
+  EXPECT_GT(decision.goodput_replan, decision.goodput_wait);
+  EXPECT_EQ(decision.action, RecoveryAction::kWaitForRepair);
+}
+
+TEST(Replan, SimulationIsDeterministicFromRestartedStream) {
+  const std::int64_t params = 10'000'000'000;
+  hwsim::FaultModel faults(64, quiet_faults(20000.0, 64));
+  const hwsim::RecoveryCostConfig recovery;
+  ElasticCostConfig elastic;
+  elastic.repair_seconds = 2000.0;
+
+  faults.restart();
+  const auto a = simulate_elastic_run(faults, recovery, elastic, params, 56,
+                                      64, 300.0, 1.0e6,
+                                      RecoveryAction::kReplanContinue);
+  faults.restart();
+  const auto b = simulate_elastic_run(faults, recovery, elastic, params, 56,
+                                      64, 300.0, 1.0e6,
+                                      RecoveryAction::kReplanContinue);
+  EXPECT_EQ(a.wall_seconds, b.wall_seconds);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.replans, b.replans);
+  EXPECT_EQ(a.degraded_seconds, b.degraded_seconds);
+  EXPECT_GT(a.failures, 10);
+  // Every failure opens a shrink and (failures inside an open window merge
+  // repair clocks) at most one grow per shrink.
+  EXPECT_GE(a.replans, a.failures);
+  EXPECT_LE(a.replans, 2 * a.failures);
+}
+
+TEST(Replan, AnalyticGoodputMatchesSimulationWithinTolerance) {
+  // Same seeded failure stream drives both strategies; the analytic
+  // extended Young/Daly curve must land within 15% of the discrete-event
+  // simulation (the analytic form averages replay and treats the degraded
+  // window as a lump deficit, so exact agreement is not expected).
+  const std::int64_t params = 10'000'000'000;
+  const std::int64_t total = 64, survivors = 56;
+  const double job_mtbf = 20000.0;
+  const double tau = 300.0;
+  const hwsim::RecoveryCostConfig recovery;
+  ElasticCostConfig elastic;
+  elastic.repair_seconds = 2000.0;  // << MTBF: analytic regime
+  hwsim::FaultModel faults(total, quiet_faults(job_mtbf, total));
+  const double ckpt = hwsim::checkpoint_write_seconds(params, recovery);
+  const double rate = faults.failure_rate();
+
+  faults.restart();
+  const auto sim_replan = simulate_elastic_run(
+      faults, recovery, elastic, params, survivors, total, tau, 2.0e6,
+      RecoveryAction::kReplanContinue);
+  faults.restart();
+  const auto sim_wait = simulate_elastic_run(
+      faults, recovery, elastic, params, survivors, total, tau, 2.0e6,
+      RecoveryAction::kWaitForRepair);
+
+  const double analytic_replan = expected_goodput_replan(
+      tau, ckpt, rate, params, survivors, total, recovery, elastic);
+  const double analytic_wait = expected_goodput_wait(tau, ckpt, rate, params,
+                                                     recovery, elastic);
+
+  EXPECT_NEAR(sim_replan.goodput(), analytic_replan,
+              0.15 * analytic_replan);
+  EXPECT_NEAR(sim_wait.goodput(), analytic_wait, 0.15 * analytic_wait);
+  // And the tradeoff ordering agrees between model and simulation.
+  EXPECT_GT(analytic_replan, analytic_wait);
+  EXPECT_GT(sim_replan.goodput(), sim_wait.goodput());
+  EXPECT_GT(sim_replan.degraded_seconds, 0.0);
+  EXPECT_EQ(sim_wait.replans, 0);
+}
+
+TEST(Replan, PauseModelAccounting) {
+  const std::int64_t params = 1'000'000'000;
+  const hwsim::RecoveryCostConfig recovery;
+  ElasticCostConfig elastic;
+  elastic.replan_fixed_seconds = 60.0;
+  elastic.repair_seconds = 3600.0;
+  const double reshard_io =
+      hwsim::checkpoint_read_seconds(params, recovery) +
+      hwsim::checkpoint_write_seconds(params, recovery);
+  EXPECT_DOUBLE_EQ(
+      replan_pause_seconds(params, recovery, elastic),
+      recovery.detect_seconds + 2.0 * (60.0 + reshard_io) +
+          hwsim::checkpoint_read_seconds(params, recovery));
+  EXPECT_DOUBLE_EQ(
+      wait_pause_seconds(params, recovery, elastic),
+      recovery.detect_seconds + 3600.0 + recovery.restart_seconds +
+          hwsim::checkpoint_read_seconds(params, recovery));
+}
+
+TEST(Replan, RejectsInvalidSurvivorCounts) {
+  const hwsim::RecoveryCostConfig recovery;
+  const ElasticCostConfig elastic;
+  EXPECT_THROW(expected_goodput_replan(300.0, 1.0, 1e-4, 1000, 0, 8,
+                                       recovery, elastic),
+               Error);
+  EXPECT_THROW(expected_goodput_replan(300.0, 1.0, 1e-4, 1000, 9, 8,
+                                       recovery, elastic),
+               Error);
+  EXPECT_THROW(replan_for_survivors(small_spec(), hwsim::FrontierTopology{},
+                                    0),
+               Error);
+}
+
+}  // namespace
+}  // namespace orbit2::elastic

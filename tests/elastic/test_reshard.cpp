@@ -1,0 +1,195 @@
+// Checkpoint resharding unit tests: the byte-exactness guarantees that make
+// elastic shrink/grow safe. shard -> merge must reproduce the original v2
+// file byte for byte at every shard count, and resharding N -> M must equal
+// sharding the full state to M directly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/obs.hpp"
+#include "elastic/reshard.hpp"
+#include "hwsim/sharded.hpp"
+#include "train/checkpoint.hpp"
+
+namespace orbit2::elastic {
+namespace {
+
+std::vector<char> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+train::RawTensorEntry make_entry(const std::string& name, const Shape& shape,
+                                 float base) {
+  train::RawTensorEntry entry;
+  entry.name = name;
+  entry.shape = shape;
+  entry.payload.resize(static_cast<std::size_t>(shape.numel()));
+  for (std::size_t i = 0; i < entry.payload.size(); ++i) {
+    entry.payload[i] = base + 0.25f * static_cast<float>(i);
+  }
+  return entry;
+}
+
+/// Mixed-rank checkpoint with row counts chosen to exercise remainders
+/// (5, 7, 1) and a scalar-free layout like real checkpoints.
+train::RawCheckpoint make_checkpoint() {
+  train::RawCheckpoint full;
+  full.tensors.push_back(make_entry("param/w1", Shape{5, 3}, 1.0f));
+  full.tensors.push_back(make_entry("param/b1", Shape{7}, -2.0f));
+  full.tensors.push_back(make_entry("adamw/m/w1", Shape{5, 3}, 0.5f));
+  full.tensors.push_back(make_entry("adamw/v/w1", Shape{5, 3}, 0.125f));
+  full.tensors.push_back(make_entry("param/tiny", Shape{1, 4}, 9.0f));
+  full.has_train_state = true;
+  full.state.global_step = 17;
+  full.state.epoch = 2;
+  full.state.sample_cursor = 5;
+  full.state.optimizer_steps = 17;
+  full.state.has_rng = true;
+  full.state.data_rng.words = {1u, 2u, 3u, 4u};
+  full.state.metric = 0.375;
+  return full;
+}
+
+void expect_same_checkpoint(const train::RawCheckpoint& a,
+                            const train::RawCheckpoint& b) {
+  ASSERT_EQ(a.tensors.size(), b.tensors.size());
+  for (std::size_t e = 0; e < a.tensors.size(); ++e) {
+    EXPECT_EQ(a.tensors[e].name, b.tensors[e].name);
+    EXPECT_TRUE(a.tensors[e].shape == b.tensors[e].shape)
+        << a.tensors[e].name;
+    ASSERT_EQ(a.tensors[e].payload.size(), b.tensors[e].payload.size());
+    for (std::size_t i = 0; i < a.tensors[e].payload.size(); ++i) {
+      ASSERT_EQ(a.tensors[e].payload[i], b.tensors[e].payload[i])
+          << a.tensors[e].name << "[" << i << "]";
+    }
+  }
+  EXPECT_EQ(a.has_train_state, b.has_train_state);
+  EXPECT_EQ(a.state.global_step, b.state.global_step);
+  EXPECT_EQ(a.state.sample_cursor, b.state.sample_cursor);
+}
+
+TEST(Reshard, ShardMergeRoundTripIsByteExactForEveryShardCount) {
+  const train::RawCheckpoint full = make_checkpoint();
+  const std::string full_path = temp_path("orbit2_reshard_full.o2ck");
+  train::save_checkpoint_raw(full_path, full);
+  const std::vector<char> golden = file_bytes(full_path);
+
+  for (std::int64_t n : {1, 2, 3, 5, 8}) {
+    const std::string prefix =
+        temp_path("orbit2_reshard_rt" + std::to_string(n));
+    save_sharded(prefix, shard_checkpoint(full, n));
+    const train::RawCheckpoint merged =
+        merge_checkpoint(load_sharded(prefix, n));
+
+    const std::string merged_path =
+        temp_path("orbit2_reshard_merged" + std::to_string(n) + ".o2ck");
+    train::save_checkpoint_raw(merged_path, merged);
+    EXPECT_EQ(file_bytes(merged_path), golden)
+        << "round-trip through " << n << " shards changed bytes";
+
+    for (std::int64_t s = 0; s < n; ++s) {
+      std::filesystem::remove(shard_path(prefix, s, n));
+    }
+    std::filesystem::remove(merged_path);
+  }
+  std::filesystem::remove(full_path);
+}
+
+TEST(Reshard, ReshardEqualsShardingFullStateDirectly) {
+  const train::RawCheckpoint full = make_checkpoint();
+  for (std::int64_t from : {2, 4, 7}) {
+    for (std::int64_t to : {1, 3, 5}) {
+      const auto via = reshard_checkpoint(shard_checkpoint(full, from), to);
+      const auto direct = shard_checkpoint(full, to);
+      ASSERT_EQ(via.size(), direct.size());
+      for (std::size_t s = 0; s < via.size(); ++s) {
+        expect_same_checkpoint(via[s], direct[s]);
+      }
+    }
+  }
+}
+
+TEST(Reshard, SmallTensorsYieldEmptyShardsAndStillMerge) {
+  // One row across three shards: shards 1 and 2 own zero rows.
+  train::RawCheckpoint full;
+  full.tensors.push_back(make_entry("param/one_row", Shape{1, 6}, 3.0f));
+  const auto shards = shard_checkpoint(full, 3);
+  EXPECT_EQ(shards[0].tensors[0].shape[0], 1);
+  EXPECT_EQ(shards[1].tensors[0].shape[0], 0);
+  EXPECT_EQ(shards[2].tensors[0].shape[0], 0);
+  expect_same_checkpoint(merge_checkpoint(shards), full);
+}
+
+TEST(Reshard, TrainStateReplicatedIntoEveryShard) {
+  const auto shards = shard_checkpoint(make_checkpoint(), 4);
+  for (const auto& shard : shards) {
+    EXPECT_TRUE(shard.has_train_state);
+    EXPECT_EQ(shard.state.global_step, 17);
+    EXPECT_EQ(shard.state.sample_cursor, 5);
+    EXPECT_EQ(shard.state.data_rng.words[2], 3u);
+  }
+}
+
+TEST(Reshard, MergeRejectsShardsOutOfOrder) {
+  auto shards = shard_checkpoint(make_checkpoint(), 2);
+  // Rows split 5 -> (3, 2); swapping breaks the canonical ownership map.
+  std::swap(shards[0], shards[1]);
+  EXPECT_THROW(merge_checkpoint(shards), Error);
+}
+
+TEST(Reshard, MergeRejectsDivergentResumePoints) {
+  auto shards = shard_checkpoint(make_checkpoint(), 3);
+  shards[1].state.global_step += 1;
+  EXPECT_THROW(merge_checkpoint(shards), Error);
+}
+
+TEST(Reshard, MergeRejectsMismatchedEntryNames) {
+  auto shards = shard_checkpoint(make_checkpoint(), 2);
+  shards[1].tensors[0].name = "param/imposter";
+  EXPECT_THROW(merge_checkpoint(shards), Error);
+}
+
+TEST(Reshard, ShardRejectsRankZeroEntries) {
+  train::RawCheckpoint full;
+  train::RawTensorEntry scalar;
+  scalar.name = "param/scalar";
+  scalar.shape = Shape{};
+  EXPECT_EQ(scalar.shape.rank(), 0);
+  scalar.payload = {1.0f};
+  full.tensors.push_back(scalar);
+  EXPECT_THROW(shard_checkpoint(full, 2), Error);
+}
+
+TEST(Reshard, ReshardEmitsObsSpanAndCounter) {
+  obs::reset();
+  obs::set_enabled(true);
+  const train::RawCheckpoint full = make_checkpoint();
+  reshard_checkpoint(shard_checkpoint(full, 4), 2);
+  obs::set_enabled(false);
+  EXPECT_EQ(obs::counter("elastic.reshards").value(), 1);
+
+  const std::string trace = temp_path("orbit2_reshard_trace.json");
+  obs::write_chrome_trace(trace);
+  std::ifstream in(trace);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("elastic/reshard"), std::string::npos);
+  std::filesystem::remove(trace);
+  obs::reset();
+}
+
+}  // namespace
+}  // namespace orbit2::elastic

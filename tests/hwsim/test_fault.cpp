@@ -220,5 +220,70 @@ TEST(Goodput, StragglersStretchSimulatedWallClock) {
   EXPECT_DOUBLE_EQ(slow_run.useful_seconds, fast_run.useful_seconds);
 }
 
+TEST(FaultModel, RestartRewindsTheFailureStreamToTheConfigSeed) {
+  FaultModel faults(kGcds);
+  std::vector<double> first;
+  for (int i = 0; i < 8; ++i) first.push_back(faults.sample_time_to_failure());
+
+  // Perturb the stream thoroughly: more draws, then a foreign reseed.
+  for (int i = 0; i < 100; ++i) faults.sample_time_to_failure();
+  faults.reseed(0xdeadbeef);
+  faults.sample_time_to_failure();
+
+  faults.restart();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(faults.sample_time_to_failure(), first[static_cast<std::size_t>(i)]) << i;
+  }
+  // restart() is idempotent: rewinding twice replays the same stream.
+  faults.restart();
+  faults.restart();
+  EXPECT_EQ(faults.sample_time_to_failure(), first[0]);
+}
+
+TEST(FaultModel, EffectivelyInfiniteMtbfYieldsZeroFailures) {
+  FaultModelConfig config;
+  config.gcd_mtbf_seconds = 1.0e18;  // job MTBF ~ 3e13 s >> any horizon
+  config.straggler_fraction = 0.0;
+  FaultModel faults(kGcds, config);
+  RecoveryCostConfig recovery;
+  const double tau = 100.0;
+  const double target = 1.0e5;  // exactly 1000 segments
+  const SimulatedRun run =
+      simulate_run(faults, recovery, kParams10B, tau, target);
+  EXPECT_EQ(run.failures, 0);
+  EXPECT_DOUBLE_EQ(run.useful_seconds, target);
+  // With no failures and no stragglers the wall clock is pure work +
+  // checkpoint writes, so goodput collapses to tau / (tau + C).
+  const double write_cost = checkpoint_write_seconds(kParams10B, recovery);
+  EXPECT_NEAR(run.goodput(), tau / (tau + write_cost), 1e-9);
+  EXPECT_EQ(run.checkpoints_written, 1000);
+}
+
+TEST(FaultModel, PropertiesArePureFunctionsOfSeedAndId) {
+  FaultModelConfig config;
+  config.straggler_fraction = 0.25;
+  config.link_degrade_fraction = 0.25;
+  FaultModel a(256, config);
+  FaultModel b(256, config);
+
+  // Draining one model's failure stream must not disturb its per-GCD or
+  // per-link properties: they are hashes of (seed, id), not stream draws.
+  for (int i = 0; i < 50; ++i) a.sample_time_to_failure();
+  std::int64_t stragglers = 0;
+  double worst = 1.0;
+  for (std::int64_t id = 0; id < 256; ++id) {
+    EXPECT_EQ(a.straggler_factor(id), b.straggler_factor(id)) << id;
+    EXPECT_EQ(a.link_bandwidth_factor(id), b.link_bandwidth_factor(id)) << id;
+    if (a.straggler_factor(id) > 1.0) ++stragglers;
+    worst = std::min(worst, a.link_bandwidth_factor(id));
+  }
+  EXPECT_EQ(stragglers, a.straggler_count());
+  EXPECT_EQ(a.step_slowdown(),
+            stragglers > 0 ? config.straggler_slowdown : 1.0);
+  // With a 25% degrade fraction over 256 links some link is degraded.
+  EXPECT_EQ(worst, config.link_degrade_factor);
+  EXPECT_EQ(a.worst_link_factor(), worst);
+}
+
 }  // namespace
 }  // namespace orbit2::hwsim

@@ -160,6 +160,66 @@ TEST(LayerwiseFsdp, TransientMemoryBoundedByLargestLayer) {
   EXPECT_LT(stack.peak_transient_bytes(), stack.total_parameter_bytes());
 }
 
+TEST(ShardRows, PartitionCoversContiguouslyAndBalances) {
+  for (const std::int64_t rows : {0, 1, 2, 5, 7, 10, 64}) {
+    for (const std::int64_t shards : {1, 2, 3, 5, 8}) {
+      std::int64_t covered = 0;
+      std::int64_t prev_end = 0;
+      const std::int64_t base = rows / shards;
+      for (std::int64_t s = 0; s < shards; ++s) {
+        const RowRange r = shard_rows(rows, s, shards);
+        EXPECT_EQ(r.begin, prev_end) << rows << "/" << shards << " @" << s;
+        EXPECT_GE(r.rows(), base);
+        EXPECT_LE(r.rows(), base + 1);  // sizes differ by at most one
+        prev_end = r.end;
+        covered += r.rows();
+      }
+      EXPECT_EQ(prev_end, rows);
+      EXPECT_EQ(covered, rows);
+      // Remainder rows go to the leading shards.
+      const std::int64_t rem = rows % shards;
+      for (std::int64_t s = 0; s < rem; ++s) {
+        EXPECT_EQ(shard_rows(rows, s, shards).rows(), base + 1);
+      }
+    }
+  }
+}
+
+TEST(ShardRows, RejectsInvalidArguments) {
+  EXPECT_THROW(shard_rows(10, 0, 0), Error);
+  EXPECT_THROW(shard_rows(10, -1, 4), Error);
+  EXPECT_THROW(shard_rows(10, 4, 4), Error);
+  EXPECT_THROW(shard_rows(-1, 0, 4), Error);
+}
+
+TEST(LayerwiseFsdp, RemainderRowsMatchAcrossDeviceCounts) {
+  // Weight row counts (8, 10, 13) are NOT divisible by 3 or 4: shard_rows
+  // hands the remainder to leading devices and the gathered forward must be
+  // bit-identical across layouts (the gather reassembles the same weight).
+  Rng rng(11);
+  std::vector<Tensor> weights = {Tensor::randn(Shape{8, 10}, rng),
+                                 Tensor::randn(Shape{10, 13}, rng),
+                                 Tensor::randn(Shape{13, 4}, rng)};
+  std::vector<Tensor> biases = {Tensor::randn(Shape{10}, rng),
+                                Tensor::randn(Shape{13}, rng),
+                                Tensor::randn(Shape{4}, rng)};
+  Tensor x = Tensor::randn(Shape{5, 8}, rng);
+
+  CommStats base_stats;
+  LayerwiseFsdpStack base(weights, biases, 1);
+  const Tensor expected = base.forward(x, base_stats);
+
+  for (const std::int64_t devices : {3, 4, 13}) {
+    LayerwiseFsdpStack stack(weights, biases, devices);
+    CommStats stats;
+    const Tensor got = stack.forward(x, stats);
+    ASSERT_EQ(got.shape(), expected.shape());
+    for (std::int64_t i = 0; i < got.numel(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << devices << " devices, elem " << i;
+    }
+  }
+}
+
 TEST(ShardedLinear, RejectsIndivisibleDimensions) {
   Rng rng(11);
   Tensor w = Tensor::randn(Shape{10, 9}, rng);  // 9 not divisible by 4

@@ -366,5 +366,98 @@ TEST(CheckpointV2, BytesAreDeterministic) {
   }
 }
 
+TEST(CheckpointV2, SaveRetriesTransientWriteFaultAndSucceeds) {
+  TinyModule module({{"w", Shape{3, 2}}}, 1.0f);
+  const std::string path = temp_path("orbit2_ckpt_v2_retry.o2ck");
+
+  // Fail the first two attempts at the worst moment: the body is fully
+  // staged in the tmp file but not yet fsynced or renamed.
+  std::vector<int> attempts_seen;
+  set_checkpoint_write_fault_hook([&](int attempt) {
+    attempts_seen.push_back(attempt);
+    if (attempt < 2) throw std::runtime_error("injected transient write fault");
+  });
+  save_checkpoint(path, module);
+  set_checkpoint_write_fault_hook(nullptr);
+
+  ASSERT_EQ(attempts_seen.size(), 3u);
+  EXPECT_EQ(attempts_seen[0], 0);
+  EXPECT_EQ(attempts_seen[2], 2);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  TinyModule loaded({{"w", Shape{3, 2}}}, 0.0f);
+  load_checkpoint(path, loaded);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(loaded.params_[0]->value.data()[i],
+              module.params_[0]->value.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, ExhaustedRetriesNeverTearTheLatestRotation) {
+  TinyModule original({{"w", Shape{4}}}, 2.0f);
+  const std::string path = temp_path("orbit2_ckpt_v2_torn.o2ck");
+  save_checkpoint(path, original);
+  const auto golden = read_bytes(path);
+
+  // Every attempt fails: the save must throw, and the previous file must
+  // survive untouched — no torn rotation, no leftover tmp.
+  set_checkpoint_write_fault_hook(
+      [](int) { throw std::runtime_error("injected persistent write fault"); });
+  TinyModule replacement({{"w", Shape{4}}}, 99.0f);
+  // retry_with_backoff rethrows the last attempt's exception as-is.
+  EXPECT_THROW(save_checkpoint(path, replacement), std::runtime_error);
+  set_checkpoint_write_fault_hook(nullptr);
+
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(read_bytes(path), golden);
+  TinyModule loaded({{"w", Shape{4}}}, 0.0f);
+  load_checkpoint(path, loaded);  // still a valid checkpoint
+  EXPECT_EQ(loaded.params_[0]->value.data()[0],
+            original.params_[0]->value.data()[0]);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointV2, RawLoadSaveRoundTripIsByteIdentical) {
+  // The raw API (the resharding substrate) must reproduce a real
+  // model+optimizer checkpoint byte for byte.
+  TinyModule module({{"w", Shape{2, 3}}, {"b", Shape{3}}}, 0.0f);
+  auto params = module.parameters();
+  autograd::AdamW optimizer(params, {});
+  for (const auto& p : params) p->grad.fill(0.25f);
+  optimizer.step(1.0f);
+  const TrainState state = sample_state();
+
+  const std::string path = temp_path("orbit2_ckpt_v2_raw_a.o2ck");
+  const std::string resaved = temp_path("orbit2_ckpt_v2_raw_b.o2ck");
+  save_checkpoint(path, module, &optimizer, &state);
+
+  const RawCheckpoint raw = load_checkpoint_raw(path);
+  EXPECT_EQ(raw.tensors.size(), 6u);  // 2 params + 2x2 AdamW moments
+  EXPECT_TRUE(raw.has_train_state);
+  EXPECT_EQ(raw.state.global_step, 42);
+  save_checkpoint_raw(resaved, raw);
+  EXPECT_EQ(read_bytes(resaved), read_bytes(path));
+
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
+}
+
+TEST(CheckpointV2, RawLoadRejectsLegacyV1Files) {
+  // Hand-written v1 file (same layout as LegacyV1FileStillLoads): the raw
+  // API is v2-only because v1 carries no shapes to reshard by.
+  std::vector<char> v1 = {'O', '2', 'C', 'K'};
+  append_pod(v1, std::uint32_t{1});
+  append_pod(v1, std::uint32_t{1});
+  v1.push_back('w');
+  append_pod(v1, std::uint64_t{2});
+  append_pod(v1, 1.5f);
+  append_pod(v1, -2.5f);
+  const std::string path = temp_path("orbit2_ckpt_v2_raw_v1.o2ck");
+  write_bytes(path, v1);
+  EXPECT_THROW(load_checkpoint_raw(path), Error);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace orbit2::train
