@@ -56,6 +56,32 @@ Tensor attention_naive_forward(const Tensor& q, const Tensor& k,
   return output;
 }
 
+void attention_naive_forward_into(const Tensor& q, const Tensor& k,
+                                  const Tensor& v, float scale,
+                                  Tensor& scores_ws, Tensor& out) {
+  check_qkv(q, k, v);
+  const std::int64_t nq = q.dim(0), nk = k.dim(0);
+  const std::int64_t d = q.dim(1), dv = v.dim(1);
+  ORBIT2_REQUIRE(scores_ws.shape() == Shape({nq, nk}),
+                 "attention_naive_forward_into: scores workspace must be "
+                     << nq << "x" << nk);
+  ORBIT2_REQUIRE(out.shape() == Shape({nq, dv}),
+                 "attention_naive_forward_into: out must be " << nq << "x"
+                                                              << dv);
+  const std::int64_t naive_flops = attention_fwd_flops(nq, nk, d, dv);
+  ORBIT2_OBS_SPAN_ARG("attention_naive_forward", "attention", "flops",
+                      naive_flops);
+  ORBIT2_OBS_COUNT("attention.flops", naive_flops);
+  // Same kernel sequence as attention_naive_forward, minus the allocations:
+  // S = Q K^T (gemm NT), S *= scale, P = softmax(S) in place, O = P V.
+  kernels::gemm(kernels::Trans::kN, kernels::Trans::kT, nq, nk, d,
+                q.data().data(), k.data().data(), scores_ws.data().data());
+  scores_ws.scale_inplace(scale);
+  softmax_rows_into(scores_ws, scores_ws);
+  kernels::gemm(kernels::Trans::kN, kernels::Trans::kN, nq, dv, nk,
+                scores_ws.data().data(), v.data().data(), out.data().data());
+}
+
 AttentionGrads attention_naive_backward(const AttentionContext& ctx,
                                         const Tensor& grad_output) {
   ORBIT2_REQUIRE(!ctx.used_flash, "context came from flash forward");
@@ -86,43 +112,42 @@ AttentionGrads attention_naive_backward(const AttentionContext& ctx,
 // produced by exactly one chunk in a fixed accumulation order, making
 // results bit-identical for any thread count.
 
-Tensor attention_flash_forward(const Tensor& q, const Tensor& k,
-                               const Tensor& v, float scale,
-                               AttentionContext* ctx,
-                               const FlashParams& params) {
-  check_qkv(q, k, v);
-  ORBIT2_REQUIRE(params.block_q >= 1 && params.block_kv >= 1,
-                 "flash block sizes must be positive");
-  const std::int64_t nq = q.dim(0), nk = k.dim(0);
-  const std::int64_t d = q.dim(1), dv = v.dim(1);
-  const std::int64_t flash_flops = attention_fwd_flops(nq, nk, d, dv);
-  ORBIT2_OBS_SPAN_ARG("attention_flash_forward", "attention", "flops",
-                      flash_flops);
-  ORBIT2_OBS_COUNT("attention.flops", flash_flops);
+namespace {
 
-  Tensor output = Tensor::zeros(Shape{nq, dv});
-  Tensor logsumexp(Shape{nq});
-
-  const float* pq = q.data().data();
-  const float* pk = k.data().data();
-  const float* pv = v.data().data();
-  float* po = output.data().data();
-  float* plse = logsumexp.data().data();
-
+/// Shared body of the flash forward: writes the (pre-zeroed) output and the
+/// per-row log-sum-exp through raw pointers. Both the eager entry point and
+/// the allocation-free _into entry point run exactly this code, which is
+/// what makes their results bitwise identical.
+void flash_forward_body(const float* pq, const float* pk, const float* pv,
+                        float* po, float* plse, std::int64_t nq,
+                        std::int64_t nk, std::int64_t d, std::int64_t dv,
+                        float scale, const FlashParams& params) {
   const std::int64_t q_blocks = (nq + params.block_q - 1) / params.block_q;
   kernels::parallel_for(q_blocks, 1, [&](std::int64_t qb0, std::int64_t qb1) {
-    // Per-chunk scratch: score tile and running row statistics (max m_i,
-    // normalizer l_i) for this chunk's query rows only.
-    std::vector<float> scores(
-        static_cast<std::size_t>(params.block_q * params.block_kv));
-    std::vector<float> row_max(static_cast<std::size_t>(params.block_q));
-    std::vector<float> row_sum(static_cast<std::size_t>(params.block_q));
+    // Per-thread grow-only scratch: score tile and running row statistics
+    // (max m_i, normalizer l_i) for this chunk's query rows only. Every
+    // entry read is written earlier in the same block iteration, so reuse
+    // across calls cannot leak values — and steady-state replay of a fixed
+    // shape allocates nothing.
+    thread_local std::vector<float> scores;
+    thread_local std::vector<float> row_max;
+    thread_local std::vector<float> row_sum;
+    const auto tile =
+        static_cast<std::size_t>(params.block_q * params.block_kv);
+    if (scores.size() < tile) scores.resize(tile);
+    if (row_max.size() < static_cast<std::size_t>(params.block_q)) {
+      row_max.resize(static_cast<std::size_t>(params.block_q));
+      row_sum.resize(static_cast<std::size_t>(params.block_q));
+    }
     for (std::int64_t qb = qb0; qb < qb1; ++qb) {
       const std::int64_t q0 = qb * params.block_q;
       const std::int64_t q1 = std::min(nq, q0 + params.block_q);
-      std::fill(row_max.begin(), row_max.end(),
+      std::fill(row_max.begin(),
+                row_max.begin() + static_cast<std::size_t>(params.block_q),
                 -std::numeric_limits<float>::infinity());
-      std::fill(row_sum.begin(), row_sum.end(), 0.0f);
+      std::fill(row_sum.begin(),
+                row_sum.begin() + static_cast<std::size_t>(params.block_q),
+                0.0f);
 
       for (std::int64_t k0 = 0; k0 < nk; k0 += params.block_kv) {
         const std::int64_t k1 = std::min(nk, k0 + params.block_kv);
@@ -183,6 +208,29 @@ Tensor attention_flash_forward(const Tensor& q, const Tensor& k,
       }
     }
   });
+}
+
+}  // namespace
+
+Tensor attention_flash_forward(const Tensor& q, const Tensor& k,
+                               const Tensor& v, float scale,
+                               AttentionContext* ctx,
+                               const FlashParams& params) {
+  check_qkv(q, k, v);
+  ORBIT2_REQUIRE(params.block_q >= 1 && params.block_kv >= 1,
+                 "flash block sizes must be positive");
+  const std::int64_t nq = q.dim(0), nk = k.dim(0);
+  const std::int64_t d = q.dim(1), dv = v.dim(1);
+  const std::int64_t flash_flops = attention_fwd_flops(nq, nk, d, dv);
+  ORBIT2_OBS_SPAN_ARG("attention_flash_forward", "attention", "flops",
+                      flash_flops);
+  ORBIT2_OBS_COUNT("attention.flops", flash_flops);
+
+  Tensor output = Tensor::zeros(Shape{nq, dv});
+  Tensor logsumexp(Shape{nq});
+  flash_forward_body(q.data().data(), k.data().data(), v.data().data(),
+                     output.data().data(), logsumexp.data().data(), nq, nk, d,
+                     dv, scale, params);
 
   if (ctx) {
     ctx->q = q;
@@ -194,6 +242,32 @@ Tensor attention_flash_forward(const Tensor& q, const Tensor& k,
     ctx->used_flash = true;
   }
   return output;
+}
+
+void attention_flash_forward_into(const Tensor& q, const Tensor& k,
+                                  const Tensor& v, float scale, Tensor& out,
+                                  Tensor& logsumexp_ws,
+                                  const FlashParams& params) {
+  check_qkv(q, k, v);
+  ORBIT2_REQUIRE(params.block_q >= 1 && params.block_kv >= 1,
+                 "flash block sizes must be positive");
+  const std::int64_t nq = q.dim(0), nk = k.dim(0);
+  const std::int64_t d = q.dim(1), dv = v.dim(1);
+  ORBIT2_REQUIRE(out.shape() == Shape({nq, dv}),
+                 "attention_flash_forward_into: out must be " << nq << "x"
+                                                              << dv);
+  ORBIT2_REQUIRE(logsumexp_ws.shape() == Shape({nq}),
+                 "attention_flash_forward_into: logsumexp workspace must be ["
+                     << nq << "]");
+  const std::int64_t flash_flops = attention_fwd_flops(nq, nk, d, dv);
+  ORBIT2_OBS_SPAN_ARG("attention_flash_forward", "attention", "flops",
+                      flash_flops);
+  ORBIT2_OBS_COUNT("attention.flops", flash_flops);
+
+  out.fill(0.0f);  // the body accumulates into the output
+  flash_forward_body(q.data().data(), k.data().data(), v.data().data(),
+                     out.data().data(), logsumexp_ws.data().data(), nq, nk, d,
+                     dv, scale, params);
 }
 
 AttentionGrads attention_flash_backward(const AttentionContext& ctx,

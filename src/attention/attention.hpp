@@ -36,6 +36,15 @@ Tensor attention_naive_forward(const Tensor& q, const Tensor& k,
                                const Tensor& v, float scale,
                                AttentionContext* ctx);
 
+/// Inference-only naive attention writing into preallocated buffers:
+/// `scores_ws` is an [Nq, Nk] workspace and `out` is [Nq, d_v]. Issues the
+/// exact same kernel calls as attention_naive_forward (gemm NT, in-place
+/// scale, row softmax, gemm NN), so results are bitwise identical; performs
+/// no heap allocations.
+void attention_naive_forward_into(const Tensor& q, const Tensor& k,
+                                  const Tensor& v, float scale,
+                                  Tensor& scores_ws, Tensor& out);
+
 AttentionGrads attention_naive_backward(const AttentionContext& ctx,
                                         const Tensor& grad_output);
 
@@ -51,6 +60,15 @@ Tensor attention_flash_forward(const Tensor& q, const Tensor& k,
                                const Tensor& v, float scale,
                                AttentionContext* ctx,
                                const FlashParams& params = {});
+
+/// Inference-only flash attention into preallocated `out` [Nq, d_v] and
+/// `logsumexp_ws` [Nq]. Runs the same blocked online-softmax body as
+/// attention_flash_forward (bitwise-identical results); score tiles live in
+/// grow-only thread-local scratch, so steady-state calls allocate nothing.
+void attention_flash_forward_into(const Tensor& q, const Tensor& k,
+                                  const Tensor& v, float scale, Tensor& out,
+                                  Tensor& logsumexp_ws,
+                                  const FlashParams& params = {});
 
 /// Flash attention backward: recomputes score blocks from the saved
 /// log-sum-exp instead of stored probabilities.

@@ -6,6 +6,7 @@
 
 #include "attention/attention.hpp"
 #include "core/kernels.hpp"
+#include "graph/ir.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/resize.hpp"
@@ -13,6 +14,47 @@
 namespace orbit2::autograd {
 
 namespace {
+
+// ---- Inference-graph capture hooks ------------------------------------
+// When a graph::CaptureScope is active on this thread, every forward op
+// records itself into the sink after computing its value eagerly. The
+// hooks cost one thread-local read when capture is off.
+
+/// Records a single-stage elementwise op (binary stage aux resolved from
+/// `aux` when non-null).
+void capture_elementwise(const Tensor& out, const Tensor& in0,
+                         const Tensor* aux, graph::EwStage stage) {
+  graph::CaptureSink* sink = graph::capture_sink();
+  if (sink == nullptr) return;
+  graph::GraphOp op;
+  op.kind = graph::OpKind::kElementwise;
+  op.inputs.push_back(sink->value_for(in0));
+  if (aux != nullptr) {
+    stage.aux = sink->value_for(*aux);
+    op.inputs.push_back(stage.aux);
+  }
+  op.stages.push_back(stage);
+  op.output = sink->bind_output(out);
+  sink->record(std::move(op));
+}
+
+/// Records a non-elementwise op with plain tensor inputs.
+void capture_op(const Tensor& out, graph::OpKind kind,
+                std::initializer_list<const Tensor*> inputs,
+                std::vector<std::int64_t> iparams = {},
+                std::vector<float> fparams = {},
+                std::vector<std::int64_t> perm = {}) {
+  graph::CaptureSink* sink = graph::capture_sink();
+  if (sink == nullptr) return;
+  graph::GraphOp op;
+  op.kind = kind;
+  for (const Tensor* in : inputs) op.inputs.push_back(sink->value_for(*in));
+  op.iparams = std::move(iparams);
+  op.fparams = std::move(fparams);
+  op.perm = std::move(perm);
+  op.output = sink->bind_output(out);
+  sink->record(std::move(op));
+}
 
 // Data-movement helpers dispatch through kernels::parallel_for. Each output
 // element is written by exactly one chunk (copies parallelize over rows;
@@ -87,6 +129,8 @@ void add_bias_inplace(Tensor& x, const float* bias) {
 
 Var add(const Var& a, const Var& b) {
   Tensor value = a.value().add(b.value());
+  capture_elementwise(value, a.value(), &b.value(),
+                      {graph::EwKind::kAddCA});
   return make_op(std::move(value), {a, b}, [a, b](const Tensor& g) {
     accumulate_into(a, g);
     accumulate_into(b, g);
@@ -95,6 +139,8 @@ Var add(const Var& a, const Var& b) {
 
 Var sub(const Var& a, const Var& b) {
   Tensor value = a.value().sub(b.value());
+  capture_elementwise(value, a.value(), &b.value(),
+                      {graph::EwKind::kSubCA});
   return make_op(std::move(value), {a, b}, [a, b](const Tensor& g) {
     accumulate_into(a, g);
     accumulate_into(b, g.mul_scalar(-1.0f));
@@ -103,6 +149,8 @@ Var sub(const Var& a, const Var& b) {
 
 Var mul(const Var& a, const Var& b) {
   Tensor value = a.value().mul(b.value());
+  capture_elementwise(value, a.value(), &b.value(),
+                      {graph::EwKind::kMulCA});
   Tensor av = a.value();
   Tensor bv = b.value();
   return make_op(std::move(value), {a, b},
@@ -114,6 +162,9 @@ Var mul(const Var& a, const Var& b) {
 
 Var scale(const Var& a, float factor) {
   Tensor value = a.value().mul_scalar(factor);
+  graph::EwStage stage{graph::EwKind::kScale};
+  stage.scalar = factor;
+  capture_elementwise(value, a.value(), nullptr, stage);
   return make_op(std::move(value), {a}, [a, factor](const Tensor& g) {
     accumulate_into(a, g.mul_scalar(factor));
   });
@@ -121,6 +172,7 @@ Var scale(const Var& a, float factor) {
 
 Var gelu(const Var& a) {
   Tensor value = orbit2::gelu(a.value());
+  capture_elementwise(value, a.value(), nullptr, {graph::EwKind::kGelu});
   Tensor input = a.value();
   return make_op(std::move(value), {a}, [a, input](const Tensor& g) {
     accumulate_into(a, gelu_backward(input, g));
@@ -129,6 +181,7 @@ Var gelu(const Var& a) {
 
 Var matmul(const Var& a, const Var& b) {
   Tensor value = orbit2::matmul(a.value(), b.value());
+  capture_op(value, graph::OpKind::kMatmul, {&a.value(), &b.value()});
   Tensor av = a.value();
   Tensor bv = b.value();
   return make_op(std::move(value), {a, b},
@@ -145,6 +198,9 @@ Var add_bias_rows(const Var& x, const Var& bias) {
                  "add_bias_rows width mismatch");
   Tensor value = x.value().clone();
   add_bias_inplace(value, bias.value().data().data());
+  graph::EwStage bias_stage{graph::EwKind::kAddBiasRows};
+  bias_stage.a = bias.value().dim(0);
+  capture_elementwise(value, x.value(), &bias.value(), bias_stage);
   return make_op(std::move(value), {x, bias}, [x, bias](const Tensor& g) {
     accumulate_into(x, g);
     if (bias.needs_grad()) accumulate_into(bias, colsum(g));
@@ -158,6 +214,9 @@ Var linear(const Var& x, const Var& weight, const Var& bias) {
 Var reshape(const Var& x, Shape new_shape) {
   const Shape old_shape = x.shape();
   Tensor value = x.value().reshape(new_shape);
+  if (graph::CaptureSink* sink = graph::capture_sink()) {
+    sink->record_view(value, x.value());
+  }
   return make_op(std::move(value), {x}, [x, old_shape](const Tensor& g) {
     accumulate_into(x, g.reshape(old_shape));
   });
@@ -165,6 +224,7 @@ Var reshape(const Var& x, Shape new_shape) {
 
 Var slice_rows(const Var& x, std::int64_t start, std::int64_t len) {
   Tensor value = x.value().slice(0, start, len);
+  capture_op(value, graph::OpKind::kSliceRows, {&x.value()}, {start, len});
   const Shape full = x.shape();
   return make_op(std::move(value), {x}, [x, full, start](const Tensor& g) {
     Tensor padded = Tensor::zeros(full);
@@ -183,6 +243,15 @@ Var concat_rows(const std::vector<Var>& parts) {
   values.reserve(parts.size());
   for (const Var& p : parts) values.push_back(p.value());
   Tensor value = Tensor::concat(0, values);
+  if (graph::CaptureSink* sink = graph::capture_sink()) {
+    graph::GraphOp op;
+    op.kind = graph::OpKind::kConcatRows;
+    for (const Tensor& part : values) {
+      op.inputs.push_back(sink->value_for(part));
+    }
+    op.output = sink->bind_output(value);
+    sink->record(std::move(op));
+  }
   std::vector<std::int64_t> lengths;
   lengths.reserve(parts.size());
   for (const Var& p : parts) lengths.push_back(p.value().dim(0));
@@ -226,6 +295,7 @@ Var permute_rows(const Var& x, const std::vector<std::int64_t>& perm) {
                     dst + i * inner);
         }
       });
+  capture_op(out, graph::OpKind::kPermuteRows, {&value}, {}, {}, perm);
   return make_op(std::move(out), {x}, [x, inverse, inner, rows](const Tensor& g) {
     Tensor grad(g.shape());
     const float* gs = g.data().data();
@@ -246,6 +316,8 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float epsilon) {
   Tensor saved_mean, saved_inv_std;
   Tensor value = layernorm_rows(x.value(), gamma.value(), beta.value(),
                                 epsilon, &saved_mean, &saved_inv_std);
+  capture_op(value, graph::OpKind::kLayerNorm,
+             {&x.value(), &gamma.value(), &beta.value()}, {}, {epsilon});
   Tensor input = x.value();
   Tensor gamma_value = gamma.value();
   return make_op(
@@ -265,6 +337,9 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float epsilon) {
 
 Var sum(const Var& x) {
   Tensor value = Tensor::scalar(x.value().sum());
+  if (graph::CaptureSink* sink = graph::capture_sink()) {
+    sink->fail("sum() has no graph replay rule");
+  }
   const Shape in_shape = x.shape();
   return make_op(std::move(value), {x}, [x, in_shape](const Tensor& g) {
     accumulate_into(x, Tensor::full(in_shape, g.item()));
@@ -274,6 +349,9 @@ Var sum(const Var& x) {
 Var mean(const Var& x) {
   const float inv_n = 1.0f / static_cast<float>(x.value().numel());
   Tensor value = Tensor::scalar(x.value().mean());
+  if (graph::CaptureSink* sink = graph::capture_sink()) {
+    sink->fail("mean() has no graph replay rule");
+  }
   const Shape in_shape = x.shape();
   return make_op(std::move(value), {x}, [x, in_shape, inv_n](const Tensor& g) {
     accumulate_into(x, Tensor::full(in_shape, g.item() * inv_n));
@@ -283,6 +361,9 @@ Var mean(const Var& x) {
 Var conv2d(const Var& x, const Var& weight, const Var& bias,
            const Conv2dSpec& spec) {
   Tensor value = conv2d_forward(x.value(), weight.value(), bias.value(), spec);
+  capture_op(value, graph::OpKind::kConv2d,
+             {&x.value(), &weight.value(), &bias.value()},
+             {spec.kernel_h, spec.kernel_w, spec.stride, spec.pad});
   Tensor input = x.value();
   Tensor weight_value = weight.value();
   const std::int64_t in_h = input.dim(1), in_w = input.dim(2);
@@ -306,78 +387,16 @@ Var conv2d(const Var& x, const Var& weight, const Var& bias,
 
 Var upsample_bilinear(const Var& x, std::int64_t out_h, std::int64_t out_w) {
   Tensor value = resize_bilinear(x.value(), out_h, out_w);
+  capture_op(value, graph::OpKind::kResizeBilinear, {&x.value()});
   const std::int64_t in_h = x.value().dim(1), in_w = x.value().dim(2);
   return make_op(std::move(value), {x}, [x, in_h, in_w](const Tensor& g) {
     accumulate_into(x, resize_bilinear_backward(g, in_h, in_w));
   });
 }
 
-Tensor image_to_tokens_raw(const Tensor& image, std::int64_t patch) {
-  ORBIT2_REQUIRE(image.rank() == 3, "image_to_tokens expects [C,H,W]");
-  const std::int64_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
-  ORBIT2_REQUIRE(h % patch == 0 && w % patch == 0,
-                 "image dims " << h << "x" << w << " not divisible by patch "
-                               << patch);
-  const std::int64_t gh = h / patch, gw = w / patch;
-  const std::int64_t tokens = gh * gw;
-  const std::int64_t feat = c * patch * patch;
-  Tensor out(Shape{tokens, feat});
-  const float* src = image.data().data();
-  float* dst = out.data().data();
-  kernels::parallel_for(
-      tokens, kernels::grain_for(feat), [&](std::int64_t t0, std::int64_t t1) {
-        for (std::int64_t t = t0; t < t1; ++t) {
-          const std::int64_t by = t / gw;
-          const std::int64_t bx = t % gw;
-          float* token = dst + t * feat;
-          for (std::int64_t ch = 0; ch < c; ++ch) {
-            for (std::int64_t dy = 0; dy < patch; ++dy) {
-              const float* row =
-                  src + ch * h * w + (by * patch + dy) * w + bx * patch;
-              float* cell = token + ch * patch * patch + dy * patch;
-              std::copy(row, row + patch, cell);
-            }
-          }
-        }
-      });
-  return out;
-}
-
-Tensor tokens_to_image_raw(const Tensor& tokens, std::int64_t channels,
-                           std::int64_t h, std::int64_t w, std::int64_t patch) {
-  ORBIT2_REQUIRE(tokens.rank() == 2, "tokens_to_image expects [P, C*p*p]");
-  const std::int64_t gh = h / patch, gw = w / patch;
-  ORBIT2_REQUIRE(tokens.dim(0) == gh * gw,
-                 "token count " << tokens.dim(0) << " vs grid " << gh * gw);
-  ORBIT2_REQUIRE(tokens.dim(1) == channels * patch * patch,
-                 "token width " << tokens.dim(1) << " vs " << channels << "*"
-                                << patch << "^2");
-  const std::int64_t feat = tokens.dim(1);
-  Tensor out(Shape{channels, h, w});
-  const float* src = tokens.data().data();
-  float* dst = out.data().data();
-  kernels::parallel_for(
-      gh * gw, kernels::grain_for(feat),
-      [&](std::int64_t t0, std::int64_t t1) {
-        for (std::int64_t t = t0; t < t1; ++t) {
-          const std::int64_t by = t / gw;
-          const std::int64_t bx = t % gw;
-          const float* token = src + t * feat;
-          for (std::int64_t ch = 0; ch < channels; ++ch) {
-            for (std::int64_t dy = 0; dy < patch; ++dy) {
-              const float* cell = token + ch * patch * patch + dy * patch;
-              float* row =
-                  dst + ch * h * w + (by * patch + dy) * w + bx * patch;
-              std::copy(cell, cell + patch, row);
-            }
-          }
-        }
-      });
-  return out;
-}
-
 Var image_to_tokens(const Var& image, std::int64_t patch) {
   Tensor value = image_to_tokens_raw(image.value(), patch);
+  capture_op(value, graph::OpKind::kImageToTokens, {&image.value()}, {patch});
   const std::int64_t c = image.value().dim(0);
   const std::int64_t h = image.value().dim(1);
   const std::int64_t w = image.value().dim(2);
@@ -390,6 +409,8 @@ Var image_to_tokens(const Var& image, std::int64_t patch) {
 Var tokens_to_image(const Var& tokens, std::int64_t channels, std::int64_t h,
                     std::int64_t w, std::int64_t patch) {
   Tensor value = tokens_to_image_raw(tokens.value(), channels, h, w, patch);
+  capture_op(value, graph::OpKind::kTokensToImage, {&tokens.value()},
+             {channels, h, w, patch});
   return make_op(std::move(value), {tokens},
                  [tokens, patch](const Tensor& g) {
                    accumulate_into(tokens, image_to_tokens_raw(g, patch));
@@ -436,6 +457,36 @@ Var multihead_self_attention(const Var& x, const MhaWeights& weights,
   // Output projection.
   Tensor out = orbit2::matmul(concat, weights.wo.value());
   add_bias_inplace(out, weights.bo.value().data().data());
+
+  if (graph::CaptureSink* sink = graph::capture_sink()) {
+    // One composite op per MHA call; the executor replays the identical
+    // project / per-head attention / reassemble / project sequence out of
+    // planned workspaces (q, k, v, concat full-width; per-head tiles; one
+    // score matrix or log-sum-exp vector depending on the kernel).
+    graph::GraphOp op;
+    op.kind = graph::OpKind::kMhsa;
+    op.inputs = {sink->value_for(x.value()),
+                 sink->value_for(weights.wq.value()),
+                 sink->value_for(weights.bq.value()),
+                 sink->value_for(weights.wk.value()),
+                 sink->value_for(weights.bk.value()),
+                 sink->value_for(weights.wv.value()),
+                 sink->value_for(weights.bv.value()),
+                 sink->value_for(weights.wo.value()),
+                 sink->value_for(weights.bo.value())};
+    op.iparams = {heads, use_flash ? std::int64_t{1} : std::int64_t{0}};
+    op.fparams = {attn_scale};
+    for (int i = 0; i < 4; ++i) {
+      op.workspaces.push_back(sink->add_workspace(Shape{n, d}));
+    }
+    for (int i = 0; i < 4; ++i) {
+      op.workspaces.push_back(sink->add_workspace(Shape{n, dh}));
+    }
+    op.workspaces.push_back(
+        sink->add_workspace(use_flash ? Shape{n} : Shape{n, n}));
+    op.output = sink->bind_output(out);
+    sink->record(std::move(op));
+  }
 
   std::vector<Var> parents = {x,          weights.wq, weights.wk, weights.wv,
                               weights.wo, weights.bq, weights.bk, weights.bv,

@@ -8,6 +8,7 @@
 
 #include "autograd/variable.hpp"
 #include "tensor/conv.hpp"
+#include "tensor/patches.hpp"
 
 namespace orbit2::autograd {
 
@@ -78,10 +79,11 @@ Var tokens_to_image(const Var& tokens, std::int64_t channels, std::int64_t h,
                     std::int64_t w, std::int64_t patch);
 
 // ---- Raw permutation kernels (shared with non-autograd code) -------------
+// Now tensor-level (tensor/patches.hpp) so the compiled inference executor
+// can replay them; re-exported here for existing callers.
 
-Tensor image_to_tokens_raw(const Tensor& image, std::int64_t patch);
-Tensor tokens_to_image_raw(const Tensor& tokens, std::int64_t channels,
-                           std::int64_t h, std::int64_t w, std::int64_t patch);
+using ::orbit2::image_to_tokens_raw;
+using ::orbit2::tokens_to_image_raw;
 
 // ---- Attention ----------------------------------------------------------
 

@@ -1,10 +1,29 @@
 #include "autograd/variable.hpp"
 
+#include <atomic>
 #include <unordered_set>
 
 #include "core/obs.hpp"
 
 namespace orbit2::autograd {
+
+namespace {
+// Inference mode is a per-thread switch (tile replicas may serve while
+// another thread trains); the tape-node counter is process-wide so tests
+// can assert "this predict created zero tape nodes" regardless of thread.
+thread_local int tl_inference_depth = 0;
+std::atomic<std::int64_t> g_tape_nodes{0};
+}  // namespace
+
+bool inference_mode_enabled() { return tl_inference_depth > 0; }
+
+InferenceModeScope::InferenceModeScope() { ++tl_inference_depth; }
+
+InferenceModeScope::~InferenceModeScope() { --tl_inference_depth; }
+
+std::int64_t tape_node_count() {
+  return g_tape_nodes.load(std::memory_order_relaxed);
+}
 
 void Node::accumulate(const Tensor& upstream) {
   ORBIT2_REQUIRE(upstream.shape() == value.shape(),
@@ -44,6 +63,12 @@ Var make_op(Tensor value, std::vector<Var> parents,
             std::function<void(const Tensor&)> backprop) {
   auto node = std::make_shared<Node>();
   node->value = std::move(value);
+  if (inference_mode_enabled()) {
+    // No-tape forward: no parent links (intermediates free as soon as the
+    // last Var handle drops) and no backprop closure.
+    node->needs_grad = false;
+    return Var(std::move(node));
+  }
   bool any_grad = false;
   node->parents.reserve(parents.size());
   for (const Var& p : parents) {
@@ -51,7 +76,10 @@ Var make_op(Tensor value, std::vector<Var> parents,
     any_grad = any_grad || p.needs_grad();
   }
   node->needs_grad = any_grad;
-  if (any_grad) node->backprop = std::move(backprop);
+  if (any_grad) {
+    node->backprop = std::move(backprop);
+    g_tape_nodes.fetch_add(1, std::memory_order_relaxed);
+  }
   return Var(std::move(node));
 }
 

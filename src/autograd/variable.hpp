@@ -91,6 +91,26 @@ class Var {
 Var make_op(Tensor value, std::vector<Var> parents,
             std::function<void(const Tensor&)> backprop);
 
+// ---- Inference mode ----------------------------------------------------
+
+/// True while an InferenceModeScope is active on this thread: make_op skips
+/// parent links and backprop closures, so forwards build no tape and free
+/// intermediates eagerly. backward() through such nodes is a REQUIRE error.
+bool inference_mode_enabled();
+
+/// RAII switch into inference (no-tape) mode for the current thread. Nests.
+class InferenceModeScope {
+ public:
+  InferenceModeScope();
+  ~InferenceModeScope();
+  InferenceModeScope(const InferenceModeScope&) = delete;
+  InferenceModeScope& operator=(const InferenceModeScope&) = delete;
+};
+
+/// Process-wide count of tape nodes created so far (nodes that retained a
+/// backprop closure). Regression hook: predict paths must not move it.
+std::int64_t tape_node_count();
+
 /// Adds `contribution` into the gradient accumulator of `target`'s node if
 /// it participates in differentiation.
 void accumulate_into(const Var& target, const Tensor& contribution);

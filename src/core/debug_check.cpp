@@ -2,10 +2,54 @@
 
 #include <array>
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
+#include <new>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+namespace orbit2::debug {
+
+namespace {
+// Allocation-counting state. The flag is checked on the hot allocation path
+// of binaries that install the hook, so it stays a bare relaxed atomic.
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::int64_t> g_alloc_count{0};
+std::atomic<bool> g_alloc_counter_installed{false};
+}  // namespace
+
+bool alloc_counting_installed() noexcept {
+  return g_alloc_counter_installed.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void counted_free(void* p) noexcept { std::free(p); }
+
+void set_alloc_counting(bool on) noexcept {
+  g_count_allocs.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t alloc_count() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+void note_alloc_counter_installed() noexcept {
+  g_alloc_counter_installed.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+}  // namespace orbit2::debug
 
 namespace orbit2::debug::detail {
 

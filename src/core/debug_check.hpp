@@ -92,6 +92,48 @@ struct WriteRect {
   std::int64_t row_stride = 0;
 };
 
+// ---- Global allocation counting -------------------------------------------
+//
+// Test utility for asserting allocation behaviour (e.g. the inference
+// graph's zero-allocation replay contract). A binary opts in by expanding
+// ORBIT2_INSTALL_ALLOC_COUNTER() exactly once at namespace scope in one
+// translation unit; that replaces the global operator new/delete with
+// versions that bump a counter while an AllocCountScope is live. Binaries
+// that do not install the hook still link and run —
+// alloc_counting_installed()
+// reports false and every delta() is 0, so tests can skip cleanly.
+
+/// True once ORBIT2_INSTALL_ALLOC_COUNTER() ran its static initializer in
+/// this binary.
+bool alloc_counting_installed() noexcept;
+
+namespace detail {
+void* counted_alloc(std::size_t size);
+void counted_free(void* p) noexcept;
+void set_alloc_counting(bool on) noexcept;
+std::int64_t alloc_count() noexcept;
+void note_alloc_counter_installed() noexcept;
+}  // namespace detail
+
+/// RAII scope: while live, every global operator new in the binary (if the
+/// counter is installed) increments a process-wide counter. delta() returns
+/// the number of allocations since construction. Scopes do not nest.
+class AllocCountScope {
+ public:
+  AllocCountScope() {
+    detail::set_alloc_counting(true);
+    start_ = detail::alloc_count();
+  }
+  ~AllocCountScope() { detail::set_alloc_counting(false); }
+  AllocCountScope(const AllocCountScope&) = delete;
+  AllocCountScope& operator=(const AllocCountScope&) = delete;
+
+  std::int64_t delta() const { return detail::alloc_count() - start_; }
+
+ private:
+  std::int64_t start_ = 0;
+};
+
 namespace detail {
 /// Returns a token for unregistration; throws orbit2::Error on overlap with
 /// a region held by a different thread.
@@ -134,3 +176,34 @@ class WriteRegion {
 };
 
 }  // namespace orbit2::debug
+
+/// Expand exactly once at namespace scope in one translation unit of a
+/// binary to route the global allocator through the counting hooks above.
+/// The replacement allocates with std::malloc, so it composes with the
+/// sanitizer allocators (which interpose malloc/free themselves).
+#define ORBIT2_INSTALL_ALLOC_COUNTER()                                        \
+  void* operator new(std::size_t size) {                                      \
+    return ::orbit2::debug::detail::counted_alloc(size);                      \
+  }                                                                           \
+  void* operator new[](std::size_t size) {                                    \
+    return ::orbit2::debug::detail::counted_alloc(size);                      \
+  }                                                                           \
+  void operator delete(void* p) noexcept {                                    \
+    ::orbit2::debug::detail::counted_free(p);                                 \
+  }                                                                           \
+  void operator delete[](void* p) noexcept {                                  \
+    ::orbit2::debug::detail::counted_free(p);                                 \
+  }                                                                           \
+  void operator delete(void* p, std::size_t) noexcept {                       \
+    ::orbit2::debug::detail::counted_free(p);                                 \
+  }                                                                           \
+  void operator delete[](void* p, std::size_t) noexcept {                     \
+    ::orbit2::debug::detail::counted_free(p);                                 \
+  }                                                                           \
+  namespace orbit2::debug::detail {                                           \
+  struct AllocCounterInstaller {                                              \
+    AllocCounterInstaller() noexcept { note_alloc_counter_installed(); }      \
+  };                                                                          \
+  static const AllocCounterInstaller g_alloc_counter_installer;               \
+  }                                                                           \
+  static_assert(true, "require a trailing semicolon")

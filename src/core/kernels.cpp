@@ -59,8 +59,7 @@ struct RegionScope {
 /// *results* independent of assignment (disjoint writes or indexed partial
 /// slots). Blocks until every chunk and helper has finished; rethrows the
 /// first chunk exception.
-void run_chunks(std::int64_t num_chunks,
-                const std::function<void(std::int64_t)>& run) {
+void run_chunks(std::int64_t num_chunks, FnRef<void(std::int64_t)> run) {
   if (num_chunks <= 0) return;
   const std::size_t threads = max_threads();
   if (num_chunks == 1 || threads <= 1 || tl_in_parallel_region) {
@@ -80,7 +79,7 @@ void run_chunks(std::int64_t num_chunks,
   };
   auto shared = std::make_shared<Shared>();
 
-  auto drain = [shared, num_chunks, &run] {
+  auto drain = [shared, num_chunks, run] {
     RegionScope scope;
     for (;;) {
       const std::int64_t chunk =
@@ -147,22 +146,21 @@ ThreadPool& global_pool() {
 bool in_parallel_region() { return tl_in_parallel_region; }
 
 void parallel_for(std::int64_t count, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+                  FnRef<void(std::int64_t, std::int64_t)> body) {
   if (count <= 0) return;
   // One span per dispatch, on the dispatching thread (not per chunk): the
   // span stream a thread observes is thread-count-invariant.
   ORBIT2_OBS_SPAN_ARG("parallel_for", "kernels", "count", count);
   ORBIT2_OBS_COUNT("kernels.parallel_for_calls", 1);
   const std::int64_t chunks = num_chunks_for(count, grain);
-  run_chunks(chunks, [count, grain, &body](std::int64_t chunk) {
+  run_chunks(chunks, [count, grain, body](std::int64_t chunk) {
     const std::int64_t begin = chunk * grain;
     body(begin, std::min(count, begin + grain));
   });
 }
 
-double parallel_reduce(
-    std::int64_t count, std::int64_t grain,
-    const std::function<double(std::int64_t, std::int64_t)>& chunk_fn) {
+double parallel_reduce(std::int64_t count, std::int64_t grain,
+                       FnRef<double(std::int64_t, std::int64_t)> chunk_fn) {
   if (count <= 0) return 0.0;
   ORBIT2_OBS_SPAN_ARG("parallel_reduce", "kernels", "count", count);
   ORBIT2_OBS_COUNT("kernels.parallel_reduce_calls", 1);
@@ -171,7 +169,7 @@ double parallel_reduce(
   // order; the serial path runs the identical chunking, so the float/double
   // addition order — and therefore the result — is thread-count-invariant.
   std::vector<double> partials(static_cast<std::size_t>(chunks), 0.0);
-  run_chunks(chunks, [count, grain, &chunk_fn, &partials](std::int64_t chunk) {
+  run_chunks(chunks, [count, grain, chunk_fn, &partials](std::int64_t chunk) {
     const std::int64_t begin = chunk * grain;
     partials[static_cast<std::size_t>(chunk)] =
         chunk_fn(begin, std::min(count, begin + grain));
@@ -275,7 +273,12 @@ void gemm_nn_batched(std::int64_t batch, std::int64_t m, std::int64_t n,
   const std::int64_t flops = 2 * batch * m * n * k;
   const std::int64_t grain = flops < kGemmSerialFlops ? tasks : 1;
   parallel_for(tasks, grain, [&](std::int64_t t0, std::int64_t t1) {
-    std::vector<double> acc(static_cast<std::size_t>(kGemmMC * kGemmNC));
+    // Grow-only per-thread accumulator tile: gemm never nests inside gemm,
+    // so one live user per thread; gemm_nn_panel zero-fills the rows it uses.
+    thread_local std::vector<double> acc;
+    if (acc.size() < static_cast<std::size_t>(kGemmMC * kGemmNC)) {
+      acc.resize(static_cast<std::size_t>(kGemmMC * kGemmNC));
+    }
     for (std::int64_t t = t0; t < t1; ++t) {
       const std::int64_t bi = t / (mi * nj);
       const std::int64_t ip = (t / nj) % mi;
@@ -310,19 +313,28 @@ void gemm_batched(Trans ta, Trans tb, std::int64_t batch, std::int64_t m,
   // The packing is a pure copy, so it cannot change results; afterwards one
   // inner kernel serves every variant, which is what makes the variants'
   // accumulation (double, ascending k) agree bitwise.
-  std::vector<float> a_packed;
-  std::vector<float> b_packed;
+  // Grow-only per-thread pack buffers: every byte written is written for
+  // this call before being read (transpose_pack is a pure copy), so stale
+  // contents can never leak into results, and steady-state calls of a fixed
+  // problem size allocate nothing. gemm does not nest inside gemm, so the
+  // buffers have one live user per thread.
+  thread_local std::vector<float> a_packed;
+  thread_local std::vector<float> b_packed;
   const float* a_eff = a;
   const float* b_eff = b;
   if (ta == Trans::kT) {
-    a_packed.resize(static_cast<std::size_t>(batch * m * k));
+    if (a_packed.size() < static_cast<std::size_t>(batch * m * k)) {
+      a_packed.resize(static_cast<std::size_t>(batch * m * k));
+    }
     for (std::int64_t bi = 0; bi < batch; ++bi) {
       transpose_pack(a + bi * m * k, a_packed.data() + bi * m * k, m, k);
     }
     a_eff = a_packed.data();
   }
   if (tb == Trans::kT) {
-    b_packed.resize(static_cast<std::size_t>(batch * k * n));
+    if (b_packed.size() < static_cast<std::size_t>(batch * k * n)) {
+      b_packed.resize(static_cast<std::size_t>(batch * k * n));
+    }
     for (std::int64_t bi = 0; bi < batch; ++bi) {
       transpose_pack(b + bi * k * n, b_packed.data() + bi * k * n, k, n);
     }

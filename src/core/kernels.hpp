@@ -23,11 +23,44 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <type_traits>
+#include <utility>
 
 #include "core/thread_pool.hpp"
 
 namespace orbit2::kernels {
+
+/// Non-owning callable view, the dispatch currency of this layer.
+///
+/// `std::function` heap-allocates when a lambda's captures outgrow its small
+/// buffer, which would put an allocation on every kernel dispatch — including
+/// the serial path the zero-allocation inference replay relies on. FnRef
+/// stores only {object pointer, trampoline pointer}; the callee must outlive
+/// the call, which parallel_for/parallel_reduce guarantee by blocking until
+/// every chunk has finished.
+template <typename Sig>
+class FnRef;
+
+template <typename R, typename... Args>
+class FnRef<R(Args...)> {
+ public:
+  template <typename F,
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, FnRef>, int> = 0>
+  FnRef(F&& f)  // NOLINT(google-explicit-constructor): adapter by design
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
 
 /// Number of threads kernel dispatch will use (>= 1).
 std::size_t max_threads();
@@ -51,15 +84,14 @@ bool in_parallel_region();
 /// when only one thread is configured. Exceptions from chunks are rethrown
 /// on the calling thread after all chunks finish.
 void parallel_for(std::int64_t count, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body);
+                  FnRef<void(std::int64_t, std::int64_t)> body);
 
 /// Deterministic sum reduction: chunk(begin, end) returns the partial for
 /// one grain-sized chunk; partials are combined in ascending chunk order.
 /// The serial path uses the same chunk boundaries and combine order, so the
 /// result is bit-identical for any thread count.
-double parallel_reduce(
-    std::int64_t count, std::int64_t grain,
-    const std::function<double(std::int64_t, std::int64_t)>& chunk);
+double parallel_reduce(std::int64_t count, std::int64_t grain,
+                       FnRef<double(std::int64_t, std::int64_t)> chunk);
 
 /// Picks a grain so one chunk carries roughly `target_work` units given
 /// `work_per_item` units per index (both clamped to >= 1).

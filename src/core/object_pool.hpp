@@ -1,0 +1,48 @@
+#pragma once
+// ObjectPool<T>: a minimal thread-safe free-list of reusable objects.
+//
+// The compiled-inference layer keeps one executor per concurrent caller of a
+// cached plan; executors are expensive to build (arena allocation) but cheap
+// to reuse, so callers try_acquire() one, construct a fresh executor only on
+// a miss, and release() it when done. Lives in src/core because it owns a
+// mutex (the repo's threading-primitives home, enforced by orbit2_analyze).
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace orbit2::core {
+
+template <typename T>
+class ObjectPool {
+ public:
+  /// Pops a pooled object, or returns nullptr when the pool is empty (the
+  /// caller then constructs its own and releases it later).
+  std::unique_ptr<T> try_acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) return nullptr;
+    std::unique_ptr<T> obj = std::move(free_.back());
+    free_.pop_back();
+    return obj;
+  }
+
+  /// Returns an object to the pool for reuse.
+  void release(std::unique_ptr<T> obj) {
+    if (obj == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(obj));
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> free_;
+};
+
+}  // namespace orbit2::core

@@ -1,0 +1,34 @@
+#include "graph/compiled.hpp"
+
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace orbit2::graph {
+
+Tensor CompiledShape::run(const Tensor& input) const {
+  ORBIT2_REQUIRE(valid(), "run() on an invalid (failed-capture) plan");
+  std::unique_ptr<Executor> executor = pool_->try_acquire();
+  if (executor == nullptr) executor = std::make_unique<Executor>(plan_);
+  // Clone before releasing: the reference aliases the executor's output slot.
+  Tensor result = executor->run(input).clone();
+  pool_->release(std::move(executor));
+  return result;
+}
+
+std::shared_ptr<const CompiledShape> PlanCache::get_or_compile(
+    const Tensor& input, const CaptureForwardFn& run_forward) {
+  return cache_.get_or_create(ShapeKey{input.shape()}, [&]() {
+    CaptureSink sink(input);
+    Tensor output;
+    {
+      CaptureScope scope(sink);
+      output = run_forward(sink);
+    }
+    if (sink.failed()) return CompiledShape(nullptr);
+    return CompiledShape(
+        std::make_shared<const Plan>(compile_plan(sink.take(output))));
+  });
+}
+
+}  // namespace orbit2::graph

@@ -1,0 +1,400 @@
+#include "graph/executor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "attention/attention.hpp"
+#include "core/error.hpp"
+#include "core/kernels.hpp"
+#include "core/obs.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/patches.hpp"
+#include "tensor/resize.hpp"
+
+namespace orbit2::graph {
+
+namespace {
+
+// Data-movement helpers mirroring the autograd MHA's slice_cols / set_cols /
+// add_bias_inplace loops exactly (pure copies and per-element adds are
+// bit-identical for any partitioning).
+
+void copy_cols(const Tensor& x, std::int64_t start, std::int64_t len,
+               Tensor& out) {
+  const std::int64_t rows = x.dim(0), cols = x.dim(1);
+  const float* src = x.data().data();
+  float* dst = out.data().data();
+  kernels::parallel_for(
+      rows, kernels::grain_for(len), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          std::copy(src + r * cols + start, src + r * cols + start + len,
+                    dst + r * len);
+        }
+      });
+}
+
+void paste_cols(Tensor& x, std::int64_t start, const Tensor& block) {
+  const std::int64_t rows = x.dim(0), cols = x.dim(1);
+  const std::int64_t len = block.dim(1);
+  const float* src = block.data().data();
+  float* dst = x.data().data();
+  kernels::parallel_for(
+      rows, kernels::grain_for(len), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          std::copy(src + r * len, src + r * len + len, dst + r * cols + start);
+        }
+      });
+}
+
+void add_bias_rows_inplace(Tensor& x, const float* bias) {
+  const std::int64_t rows = x.dim(0), cols = x.dim(1);
+  float* dst = x.data().data();
+  kernels::parallel_for(
+      rows, kernels::grain_for(cols), [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          float* row = dst + r * cols;
+          for (std::int64_t c = 0; c < cols; ++c) row[c] += bias[c];
+        }
+      });
+}
+
+// Matches the eager elementwise grain (tensor/ops.cpp kElementwiseGrain).
+constexpr std::int64_t kEwGrain = std::int64_t{1} << 14;
+
+}  // namespace
+
+Executor::Executor(std::shared_ptr<const Plan> plan) : plan_(std::move(plan)) {
+  ORBIT2_REQUIRE(plan_ != nullptr, "Executor on null plan");
+  const CapturedGraph& g = plan_->graph;
+
+  std::vector<std::shared_ptr<std::vector<float>>> slots;
+  slots.reserve(plan_->slot_numel.size());
+  for (std::int64_t numel : plan_->slot_numel) {
+    slots.push_back(arena_.add_buffer(numel));
+  }
+
+  values_.resize(g.values.size());
+  std::size_t max_stages = 0;
+  for (const GraphOp& op : g.ops) {
+    max_stages = std::max(max_stages, op.stages.size());
+  }
+  stage_aux_.assign(max_stages, nullptr);
+
+  for (std::size_t v = 0; v < g.values.size(); ++v) {
+    const ValueInfo& info = g.values[v];
+    if (info.is_leaf) {
+      values_[v] = info.leaf;  // shares captured storage, no copy
+    } else if (plan_->slot_of[v] >= 0) {
+      values_[v] = Tensor::with_storage(
+          info.shape, slots[static_cast<std::size_t>(plan_->slot_of[v])]);
+    }
+    // Runtime input and kView aliases are (re)bound inside run().
+  }
+}
+
+const Tensor& Executor::run(const Tensor& input) {
+  const CapturedGraph& g = plan_->graph;
+  const ValueInfo& in_info = g.values[static_cast<std::size_t>(g.input)];
+  ORBIT2_REQUIRE(input.shape() == in_info.shape,
+                 "compiled plan expects input " << in_info.shape.to_string()
+                                                << ", got "
+                                                << input.shape().to_string());
+  values_[static_cast<std::size_t>(g.input)] = input;
+  for (const GraphOp& op : g.ops) dispatch(op);
+  ORBIT2_OBS_COUNT("graph/replay", 1);
+  return values_[static_cast<std::size_t>(g.output)];
+}
+
+void Executor::dispatch(const GraphOp& op) {
+  ORBIT2_OBS_SPAN_ARG("graph/op", "graph", "kind",
+                      static_cast<std::int64_t>(op.kind));
+  switch (op.kind) {
+    case OpKind::kElementwise:
+      run_elementwise(op);
+      return;
+    case OpKind::kMatmul: {
+      const Tensor& a = value(op.inputs[0]);
+      const Tensor& b = value(op.inputs[1]);
+      Tensor& out = mutable_value(op.output);
+      kernels::gemm(kernels::Trans::kN, kernels::Trans::kN, a.dim(0), b.dim(1),
+                    a.dim(1), a.data().data(), b.data().data(),
+                    out.data().data());
+      return;
+    }
+    case OpKind::kLayerNorm: {
+      const Tensor& x = value(op.inputs[0]);
+      const Tensor& gamma = value(op.inputs[1]);
+      const Tensor& beta = value(op.inputs[2]);
+      layernorm_rows_into(x, gamma, beta, op.fparams[0],
+                          mutable_value(op.output), nullptr, nullptr);
+      return;
+    }
+    case OpKind::kSliceRows: {
+      // Axis-0 slice of a contiguous tensor is one contiguous copy.
+      const Tensor& x = value(op.inputs[0]);
+      Tensor& out = mutable_value(op.output);
+      const std::int64_t rows = x.dim(0);
+      const std::int64_t inner = x.numel() / std::max<std::int64_t>(1, rows);
+      const float* src = x.data().data() + op.iparams[0] * inner;
+      std::copy(src, src + op.iparams[1] * inner, out.data().data());
+      return;
+    }
+    case OpKind::kConcatRows: {
+      Tensor& out = mutable_value(op.output);
+      float* dst = out.data().data();
+      for (ValueId in : op.inputs) {
+        const Tensor& part = value(in);
+        dst = std::copy(part.data().data(),
+                        part.data().data() + part.numel(), dst);
+      }
+      return;
+    }
+    case OpKind::kPermuteRows: {
+      const Tensor& x = value(op.inputs[0]);
+      Tensor& out = mutable_value(op.output);
+      const std::int64_t rows = x.dim(0);
+      const std::int64_t inner = x.numel() / std::max<std::int64_t>(1, rows);
+      const float* src = x.data().data();
+      float* dst = out.data().data();
+      const std::vector<std::int64_t>& perm = op.perm;
+      kernels::parallel_for(
+          rows, kernels::grain_for(inner),
+          [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i) {
+              const std::int64_t from = perm[static_cast<std::size_t>(i)];
+              std::copy(src + from * inner, src + (from + 1) * inner,
+                        dst + i * inner);
+            }
+          });
+      return;
+    }
+    case OpKind::kConv2d: {
+      Conv2dSpec spec;
+      spec.kernel_h = op.iparams[0];
+      spec.kernel_w = op.iparams[1];
+      spec.stride = op.iparams[2];
+      spec.pad = op.iparams[3];
+      conv2d_forward_into(value(op.inputs[0]), value(op.inputs[1]),
+                          value(op.inputs[2]), spec, mutable_value(op.output));
+      return;
+    }
+    case OpKind::kResizeBilinear:
+      resize_bilinear_into(value(op.inputs[0]), mutable_value(op.output));
+      return;
+    case OpKind::kImageToTokens:
+      image_to_tokens_into(value(op.inputs[0]), op.iparams[0],
+                           mutable_value(op.output));
+      return;
+    case OpKind::kTokensToImage:
+      tokens_to_image_into(value(op.inputs[0]), op.iparams[3],
+                           mutable_value(op.output));
+      return;
+    case OpKind::kMhsa:
+      run_mhsa(op);
+      return;
+    case OpKind::kView: {
+      const std::size_t out = static_cast<std::size_t>(op.output);
+      values_[out] =
+          value(op.inputs[0]).reshape(plan_->graph.values[out].shape);
+      return;
+    }
+    case OpKind::kCustom:
+      ORBIT2_REQUIRE(op.custom != nullptr, "kCustom op without replay fn");
+      op.custom(op, *this);
+      return;
+  }
+  ORBIT2_FAIL("unhandled graph op kind");
+}
+
+void Executor::run_elementwise(const GraphOp& op) {
+  const Tensor& in0 = value(op.inputs[0]);
+  Tensor& out = mutable_value(op.output);
+  const std::vector<EwStage>& stages = op.stages;
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    stage_aux_[s] = stages[s].aux != kNoValue
+                        ? value(stages[s].aux).data().data()
+                        : nullptr;
+  }
+  const float* src = in0.data().data();
+  float* dst = out.data().data();
+  const std::size_t num_stages = stages.size();
+  const EwStage* stage = stages.data();
+  const float* const* aux_ptrs = stage_aux_.data();
+
+  // The planner may run a chain in place (output reuses input 0's dying
+  // slot). That alone is fine for the stage-major path below — every stage
+  // is elementwise over dst. But if an aux operand is that same buffer, a
+  // later stage would reread elements an earlier stage already overwrote;
+  // element-major order is what keeps that case correct, because all of
+  // element i's reads happen before its write.
+  bool aux_aliases_out = false;
+  for (std::size_t s = 0; s < num_stages && !aux_aliases_out; ++s) {
+    aux_aliases_out = aux_ptrs[s] == dst;
+  }
+  if (aux_aliases_out) {
+    kernels::parallel_for(
+        out.numel(), kEwGrain, [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            float cur = src[i];
+            for (std::size_t s = 0; s < num_stages; ++s) {
+              const EwStage& st = stage[s];
+              const float* aux = aux_ptrs[s];
+              switch (st.kind) {
+                case EwKind::kAddCA: cur = cur + aux[i]; break;
+                case EwKind::kAddAC: cur = aux[i] + cur; break;
+                case EwKind::kSubCA: cur = cur - aux[i]; break;
+                case EwKind::kSubAC: cur = aux[i] - cur; break;
+                case EwKind::kMulCA: cur = cur * aux[i]; break;
+                case EwKind::kMulAC: cur = aux[i] * cur; break;
+                case EwKind::kScale: cur = cur * st.scalar; break;
+                case EwKind::kGelu: cur = gelu_scalar(cur); break;
+                case EwKind::kAddBiasRows: cur = cur + aux[i % st.a]; break;
+                case EwKind::kAddTableRow:
+                  cur = cur + aux[st.b * st.a + i % st.a];
+                  break;
+                case EwKind::kAddVarEmb:
+                  cur = cur + aux[(i / st.a / st.b) * st.a + i % st.a];
+                  break;
+              }
+            }
+            dst[i] = cur;
+          }
+        });
+    return;
+  }
+
+  // Out of place: stage-major over the cache-resident chunk, so each stage
+  // is a branch-free loop the compiler can vectorize like the eager
+  // kernels. Every element still sees the same operations in the same
+  // order as the element-major loop, so results are bitwise identical.
+  kernels::parallel_for(
+      out.numel(), kEwGrain, [&](std::int64_t i0, std::int64_t i1) {
+        if (dst != src) {
+          std::memcpy(dst + i0, src + i0,
+                      static_cast<std::size_t>(i1 - i0) * sizeof(float));
+        }
+        for (std::size_t s = 0; s < num_stages; ++s) {
+          const EwStage& st = stage[s];
+          const float* aux = aux_ptrs[s];
+          switch (st.kind) {
+            case EwKind::kAddCA:
+              for (std::int64_t i = i0; i < i1; ++i) dst[i] = dst[i] + aux[i];
+              break;
+            case EwKind::kAddAC:
+              for (std::int64_t i = i0; i < i1; ++i) dst[i] = aux[i] + dst[i];
+              break;
+            case EwKind::kSubCA:
+              for (std::int64_t i = i0; i < i1; ++i) dst[i] = dst[i] - aux[i];
+              break;
+            case EwKind::kSubAC:
+              for (std::int64_t i = i0; i < i1; ++i) dst[i] = aux[i] - dst[i];
+              break;
+            case EwKind::kMulCA:
+              for (std::int64_t i = i0; i < i1; ++i) dst[i] = dst[i] * aux[i];
+              break;
+            case EwKind::kMulAC:
+              for (std::int64_t i = i0; i < i1; ++i) dst[i] = aux[i] * dst[i];
+              break;
+            case EwKind::kScale:
+              for (std::int64_t i = i0; i < i1; ++i) {
+                dst[i] = dst[i] * st.scalar;
+              }
+              break;
+            case EwKind::kGelu:
+              for (std::int64_t i = i0; i < i1; ++i) {
+                dst[i] = gelu_scalar(dst[i]);
+              }
+              break;
+            // Row-indexed adds run as contiguous per-row segments so the
+            // inner loops stay branch-free and vectorizable, like the eager
+            // row loops they replay.
+            case EwKind::kAddBiasRows:
+              for (std::int64_t i = i0; i < i1;) {
+                const std::int64_t col = i % st.a;
+                const std::int64_t run = std::min(i1 - i, st.a - col);
+                const float* arow = aux + col;
+                for (std::int64_t j = 0; j < run; ++j) {
+                  dst[i + j] = dst[i + j] + arow[j];
+                }
+                i += run;
+              }
+              break;
+            case EwKind::kAddTableRow: {
+              const float* row = aux + st.b * st.a;
+              for (std::int64_t i = i0; i < i1;) {
+                const std::int64_t col = i % st.a;
+                const std::int64_t run = std::min(i1 - i, st.a - col);
+                const float* arow = row + col;
+                for (std::int64_t j = 0; j < run; ++j) {
+                  dst[i + j] = dst[i + j] + arow[j];
+                }
+                i += run;
+              }
+              break;
+            }
+            case EwKind::kAddVarEmb:
+              // index = (i / (a*b)) * a + i % a.
+              for (std::int64_t i = i0; i < i1;) {
+                const std::int64_t col = i % st.a;
+                const std::int64_t run = std::min(i1 - i, st.a - col);
+                const float* arow = aux + (i / (st.a * st.b)) * st.a + col;
+                for (std::int64_t j = 0; j < run; ++j) {
+                  dst[i + j] = dst[i + j] + arow[j];
+                }
+                i += run;
+              }
+              break;
+          }
+        }
+      });
+}
+
+void Executor::run_mhsa(const GraphOp& op) {
+  const Tensor& x = value(op.inputs[0]);
+  const std::int64_t n = x.dim(0), d = x.dim(1);
+  const std::int64_t heads = op.iparams[0];
+  const bool use_flash = op.iparams[1] != 0;
+  const std::int64_t dh = d / heads;
+  const float attn_scale = op.fparams[0];
+
+  Tensor& q = mutable_value(op.workspaces[0]);
+  Tensor& k = mutable_value(op.workspaces[1]);
+  Tensor& v = mutable_value(op.workspaces[2]);
+  Tensor& concat = mutable_value(op.workspaces[3]);
+  Tensor& qh = mutable_value(op.workspaces[4]);
+  Tensor& kh = mutable_value(op.workspaces[5]);
+  Tensor& vh = mutable_value(op.workspaces[6]);
+  Tensor& oh = mutable_value(op.workspaces[7]);
+  Tensor& attn_ws = mutable_value(op.workspaces[8]);
+
+  // Projections: same gemm + bias-add sequence as the eager MHA.
+  auto project = [&](ValueId w, ValueId b, Tensor& out) {
+    kernels::gemm(kernels::Trans::kN, kernels::Trans::kN, n, d, d,
+                  x.data().data(), value(w).data().data(), out.data().data());
+    add_bias_rows_inplace(out, value(b).data().data());
+  };
+  project(op.inputs[1], op.inputs[2], q);
+  project(op.inputs[3], op.inputs[4], k);
+  project(op.inputs[5], op.inputs[6], v);
+
+  for (std::int64_t hd = 0; hd < heads; ++hd) {
+    copy_cols(q, hd * dh, dh, qh);
+    copy_cols(k, hd * dh, dh, kh);
+    copy_cols(v, hd * dh, dh, vh);
+    if (use_flash) {
+      attention_flash_forward_into(qh, kh, vh, attn_scale, oh, attn_ws);
+    } else {
+      attention_naive_forward_into(qh, kh, vh, attn_scale, attn_ws, oh);
+    }
+    paste_cols(concat, hd * dh, oh);
+  }
+
+  Tensor& out = mutable_value(op.output);
+  kernels::gemm(kernels::Trans::kN, kernels::Trans::kN, n, d, d,
+                concat.data().data(), value(op.inputs[7]).data().data(),
+                out.data().data());
+  add_bias_rows_inplace(out, value(op.inputs[8]).data().data());
+}
+
+}  // namespace orbit2::graph

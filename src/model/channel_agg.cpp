@@ -2,33 +2,34 @@
 
 #include <cmath>
 
+#include "core/kernels.hpp"
+#include "graph/executor.hpp"
+#include "graph/ir.hpp"
 #include "tensor/matmul.hpp"
 
 namespace orbit2::model {
 
 using autograd::Var;
 
-Var aggregate_channels(const Var& embeddings, const Var& query, const Var& wk,
-                       const Var& wv, std::int64_t num_variables,
-                       std::int64_t num_positions) {
-  const Tensor emb = embeddings.value();
-  ORBIT2_REQUIRE(emb.rank() == 2, "aggregate_channels expects [V*P, D]");
-  const std::int64_t d = emb.dim(1);
-  ORBIT2_REQUIRE(emb.dim(0) == num_variables * num_positions,
-                 "embedding rows " << emb.dim(0) << " vs V*P = "
-                                   << num_variables * num_positions);
-  ORBIT2_REQUIRE(query.value().shape() == Shape({d}), "query must be [D]");
-  ORBIT2_REQUIRE(wk.value().shape() == Shape({d, d}) &&
-                     wv.value().shape() == Shape({d, d}),
-                 "wk/wv must be [D, D]");
+namespace {
 
+/// The aggregation forward body, shared verbatim by the eager op and the
+/// compiled replay (guaranteeing bitwise-identical results): projects keys
+/// and values into `k`/`v`, computes per-position softmax weights over the
+/// variable axis into `alpha`, and accumulates the mixed values into `out`.
+void aggregate_channels_core(const Tensor& emb, const Tensor& q,
+                             const Tensor& wk, const Tensor& wv,
+                             std::int64_t num_variables,
+                             std::int64_t num_positions, Tensor& k, Tensor& v,
+                             Tensor& alpha, Tensor& out) {
+  const std::int64_t d = emb.dim(1);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
-  const Tensor k = matmul(emb, wk.value());  // [V*P, D]
-  const Tensor v = matmul(emb, wv.value());  // [V*P, D]
-  const Tensor q = query.value();
+  kernels::gemm(kernels::Trans::kN, kernels::Trans::kN, emb.dim(0), d, d,
+                emb.data().data(), wk.data().data(), k.data().data());
+  kernels::gemm(kernels::Trans::kN, kernels::Trans::kN, emb.dim(0), d, d,
+                emb.data().data(), wv.data().data(), v.data().data());
 
   // Attention over the variable axis, independently per position.
-  Tensor alpha(Shape{num_variables, num_positions});
   {
     const float* pk = k.data().data();
     const float* pq = q.data().data();
@@ -38,7 +39,9 @@ Var aggregate_channels(const Var& embeddings, const Var& query, const Var& wk,
       for (std::int64_t var = 0; var < num_variables; ++var) {
         const float* row = pk + (var * num_positions + pos) * d;
         double dot = 0.0;
-        for (std::int64_t f = 0; f < d; ++f) dot += static_cast<double>(pq[f]) * row[f];
+        for (std::int64_t f = 0; f < d; ++f) {
+          dot += static_cast<double>(pq[f]) * row[f];
+        }
         const float s = static_cast<float>(dot) * scale;
         pa[var * num_positions + pos] = s;
         max_score = std::max(max_score, s);
@@ -57,7 +60,7 @@ Var aggregate_channels(const Var& embeddings, const Var& query, const Var& wk,
   }
 
   // out[p] = sum_v alpha[v,p] * v[v*P+p].
-  Tensor out = Tensor::zeros(Shape{num_positions, d});
+  out.fill(0.0f);
   {
     const float* pv = v.data().data();
     const float* pa = alpha.data().data();
@@ -70,6 +73,58 @@ Var aggregate_channels(const Var& embeddings, const Var& query, const Var& wk,
         for (std::int64_t f = 0; f < d; ++f) orow[f] += a * row[f];
       }
     }
+  }
+}
+
+/// kCustom replay: identical core over planned workspaces.
+void replay_aggregate_channels(const graph::GraphOp& op,
+                               graph::Executor& ex) {
+  aggregate_channels_core(ex.value(op.inputs[0]), ex.value(op.inputs[1]),
+                          ex.value(op.inputs[2]), ex.value(op.inputs[3]),
+                          op.iparams[0], op.iparams[1],
+                          ex.mutable_value(op.workspaces[0]),
+                          ex.mutable_value(op.workspaces[1]),
+                          ex.mutable_value(op.workspaces[2]),
+                          ex.mutable_value(op.output));
+}
+
+}  // namespace
+
+Var aggregate_channels(const Var& embeddings, const Var& query, const Var& wk,
+                       const Var& wv, std::int64_t num_variables,
+                       std::int64_t num_positions) {
+  const Tensor emb = embeddings.value();
+  ORBIT2_REQUIRE(emb.rank() == 2, "aggregate_channels expects [V*P, D]");
+  const std::int64_t d = emb.dim(1);
+  ORBIT2_REQUIRE(emb.dim(0) == num_variables * num_positions,
+                 "embedding rows " << emb.dim(0) << " vs V*P = "
+                                   << num_variables * num_positions);
+  ORBIT2_REQUIRE(query.value().shape() == Shape({d}), "query must be [D]");
+  ORBIT2_REQUIRE(wk.value().shape() == Shape({d, d}) &&
+                     wv.value().shape() == Shape({d, d}),
+                 "wk/wv must be [D, D]");
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const Tensor q = query.value();
+  Tensor k(Shape{emb.dim(0), d});
+  Tensor v(Shape{emb.dim(0), d});
+  Tensor alpha(Shape{num_variables, num_positions});
+  Tensor out(Shape{num_positions, d});
+  aggregate_channels_core(emb, q, wk.value(), wv.value(), num_variables,
+                          num_positions, k, v, alpha, out);
+
+  if (graph::CaptureSink* sink = graph::capture_sink()) {
+    graph::GraphOp op;
+    op.kind = graph::OpKind::kCustom;
+    op.inputs = {sink->value_for(emb), sink->value_for(q),
+                 sink->value_for(wk.value()), sink->value_for(wv.value())};
+    op.iparams = {num_variables, num_positions};
+    op.workspaces = {sink->add_workspace(k.shape()),
+                     sink->add_workspace(v.shape()),
+                     sink->add_workspace(alpha.shape())};
+    op.custom = &replay_aggregate_channels;
+    op.output = sink->bind_output(out);
+    sink->record(std::move(op));
   }
 
   const Tensor wk_value = wk.value();

@@ -13,8 +13,11 @@ class Downscaler : public autograd::Module {
   virtual autograd::Var downscale(const Tensor& input) const = 0;
   virtual const ModelConfig& model_config() const = 0;
 
-  /// Inference without keeping gradients around.
-  Tensor predict_field(const Tensor& input) const {
+  /// Inference: no tape is built (InferenceModeScope), no gradients are
+  /// retained. Concrete models override this with the compiled-plan replay
+  /// path; the default runs the eager forward tape-free.
+  virtual Tensor predict_field(const Tensor& input) const {
+    autograd::InferenceModeScope no_tape;
     return downscale(input).value();
   }
 };

@@ -1,7 +1,11 @@
 #include "model/reslim.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "core/kernels.hpp"
+#include "graph/executor.hpp"
+#include "graph/ir.hpp"
 #include "image/filters.hpp"
 #include "model/channel_agg.hpp"
 #include "model/pos_embed.hpp"
@@ -10,6 +14,37 @@
 namespace orbit2::model {
 
 using autograd::Var;
+
+namespace {
+
+/// Replays the per-variable tokenization as one gather: input [V, h, w] ->
+/// out [V*P, p*p], variable-major. Pure copies, so any partitioning is
+/// bitwise identical to the eager slice + image_to_tokens_raw sequence.
+void replay_tokenize(const graph::GraphOp& op, graph::Executor& ex) {
+  const Tensor& input = ex.value(op.inputs[0]);
+  Tensor& out = ex.mutable_value(op.output);
+  const std::int64_t p = op.iparams[0];
+  const std::int64_t h = input.dim(1), w = input.dim(2);
+  const std::int64_t gw = w / p;
+  const std::int64_t positions = (h / p) * gw;
+  const float* src = input.data().data();
+  float* dst = out.data().data();
+  kernels::parallel_for(
+      input.dim(0) * positions, kernels::grain_for(p * p),
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t t = begin; t < end; ++t) {
+          const std::int64_t var = t / positions, pos = t % positions;
+          const std::int64_t by = pos / gw, bx = pos % gw;
+          const float* cell = src + var * h * w + by * p * w + bx * p;
+          float* token = dst + t * p * p;
+          for (std::int64_t py = 0; py < p; ++py) {
+            std::copy(cell + py * w, cell + py * w + p, token + py * p);
+          }
+        }
+      });
+}
+
+}  // namespace
 
 Var add_table_row(const Var& tokens, const Var& table, std::int64_t row) {
   const Tensor tok = tokens.value();
@@ -26,6 +61,20 @@ Var add_table_row(const Var& tokens, const Var& table, std::int64_t row) {
       float* prow = p + i * d;
       for (std::int64_t f = 0; f < d; ++f) prow[f] += r[f];
     }
+  }
+  if (graph::CaptureSink* sink = graph::capture_sink()) {
+    graph::GraphOp op;
+    op.kind = graph::OpKind::kElementwise;
+    graph::EwStage stage;
+    stage.kind = graph::EwKind::kAddTableRow;
+    stage.a = tok.dim(1);
+    stage.b = row;
+    op.inputs.push_back(sink->value_for(tok));
+    stage.aux = sink->value_for(tab);
+    op.inputs.push_back(stage.aux);
+    op.stages.push_back(stage);
+    op.output = sink->bind_output(value);
+    sink->record(std::move(op));
   }
   const Shape tab_shape = tab.shape();
   return autograd::make_op(
@@ -67,10 +116,25 @@ Var add_variable_embedding(const Var& tokens, const Var& table,
       }
     }
   }
+  if (graph::CaptureSink* sink = graph::capture_sink()) {
+    graph::GraphOp op;
+    op.kind = graph::OpKind::kElementwise;
+    graph::EwStage stage;
+    stage.kind = graph::EwKind::kAddVarEmb;
+    stage.a = tok.dim(1);
+    stage.b = num_positions;
+    op.inputs.push_back(sink->value_for(tok));
+    stage.aux = sink->value_for(tab);
+    op.inputs.push_back(stage.aux);
+    op.stages.push_back(stage);
+    op.output = sink->bind_output(value);
+    sink->record(std::move(op));
+  }
   const Shape tab_shape = tab.shape();
   return autograd::make_op(
       std::move(value), {tokens, table},
-      [tokens, table, tab_shape, num_variables, num_positions](const Tensor& g) {
+      [tokens, table, tab_shape, num_variables,
+       num_positions](const Tensor& g) {
         accumulate_into(tokens, g);
         if (table.needs_grad()) {
           Tensor grad_table = Tensor::zeros(tab_shape);
@@ -163,6 +227,15 @@ Var ReslimModel::forward(const Tensor& input, ForwardStats* stats) const {
     std::copy(tokens.data().begin(), tokens.data().end(),
               raw_tokens.data().begin() + v * positions * (p * p));
   }
+  if (graph::CaptureSink* sink = graph::capture_sink()) {
+    graph::GraphOp op;
+    op.kind = graph::OpKind::kCustom;
+    op.inputs.push_back(sink->value_for(input));
+    op.iparams = {p};
+    op.custom = &replay_tokenize;
+    op.output = sink->bind_output(raw_tokens);
+    sink->record(std::move(op));
+  }
 
   // Shared patch embedding + per-variable embedding.
   Var embedded = patch_embed_.forward(Var::constant(raw_tokens));
@@ -189,6 +262,9 @@ Var ReslimModel::forward(const Tensor& input, ForwardStats* stats) const {
   std::vector<PatchRect> leaves;
   Var trunk_input = aggregated;
   if (config_.compression_ratio > 1.0f) {
+    if (graph::CaptureSink* sink = graph::capture_sink()) {
+      sink->fail("adaptive compression is data-dependent");
+    }
     const Tensor& agg_value = aggregated.value();
     Tensor density(Shape{gh, gw});
     {
@@ -198,7 +274,9 @@ Var ReslimModel::forward(const Tensor& input, ForwardStats* stats) const {
       for (std::int64_t i = 0; i < positions; ++i) {
         double norm = 0.0;
         const float* row = src + i * d;
-        for (std::int64_t f = 0; f < d; ++f) norm += static_cast<double>(row[f]) * row[f];
+        for (std::int64_t f = 0; f < d; ++f) {
+          norm += static_cast<double>(row[f]) * row[f];
+        }
         dst[i] = static_cast<float>(std::sqrt(norm / static_cast<double>(d)));
       }
     }
@@ -255,7 +333,19 @@ Var ReslimModel::forward(const Tensor& input, ForwardStats* stats) const {
 }
 
 Tensor ReslimModel::predict(const Tensor& input) const {
-  return forward(input).value();
+  return predict_field(input);
+}
+
+Tensor ReslimModel::predict_field(const Tensor& input) const {
+  autograd::InferenceModeScope no_tape;
+  // Adaptive compression picks a data-dependent token partition, so the op
+  // sequence is not a pure function of the input shape: serve it eagerly.
+  if (config_.compression_ratio > 1.0f) return forward(input).value();
+  const auto compiled = plan_cache_.get_or_compile(
+      input,
+      [this, &input](graph::CaptureSink&) { return forward(input).value(); });
+  if (!compiled->valid()) return forward(input).value();
+  return compiled->run(input);
 }
 
 void ReslimModel::collect_parameters(

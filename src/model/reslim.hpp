@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "autograd/nn.hpp"
+#include "graph/compiled.hpp"
 #include "model/config.hpp"
 #include "model/downscaler.hpp"
 #include "quadtree/quadtree.hpp"
@@ -42,6 +43,11 @@ class ReslimModel : public Downscaler {
 
   /// Inference convenience: forward without retaining the tape.
   Tensor predict(const Tensor& input) const;
+
+  /// Serve path: replays a compiled per-shape plan from the arena executor
+  /// (bitwise identical to the eager forward); falls back to tape-free eager
+  /// when the shape cannot be captured (adaptive compression).
+  Tensor predict_field(const Tensor& input) const override;
 
   autograd::Var downscale(const Tensor& input) const override {
     return forward(input);
@@ -70,6 +76,9 @@ class ReslimModel : public Downscaler {
   autograd::Conv2dLayer residual_conv1_;
   autograd::Conv2dLayer residual_conv2_;
   autograd::Conv2dLayer residual_conv3_;
+  /// Per-input-shape compiled inference plans (capture is lazy, on first
+  /// predict_field for a shape). Mutable: caching does not change the model.
+  mutable graph::PlanCache plan_cache_;
 };
 
 /// Adds table[row] to every token row (the resolution embedding broadcast).

@@ -1,5 +1,6 @@
 #include "model/vit_baseline.hpp"
 
+#include "graph/ir.hpp"
 #include "model/pos_embed.hpp"
 #include "tensor/resize.hpp"
 
@@ -42,6 +43,13 @@ Var ViTBaselineModel::forward(const Tensor& input) const {
   // Fig 1 step 1: upsample every channel to the target grid (input is data,
   // so this is a raw resize — its cost shows up as the long HR sequence).
   const Tensor upsampled = resize_bilinear(input, out_h, out_w);
+  if (graph::CaptureSink* sink = graph::capture_sink()) {
+    graph::GraphOp op;
+    op.kind = graph::OpKind::kResizeBilinear;
+    op.inputs.push_back(sink->value_for(input));
+    op.output = sink->bind_output(upsampled);
+    sink->record(std::move(op));
+  }
 
   // Step 2: aggregate channels in feature space with a shallow conv.
   Var features = channel_conv_.forward(Var::constant(upsampled));
@@ -66,7 +74,16 @@ Var ViTBaselineModel::forward(const Tensor& input) const {
 }
 
 Tensor ViTBaselineModel::predict(const Tensor& input) const {
-  return forward(input).value();
+  return predict_field(input);
+}
+
+Tensor ViTBaselineModel::predict_field(const Tensor& input) const {
+  autograd::InferenceModeScope no_tape;
+  const auto compiled = plan_cache_.get_or_compile(
+      input,
+      [this, &input](graph::CaptureSink&) { return forward(input).value(); });
+  if (!compiled->valid()) return forward(input).value();
+  return compiled->run(input);
 }
 
 void ViTBaselineModel::collect_parameters(

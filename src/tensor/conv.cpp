@@ -24,6 +24,19 @@ std::int64_t conv2d_out_dim(std::int64_t in, std::int64_t kernel,
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, const Conv2dSpec& spec) {
   ORBIT2_REQUIRE(input.rank() == 3, "conv2d input must be [C,H,W]");
+  const std::int64_t oh =
+      conv2d_out_dim(input.dim(1), spec.kernel_h, spec.stride, spec.pad);
+  const std::int64_t ow =
+      conv2d_out_dim(input.dim(2), spec.kernel_w, spec.stride, spec.pad);
+  Tensor out(Shape{weight.dim(0), oh, ow});
+  conv2d_forward_into(input, weight, bias, spec, out);
+  return out;
+}
+
+void conv2d_forward_into(const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, const Conv2dSpec& spec,
+                         Tensor& out) {
+  ORBIT2_REQUIRE(input.rank() == 3, "conv2d input must be [C,H,W]");
   ORBIT2_REQUIRE(weight.rank() == 4, "conv2d weight must be [O,C,kh,kw]");
   const std::int64_t cin = input.dim(0), h = input.dim(1), w = input.dim(2);
   const std::int64_t cout = weight.dim(0);
@@ -37,11 +50,12 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
 
   const std::int64_t oh = conv2d_out_dim(h, spec.kernel_h, spec.stride, spec.pad);
   const std::int64_t ow = conv2d_out_dim(w, spec.kernel_w, spec.stride, spec.pad);
+  ORBIT2_REQUIRE(out.shape() == Shape({cout, oh, ow}),
+                 "conv2d_forward_into out shape mismatch");
   const std::int64_t conv_flops =
       2 * cout * cin * spec.kernel_h * spec.kernel_w * oh * ow;
   ORBIT2_OBS_SPAN_ARG("conv2d_forward", "tensor", "flops", conv_flops);
   ORBIT2_OBS_COUNT("tensor.conv2d_flops", conv_flops);
-  Tensor out(Shape{cout, oh, ow});
 
   const float* in = input.data().data();
   const float* wt = weight.data().data();
@@ -79,7 +93,6 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
           }
         }
       });
-  return out;
 }
 
 Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,

@@ -27,6 +27,12 @@ std::int64_t conv2d_out_dim(std::int64_t in, std::int64_t kernel,
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
                       const Tensor& bias, const Conv2dSpec& spec);
 
+/// conv2d_forward writing into a preallocated `out` of shape [Cout,H',W'];
+/// the allocation-free body the compiled inference executor replays.
+void conv2d_forward_into(const Tensor& input, const Tensor& weight,
+                         const Tensor& bias, const Conv2dSpec& spec,
+                         Tensor& out);
+
 /// Gradient w.r.t. input: dL/dX from dL/dY.
 Tensor conv2d_backward_input(const Tensor& grad_output, const Tensor& weight,
                              std::int64_t in_h, std::int64_t in_w,

@@ -12,9 +12,16 @@ namespace orbit2 {
 // per-row arithmetic, so results are bit-identical for any thread count.
 
 Tensor softmax_rows(const Tensor& logits) {
-  ORBIT2_REQUIRE(logits.rank() == 2, "softmax_rows requires rank-2");
-  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
   Tensor out(logits.shape());
+  softmax_rows_into(logits, out);
+  return out;
+}
+
+void softmax_rows_into(const Tensor& logits, Tensor& out) {
+  ORBIT2_REQUIRE(logits.rank() == 2, "softmax_rows requires rank-2");
+  ORBIT2_REQUIRE(out.shape() == logits.shape(),
+                 "softmax_rows_into shape mismatch");
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
   const float* in = logits.data().data();
   float* po = out.data().data();
   kernels::parallel_for(
@@ -33,7 +40,6 @@ Tensor softmax_rows(const Tensor& logits) {
           for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
         }
       });
-  return out;
 }
 
 Tensor softmax_rows_backward(const Tensor& softmax_output,
@@ -67,20 +73,30 @@ Tensor softmax_rows_backward(const Tensor& softmax_output,
 Tensor layernorm_rows(const Tensor& input, const Tensor& gamma,
                       const Tensor& beta, float epsilon, Tensor* saved_mean,
                       Tensor* saved_inv_std) {
+  Tensor out(input.shape());
+  if (saved_mean != nullptr) *saved_mean = Tensor(Shape{input.dim(0)});
+  if (saved_inv_std != nullptr) *saved_inv_std = Tensor(Shape{input.dim(0)});
+  layernorm_rows_into(input, gamma, beta, epsilon, out, saved_mean,
+                      saved_inv_std);
+  return out;
+}
+
+void layernorm_rows_into(const Tensor& input, const Tensor& gamma,
+                         const Tensor& beta, float epsilon, Tensor& out,
+                         Tensor* saved_mean, Tensor* saved_inv_std) {
   ORBIT2_REQUIRE(input.rank() == 2, "layernorm_rows requires rank-2");
   const std::int64_t rows = input.dim(0), cols = input.dim(1);
   ORBIT2_REQUIRE(gamma.shape() == Shape({cols}) && beta.shape() == Shape({cols}),
                  "layernorm gamma/beta must be [D]");
-  Tensor out(input.shape());
-  Tensor mean(Shape{rows});
-  Tensor inv_std(Shape{rows});
+  ORBIT2_REQUIRE(out.shape() == input.shape(),
+                 "layernorm_rows_into shape mismatch");
 
   const float* in = input.data().data();
   const float* g = gamma.data().data();
   const float* b = beta.data().data();
   float* po = out.data().data();
-  float* pm = mean.data().data();
-  float* ps = inv_std.data().data();
+  float* pm = saved_mean != nullptr ? saved_mean->data().data() : nullptr;
+  float* ps = saved_inv_std != nullptr ? saved_inv_std->data().data() : nullptr;
   kernels::parallel_for(
       rows, kernels::grain_for(cols), [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
@@ -94,17 +110,14 @@ Tensor layernorm_rows(const Tensor& input, const Tensor& gamma,
           const double var =
               std::max(0.0, sum_sq / static_cast<double>(cols) - mu * mu);
           const double istd = 1.0 / std::sqrt(var + epsilon);
-          pm[r] = static_cast<float>(mu);
-          ps[r] = static_cast<float>(istd);
+          if (pm != nullptr) pm[r] = static_cast<float>(mu);
+          if (ps != nullptr) ps[r] = static_cast<float>(istd);
           float* y = po + r * cols;
           for (std::int64_t c = 0; c < cols; ++c) {
             y[c] = static_cast<float>((x[c] - mu) * istd) * g[c] + b[c];
           }
         }
       });
-  if (saved_mean) *saved_mean = mean;
-  if (saved_inv_std) *saved_inv_std = inv_std;
-  return out;
 }
 
 Tensor layernorm_rows_backward(const Tensor& grad_output, const Tensor& input,
@@ -177,23 +190,8 @@ Tensor layernorm_rows_backward(const Tensor& grad_output, const Tensor& input,
 }
 
 namespace {
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-constexpr float kGeluA = 0.044715f;
 constexpr std::int64_t kElementwiseGrain = 1 << 14;
 }  // namespace
-
-float gelu_scalar(float x) {
-  const float inner = kGeluC * (x + kGeluA * x * x * x);
-  return 0.5f * x * (1.0f + std::tanh(inner));
-}
-
-float gelu_grad_scalar(float x) {
-  const float inner = kGeluC * (x + kGeluA * x * x * x);
-  const float t = std::tanh(inner);
-  const float sech2 = 1.0f - t * t;
-  const float dinner = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
-  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
-}
 
 Tensor gelu(const Tensor& input) {
   Tensor out(input.shape());

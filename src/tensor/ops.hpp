@@ -3,12 +3,20 @@
 // softmax, layernorm, GELU. Kept as raw (non-differentiable) kernels here;
 // autograd wires forward/backward pairs.
 
+#include <cmath>
+
 #include "tensor/tensor.hpp"
 
 namespace orbit2 {
 
 /// Numerically stable softmax along the last axis of a rank-2 tensor.
 Tensor softmax_rows(const Tensor& logits);
+
+/// softmax_rows writing into `out` (same shape). `out` may alias `logits`:
+/// each element is read before it is overwritten, so the in-place result is
+/// bitwise identical to the out-of-place one. Used by the compiled inference
+/// executor to run attention without allocating.
+void softmax_rows_into(const Tensor& logits, Tensor& out);
 
 /// Jacobian-vector product of softmax_rows: given y = softmax(x) and dL/dy,
 /// returns dL/dx.
@@ -22,16 +30,39 @@ Tensor layernorm_rows(const Tensor& input, const Tensor& gamma,
                       const Tensor& beta, float epsilon, Tensor* saved_mean,
                       Tensor* saved_inv_std);
 
+/// layernorm_rows writing into a preallocated `out`; saved_mean/saved_inv_std
+/// are optional (nullptr skips them without allocating). The normalized
+/// output bytes are identical whether or not stats are saved.
+void layernorm_rows_into(const Tensor& input, const Tensor& gamma,
+                         const Tensor& beta, float epsilon, Tensor& out,
+                         Tensor* saved_mean, Tensor* saved_inv_std);
+
 /// Backward of layernorm_rows; accumulates into grad_gamma/grad_beta.
 Tensor layernorm_rows_backward(const Tensor& grad_output, const Tensor& input,
                                const Tensor& gamma, const Tensor& saved_mean,
                                const Tensor& saved_inv_std,
                                Tensor& grad_gamma, Tensor& grad_beta);
 
-/// Tanh-approximation GELU (the ViT default).
-float gelu_scalar(float x);
+namespace detail {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+}  // namespace detail
+
+/// Tanh-approximation GELU (the ViT default). Inline so every caller —
+/// the eager kernel and the compiled executor's fused stages — compiles
+/// the exact same body (one out-of-line copy costs a call per element).
+inline float gelu_scalar(float x) {
+  const float inner = detail::kGeluC * (x + detail::kGeluA * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
 /// d(gelu)/dx.
-float gelu_grad_scalar(float x);
+inline float gelu_grad_scalar(float x) {
+  const float inner = detail::kGeluC * (x + detail::kGeluA * x * x * x);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  const float dinner = detail::kGeluC * (1.0f + 3.0f * detail::kGeluA * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
+}
 Tensor gelu(const Tensor& input);
 Tensor gelu_backward(const Tensor& input, const Tensor& grad_output);
 

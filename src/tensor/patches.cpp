@@ -1,0 +1,92 @@
+#include "tensor/patches.hpp"
+
+#include <algorithm>
+
+#include "core/kernels.hpp"
+
+namespace orbit2 {
+
+void image_to_tokens_into(const Tensor& image, std::int64_t patch,
+                          Tensor& out) {
+  ORBIT2_REQUIRE(image.rank() == 3, "image_to_tokens expects [C,H,W]");
+  const std::int64_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  ORBIT2_REQUIRE(h % patch == 0 && w % patch == 0,
+                 "image dims " << h << "x" << w << " not divisible by patch "
+                               << patch);
+  const std::int64_t gh = h / patch, gw = w / patch;
+  const std::int64_t tokens = gh * gw;
+  const std::int64_t feat = c * patch * patch;
+  ORBIT2_REQUIRE(out.rank() == 2 && out.dim(0) == tokens && out.dim(1) == feat,
+                 "image_to_tokens output shape " << out.shape().to_string());
+  const float* src = image.data().data();
+  float* dst = out.data().data();
+  kernels::parallel_for(
+      tokens, kernels::grain_for(feat), [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t by = t / gw;
+          const std::int64_t bx = t % gw;
+          float* token = dst + t * feat;
+          for (std::int64_t ch = 0; ch < c; ++ch) {
+            for (std::int64_t dy = 0; dy < patch; ++dy) {
+              const float* row =
+                  src + ch * h * w + (by * patch + dy) * w + bx * patch;
+              float* cell = token + ch * patch * patch + dy * patch;
+              std::copy(row, row + patch, cell);
+            }
+          }
+        }
+      });
+}
+
+Tensor image_to_tokens_raw(const Tensor& image, std::int64_t patch) {
+  ORBIT2_REQUIRE(image.rank() == 3, "image_to_tokens expects [C,H,W]");
+  const std::int64_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  ORBIT2_REQUIRE(h % patch == 0 && w % patch == 0,
+                 "image dims " << h << "x" << w << " not divisible by patch "
+                               << patch);
+  Tensor out(Shape{(h / patch) * (w / patch), c * patch * patch});
+  image_to_tokens_into(image, patch, out);
+  return out;
+}
+
+void tokens_to_image_into(const Tensor& tokens, std::int64_t patch,
+                          Tensor& out) {
+  ORBIT2_REQUIRE(tokens.rank() == 2, "tokens_to_image expects [P, C*p*p]");
+  ORBIT2_REQUIRE(out.rank() == 3, "tokens_to_image output must be [C,H,W]");
+  const std::int64_t channels = out.dim(0), h = out.dim(1), w = out.dim(2);
+  const std::int64_t gh = h / patch, gw = w / patch;
+  ORBIT2_REQUIRE(tokens.dim(0) == gh * gw,
+                 "token count " << tokens.dim(0) << " vs grid " << gh * gw);
+  ORBIT2_REQUIRE(tokens.dim(1) == channels * patch * patch,
+                 "token width " << tokens.dim(1) << " vs " << channels << "*"
+                                << patch << "^2");
+  const std::int64_t feat = tokens.dim(1);
+  const float* src = tokens.data().data();
+  float* dst = out.data().data();
+  kernels::parallel_for(
+      gh * gw, kernels::grain_for(feat),
+      [&](std::int64_t t0, std::int64_t t1) {
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t by = t / gw;
+          const std::int64_t bx = t % gw;
+          const float* token = src + t * feat;
+          for (std::int64_t ch = 0; ch < channels; ++ch) {
+            for (std::int64_t dy = 0; dy < patch; ++dy) {
+              const float* cell = token + ch * patch * patch + dy * patch;
+              float* row =
+                  dst + ch * h * w + (by * patch + dy) * w + bx * patch;
+              std::copy(cell, cell + patch, row);
+            }
+          }
+        }
+      });
+}
+
+Tensor tokens_to_image_raw(const Tensor& tokens, std::int64_t channels,
+                           std::int64_t h, std::int64_t w, std::int64_t patch) {
+  Tensor out(Shape{channels, h, w});
+  tokens_to_image_into(tokens, patch, out);
+  return out;
+}
+
+}  // namespace orbit2

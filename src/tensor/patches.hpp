@@ -1,0 +1,28 @@
+#pragma once
+// Patch <-> image layout permutations (ViT tokenization), tensor-level so
+// both the autograd ops and the compiled inference executor can share them.
+//
+// Pure data movement: every output element is written by exactly one chunk,
+// so results are bit-identical at any thread count.
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace orbit2 {
+
+/// [C, H, W] -> [P, C*p*p] with P = (H/p)*(W/p); ViT tokenization layout.
+Tensor image_to_tokens_raw(const Tensor& image, std::int64_t patch);
+
+/// image_to_tokens_raw writing into a preallocated [P, C*p*p] tensor.
+void image_to_tokens_into(const Tensor& image, std::int64_t patch, Tensor& out);
+
+/// Inverse of image_to_tokens_raw: [P, C*p*p] -> [C, H, W].
+Tensor tokens_to_image_raw(const Tensor& tokens, std::int64_t channels,
+                           std::int64_t h, std::int64_t w, std::int64_t patch);
+
+/// tokens_to_image_raw writing into a preallocated [C, H, W] tensor.
+void tokens_to_image_into(const Tensor& tokens, std::int64_t patch,
+                          Tensor& out);
+
+}  // namespace orbit2

@@ -24,7 +24,8 @@ struct Tap {
 };
 
 Tap make_tap(std::int64_t out_idx, std::int64_t in_dim, std::int64_t out_dim) {
-  const double scale = static_cast<double>(in_dim) / static_cast<double>(out_dim);
+  const double scale =
+      static_cast<double>(in_dim) / static_cast<double>(out_dim);
   double src = (static_cast<double>(out_idx) + 0.5) * scale - 0.5;
   src = std::max(0.0, std::min(src, static_cast<double>(in_dim - 1)));
   const std::int64_t lo = static_cast<std::int64_t>(std::floor(src));
@@ -38,16 +39,44 @@ Tensor resize_bilinear(const Tensor& input, std::int64_t out_h,
                        std::int64_t out_w) {
   ORBIT2_REQUIRE(input.rank() == 3, "resize_bilinear input must be [C,H,W]");
   ORBIT2_REQUIRE(out_h >= 1 && out_w >= 1, "resize target must be positive");
-  const std::int64_t c = input.dim(0), h = input.dim(1), w = input.dim(2);
-  Tensor out(Shape{c, out_h, out_w});
+  Tensor out(Shape{input.dim(0), out_h, out_w});
+  resize_bilinear_into(input, out);
+  return out;
+}
 
-  std::vector<Tap> ytaps(static_cast<std::size_t>(out_h));
-  std::vector<Tap> xtaps(static_cast<std::size_t>(out_w));
-  for (std::int64_t y = 0; y < out_h; ++y) ytaps[static_cast<std::size_t>(y)] = make_tap(y, h, out_h);
-  for (std::int64_t x = 0; x < out_w; ++x) xtaps[static_cast<std::size_t>(x)] = make_tap(x, w, out_w);
+void resize_bilinear_into(const Tensor& input, Tensor& out) {
+  ORBIT2_REQUIRE(input.rank() == 3 && out.rank() == 3,
+                 "resize_bilinear tensors must be [C,H,W]");
+  const std::int64_t c = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const std::int64_t out_h = out.dim(1), out_w = out.dim(2);
+  ORBIT2_REQUIRE(out.dim(0) == c, "resize_bilinear channel mismatch");
+  ORBIT2_REQUIRE(out_h >= 1 && out_w >= 1, "resize target must be positive");
+
+  // Grow-only per-thread tap tables: every entry used is recomputed for
+  // this call before the parallel loop reads it, and resize never nests
+  // inside resize, so steady-state calls allocate nothing.
+  thread_local std::vector<Tap> ytaps;
+  thread_local std::vector<Tap> xtaps;
+  if (ytaps.size() < static_cast<std::size_t>(out_h)) {
+    ytaps.resize(static_cast<std::size_t>(out_h));
+  }
+  if (xtaps.size() < static_cast<std::size_t>(out_w)) {
+    xtaps.resize(static_cast<std::size_t>(out_w));
+  }
+  for (std::int64_t y = 0; y < out_h; ++y) {
+    ytaps[static_cast<std::size_t>(y)] = make_tap(y, h, out_h);
+  }
+  for (std::int64_t x = 0; x < out_w; ++x) {
+    xtaps[static_cast<std::size_t>(x)] = make_tap(x, w, out_w);
+  }
 
   const float* in = input.data().data();
   float* po = out.data().data();
+  // Capture the *calling thread's* tap tables by pointer: naming a
+  // thread_local inside the lambda would resolve to the (empty) instance of
+  // whichever pool worker runs the chunk.
+  const Tap* ytap = ytaps.data();
+  const Tap* xtap = xtaps.data();
   kernels::parallel_for(
       c * out_h, kernels::grain_for(out_w),
       [&](std::int64_t row0, std::int64_t row1) {
@@ -56,9 +85,9 @@ Tensor resize_bilinear(const Tensor& input, std::int64_t out_h,
           const std::int64_t y = row % out_h;
           const float* src = in + ch * h * w;
           float* dst = po + ch * out_h * out_w;
-          const Tap& ty = ytaps[static_cast<std::size_t>(y)];
+          const Tap& ty = ytap[y];
           for (std::int64_t x = 0; x < out_w; ++x) {
-            const Tap& tx = xtaps[static_cast<std::size_t>(x)];
+            const Tap& tx = xtap[x];
             const float v00 = src[ty.lo * w + tx.lo];
             const float v01 = src[ty.lo * w + tx.hi];
             const float v10 = src[ty.hi * w + tx.lo];
@@ -69,7 +98,6 @@ Tensor resize_bilinear(const Tensor& input, std::int64_t out_h,
           }
         }
       });
-  return out;
 }
 
 Tensor resize_bilinear_backward(const Tensor& grad_output, std::int64_t in_h,
@@ -82,8 +110,12 @@ Tensor resize_bilinear_backward(const Tensor& grad_output, std::int64_t in_h,
 
   std::vector<Tap> ytaps(static_cast<std::size_t>(oh));
   std::vector<Tap> xtaps(static_cast<std::size_t>(ow));
-  for (std::int64_t y = 0; y < oh; ++y) ytaps[static_cast<std::size_t>(y)] = make_tap(y, in_h, oh);
-  for (std::int64_t x = 0; x < ow; ++x) xtaps[static_cast<std::size_t>(x)] = make_tap(x, in_w, ow);
+  for (std::int64_t y = 0; y < oh; ++y) {
+    ytaps[static_cast<std::size_t>(y)] = make_tap(y, in_h, oh);
+  }
+  for (std::int64_t x = 0; x < ow; ++x) {
+    xtaps[static_cast<std::size_t>(x)] = make_tap(x, in_w, ow);
+  }
 
   const float* go = grad_output.data().data();
   float* gi = grad_input.data().data();

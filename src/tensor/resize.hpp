@@ -18,6 +18,11 @@ namespace orbit2 {
 Tensor resize_bilinear(const Tensor& input, std::int64_t out_h,
                        std::int64_t out_w);
 
+/// resize_bilinear writing into a preallocated `out` of shape
+/// [C, out_h, out_w]; tap tables live in grow-only thread-local scratch, so
+/// steady-state calls allocate nothing (compiled inference replay).
+void resize_bilinear_into(const Tensor& input, Tensor& out);
+
 /// Adjoint of resize_bilinear: scatters grad_output back to input coords.
 Tensor resize_bilinear_backward(const Tensor& grad_output, std::int64_t in_h,
                                 std::int64_t in_w);

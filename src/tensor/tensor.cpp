@@ -17,6 +17,18 @@ Tensor::Tensor(Shape shape)
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(shape); }
 
+Tensor Tensor::with_storage(Shape shape,
+                            std::shared_ptr<std::vector<float>> storage) {
+  ORBIT2_REQUIRE(storage != nullptr, "with_storage: null storage");
+  ORBIT2_REQUIRE(static_cast<std::int64_t>(storage->size()) == shape.numel(),
+                 "with_storage: " << storage->size() << " floats for shape "
+                                  << shape.numel());
+  Tensor out;
+  out.shape_ = shape;
+  out.storage_ = std::move(storage);
+  return out;
+}
+
 Tensor Tensor::full(Shape shape, float value) {
   Tensor out(shape);
   out.fill(value);

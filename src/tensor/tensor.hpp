@@ -42,6 +42,11 @@ class Tensor {
   static Tensor from_vector(Shape shape, const std::vector<float>& values);
   /// Rank-0 scalar.
   static Tensor scalar(float value);
+  /// Wraps an existing storage buffer (size must equal shape.numel())
+  /// without copying; the tensor shares ownership. This is how the compiled
+  /// inference executor binds planned arena slots as tensor values.
+  static Tensor with_storage(Shape shape,
+                             std::shared_ptr<std::vector<float>> storage);
 
   // ---- Structure -----------------------------------------------------
 

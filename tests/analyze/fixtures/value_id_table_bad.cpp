@@ -1,0 +1,25 @@
+// Known-bad fixture: range-for over unordered value-ID tables from the
+// graph planner. Plan signatures and arena totals must be pure functions of
+// (config, shape); hash-order iteration leaks the table's bucket layout into
+// the dumped bytes and into a float accumulation order.
+
+#include <cstdint>
+#include <cstdio>
+#include <unordered_map>
+
+using ValueId = std::int32_t;
+
+void dump_slot_table(const std::unordered_map<ValueId, std::int32_t>& slot_of,
+                     std::FILE* out) {
+  for (const auto& entry : slot_of) {  // EXPECT: unordered-iteration
+    std::fprintf(out, "v%d -> slot %d\n", entry.first, entry.second);
+  }
+}
+
+double arena_bytes(const std::unordered_map<ValueId, float>& slot_mib) {
+  double total = 0.0;
+  for (const auto& slot : slot_mib) {  // EXPECT: unordered-iteration
+    total += static_cast<double>(slot.second);
+  }
+  return total;
+}

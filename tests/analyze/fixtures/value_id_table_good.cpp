@@ -1,0 +1,30 @@
+// Known-good twin of value_id_table_bad.cpp: value IDs are dense indices, so
+// the planner's tables are vectors iterated in ID order, and unordered maps
+// appear only for membership checks. orbit2_analyze must report nothing here.
+
+#include <cstdint>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+using ValueId = std::int32_t;
+
+void dump_slot_table(const std::vector<std::int32_t>& slot_of,
+                     std::FILE* out) {
+  for (std::size_t vid = 0; vid < slot_of.size(); ++vid) {  // ID order
+    std::fprintf(out, "v%zu -> slot %d\n", vid, slot_of[vid]);
+  }
+}
+
+double arena_bytes(const std::vector<float>& slot_mib) {
+  double total = 0.0;
+  for (const float mib : slot_mib) {  // dense vector: deterministic order
+    total += static_cast<double>(mib);
+  }
+  return total;
+}
+
+bool is_bound(const std::unordered_map<ValueId, std::int32_t>& bindings,
+              ValueId vid) {
+  return bindings.find(vid) != bindings.end();  // membership only
+}

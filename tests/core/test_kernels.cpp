@@ -307,6 +307,11 @@ TEST(Kernels, ResizeThreadCountInvariant) {
   const Tensor image = Tensor::randn(Shape{3, 15, 21}, rng);
   const Tensor grad = Tensor::randn(Shape{3, 30, 42}, rng);
   expect_thread_invariant([&] { return resize_bilinear(image, 30, 42); });
+  // Large enough that (channels * out_h) splits into multiple parallel_for
+  // chunks, so pool workers — not the dispatching thread — run the row
+  // loop: regression test for the tap tables being resolved through a
+  // worker's (empty) thread_local instead of the caller's filled one.
+  expect_thread_invariant([&] { return resize_bilinear(image, 128, 256); });
   expect_thread_invariant(
       [&] { return resize_bilinear_backward(grad, 15, 21); });
   expect_thread_invariant([&] { return resize_nearest(image, 29, 43); });

@@ -19,31 +19,13 @@
 #include <utility>
 #include <vector>
 
+#include "core/debug_check.hpp"
 #include "core/kernels.hpp"
 
-// ---- Global allocation counting for the disabled-overhead test ------------
-// Counting is off by default so the rest of the binary is unaffected.
-
-namespace {
-std::atomic<bool> g_count_allocs{false};
-std::atomic<std::int64_t> g_alloc_count{0};
-
-void* counted_alloc(std::size_t size) {
-  if (g_count_allocs.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  }
-  void* p = std::malloc(size == 0 ? 1 : size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
-}
-}  // namespace
-
-void* operator new(std::size_t size) { return counted_alloc(size); }
-void* operator new[](std::size_t size) { return counted_alloc(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Global allocation counting for the disabled-overhead test (the reusable
+// hooks live in core/debug_check.hpp; counting is off outside scopes, so the
+// rest of the binary is unaffected).
+ORBIT2_INSTALL_ALLOC_COUNTER();
 
 namespace orbit2::obs {
 namespace {
@@ -245,17 +227,19 @@ TEST_F(ObsTest, DisabledModeRecordsNothingAndAllocatesNothing) {
   (void)current_tid();
 
   Counter never;
-  g_alloc_count.store(0, std::memory_order_relaxed);
-  g_count_allocs.store(true, std::memory_order_relaxed);
-  for (int i = 0; i < 1000; ++i) {
-    ORBIT2_OBS_SPAN("disabled_span", "test");
-    ORBIT2_OBS_SPAN_ARG("disabled_arg", "test", "i", i);
-    ORBIT2_OBS_COUNT("test.disabled", 1);
-    never.add(9);  // direct-use path is gated too
+  std::int64_t allocs = -1;
+  {
+    orbit2::debug::AllocCountScope alloc_scope;
+    for (int i = 0; i < 1000; ++i) {
+      ORBIT2_OBS_SPAN("disabled_span", "test");
+      ORBIT2_OBS_SPAN_ARG("disabled_arg", "test", "i", i);
+      ORBIT2_OBS_COUNT("test.disabled", 1);
+      never.add(9);  // direct-use path is gated too
+    }
+    allocs = alloc_scope.delta();
   }
-  g_count_allocs.store(false, std::memory_order_relaxed);
-
-  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0);
+  ASSERT_TRUE(orbit2::debug::alloc_counting_installed());
+  EXPECT_EQ(allocs, 0);
   EXPECT_EQ(never.value(), 0);
   EXPECT_TRUE(snapshot_spans().empty());
   // The counter macro must not even register the name while disabled.

@@ -1,0 +1,372 @@
+// Compiled inference graph tests: capture/fusion/planning invariants,
+// eager-vs-compiled bitwise equivalence for Reslim and the ViT baseline
+// across thread counts and non-power-of-two grids, tape-free predict, plan
+// determinism, obs counters, and a kill->resume check that checkpointing is
+// unaffected by plan caching.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hpp"
+#include "core/kernels.hpp"
+#include "core/obs.hpp"
+#include "core/rng.hpp"
+#include "graph/compiled.hpp"
+#include "graph/executor.hpp"
+#include "graph/ir.hpp"
+#include "graph/plan.hpp"
+#include "model/reslim.hpp"
+#include "model/vit_baseline.hpp"
+#include "train/trainer.hpp"
+
+namespace orbit2::graph {
+namespace {
+
+model::ModelConfig graph_reslim_config() {
+  model::ModelConfig config = model::preset_tiny();
+  config.in_channels = 3;
+  config.out_channels = 2;
+  config.upscale = 2;
+  return config;
+}
+
+model::ModelConfig graph_vit_config() {
+  model::ModelConfig config = graph_reslim_config();
+  config.architecture = model::Architecture::kViTBaseline;
+  return config;
+}
+
+Tensor make_input(std::int64_t c, std::int64_t h, std::int64_t w,
+                  float phase) {
+  Tensor input(Shape{c, h, w});
+  float* p = input.data().data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    p[i] = std::sin(0.013f * static_cast<float>(i) + phase);
+  }
+  return input;
+}
+
+/// Captures `forward` on `input` and compiles; asserts the capture held.
+template <typename Model>
+Plan capture_plan(const Model& m, const Tensor& input) {
+  autograd::InferenceModeScope no_tape;
+  CaptureSink sink(input);
+  Tensor out;
+  {
+    CaptureScope scope(sink);
+    out = m.forward(input).value();
+  }
+  EXPECT_FALSE(sink.failed()) << sink.fail_reason();
+  return compile_plan(sink.take(out));
+}
+
+void expect_bitwise(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data().data(), b.data().data(),
+                           static_cast<std::size_t>(a.numel()) * sizeof(float)))
+      << what << ": compiled replay diverged from eager";
+}
+
+// ---- tape-free predict -----------------------------------------------------
+
+TEST(InferenceMode, PredictBuildsNoTapeNodes) {
+  Rng rng(1);
+  model::ReslimModel model(graph_reslim_config(), rng);
+  const Tensor input = make_input(3, 12, 20, 0.1f);
+
+  const std::int64_t before = autograd::tape_node_count();
+  (void)model.predict(input);
+  (void)model.predict_field(input);
+  EXPECT_EQ(autograd::tape_node_count(), before)
+      << "predict retained tape nodes";
+
+  // The differentiable path still records.
+  (void)model.forward(input);
+  EXPECT_GT(autograd::tape_node_count(), before);
+}
+
+TEST(InferenceMode, ViTPredictBuildsNoTapeNodes) {
+  Rng rng(2);
+  model::ViTBaselineModel model(graph_vit_config(), rng);
+  const Tensor input = make_input(3, 12, 20, 0.2f);
+
+  const std::int64_t before = autograd::tape_node_count();
+  (void)model.predict(input);
+  EXPECT_EQ(autograd::tape_node_count(), before);
+  (void)model.forward(input);
+  EXPECT_GT(autograd::tape_node_count(), before);
+}
+
+// ---- capture / plan invariants --------------------------------------------
+
+TEST(Planner, FusionShrinksOpListAndArenaAliasesBuffers) {
+  Rng rng(3);
+  model::ReslimModel model(graph_reslim_config(), rng);
+  const Tensor input = make_input(3, 12, 20, 0.3f);
+  const Plan plan = capture_plan(model, input);
+
+  EXPECT_GT(plan.raw_op_count, 0);
+  EXPECT_LT(plan.num_ops(), plan.raw_op_count)
+      << "elementwise fusion eliminated no ops";
+  EXPECT_LT(plan.arena_floats(), plan.unaliased_floats())
+      << "liveness-based aliasing saved no memory";
+}
+
+TEST(Planner, PlanIsPureFunctionOfConfigAndShape) {
+  Rng rng(4);
+  model::ReslimModel model(graph_reslim_config(), rng);
+  const Tensor input = make_input(3, 12, 20, 0.4f);
+  const Plan first = capture_plan(model, input);
+  const Plan second = capture_plan(model, input);
+  EXPECT_EQ(first.signature(), second.signature());
+
+  Rng vit_rng(5);
+  model::ViTBaselineModel vit(graph_vit_config(), vit_rng);
+  const Plan vit_first = capture_plan(vit, input);
+  const Plan vit_second = capture_plan(vit, input);
+  EXPECT_EQ(vit_first.signature(), vit_second.signature());
+}
+
+TEST(Planner, CompressionConfigFailsCaptureAndFallsBackToEager) {
+  model::ModelConfig config = graph_reslim_config();
+  config.compression_ratio = 2.0f;
+  Rng rng(6);
+  model::ReslimModel model(config, rng);
+  const Tensor input = make_input(3, 16, 16, 0.5f);
+
+  autograd::InferenceModeScope no_tape;
+  CaptureSink sink(input);
+  {
+    CaptureScope scope(sink);
+    (void)model.forward(input).value();
+  }
+  EXPECT_TRUE(sink.failed());
+
+  // predict_field pre-checks the config and serves eagerly.
+  const Tensor eager = model.forward(input).value();
+  expect_bitwise(model.predict_field(input), eager, "compression fallback");
+}
+
+// ---- bitwise eager equivalence --------------------------------------------
+
+void expect_compiled_matches_eager_reslim(model::ModelConfig config,
+                                          std::int64_t h, std::int64_t w,
+                                          const char* what) {
+  Rng rng(7);
+  model::ReslimModel model(config, rng);
+  const Tensor input = make_input(config.in_channels, h, w, 0.6f);
+
+  auto plan =
+      std::make_shared<const Plan>(capture_plan(model, input));
+  Executor executor(plan);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{4}}) {
+    kernels::set_max_threads(threads);
+    autograd::InferenceModeScope no_tape;
+    const Tensor eager = model.forward(input).value();
+    expect_bitwise(executor.run(input), eager, what);
+    expect_bitwise(model.predict_field(input), eager, what);
+  }
+  kernels::set_max_threads(0);
+}
+
+TEST(Equivalence, ReslimFlashAttention) {
+  expect_compiled_matches_eager_reslim(graph_reslim_config(), 12, 20,
+                                       "reslim flash");
+}
+
+TEST(Equivalence, ReslimNaiveAttention) {
+  model::ModelConfig config = graph_reslim_config();
+  config.use_flash_attention = false;
+  expect_compiled_matches_eager_reslim(config, 12, 20, "reslim naive");
+}
+
+TEST(Equivalence, ReslimWindowedAttention) {
+  model::ModelConfig config = graph_reslim_config();
+  config.attention_window = 2;
+  expect_compiled_matches_eager_reslim(config, 12, 20, "reslim windowed");
+}
+
+TEST(Equivalence, ReslimWithoutResidualPath) {
+  model::ModelConfig config = graph_reslim_config();
+  config.use_residual_path = false;
+  expect_compiled_matches_eager_reslim(config, 12, 20, "reslim no-residual");
+}
+
+TEST(Equivalence, ReslimNonPow2GridWithPatch4) {
+  model::ModelConfig config = graph_reslim_config();
+  config.patch = 4;
+  expect_compiled_matches_eager_reslim(config, 24, 40, "reslim 24x40 p4");
+}
+
+TEST(Equivalence, ViTAcrossThreadCounts) {
+  Rng rng(8);
+  model::ViTBaselineModel model(graph_vit_config(), rng);
+  const Tensor input = make_input(3, 12, 20, 0.7f);
+
+  auto plan = std::make_shared<const Plan>(capture_plan(model, input));
+  Executor executor(plan);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3}, std::size_t{4}}) {
+    kernels::set_max_threads(threads);
+    autograd::InferenceModeScope no_tape;
+    const Tensor eager = model.forward(input).value();
+    expect_bitwise(executor.run(input), eager, "vit");
+    expect_bitwise(model.predict_field(input), eager, "vit");
+  }
+  kernels::set_max_threads(0);
+}
+
+TEST(Equivalence, RepeatedReplaysAreIdentical) {
+  // The pooled executor must be stateless across runs: same input, same
+  // bits, every time (no stale aliased-buffer contamination).
+  Rng rng(9);
+  model::ReslimModel model(graph_reslim_config(), rng);
+  const Tensor a = make_input(3, 12, 20, 0.8f);
+  const Tensor b = make_input(3, 12, 20, 1.8f);
+
+  const Tensor first_a = model.predict_field(a);
+  const Tensor first_b = model.predict_field(b);
+  expect_bitwise(model.predict_field(a), first_a, "replay a");
+  expect_bitwise(model.predict_field(b), first_b, "replay b");
+}
+
+// ---- observability ---------------------------------------------------------
+
+std::int64_t counter_value(const char* name) {
+  for (const auto& [counter_name, value] : obs::counters()) {
+    if (counter_name == name) return value;
+  }
+  return 0;
+}
+
+TEST(Observability, ReplayAndArenaCountersAdvance) {
+  if (!obs::enabled()) obs::set_enabled(true);
+  const std::int64_t replays_before = counter_value("graph/replay");
+  const std::int64_t bytes_before = counter_value("graph/alloc_bytes");
+
+  Rng rng(10);
+  model::ReslimModel model(graph_reslim_config(), rng);
+  const Tensor input = make_input(3, 12, 20, 0.9f);
+  (void)model.predict_field(input);
+  (void)model.predict_field(input);
+
+  EXPECT_GE(counter_value("graph/replay"), replays_before + 2);
+  EXPECT_GT(counter_value("graph/alloc_bytes"), bytes_before)
+      << "executor construction should account its arena bytes";
+  obs::set_enabled(false);
+}
+
+// ---- checkpoint/restore is unaffected by plan caching ----------------------
+
+struct SimulatedKill : std::runtime_error {
+  SimulatedKill() : std::runtime_error("simulated kill") {}
+};
+
+TEST(PlanCacheResume, KillResumeTrajectoryUnaffectedByServing) {
+  // Interleaving compiled-plan serving with training must not perturb the
+  // checkpointed trajectory: plans capture no RNG state and share parameter
+  // storage without copying, so a killed+resumed run that also serves
+  // predictions stays bit-identical to an uninterrupted run that never
+  // serves any.
+  data::DatasetConfig dataset_config;
+  dataset_config.hr_h = 32;
+  dataset_config.hr_w = 64;
+  dataset_config.upscale = 4;
+  dataset_config.seed = 21;
+  dataset_config.fixed_region = true;
+  dataset_config.input_variables.resize(5);
+  dataset_config.output_variables.resize(2);
+  const data::SyntheticDataset dataset(dataset_config);
+  std::vector<std::int64_t> indices = {0, 1, 2, 3};
+
+  model::ModelConfig model_config = model::preset_tiny();
+  model_config.in_channels = 5;
+  model_config.out_channels = 2;
+  model_config.upscale = 4;
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "orbit2_graph_resume")
+          .string();
+  std::filesystem::remove_all(dir);
+  train::TrainerConfig trainer_config;
+  trainer_config.epochs = 1;
+  trainer_config.batch_size = 2;
+  trainer_config.checkpoint_dir = dir;
+  trainer_config.checkpoint_every_steps = 1;
+
+  const Tensor serve_input = make_input(5, 8, 16, 1.0f);
+  using Trajectory = std::map<std::int64_t, double>;
+
+  // Reference: uninterrupted, never serves.
+  Trajectory reference;
+  Rng ref_rng(11);
+  model::ReslimModel ref_model(model_config, ref_rng);
+  auto ref_config = trainer_config;
+  ref_config.checkpoint_dir = dir + "_ref";
+  train::Trainer ref_trainer(ref_model, ref_config);
+  ref_trainer.set_step_hook(
+      [&](std::int64_t step, double loss) { reference[step] = loss; });
+  ref_trainer.fit(dataset, indices);
+
+  // Killed run: serves a compiled prediction before training and at every
+  // step, then dies after step 1.
+  Trajectory interrupted;
+  Rng kill_rng(11);
+  model::ReslimModel kill_model(model_config, kill_rng);
+  train::Trainer kill_trainer(kill_model, trainer_config);
+  (void)kill_model.predict_field(serve_input);
+  kill_trainer.set_step_hook([&](std::int64_t step, double loss) {
+    interrupted[step] = loss;
+    (void)kill_model.predict_field(serve_input);
+    if (step >= 1) throw SimulatedKill();
+  });
+  EXPECT_THROW(kill_trainer.fit(dataset, indices), SimulatedKill);
+
+  // Resume with a fresh model whose plan cache is cold; serve during the
+  // remaining steps too.
+  Rng resume_rng(404);
+  model::ReslimModel resume_model(model_config, resume_rng);
+  train::Trainer resume_trainer(resume_model, trainer_config);
+  resume_trainer.load_state(
+      (std::filesystem::path(dir) / "latest.o2ck").string());
+  resume_trainer.set_step_hook([&](std::int64_t step, double loss) {
+    interrupted[step] = loss;
+    (void)resume_model.predict_field(serve_input);
+  });
+  resume_trainer.fit(dataset, indices);
+
+  ASSERT_EQ(interrupted.size(), reference.size());
+  for (const auto& [step, loss] : reference) {
+    EXPECT_EQ(interrupted.at(step), loss) << "loss diverged at step " << step;
+  }
+  const auto expect = ref_model.parameters();
+  const auto got = resume_model.parameters();
+  ASSERT_EQ(expect.size(), got.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    for (std::int64_t j = 0; j < expect[i]->numel(); ++j) {
+      ASSERT_EQ(expect[i]->value[j], got[i]->value[j])
+          << "param " << expect[i]->name << "[" << j << "]";
+    }
+  }
+
+  // Serving after resume reflects the restored parameters: a fresh eager
+  // forward and the (re-captured) compiled path agree bitwise.
+  autograd::InferenceModeScope no_tape;
+  expect_bitwise(resume_model.predict_field(serve_input),
+                 resume_model.forward(serve_input).value(), "post-resume");
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(dir + "_ref");
+}
+
+}  // namespace
+}  // namespace orbit2::graph

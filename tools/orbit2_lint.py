@@ -121,12 +121,20 @@ def check_pragma_once(path: pathlib.Path, text: str, findings: list) -> None:
 def check_raw_new_delete(path: pathlib.Path, text: str, findings: list) -> None:
     code = strip_comments_and_strings(text)
     for match in re.finditer(r"\bnew\b", code):
+        prefix = code[: match.start()].rstrip()
+        # `operator new` declares/defines an allocation function (the
+        # debug_check alloc-counting hooks); `#include <new>` names the
+        # header. Neither is a raw new *expression*, which is what this
+        # rule bans.
+        if prefix.endswith("operator") or prefix.endswith("<"):
+            continue
         findings.append((path, line_of(code, match.start()), "no-raw-new",
                          "raw `new` — use std::make_unique/make_shared or a container"))
     for match in re.finditer(r"\bdelete\b", code):
-        # `= delete` declarations are idiomatic and allowed.
+        # `= delete` declarations and `operator delete` definitions are
+        # idiomatic and allowed.
         prefix = code[: match.start()].rstrip()
-        if prefix.endswith("="):
+        if prefix.endswith("=") or prefix.endswith("operator"):
             continue
         findings.append((path, line_of(code, match.start()), "no-raw-new",
                          "raw `delete` — ownership must be RAII-managed"))
