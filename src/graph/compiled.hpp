@@ -35,6 +35,27 @@ class CompiledShape {
   /// Thread-safe: each concurrent caller checks out its own executor.
   Tensor run(const Tensor& input) const;
 
+  /// Replays the plan on `input`, copying the result into `out`. When `out`
+  /// already has the output shape the copy reuses its storage, so a warmed
+  /// caller (pooled executors, pre-sized response buffer) performs zero heap
+  /// allocations — the serving layer's steady-state contract.
+  void run_into(const Tensor& input, Tensor& out) const;
+
+  /// Op-major batched replay of `count` samples (see Executor::run_lockstep):
+  /// bitwise identical to `count` sequential run() calls, but each op's
+  /// weights are fetched once per batch instead of once per sample. Pools
+  /// executors like run(); outputs follow the run_into() reuse contract.
+  void run_batch(const Tensor* const* inputs, Tensor** outputs,
+                 std::size_t count) const;
+
+  /// Pre-builds `count` pooled executors (per-instance arenas sharing the
+  /// plan's leaf weights), so the first `count` concurrent callers never
+  /// construct one on the serving path.
+  void warm(std::size_t count) const;
+
+  /// Idle executors currently pooled (testing / capacity introspection).
+  std::size_t pooled_executors() const { return pool_->size(); }
+
  private:
   std::shared_ptr<const Plan> plan_;
   // Behind unique_ptr so CompiledShape stays movable (the pool owns a mutex).

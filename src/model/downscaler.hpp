@@ -1,8 +1,11 @@
 #pragma once
-// Common interface for downscaling models, so the trainer, TILES executor
-// and benchmarks treat Reslim and the ViT baseline uniformly.
+// Common interface for downscaling models, so the trainer, TILES executor,
+// serving layer and benchmarks treat Reslim and the ViT baseline uniformly.
+
+#include <memory>
 
 #include "autograd/nn.hpp"
+#include "graph/compiled.hpp"
 #include "model/config.hpp"
 
 namespace orbit2::model {
@@ -19,6 +22,17 @@ class Downscaler : public autograd::Module {
   virtual Tensor predict_field(const Tensor& input) const {
     autograd::InferenceModeScope no_tape;
     return downscale(input).value();
+  }
+
+  /// Compiled per-shape plan for this input, from the model's PlanCache.
+  /// Returns nullptr when the model cannot compile for this input at all
+  /// (e.g. data-dependent op sequences); returns an invalid CompiledShape
+  /// when a capture was attempted and failed. Callers (the serving layer's
+  /// dynamic batcher) fall back to predict_field in both cases.
+  virtual std::shared_ptr<const graph::CompiledShape> compiled_for(
+      const Tensor& input) const {
+    (void)input;
+    return nullptr;
   }
 };
 

@@ -338,14 +338,20 @@ Tensor ReslimModel::predict(const Tensor& input) const {
 
 Tensor ReslimModel::predict_field(const Tensor& input) const {
   autograd::InferenceModeScope no_tape;
+  const auto compiled = compiled_for(input);
+  if (compiled == nullptr || !compiled->valid()) return forward(input).value();
+  return compiled->run(input);
+}
+
+std::shared_ptr<const graph::CompiledShape> ReslimModel::compiled_for(
+    const Tensor& input) const {
   // Adaptive compression picks a data-dependent token partition, so the op
   // sequence is not a pure function of the input shape: serve it eagerly.
-  if (config_.compression_ratio > 1.0f) return forward(input).value();
-  const auto compiled = plan_cache_.get_or_compile(
+  if (config_.compression_ratio > 1.0f) return nullptr;
+  autograd::InferenceModeScope no_tape;
+  return plan_cache_.get_or_compile(
       input,
       [this, &input](graph::CaptureSink&) { return forward(input).value(); });
-  if (!compiled->valid()) return forward(input).value();
-  return compiled->run(input);
 }
 
 void ReslimModel::collect_parameters(

@@ -49,6 +49,12 @@ class ReslimModel : public Downscaler {
   /// when the shape cannot be captured (adaptive compression).
   Tensor predict_field(const Tensor& input) const override;
 
+  /// The cached compiled plan for this input shape (compiling on first use).
+  /// Null with adaptive compression: the quad-tree partition is
+  /// data-dependent, so there is no per-shape plan to share.
+  std::shared_ptr<const graph::CompiledShape> compiled_for(
+      const Tensor& input) const override;
+
   autograd::Var downscale(const Tensor& input) const override {
     return forward(input);
   }

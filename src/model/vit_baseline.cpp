@@ -79,11 +79,17 @@ Tensor ViTBaselineModel::predict(const Tensor& input) const {
 
 Tensor ViTBaselineModel::predict_field(const Tensor& input) const {
   autograd::InferenceModeScope no_tape;
-  const auto compiled = plan_cache_.get_or_compile(
+  const auto compiled = compiled_for(input);
+  if (compiled == nullptr || !compiled->valid()) return forward(input).value();
+  return compiled->run(input);
+}
+
+std::shared_ptr<const graph::CompiledShape> ViTBaselineModel::compiled_for(
+    const Tensor& input) const {
+  autograd::InferenceModeScope no_tape;
+  return plan_cache_.get_or_compile(
       input,
       [this, &input](graph::CaptureSink&) { return forward(input).value(); });
-  if (!compiled->valid()) return forward(input).value();
-  return compiled->run(input);
 }
 
 void ViTBaselineModel::collect_parameters(

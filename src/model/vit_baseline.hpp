@@ -29,6 +29,10 @@ class ViTBaselineModel : public Downscaler {
   /// bitwise identical to the eager forward.
   Tensor predict_field(const Tensor& input) const override;
 
+  /// The cached compiled plan for this input shape (compiling on first use).
+  std::shared_ptr<const graph::CompiledShape> compiled_for(
+      const Tensor& input) const override;
+
   autograd::Var downscale(const Tensor& input) const override {
     return forward(input);
   }

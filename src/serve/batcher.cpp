@@ -1,0 +1,103 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace orbit2::serve {
+
+Batcher::Batcher(BatcherConfig config) : config_(config) {
+  ORBIT2_REQUIRE(config_.max_batch >= 1, "max_batch must be >= 1");
+  ORBIT2_REQUIRE(config_.max_wait_ns >= 0, "max_wait_ns must be >= 0");
+}
+
+Batcher::ClassQueue& Batcher::class_for(const Request& request) {
+  const BatchKey key = batch_key(request);
+  ClassQueue* spare = nullptr;
+  for (ClassQueue& cls : classes_) {
+    if (cls.active && cls.key == key) return cls;
+    if (!cls.active && spare == nullptr) spare = &cls;
+  }
+  if (spare == nullptr) {
+    classes_.emplace_back();
+    spare = &classes_.back();
+  }
+  spare->key = key;
+  spare->fifo.clear();
+  spare->head = 0;
+  spare->active = true;
+  return *spare;
+}
+
+void Batcher::stage(Request* request) {
+  ORBIT2_REQUIRE(request != nullptr && request->model != nullptr,
+                 "staged request must carry a model");
+  class_for(*request).fifo.push_back(request);
+  ++staged_;
+}
+
+std::int64_t Batcher::pick(std::int64_t now_ns, bool force) const {
+  std::int64_t best = -1;
+  bool best_full = false;
+  std::uint64_t best_seq = 0;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    const ClassQueue& cls = classes_[i];
+    if (!cls.active || cls.pending() == 0) continue;
+    const Request& head = *cls.fifo[cls.head];
+    const bool full =
+        cls.pending() >= static_cast<std::size_t>(config_.max_batch);
+    const bool aged = now_ns - head.enqueue_ns >= config_.max_wait_ns;
+    if (!force && !full && !aged) continue;
+    // Full classes beat aged ones; within a tier the oldest head wins.
+    if (best < 0 || (full && !best_full) ||
+        (full == best_full && head.arrival_seq < best_seq)) {
+      best = static_cast<std::int64_t>(i);
+      best_full = full;
+      best_seq = head.arrival_seq;
+    }
+  }
+  return best;
+}
+
+std::size_t Batcher::collect(std::int64_t now_ns, bool force,
+                             std::vector<Request*>& out) {
+  out.clear();
+  const std::int64_t idx = pick(now_ns, force);
+  if (idx < 0) return 0;
+  ClassQueue& cls = classes_[static_cast<std::size_t>(idx)];
+  const std::size_t take =
+      std::min(cls.pending(), static_cast<std::size_t>(config_.max_batch));
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(cls.fifo[cls.head]);
+    ++cls.head;
+  }
+  if (cls.pending() == 0) {
+    cls.fifo.clear();  // keeps capacity: steady state stays allocation-free
+    cls.head = 0;
+    cls.active = false;
+  }
+  staged_ -= take;
+  return take;
+}
+
+std::int64_t Batcher::next_ready_ns() const {
+  std::int64_t earliest = kNever;
+  for (const ClassQueue& cls : classes_) {
+    if (!cls.active || cls.pending() == 0) continue;
+    earliest = std::min(earliest,
+                        cls.fifo[cls.head]->enqueue_ns + config_.max_wait_ns);
+  }
+  return earliest;
+}
+
+bool Batcher::has_full_class() const {
+  for (const ClassQueue& cls : classes_) {
+    if (cls.active &&
+        cls.pending() >= static_cast<std::size_t>(config_.max_batch)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace orbit2::serve

@@ -1,0 +1,80 @@
+#pragma once
+// Dynamic batcher: a deterministic, threading-free state machine.
+//
+// Staged requests are grouped into per-compatibility-class FIFOs (same model
+// instance + same input shape = same compiled plan). collect() launches at
+// most one batch per call under a classic dynamic-batching policy:
+//
+//   * any class holding max_batch requests launches immediately (the class
+//     whose head arrived first wins ties), else
+//   * the class whose head request has aged past max_wait launches partial,
+//     else nothing launches and next_ready_ns() says when aging will.
+//
+// Within a class, requests launch strictly in arrival order (FIFO per
+// compatibility class); across classes the policy may reorder, which is what
+// lets a full batch of small requests overtake a half-built batch of large
+// ones. All state transitions are pure functions of (staged sequence,
+// now_ns), so the golden load-replay test can pin every decision; the
+// service serializes access from its worker threads.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace orbit2::serve {
+
+struct BatcherConfig {
+  /// Largest batch one collect() returns (>= 1).
+  std::int64_t max_batch = 8;
+  /// How long a class head may wait for companions before launching partial.
+  /// 0 launches every staged request at the next collect().
+  std::int64_t max_wait_ns = 0;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatcherConfig config);
+
+  /// Appends a request to its compatibility class (arrival order).
+  void stage(Request* request);
+
+  /// Extracts the ready batch at `now_ns` into `out` (cleared first).
+  /// `force` launches the oldest class regardless of fullness/aging —
+  /// shutdown drain and explicit flush. Returns out.size() (0: not ready).
+  std::size_t collect(std::int64_t now_ns, bool force,
+                      std::vector<Request*>& out);
+
+  /// Earliest time an aging launch becomes ready, or kNever when nothing is
+  /// staged. A full class reports `now` is already ready via collect().
+  std::int64_t next_ready_ns() const;
+
+  /// True when some class already holds max_batch requests.
+  bool has_full_class() const;
+
+  std::size_t staged() const { return staged_; }
+
+  static constexpr std::int64_t kNever = INT64_MAX;
+
+ private:
+  struct ClassQueue {
+    BatchKey key;
+    std::vector<Request*> fifo;  // grow-only; [head, fifo.size()) pending
+    std::size_t head = 0;
+    bool active = false;
+
+    std::size_t pending() const { return fifo.size() - head; }
+  };
+
+  ClassQueue& class_for(const Request& request);
+  /// Index of the launchable class at `now_ns` (or -1). Full classes first,
+  /// then aged heads; ties break to the oldest head arrival.
+  std::int64_t pick(std::int64_t now_ns, bool force) const;
+
+  BatcherConfig config_;
+  std::vector<ClassQueue> classes_;
+  std::size_t staged_ = 0;
+};
+
+}  // namespace orbit2::serve

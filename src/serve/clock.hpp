@@ -1,0 +1,51 @@
+#pragma once
+// Serving-layer clock abstraction.
+//
+// Admission and deadline-shedding decisions compare timestamps, so making
+// the time source injectable splits the serving layer into two testable
+// halves: production uses the monotonic wall clock, and the golden
+// load-replay harness uses a manually-advanced simulated clock — the same
+// separation orbit2::obs draws between its wall and simulated trace tracks.
+// With a SimClock every accept/shed/reject decision is a pure function of
+// the (seeded) arrival schedule, which is what lets the replay test pin the
+// full decision sequence.
+
+#include <chrono>
+#include <cstdint>
+
+namespace orbit2::serve {
+
+/// Nanosecond time source for admission, batching windows, and deadlines.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::int64_t now_ns() const = 0;
+};
+
+/// Monotonic wall clock (production / benchmark mode).
+class RealClock final : public Clock {
+ public:
+  std::int64_t now_ns() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually-advanced clock for deterministic load replay. Not thread-safe:
+/// sim mode drives the service single-threaded (Service::poll).
+class SimClock final : public Clock {
+ public:
+  std::int64_t now_ns() const override { return now_ns_; }
+
+  /// Moves the clock forward; time never goes backwards.
+  void advance_to(std::int64_t t_ns) {
+    if (t_ns > now_ns_) now_ns_ = t_ns;
+  }
+  void advance_by(std::int64_t delta_ns) { advance_to(now_ns_ + delta_ns); }
+
+ private:
+  std::int64_t now_ns_ = 0;
+};
+
+}  // namespace orbit2::serve

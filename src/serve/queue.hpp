@@ -1,0 +1,109 @@
+#pragma once
+// Bounded MPMC request queue: the admission edge of orbit2::serve.
+//
+// A fixed-capacity ring buffer guarded by one mutex and two condition
+// variables. Capacity is the service's backpressure bound: try_push never
+// blocks and never allocates — when the ring is full the caller learns
+// immediately and sheds the request with an explicit rejection, instead of
+// queueing unbounded work the deadline policy would later throw away.
+//
+// This is a sanctioned exception to the threading-outside-core rule
+// (tools/orbit2_analyze_suppressions.txt), mirroring src/data/io.*: the
+// queue moves request *pointers* between caller and batcher threads and
+// performs no numerical work, so kernel-layer determinism is unaffected —
+// request content is produced and consumed by the deterministic model paths.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace orbit2::serve {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity) : ring_(capacity) {
+    ORBIT2_REQUIRE(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Non-blocking, non-allocating push. False when full or closed: the
+  /// caller must reject the item (bounded-queue admission control).
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || count_ == ring_.size()) return false;
+      ring_[(head_ + count_) % ring_.size()] = std::move(item);
+      ++count_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; false when currently empty.
+  bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pop_locked(out);
+  }
+
+  /// Blocks until an item arrives (true), the queue closes empty (false),
+  /// or `timeout_ns` elapses (false). Negative timeout waits indefinitely.
+  bool pop_wait(T& out, std::int64_t timeout_ns = -1) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto ready = [this] { return count_ > 0 || closed_; };
+    if (timeout_ns < 0) {
+      not_empty_.wait(lock, ready);
+    } else if (!not_empty_.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
+                                    ready)) {
+      return false;
+    }
+    return pop_locked(out);
+  }
+
+  /// Refuses further pushes; blocked pop_wait callers wake. Items already
+  /// queued remain poppable (drain-on-shutdown).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  bool pop_locked(T& out) {
+    if (count_ == 0) return false;
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    return true;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace orbit2::serve

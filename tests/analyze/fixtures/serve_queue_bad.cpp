@@ -1,0 +1,40 @@
+// Known-bad fixture: a serve-style bounded queue hand-rolled with raw
+// threading primitives outside src/core. This is exactly the shape of
+// src/serve/queue.hpp, which is legal only because
+// tools/orbit2_analyze_suppressions.txt carries a written sanction for it;
+// an unsanctioned copy like this one must fire on every include and decl.
+
+#include <condition_variable>  // EXPECT: threading-outside-core
+#include <mutex>               // EXPECT: threading-outside-core
+
+#include <cstddef>
+#include <vector>
+
+class UnsanctionedQueue {
+ public:
+  explicit UnsanctionedQueue(std::size_t capacity) : ring_(capacity) {}
+
+  bool try_push(int item) {
+    std::lock_guard<std::mutex> lock(gate_);  // EXPECT: threading-outside-core
+    if (size_ == ring_.size()) return false;
+    ring_[(head_ + size_++) % ring_.size()] = item;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool pop_wait(int* out) {
+    std::unique_lock<std::mutex> lock(gate_);  // EXPECT: threading-outside-core
+    not_empty_.wait(lock, [this] { return size_ > 0; });
+    *out = ring_[head_];
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    return true;
+  }
+
+ private:
+  std::vector<int> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::mutex gate_;                    // EXPECT: threading-outside-core
+  std::condition_variable not_empty_;  // EXPECT: threading-outside-core
+};

@@ -1,0 +1,35 @@
+// Known-good twin of serve_queue_bad.cpp: the serve layer's deterministic
+// half. Grouping policy expressed as plain single-threaded state (the
+// Batcher shape) — no threading primitives, nothing for orbit2_analyze to
+// report. The actual cross-thread handoff lives in src/serve/queue.hpp
+// under an explicit suppression; policy code like this never needs one.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct StagedRequest {
+  std::int64_t klass = 0;
+  std::int64_t arrival_seq = 0;
+};
+
+class StagingBatcher {
+ public:
+  explicit StagingBatcher(std::size_t max_batch) : max_batch_(max_batch) {}
+
+  void stage(StagedRequest request) { fifo_.push_back(request); }
+
+  std::size_t collect(std::vector<StagedRequest>* out) {
+    out->clear();
+    while (!fifo_.empty() && out->size() < max_batch_ &&
+           (out->empty() || out->front().klass == fifo_.front().klass)) {
+      out->push_back(fifo_.front());
+      fifo_.erase(fifo_.begin());
+    }
+    return out->size();
+  }
+
+ private:
+  std::size_t max_batch_;
+  std::vector<StagedRequest> fifo_;
+};

@@ -1,0 +1,113 @@
+// Golden load-replay: a fixed-seed Poisson schedule driven through a
+// manual-mode service on a SimClock must reproduce, bit for bit,
+//
+//   * the admission decision per arrival ('A'/'R'),
+//   * the terminal status per request ('O' ok / 'S' shed / 'R' rejected),
+//   * the CRC32 of every completed output, and
+//   * the number of batches launched.
+//
+// Everything below is a pure function of the seed: the schedule (arrival
+// times, profile mix, input seeds), the batching instants (sim clock), the
+// shed decisions (deadline vs. launch time), and the outputs (deterministic
+// kernels, thread-count invariant). A change in any of them is a behavioral
+// change to the serving layer and must be deliberate — update the goldens
+// only with an explanation in the commit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "model/reslim.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/service.hpp"
+
+namespace orbit2::serve {
+namespace {
+
+constexpr std::uint64_t kScheduleSeed = 0xc11a7e5eedull;
+
+std::unique_ptr<model::ReslimModel> replay_model() {
+  model::ModelConfig config = model::preset_tiny();
+  config.in_channels = 2;
+  config.out_channels = 1;
+  config.upscale = 2;
+  Rng rng(41);
+  return std::make_unique<model::ReslimModel>(config, rng);
+}
+
+ServiceConfig replay_service_config() {
+  ServiceConfig sc;
+  sc.manual = true;
+  sc.queue_capacity = 64;
+  sc.max_batch = 4;
+  sc.max_wait_us = 100;         // 100us batching window
+  sc.default_deadline_us = 60;  // tighter than the window: partials shed
+  return sc;
+}
+
+ReplayResult run_replay(const model::Downscaler& model) {
+  const std::vector<LoadProfile> profiles = {
+      {&model, "small", 2, 8, 12, 2.0},
+      {&model, "wide", 2, 10, 16, 1.0},
+  };
+  LoadGenConfig gen;
+  gen.rate_hz = 40'000.0;  // mean gap 25us vs the 60us deadline: mixed O/S
+  gen.count = 32;
+  gen.seed = kScheduleSeed;
+  const std::vector<Arrival> schedule = poisson_schedule(gen, profiles);
+
+  SimClock clock;
+  Service service(replay_service_config(), &clock);
+  std::deque<Request> storage;
+  return replay_on_sim_clock(service, clock, profiles, schedule, storage);
+}
+
+TEST(ServeReplay, ReplayIsDeterministic) {
+  const auto model = replay_model();
+  const ReplayResult a = run_replay(*model);
+  const ReplayResult b = run_replay(*model);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.statuses, b.statuses);
+  EXPECT_EQ(a.crcs, b.crcs);
+  EXPECT_EQ(a.batches, b.batches);
+}
+
+TEST(ServeReplay, GoldenDecisionAndOutputSequence) {
+  const auto model = replay_model();
+  const ReplayResult result = run_replay(*model);
+
+  // Pinned goldens for kScheduleSeed (see the header comment before
+  // regenerating).
+  EXPECT_EQ(result.decisions, "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA");
+  EXPECT_EQ(result.statuses, "SSSSOOOSSOSSSSOSSOOOSSOOOOOOSSSS");
+  EXPECT_EQ(result.batches, 8u);
+  const std::vector<std::uint32_t> expected_crcs = {
+      0x840c3be9u, 0x176af252u, 0xa6563c11u, 0x91c05c75u, 0x59f1865fu,
+      0x5eb13088u, 0xbd7a386fu, 0xa6097b84u, 0xac64c26fu, 0x4bf57ea9u,
+      0x632f4819u, 0x4bdde4a0u, 0xe283684du, 0x8424984du,
+  };
+  EXPECT_EQ(result.crcs, expected_crcs);
+
+  // Print actuals so regeneration is copy-paste.
+  if (::testing::Test::HasFailure()) {
+    std::string crcs;
+    for (const std::uint32_t crc : result.crcs) {
+      crcs += "0x" + [](std::uint32_t v) {
+        char buf[9];
+        std::snprintf(buf, sizeof(buf), "%08x", v);
+        return std::string(buf);
+      }(crc) + "u, ";
+    }
+    ADD_FAILURE() << "actual decisions: " << result.decisions
+                  << "\nactual statuses:  " << result.statuses
+                  << "\nactual batches:   " << result.batches
+                  << "\nactual crcs:      {" << crcs << "}";
+  }
+}
+
+}  // namespace
+}  // namespace orbit2::serve

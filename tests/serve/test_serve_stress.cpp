@@ -1,0 +1,305 @@
+// Property / stress coverage for the serving queue + batcher + service:
+//
+//   * BoundedMpmcQueue under seeded multi-producer/multi-consumer
+//     interleavings conserves items: nothing lost, nothing duplicated,
+//     push order per producer preserved at the consumers (FIFO queue);
+//   * the batcher preserves FIFO within a compatibility class across
+//     arbitrary seeded stage/collect interleavings (single-threaded
+//     property check — the batcher is a deterministic state machine);
+//   * a threaded service under concurrent producers accounts for every
+//     request exactly once: accepted + rejected == submitted, and every
+//     accepted request reaches exactly one terminal status;
+//   * shutdown while producers are mid-burst either drains or rejects —
+//     never hangs, never leaves a request non-terminal.
+//
+// The whole file must be tsan-green; it runs in the tsan CI preset.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "model/reslim.hpp"
+#include "serve/batcher.hpp"
+#include "serve/queue.hpp"
+#include "serve/service.hpp"
+
+namespace orbit2::serve {
+namespace {
+
+// ---- Queue conservation -----------------------------------------------------
+
+TEST(ServeStressQueue, MpmcConservesItemsAndPerProducerOrder) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 3;
+  constexpr std::uint64_t kPerProducer = 500;
+  BoundedMpmcQueue<std::uint64_t> queue(32);
+
+  // Item encoding: producer id in the high bits, sequence in the low bits.
+  std::vector<std::thread> producers;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        while (!queue.try_push((p << 32) | i)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::vector<std::uint64_t>> consumed(kConsumers);
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &consumed, c] {
+      std::uint64_t item = 0;
+      while (queue.pop_wait(item)) consumed[c].push_back(item);
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  queue.close();
+  for (std::thread& consumer : consumers) consumer.join();
+
+  // Conservation: every (producer, seq) pair seen exactly once.
+  std::vector<std::vector<std::uint64_t>> seqs_by_producer(kProducers);
+  std::size_t total = 0;
+  for (const std::vector<std::uint64_t>& items : consumed) {
+    total += items.size();
+    for (const std::uint64_t item : items) {
+      seqs_by_producer[item >> 32].push_back(item & 0xffffffffu);
+    }
+  }
+  ASSERT_EQ(total, kProducers * kPerProducer);
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(seqs_by_producer[p].size(), kPerProducer);
+    std::vector<bool> seen(kPerProducer, false);
+    for (const std::uint64_t seq : seqs_by_producer[p]) {
+      ASSERT_LT(seq, kPerProducer);
+      ASSERT_FALSE(seen[seq]) << "duplicate delivery";
+      seen[seq] = true;
+    }
+    // Per-producer order at each consumer: the queue is FIFO, so the
+    // subsequence of producer p's items any one consumer observed must be
+    // increasing.
+    for (const std::vector<std::uint64_t>& items : consumed) {
+      std::int64_t last = -1;
+      for (const std::uint64_t item : items) {
+        if ((item >> 32) != p) continue;
+        const auto seq = static_cast<std::int64_t>(item & 0xffffffffu);
+        EXPECT_GT(seq, last) << "per-producer FIFO violated";
+        last = seq;
+      }
+    }
+  }
+}
+
+TEST(ServeStressQueue, CloseWakesBlockedConsumersAndDrains) {
+  BoundedMpmcQueue<int> queue(8);
+  ASSERT_TRUE(queue.try_push(1));
+  ASSERT_TRUE(queue.try_push(2));
+
+  std::thread closer([&queue] { queue.close(); });
+  closer.join();
+  EXPECT_FALSE(queue.try_push(3)) << "closed queue must refuse pushes";
+
+  // Drain-on-shutdown: items queued before close stay poppable.
+  int item = 0;
+  ASSERT_TRUE(queue.pop_wait(item));
+  EXPECT_EQ(item, 1);
+  ASSERT_TRUE(queue.pop_wait(item));
+  EXPECT_EQ(item, 2);
+  EXPECT_FALSE(queue.pop_wait(item)) << "closed empty queue returns false";
+}
+
+// ---- Batcher FIFO property ---------------------------------------------------
+
+TEST(ServeStressBatcher, SeededInterleavingsPreserveClassFifo) {
+  // The batcher is single-threaded by design; the property under test is
+  // that for ANY interleaving of stage() and collect() calls (and any
+  // max_batch), requests within one compatibility class come back in
+  // arrival order with none lost or duplicated.
+  model::ModelConfig config = model::preset_tiny();
+  config.in_channels = 1;
+  config.out_channels = 1;
+  config.upscale = 2;
+  Rng model_rng(3);
+  model::ReslimModel model(config, model_rng);
+
+  const Shape shapes[] = {Shape{1, 4, 6}, Shape{1, 6, 4}, Shape{1, 4, 4}};
+  constexpr std::size_t kClasses = 3;
+
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed * 7919 + 1);
+    const auto max_batch = static_cast<std::int64_t>(1 + rng.uniform_index(7));
+    Batcher batcher(BatcherConfig{max_batch, /*max_wait_ns=*/0});
+
+    std::deque<Request> storage;
+    std::vector<std::vector<const Request*>> staged_per_class(kClasses);
+    std::vector<std::vector<const Request*>> collected_per_class(kClasses);
+    std::vector<Request*> batch;
+    std::uint64_t seq = 0;
+
+    for (int step = 0; step < 200; ++step) {
+      if (rng.uniform() < 0.6) {
+        const std::uint64_t cls = rng.uniform_index(kClasses);
+        storage.emplace_back();
+        Request& request = storage.back();
+        request.model = &model;
+        request.input = Tensor::zeros(shapes[cls]);
+        request.enqueue_ns = static_cast<std::int64_t>(seq);
+        request.arrival_seq = seq++;
+        batcher.stage(&request);
+        staged_per_class[cls].push_back(&request);
+      } else {
+        const bool force = rng.uniform() < 0.3;
+        batcher.collect(static_cast<std::int64_t>(seq), force, batch);
+        ASSERT_LE(batch.size(), static_cast<std::size_t>(max_batch));
+        for (const Request* request : batch) {
+          for (std::size_t c = 0; c < kClasses; ++c) {
+            if (request->input.shape() == shapes[c]) {
+              collected_per_class[c].push_back(request);
+            }
+          }
+        }
+        if (!batch.empty()) {
+          // One batch = one class: every member shares the first's key.
+          const Shape first = batch.front()->input.shape();
+          for (const Request* request : batch) {
+            EXPECT_EQ(request->input.shape(), first);
+          }
+        }
+      }
+    }
+    while (batcher.collect(static_cast<std::int64_t>(seq), true, batch) > 0) {
+      for (Request* request : batch) {
+        for (std::size_t c = 0; c < kClasses; ++c) {
+          if (request->input.shape() == shapes[c]) {
+            collected_per_class[c].push_back(request);
+          }
+        }
+      }
+    }
+    EXPECT_EQ(batcher.staged(), 0u);
+
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      ASSERT_EQ(collected_per_class[c].size(), staged_per_class[c].size())
+          << "seed " << seed << " class " << c << ": lost or duplicated";
+      for (std::size_t i = 0; i < staged_per_class[c].size(); ++i) {
+        EXPECT_EQ(collected_per_class[c][i], staged_per_class[c][i])
+            << "seed " << seed << " class " << c
+            << ": FIFO violated at position " << i;
+      }
+    }
+  }
+}
+
+// ---- Service accounting under concurrency -----------------------------------
+
+std::unique_ptr<model::ReslimModel> tiny_model(std::uint64_t seed) {
+  model::ModelConfig config = model::preset_tiny();
+  config.in_channels = 1;
+  config.out_channels = 1;
+  config.upscale = 2;
+  Rng rng(seed);
+  return std::make_unique<model::ReslimModel>(config, rng);
+}
+
+TEST(ServeStressService, EveryRequestAccountedExactlyOnce) {
+  const auto model = tiny_model(5);
+  Rng input_rng(17);
+  const Tensor small = Tensor::uniform(Shape{1, 4, 6}, input_rng, -1.f, 1.f);
+  const Tensor large = Tensor::uniform(Shape{1, 6, 8}, input_rng, -1.f, 1.f);
+
+  ServiceConfig sc;
+  sc.queue_capacity = 8;  // small on purpose: force real rejections
+  sc.max_batch = 4;
+  sc.max_wait_us = 50;
+  Service service(sc);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 64;
+  std::deque<Request> requests(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(p + 1);
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        Request& request = requests[p * kPerProducer + i];
+        request.model = model.get();
+        request.input = rng.uniform() < 0.5 ? small : large;
+        service.submit(&request);
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  for (Request& request : requests) request.wait();
+  service.stop();
+
+  const Service::Stats stats = service.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::int64_t>(kProducers * kPerProducer));
+  EXPECT_EQ(stats.accepted + stats.rejected, stats.submitted);
+  EXPECT_EQ(stats.completed + stats.shed,
+            stats.accepted);  // no default deadline -> shed == 0 here
+  EXPECT_EQ(stats.shed, 0);
+
+  std::int64_t ok = 0;
+  std::int64_t rejected = 0;
+  for (const Request& request : requests) {
+    switch (request.status()) {
+      case RequestStatus::kOk:
+        ++ok;
+        EXPECT_GE(request.batch_size, 1);
+        EXPECT_LE(request.batch_size, sc.max_batch);
+        break;
+      case RequestStatus::kRejected:
+        ++rejected;
+        break;
+      default:
+        ADD_FAILURE() << "request left in non-terminal state";
+    }
+  }
+  EXPECT_EQ(ok, stats.completed);
+  EXPECT_EQ(rejected, stats.rejected);
+}
+
+TEST(ServeStressService, StopMidBurstNeverLeavesRequestsPending) {
+  for (const bool drain : {true, false}) {
+    const auto model = tiny_model(6);
+    Rng input_rng(23);
+    const Tensor input = Tensor::uniform(Shape{1, 4, 6}, input_rng, -1.f, 1.f);
+
+    auto service = std::make_unique<Service>([&] {
+      ServiceConfig sc;
+      sc.queue_capacity = 16;
+      sc.max_batch = 4;
+      sc.max_wait_us = 1000;
+      sc.drain_on_stop = drain;
+      return sc;
+    }());
+
+    constexpr std::size_t kCount = 64;
+    std::deque<Request> requests(kCount);
+    std::thread producer([&] {
+      for (Request& request : requests) {
+        request.model = model.get();
+        request.input = input;
+        service->submit(&request);
+      }
+    });
+    service->stop();  // races the producer on purpose
+    producer.join();
+    service.reset();
+
+    for (const Request& request : requests) {
+      EXPECT_TRUE(is_terminal(request.status()))
+          << "drain=" << drain << ": request left pending after stop()";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orbit2::serve
