@@ -31,6 +31,7 @@
 #include "core/kernels.hpp"
 #include "core/obs.hpp"
 #include "core/rng.hpp"
+#include "core/simd/simd.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/tensor.hpp"
@@ -461,6 +462,50 @@ int main(int argc, char** argv) {
       }
       orbit2::kernels::set_max_threads(0);
     }
+  }
+
+  // --- SIMD ISA sweep: the same kernels under every supported backend. ---
+  // Serial threads isolate the microkernel effect from pool scaling; the
+  // results are bit-identical across backends (the determinism contract),
+  // so only the wall time moves.
+  {
+    const orbit2::simd::Isa saved_isa = orbit2::simd::active_isa();
+    const std::int64_t m = 512, n = 512, k = 512;
+    const Tensor a = Tensor::randn(Shape{m, k}, rng);
+    const Tensor b = Tensor::randn(Shape{k, n}, rng);
+    const double gemm_flops =
+        2.0 * static_cast<double>(m) * static_cast<double>(n) *
+        static_cast<double>(k);
+    const std::int64_t stream_n = quick ? (1 << 20) : (1 << 22);
+    const Tensor sx = Tensor::randn(Shape{stream_n}, rng);
+    Tensor sy = Tensor::randn(Shape{stream_n}, rng);
+    const double stream_flops = 2.0 * static_cast<double>(stream_n);
+    orbit2::kernels::set_max_threads(1);
+    for (const orbit2::simd::Isa isa : orbit2::simd::supported_isas()) {
+      orbit2::simd::set_isa(isa);
+      const std::string variant =
+          std::string("simd_") + orbit2::simd::isa_name(isa);
+      records.push_back(time_case("gemm_nn", "512x512x512", variant, kSerial,
+                                  reps, gemm_flops, [&] {
+                                    const Tensor c = orbit2::matmul(a, b);
+                                    return tensor_checksum(c);
+                                  }));
+      records.push_back(time_case(
+          "axpy_stream", "n=" + std::to_string(stream_n), variant, kSerial,
+          reps, stream_flops, [&] {
+            sy.axpy_inplace(0.25f, sx);
+            return static_cast<double>(sy.data()[0]);
+          }));
+      records.push_back(time_case(
+          "bf16_round_stream", "n=" + std::to_string(stream_n), variant,
+          kSerial, reps, static_cast<double>(stream_n), [&] {
+            Tensor t = sx.clone();
+            t.round_to_bf16_inplace();
+            return static_cast<double>(t.data()[0]);
+          }));
+    }
+    orbit2::kernels::set_max_threads(0);
+    orbit2::simd::set_isa(saved_isa);
   }
 
   emit_json(records);

@@ -7,6 +7,7 @@
 
 #include "core/kernels.hpp"
 #include "core/obs.hpp"
+#include "core/simd/simd.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 
@@ -123,6 +124,10 @@ void flash_forward_body(const float* pq, const float* pk, const float* pv,
                         std::int64_t nk, std::int64_t d, std::int64_t dv,
                         float scale, const FlashParams& params) {
   const std::int64_t q_blocks = (nq + params.block_q - 1) / params.block_q;
+  // Score dots stay sequential double reductions (their accumulation order
+  // is pinned); only element-parallel rescales and axpy updates route
+  // through the simd tier.
+  const simd::Ops& sops = simd::ops();
   kernels::parallel_for(q_blocks, 1, [&](std::int64_t qb0, std::int64_t qb1) {
     // Per-thread grow-only scratch: score tile and running row statistics
     // (max m_i, normalizer l_i) for this chunk's query rows only. Every
@@ -184,14 +189,13 @@ void flash_forward_body(const float* pq, const float* pk, const float* pv,
                   : std::exp(old_max - new_max);
 
           float* orow = po + i * dv;
-          for (std::int64_t t = 0; t < dv; ++t) orow[t] *= correction;
+          sops.scale_f32(orow, correction, dv);
           row_sum[static_cast<std::size_t>(i - q0)] *= correction;
 
           for (std::int64_t j = 0; j < bk; ++j) {
             const float p = std::exp(srow[j] - new_max);
             row_sum[static_cast<std::size_t>(i - q0)] += p;
-            const float* vrow = pv + (k0 + j) * dv;
-            for (std::int64_t t = 0; t < dv; ++t) orow[t] += p * vrow[t];
+            sops.axpy_f32(orow, pv + (k0 + j) * dv, p, dv);
           }
           row_max[static_cast<std::size_t>(i - q0)] = new_max;
         }
@@ -202,8 +206,7 @@ void flash_forward_body(const float* pq, const float* pk, const float* pv,
         const float l = row_sum[static_cast<std::size_t>(i - q0)];
         ORBIT2_CHECK(l > 0.0f, "flash attention: zero normalizer at row " << i);
         const float inv = 1.0f / l;
-        float* orow = po + i * dv;
-        for (std::int64_t t = 0; t < dv; ++t) orow[t] *= inv;
+        sops.scale_f32(po + i * dv, inv, dv);
         plse[i] = row_max[static_cast<std::size_t>(i - q0)] + std::log(l);
       }
     }
@@ -334,6 +337,8 @@ AttentionGrads attention_flash_backward(const AttentionContext& ctx,
     }
   };
 
+  const simd::Ops& sops = simd::ops();
+
   // Pass 1 — dQ: query blocks own disjoint dq rows; key blocks are walked
   // serially in ascending order inside each chunk.
   kernels::parallel_for(q_blocks, 1, [&](std::int64_t qb0, std::int64_t qb1) {
@@ -361,8 +366,7 @@ AttentionGrads attention_flash_backward(const AttentionContext& ctx,
                              (static_cast<float>(dp) -
                               delta[static_cast<std::size_t>(i)]) *
                              ctx.scale;
-            const float* krow = pk + (k0 + j) * d;
-            for (std::int64_t t = 0; t < d; ++t) dqrow[t] += ds * krow[t];
+            sops.axpy_f32(dqrow, pk + (k0 + j) * d, ds, d);
           }
         }
       }
@@ -387,19 +391,20 @@ AttentionGrads attention_flash_backward(const AttentionContext& ctx,
           for (std::int64_t j = 0; j < bk; ++j) {
             const float p = prow[j];
             const float* vrow = pv + (k0 + j) * dv;
-            float* dvrow = pdv + (k0 + j) * dv;
-            // dV_j += p * dO_i
+            // The dp reduction keeps its sequential ascending-t order; the
+            // independent dV_j += p * dO_i update (formerly interleaved in
+            // the same loop) routes through the simd tier — separating the
+            // two changes no operation's operands or order.
             double dp = 0.0;
             for (std::int64_t t = 0; t < dv; ++t) {
-              dvrow[t] += p * gorow[t];
               dp += static_cast<double>(gorow[t]) * vrow[t];
             }
+            sops.axpy_f32(pdv + (k0 + j) * dv, gorow, p, dv);
             const float ds = p *
                              (static_cast<float>(dp) -
                               delta[static_cast<std::size_t>(i)]) *
                              ctx.scale;
-            float* dkrow = pdk + (k0 + j) * d;
-            for (std::int64_t t = 0; t < d; ++t) dkrow[t] += ds * qrow[t];
+            sops.axpy_f32(pdk + (k0 + j) * d, qrow, ds, d);
           }
         }
       }

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/log.hpp"
 #include "core/obs.hpp"
+#include "core/simd/simd.hpp"
 
 namespace orbit2::kernels {
 
@@ -34,12 +36,40 @@ std::size_t& configured_threads() {
 
 std::size_t resolve_threads_locked() {
   if (configured_threads() != 0) return configured_threads();
+  const std::size_t fallback =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
   if (const char* env = std::getenv("ORBIT2_NUM_THREADS")) {
+    // Full-string parse: trailing garbage ("4abc") means the value is junk,
+    // not 4 — warn and fall back instead of silently honoring a prefix.
+    // Overflowing values saturate in strtoll and land in the clamp below.
+    static bool warned_junk = false;
+    static bool warned_clamp = false;
     char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && parsed > 0) return static_cast<std::size_t>(parsed);
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end == env || *end != '\0' || parsed <= 0) {
+      if (!warned_junk) {
+        warned_junk = true;
+        ORBIT2_LOG_WARN("ORBIT2_NUM_THREADS=\""
+                        << env << "\" is not a positive integer; using "
+                        << fallback << " thread(s)");
+      }
+      return fallback;
+    }
+    // A pool far beyond the hardware only adds contention; clamp to a sane
+    // oversubscription ceiling.
+    const std::size_t max_allowed = 4 * fallback;
+    if (static_cast<unsigned long long>(parsed) > max_allowed) {
+      if (!warned_clamp) {
+        warned_clamp = true;
+        ORBIT2_LOG_WARN("ORBIT2_NUM_THREADS=" << env << " exceeds 4x hardware "
+                                              << "concurrency; clamping to "
+                                              << max_allowed);
+      }
+      return max_allowed;
+    }
+    return static_cast<std::size_t>(parsed);
   }
-  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return fallback;
 }
 
 // Set while the current thread is executing a kernel chunk; nested kernel
@@ -119,7 +149,21 @@ void run_chunks(std::int64_t num_chunks, FnRef<void(std::int64_t)> run) {
 
 std::int64_t num_chunks_for(std::int64_t count, std::int64_t grain) {
   ORBIT2_REQUIRE(grain >= 1, "kernel grain must be >= 1, have " << grain);
-  return (count + grain - 1) / grain;
+  // Not the usual (count + grain - 1) / grain: that sum overflows for
+  // count near INT64_MAX.
+  return count / grain + (count % grain != 0 ? 1 : 0);
+}
+
+// Chunk [begin, end) for `chunk` of num_chunks_for(count, grain). begin
+// itself cannot overflow (chunk * grain < count + grain and the last chunk
+// starts below count), but begin + grain can — bound the span by what is
+// left instead.
+std::int64_t chunk_begin(std::int64_t chunk, std::int64_t grain) {
+  return chunk * grain;
+}
+std::int64_t chunk_end(std::int64_t begin, std::int64_t count,
+                       std::int64_t grain) {
+  return begin + std::min(grain, count - begin);
 }
 
 }  // namespace
@@ -154,8 +198,8 @@ void parallel_for(std::int64_t count, std::int64_t grain,
   ORBIT2_OBS_COUNT("kernels.parallel_for_calls", 1);
   const std::int64_t chunks = num_chunks_for(count, grain);
   run_chunks(chunks, [count, grain, body](std::int64_t chunk) {
-    const std::int64_t begin = chunk * grain;
-    body(begin, std::min(count, begin + grain));
+    const std::int64_t begin = chunk_begin(chunk, grain);
+    body(begin, chunk_end(begin, count, grain));
   });
 }
 
@@ -170,9 +214,9 @@ double parallel_reduce(std::int64_t count, std::int64_t grain,
   // addition order — and therefore the result — is thread-count-invariant.
   std::vector<double> partials(static_cast<std::size_t>(chunks), 0.0);
   run_chunks(chunks, [count, grain, chunk_fn, &partials](std::int64_t chunk) {
-    const std::int64_t begin = chunk * grain;
+    const std::int64_t begin = chunk_begin(chunk, grain);
     partials[static_cast<std::size_t>(chunk)] =
-        chunk_fn(begin, std::min(count, begin + grain));
+        chunk_fn(begin, chunk_end(begin, count, grain));
   });
   double total = 0.0;
   for (const double partial : partials) total += partial;
@@ -203,18 +247,26 @@ constexpr std::int64_t kGemmNOuter = 512;
 // identical kernel serially in one chunk.
 constexpr std::int64_t kGemmSerialFlops = 1 << 20;
 
-/// dst (rows x cols, row-major) = src^T where src is cols x rows row-major.
-void transpose_pack(const float* src, float* dst, std::int64_t rows,
-                    std::int64_t cols) {
+/// For each batch element: dst (rows x cols, row-major) = src^T where src
+/// is cols x rows row-major, both advancing rows*cols per element. One
+/// parallel_for over batch x rows — per-batch dispatch would serialize the
+/// elements and re-pay dispatch overhead batch times. A pure copy, so the
+/// bytes are identical under any chunking.
+void transpose_pack_batched(const float* src, float* dst, std::int64_t batch,
+                            std::int64_t rows, std::int64_t cols) {
   constexpr std::int64_t kBlock = 64;
   const std::int64_t grain = std::max<std::int64_t>(
       kBlock, grain_for(cols, 1 << 16));
-  parallel_for(rows, grain, [&](std::int64_t r0, std::int64_t r1) {
+  parallel_for(batch * rows, grain, [&](std::int64_t t0, std::int64_t t1) {
     for (std::int64_t c0 = 0; c0 < cols; c0 += kBlock) {
       const std::int64_t c1 = std::min(cols, c0 + kBlock);
-      for (std::int64_t r = r0; r < r1; ++r) {
+      for (std::int64_t t = t0; t < t1; ++t) {
+        const std::int64_t bi = t / rows;
+        const std::int64_t r = t % rows;
+        const float* src_b = src + bi * rows * cols;
+        float* dst_b = dst + bi * rows * cols;
         for (std::int64_t c = c0; c < c1; ++c) {
-          dst[r * cols + c] = src[c * rows + r];
+          dst_b[r * cols + c] = src_b[c * rows + r];
         }
       }
     }
@@ -227,6 +279,7 @@ void gemm_nn_panel(const float* a, const float* b, float* c, std::int64_t n,
                    std::int64_t k, std::int64_t i0, std::int64_t i1,
                    std::int64_t j0, std::int64_t j1, bool accumulate,
                    std::vector<double>& acc) {
+  const simd::Ops& sops = simd::ops();
   for (std::int64_t jc = j0; jc < j1; jc += kGemmNC) {
     const std::int64_t jw = std::min(j1 - jc, kGemmNC);
     std::fill(acc.begin(),
@@ -239,9 +292,10 @@ void gemm_nn_panel(const float* a, const float* b, float* c, std::int64_t n,
         for (std::int64_t kq = kk; kq < kend; ++kq) {
           const double aik = static_cast<double>(apanel[kq]);
           const float* brow = b + kq * n + jc;
-          for (std::int64_t j = 0; j < jw; ++j) {
-            arow[j] += aik * static_cast<double>(brow[j]);
-          }
+          // Vectorizes over j (independent output columns), keeping each
+          // element's ascending-k double accumulation and two-rounding
+          // mul+add intact — bit-identical to the scalar loop it replaces.
+          sops.gemm_update_f64(arow, brow, aik, jw);
         }
       }
     }
@@ -326,18 +380,14 @@ void gemm_batched(Trans ta, Trans tb, std::int64_t batch, std::int64_t m,
     if (a_packed.size() < static_cast<std::size_t>(batch * m * k)) {
       a_packed.resize(static_cast<std::size_t>(batch * m * k));
     }
-    for (std::int64_t bi = 0; bi < batch; ++bi) {
-      transpose_pack(a + bi * m * k, a_packed.data() + bi * m * k, m, k);
-    }
+    transpose_pack_batched(a, a_packed.data(), batch, m, k);
     a_eff = a_packed.data();
   }
   if (tb == Trans::kT) {
     if (b_packed.size() < static_cast<std::size_t>(batch * k * n)) {
       b_packed.resize(static_cast<std::size_t>(batch * k * n));
     }
-    for (std::int64_t bi = 0; bi < batch; ++bi) {
-      transpose_pack(b + bi * k * n, b_packed.data() + bi * k * n, k, n);
-    }
+    transpose_pack_batched(b, b_packed.data(), batch, k, n);
     b_eff = b_packed.data();
   }
   gemm_nn_batched(batch, m, n, k, a_eff, b_eff, c, accumulate);

@@ -1,0 +1,129 @@
+#pragma once
+// SIMD microkernel tier with runtime ISA dispatch.
+//
+// The kernel substrate (core/kernels.hpp) made every hot path thread-parallel
+// and bit-stable, but left all inner arithmetic scalar. This layer supplies
+// the vectorized inner loops: a small set of primitive microkernels (GEMM
+// row updates, radix-2 FFT butterflies, contiguous elementwise stages,
+// row rescales, bf16 convert-and-round) behind one function-pointer table
+// selected once at startup from the host ISA (AVX-512 > AVX2 > NEON >
+// scalar) and overridable with `ORBIT2_SIMD=scalar|avx2|avx512|neon` for
+// testing.
+//
+// Determinism contract (the reason these kernels are hand-written instead of
+// relying on compiler auto-vectorization):
+//
+//   * Every primitive is element-parallel with FIXED per-element arithmetic:
+//     each output element sees exactly the operations, operand order, and
+//     single-rounding steps of the scalar reference, so scalar and every
+//     vector ISA produce identical bytes. Vector remainders run the scalar
+//     reference per element.
+//   * No fused multiply-add: `y += a * x` is one rounded multiply then one
+//     rounded add, matching the baseline scalar build (the simd TUs compile
+//     with -ffp-contract=off so the compiler cannot contract them either).
+//   * No horizontal reductions inside element-parallel primitives. The one
+//     reducing primitive, dot_f32, uses a FIXED logical lane count
+//     (kReduceLanes): element i accumulates into double lane (i % 8), and
+//     lanes combine in ascending lane order at the end. The scalar reference
+//     implements the same lane-blocked order, so the reduce is bit-identical
+//     on every ISA — this is the policy any future reducing microkernel
+//     must follow.
+//   * Complex products (FFT butterflies, Bluestein pointwise multiplies) use
+//     the naive formula with pinned operand order:
+//     re = xr*wr - xi*wi, im = xi*wr + xr*wi (each product rounded once).
+//     For finite inputs this is bit-identical to the pre-SIMD
+//     std::complex<double> arithmetic; NaN/Inf recovery semantics of C99
+//     complex multiplication are intentionally not replicated.
+//
+// Thread safety: the active table resolves once (env + cpuid) on first use.
+// set_isa() is a test/bench hook like kernels::set_max_threads — it must not
+// be called while kernels are executing.
+
+#include <cstdint>
+#include <vector>
+
+namespace orbit2::simd {
+
+enum class Isa { kScalar = 0, kAvx2 = 1, kAvx512 = 2, kNeon = 3 };
+
+/// Human-readable lowercase name, matching the ORBIT2_SIMD env values.
+const char* isa_name(Isa isa);
+
+/// Parses an ORBIT2_SIMD value ("scalar"|"avx2"|"avx512"|"neon", full-string
+/// match). Returns false on anything else.
+bool parse_isa_name(const char* text, Isa* out);
+
+/// Logical lane count of the deterministic lane-ordered reduce policy.
+/// Fixed across ISAs: AVX-512 holds all 8 double lanes in one register,
+/// AVX2 in two, NEON in four, and the scalar reference indexes lane (i % 8).
+inline constexpr std::int64_t kReduceLanes = 8;
+
+/// The primitive microkernel table. One table per ISA; all tables are
+/// bit-identical in output (see the determinism contract above) and differ
+/// only in speed. Pointers are never null.
+struct Ops {
+  Isa isa;
+
+  /// GEMM inner-loop row update: acc[j] += a * double(b[j]) for j in [0, n).
+  /// Double accumulators, one rounded multiply + one rounded add per
+  /// element (no FMA).
+  void (*gemm_update_f64)(double* acc, const float* b, double a,
+                          std::int64_t n);
+
+  /// y[i] += a * x[i] (rounded multiply then rounded add, float).
+  void (*axpy_f32)(float* y, const float* x, float a, std::int64_t n);
+
+  /// y[i] *= a.
+  void (*scale_f32)(float* y, float a, std::int64_t n);
+
+  /// dst[i] = dst[i] + a[i].
+  void (*add_f32)(float* dst, const float* a, std::int64_t n);
+
+  /// dst[i] = dst[i] - a[i].
+  void (*sub_f32)(float* dst, const float* a, std::int64_t n);
+
+  /// dst[i] = a[i] - dst[i].
+  void (*rsub_f32)(float* dst, const float* a, std::int64_t n);
+
+  /// dst[i] = dst[i] * a[i].
+  void (*mul_f32)(float* dst, const float* a, std::int64_t n);
+
+  /// In-place bf16 storage rounding: y[i] = bf16_round(y[i]).
+  /// Pure integer bit manipulation, bit-exact for every input including NaN.
+  void (*bf16_round_f32)(float* y, std::int64_t n);
+
+  /// n radix-2 butterfly pairs over interleaved re/im doubles:
+  ///   u = a0[k]; v = a1[k] * w[k]; a0[k] = u + v; a1[k] = u - v
+  /// where a0/a1/w point at 2n doubles each (re, im, re, im, ...).
+  void (*fft_butterfly_f64)(double* a0, double* a1, const double* w,
+                            std::int64_t n);
+
+  /// n pointwise complex products x[k] *= y[k], interleaved re/im doubles.
+  void (*cmul_f64)(double* x, const double* y, std::int64_t n);
+
+  /// Lane-ordered dot product: double lane (i % kReduceLanes) accumulates
+  /// double(x[i]) * double(y[i]); lanes combine in ascending order. The
+  /// exemplar of the reduce policy — NOT bit-compatible with a sequential
+  /// ascending-i accumulation, so existing sequential reductions must not
+  /// be switched to it without re-pinning their goldens.
+  double (*dot_f32)(const float* x, const float* y, std::int64_t n);
+};
+
+/// The active table. First call resolves the ISA (ORBIT2_SIMD env override,
+/// else best supported) and logs the choice at debug level.
+const Ops& ops();
+
+/// ISA of the active table.
+Isa active_isa();
+
+/// True when the host supports `isa` (kScalar always).
+bool isa_supported(Isa isa);
+
+/// Supported ISAs in ascending preference order, starting with kScalar.
+std::vector<Isa> supported_isas();
+
+/// Overrides the active table; `isa` must be supported on this host.
+/// Test/bench hook — must not be called while kernels are executing.
+void set_isa(Isa isa);
+
+}  // namespace orbit2::simd

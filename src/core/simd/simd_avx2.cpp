@@ -1,0 +1,206 @@
+// AVX2 microkernels (256-bit). Compiled with -mavx2 -ffp-contract=off;
+// runtime-gated by __builtin_cpu_supports("avx2") in simd.cpp.
+//
+// Bit-exactness notes:
+//   * Float->double promotion uses vcvtps2pd (exact); multiply and add stay
+//     separate instructions (no vfmadd — the TU disables contraction).
+//   * Complex products use vmovddup/vpermilpd to form (wr,wr)/(wi,wi) and
+//     the swapped (xi,xr), then vaddsubpd combines: even lane
+//     t1-t2 = xr*wr - xi*wi, odd lane t1+t2 = xi*wr + xr*wi — exactly the
+//     scalar reference's operand order.
+//   * Remainder tails call the scalar reference per element.
+
+#if defined(ORBIT2_SIMD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "core/simd/scalar_ref.hpp"
+#include "core/simd/simd.hpp"
+
+namespace orbit2::simd::detail {
+
+namespace {
+
+void avx2_gemm_update_f64(double* acc, const float* b, double a,
+                          std::int64_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d vb = _mm256_cvtps_pd(_mm_loadu_ps(b + j));
+    const __m256d vacc = _mm256_loadu_pd(acc + j);
+    _mm256_storeu_pd(acc + j, _mm256_add_pd(vacc, _mm256_mul_pd(va, vb)));
+  }
+  if (j < n) scalar_gemm_update_f64(acc + j, b + j, a, n - j);
+}
+
+void avx2_axpy_f32(float* y, const float* x, float a, std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(y + i, _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+  }
+  if (i < n) scalar_axpy_f32(y + i, x + i, a, n - i);
+}
+
+void avx2_scale_f32(float* y, float a, std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_mul_ps(_mm256_loadu_ps(y + i), va));
+  }
+  if (i < n) scalar_scale_f32(y + i, a, n - i);
+}
+
+void avx2_add_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                               _mm256_loadu_ps(a + i)));
+  }
+  if (i < n) scalar_add_f32(dst + i, a + i, n - i);
+}
+
+void avx2_sub_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, _mm256_sub_ps(_mm256_loadu_ps(dst + i),
+                               _mm256_loadu_ps(a + i)));
+  }
+  if (i < n) scalar_sub_f32(dst + i, a + i, n - i);
+}
+
+void avx2_rsub_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(dst + i)));
+  }
+  if (i < n) scalar_rsub_f32(dst + i, a + i, n - i);
+}
+
+void avx2_mul_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, _mm256_mul_ps(_mm256_loadu_ps(dst + i),
+                               _mm256_loadu_ps(a + i)));
+  }
+  if (i < n) scalar_mul_f32(dst + i, a + i, n - i);
+}
+
+void avx2_bf16_round_f32(float* y, std::int64_t n) {
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  const __m256i inf_bits = _mm256_set1_epi32(0x7f800000);
+  const __m256i quiet_bit = _mm256_set1_epi32(0x00400000);
+  const __m256i round_base = _mm256_set1_epi32(0x7fff);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i hi_mask = _mm256_set1_epi32(
+      static_cast<std::int32_t>(0xffff0000u));
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i bits =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    const __m256i lsb = _mm256_and_si256(_mm256_srli_epi32(bits, 16), one);
+    const __m256i rounded =
+        _mm256_add_epi32(bits, _mm256_add_epi32(round_base, lsb));
+    const __m256i quieted = _mm256_or_si256(bits, quiet_bit);
+    // abs <= 0x7fffffff on both sides, so signed compare is safe.
+    const __m256i is_nan = _mm256_cmpgt_epi32(
+        _mm256_and_si256(bits, abs_mask), inf_bits);
+    const __m256i selected =
+        _mm256_blendv_epi8(rounded, quieted, is_nan);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i),
+                        _mm256_and_si256(selected, hi_mask));
+  }
+  if (i < n) scalar_bf16_round_f32(y + i, n - i);
+}
+
+// v = x * w as complex doubles, two complex per vector: with
+// wr = (w.re, w.re), wi = (w.im, w.im), swapped = (x.im, x.re),
+// vaddsubpd(x*wr, swapped*wi) yields
+// (x.re*w.re - x.im*w.im, x.im*w.re + x.re*w.im).
+inline __m256d cmul256(__m256d x, __m256d w) {
+  const __m256d wr = _mm256_movedup_pd(w);
+  const __m256d wi = _mm256_permute_pd(w, 0xF);
+  const __m256d swapped = _mm256_permute_pd(x, 0x5);
+  return _mm256_addsub_pd(_mm256_mul_pd(x, wr), _mm256_mul_pd(swapped, wi));
+}
+
+void avx2_fft_butterfly_f64(double* a0, double* a1, const double* w,
+                            std::int64_t n) {
+  std::int64_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const __m256d x = _mm256_loadu_pd(a1 + 2 * k);
+    const __m256d tw = _mm256_loadu_pd(w + 2 * k);
+    const __m256d v = cmul256(x, tw);
+    const __m256d u = _mm256_loadu_pd(a0 + 2 * k);
+    _mm256_storeu_pd(a0 + 2 * k, _mm256_add_pd(u, v));
+    _mm256_storeu_pd(a1 + 2 * k, _mm256_sub_pd(u, v));
+  }
+  if (k < n) {
+    scalar_fft_butterfly_f64(a0 + 2 * k, a1 + 2 * k, w + 2 * k, n - k);
+  }
+}
+
+void avx2_cmul_f64(double* x, const double* y, std::int64_t n) {
+  std::int64_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    const __m256d vx = _mm256_loadu_pd(x + 2 * k);
+    const __m256d vy = _mm256_loadu_pd(y + 2 * k);
+    _mm256_storeu_pd(x + 2 * k, cmul256(vx, vy));
+  }
+  if (k < n) scalar_cmul_f64(x + 2 * k, y + 2 * k, n - k);
+}
+
+double avx2_dot_f32(const float* x, const float* y, std::int64_t n) {
+  // Lanes 0-3 in acc_lo, 4-7 in acc_hi; element i lands in lane i % 8,
+  // accumulated in ascending i order — identical to the scalar reference.
+  __m256d acc_lo = _mm256_setzero_pd();
+  __m256d acc_hi = _mm256_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    const __m256d xl = _mm256_cvtps_pd(_mm256_castps256_ps128(vx));
+    const __m256d yl = _mm256_cvtps_pd(_mm256_castps256_ps128(vy));
+    const __m256d xh = _mm256_cvtps_pd(_mm256_extractf128_ps(vx, 1));
+    const __m256d yh = _mm256_cvtps_pd(_mm256_extractf128_ps(vy, 1));
+    acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(xl, yl));
+    acc_hi = _mm256_add_pd(acc_hi, _mm256_mul_pd(xh, yh));
+  }
+  double lanes[kReduceLanes];
+  _mm256_storeu_pd(lanes, acc_lo);
+  _mm256_storeu_pd(lanes + 4, acc_hi);
+  for (; i < n; ++i) {
+    lanes[i % kReduceLanes] +=
+        static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  double acc = lanes[0];
+  for (std::int64_t lane = 1; lane < kReduceLanes; ++lane) {
+    acc += lanes[lane];
+  }
+  return acc;
+}
+
+}  // namespace
+
+const Ops* avx2_ops() {
+  static const Ops table = {
+      Isa::kAvx2,         avx2_gemm_update_f64, avx2_axpy_f32,
+      avx2_scale_f32,     avx2_add_f32,         avx2_sub_f32,
+      avx2_rsub_f32,      avx2_mul_f32,         avx2_bf16_round_f32,
+      avx2_fft_butterfly_f64, avx2_cmul_f64,    avx2_dot_f32,
+  };
+  return &table;
+}
+
+}  // namespace orbit2::simd::detail
+
+#endif  // ORBIT2_SIMD_HAVE_AVX2

@@ -1,0 +1,203 @@
+// AVX-512F microkernels (512-bit). Compiled with -mavx512f
+// -ffp-contract=off; runtime-gated by __builtin_cpu_supports("avx512f").
+//
+// Only the F subset is used (no DQ/BW/VL instructions) so the runtime gate
+// matches the instruction mix: vaddsubpd has no 512-bit form, so complex
+// products sign-flip the even (real) lanes of the second term with an
+// integer XOR and add — t1 - t2 and t1 + (-t2) are the same IEEE operation.
+
+#if defined(ORBIT2_SIMD_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "core/simd/scalar_ref.hpp"
+#include "core/simd/simd.hpp"
+
+namespace orbit2::simd::detail {
+
+namespace {
+
+void avx512_gemm_update_f64(double* acc, const float* b, double a,
+                            std::int64_t n) {
+  const __m512d va = _mm512_set1_pd(a);
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512d vb = _mm512_cvtps_pd(_mm256_loadu_ps(b + j));
+    const __m512d vacc = _mm512_loadu_pd(acc + j);
+    _mm512_storeu_pd(acc + j, _mm512_add_pd(vacc, _mm512_mul_pd(va, vb)));
+  }
+  if (j < n) scalar_gemm_update_f64(acc + j, b + j, a, n - j);
+}
+
+void avx512_axpy_f32(float* y, const float* x, float a, std::int64_t n) {
+  const __m512 va = _mm512_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 vx = _mm512_loadu_ps(x + i);
+    const __m512 vy = _mm512_loadu_ps(y + i);
+    _mm512_storeu_ps(y + i, _mm512_add_ps(vy, _mm512_mul_ps(va, vx)));
+  }
+  if (i < n) scalar_axpy_f32(y + i, x + i, a, n - i);
+}
+
+void avx512_scale_f32(float* y, float a, std::int64_t n) {
+  const __m512 va = _mm512_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, _mm512_mul_ps(_mm512_loadu_ps(y + i), va));
+  }
+  if (i < n) scalar_scale_f32(y + i, a, n - i);
+}
+
+void avx512_add_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        dst + i, _mm512_add_ps(_mm512_loadu_ps(dst + i),
+                               _mm512_loadu_ps(a + i)));
+  }
+  if (i < n) scalar_add_f32(dst + i, a + i, n - i);
+}
+
+void avx512_sub_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        dst + i, _mm512_sub_ps(_mm512_loadu_ps(dst + i),
+                               _mm512_loadu_ps(a + i)));
+  }
+  if (i < n) scalar_sub_f32(dst + i, a + i, n - i);
+}
+
+void avx512_rsub_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        dst + i, _mm512_sub_ps(_mm512_loadu_ps(a + i),
+                               _mm512_loadu_ps(dst + i)));
+  }
+  if (i < n) scalar_rsub_f32(dst + i, a + i, n - i);
+}
+
+void avx512_mul_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        dst + i, _mm512_mul_ps(_mm512_loadu_ps(dst + i),
+                               _mm512_loadu_ps(a + i)));
+  }
+  if (i < n) scalar_mul_f32(dst + i, a + i, n - i);
+}
+
+void avx512_bf16_round_f32(float* y, std::int64_t n) {
+  const __m512i abs_mask = _mm512_set1_epi32(0x7fffffff);
+  const __m512i inf_bits = _mm512_set1_epi32(0x7f800000);
+  const __m512i quiet_bit = _mm512_set1_epi32(0x00400000);
+  const __m512i round_base = _mm512_set1_epi32(0x7fff);
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i hi_mask = _mm512_set1_epi32(
+      static_cast<std::int32_t>(0xffff0000u));
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i bits =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(y + i));
+    const __m512i lsb = _mm512_and_si512(_mm512_srli_epi32(bits, 16), one);
+    const __m512i rounded =
+        _mm512_add_epi32(bits, _mm512_add_epi32(round_base, lsb));
+    // abs <= 0x7fffffff on both sides, so signed compare is safe.
+    const __mmask16 is_nan = _mm512_cmpgt_epi32_mask(
+        _mm512_and_si512(bits, abs_mask), inf_bits);
+    const __m512i selected = _mm512_mask_or_epi32(rounded, is_nan, bits,
+                                                  quiet_bit);
+    _mm512_storeu_si512(reinterpret_cast<void*>(y + i),
+                        _mm512_and_si512(selected, hi_mask));
+  }
+  if (i < n) scalar_bf16_round_f32(y + i, n - i);
+}
+
+// v = x * w as complex doubles, four complex per vector. AVX-512 has no
+// vaddsubpd: flip the sign of the even (real) lanes of swapped*wi with an
+// integer XOR, then one add gives
+// (x.re*w.re - x.im*w.im, x.im*w.re + x.re*w.im) per complex.
+inline __m512d cmul512(__m512d x, __m512d w) {
+  const __m512i even_sign = _mm512_set_epi64(
+      0, static_cast<long long>(0x8000000000000000ull),
+      0, static_cast<long long>(0x8000000000000000ull),
+      0, static_cast<long long>(0x8000000000000000ull),
+      0, static_cast<long long>(0x8000000000000000ull));
+  const __m512d wr = _mm512_movedup_pd(w);
+  const __m512d wi = _mm512_permute_pd(w, 0xFF);
+  const __m512d swapped = _mm512_permute_pd(x, 0x55);
+  const __m512d t1 = _mm512_mul_pd(x, wr);
+  const __m512d t2 = _mm512_mul_pd(swapped, wi);
+  const __m512d t2_flipped = _mm512_castsi512_pd(
+      _mm512_xor_si512(_mm512_castpd_si512(t2), even_sign));
+  return _mm512_add_pd(t1, t2_flipped);
+}
+
+void avx512_fft_butterfly_f64(double* a0, double* a1, const double* w,
+                              std::int64_t n) {
+  std::int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m512d x = _mm512_loadu_pd(a1 + 2 * k);
+    const __m512d tw = _mm512_loadu_pd(w + 2 * k);
+    const __m512d v = cmul512(x, tw);
+    const __m512d u = _mm512_loadu_pd(a0 + 2 * k);
+    _mm512_storeu_pd(a0 + 2 * k, _mm512_add_pd(u, v));
+    _mm512_storeu_pd(a1 + 2 * k, _mm512_sub_pd(u, v));
+  }
+  if (k < n) {
+    scalar_fft_butterfly_f64(a0 + 2 * k, a1 + 2 * k, w + 2 * k, n - k);
+  }
+}
+
+void avx512_cmul_f64(double* x, const double* y, std::int64_t n) {
+  std::int64_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m512d vx = _mm512_loadu_pd(x + 2 * k);
+    const __m512d vy = _mm512_loadu_pd(y + 2 * k);
+    _mm512_storeu_pd(x + 2 * k, cmul512(vx, vy));
+  }
+  if (k < n) scalar_cmul_f64(x + 2 * k, y + 2 * k, n - k);
+}
+
+double avx512_dot_f32(const float* x, const float* y, std::int64_t n) {
+  // One zmm holds all kReduceLanes lanes: element i lands in lane i % 8,
+  // accumulated in ascending i order — identical to the scalar reference.
+  __m512d acc_v = _mm512_setzero_pd();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d vx = _mm512_cvtps_pd(_mm256_loadu_ps(x + i));
+    const __m512d vy = _mm512_cvtps_pd(_mm256_loadu_ps(y + i));
+    acc_v = _mm512_add_pd(acc_v, _mm512_mul_pd(vx, vy));
+  }
+  double lanes[kReduceLanes];
+  _mm512_storeu_pd(lanes, acc_v);
+  for (; i < n; ++i) {
+    lanes[i % kReduceLanes] +=
+        static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  double acc = lanes[0];
+  for (std::int64_t lane = 1; lane < kReduceLanes; ++lane) {
+    acc += lanes[lane];
+  }
+  return acc;
+}
+
+}  // namespace
+
+const Ops* avx512_ops() {
+  static const Ops table = {
+      Isa::kAvx512,         avx512_gemm_update_f64, avx512_axpy_f32,
+      avx512_scale_f32,     avx512_add_f32,         avx512_sub_f32,
+      avx512_rsub_f32,      avx512_mul_f32,         avx512_bf16_round_f32,
+      avx512_fft_butterfly_f64, avx512_cmul_f64,    avx512_dot_f32,
+  };
+  return &table;
+}
+
+}  // namespace orbit2::simd::detail
+
+#endif  // ORBIT2_SIMD_HAVE_AVX512

@@ -1,0 +1,199 @@
+// NEON microkernels (128-bit, aarch64 baseline). Compiled with
+// -ffp-contract=off so vmulq/vaddq never contract to vfma.
+//
+// One float64x2_t holds one complex double; the swapped operand comes from
+// vextq_f64 and the even-lane sign flip from an integer XOR (lane 0 is the
+// real part), mirroring the AVX-512 recipe.
+
+#if defined(ORBIT2_SIMD_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include <cstdint>
+
+#include "core/simd/scalar_ref.hpp"
+#include "core/simd/simd.hpp"
+
+namespace orbit2::simd::detail {
+
+namespace {
+
+void neon_gemm_update_f64(double* acc, const float* b, double a,
+                          std::int64_t n) {
+  const float64x2_t va = vdupq_n_f64(a);
+  std::int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const float32x4_t vb = vld1q_f32(b + j);
+    const float64x2_t lo = vcvt_f64_f32(vget_low_f32(vb));
+    const float64x2_t hi = vcvt_f64_f32(vget_high_f32(vb));
+    vst1q_f64(acc + j,
+              vaddq_f64(vld1q_f64(acc + j), vmulq_f64(va, lo)));
+    vst1q_f64(acc + j + 2,
+              vaddq_f64(vld1q_f64(acc + j + 2), vmulq_f64(va, hi)));
+  }
+  if (j < n) scalar_gemm_update_f64(acc + j, b + j, a, n - j);
+}
+
+void neon_axpy_f32(float* y, const float* x, float a, std::int64_t n) {
+  const float32x4_t va = vdupq_n_f32(a);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i,
+              vaddq_f32(vld1q_f32(y + i), vmulq_f32(va, vld1q_f32(x + i))));
+  }
+  if (i < n) scalar_axpy_f32(y + i, x + i, a, n - i);
+}
+
+void neon_scale_f32(float* y, float a, std::int64_t n) {
+  const float32x4_t va = vdupq_n_f32(a);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vmulq_f32(vld1q_f32(y + i), va));
+  }
+  if (i < n) scalar_scale_f32(y + i, a, n - i);
+}
+
+void neon_add_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(dst + i, vaddq_f32(vld1q_f32(dst + i), vld1q_f32(a + i)));
+  }
+  if (i < n) scalar_add_f32(dst + i, a + i, n - i);
+}
+
+void neon_sub_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(dst + i, vsubq_f32(vld1q_f32(dst + i), vld1q_f32(a + i)));
+  }
+  if (i < n) scalar_sub_f32(dst + i, a + i, n - i);
+}
+
+void neon_rsub_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(dst + i, vsubq_f32(vld1q_f32(a + i), vld1q_f32(dst + i)));
+  }
+  if (i < n) scalar_rsub_f32(dst + i, a + i, n - i);
+}
+
+void neon_mul_f32(float* dst, const float* a, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(dst + i, vmulq_f32(vld1q_f32(dst + i), vld1q_f32(a + i)));
+  }
+  if (i < n) scalar_mul_f32(dst + i, a + i, n - i);
+}
+
+void neon_bf16_round_f32(float* y, std::int64_t n) {
+  const uint32x4_t abs_mask = vdupq_n_u32(0x7fffffffu);
+  const uint32x4_t inf_bits = vdupq_n_u32(0x7f800000u);
+  const uint32x4_t quiet_bit = vdupq_n_u32(0x00400000u);
+  const uint32x4_t round_base = vdupq_n_u32(0x7fffu);
+  const uint32x4_t one = vdupq_n_u32(1u);
+  const uint32x4_t hi_mask = vdupq_n_u32(0xffff0000u);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t bits =
+        vreinterpretq_u32_f32(vld1q_f32(y + i));
+    const uint32x4_t lsb = vandq_u32(vshrq_n_u32(bits, 16), one);
+    const uint32x4_t rounded =
+        vaddq_u32(bits, vaddq_u32(round_base, lsb));
+    const uint32x4_t quieted = vorrq_u32(bits, quiet_bit);
+    const uint32x4_t is_nan =
+        vcgtq_u32(vandq_u32(bits, abs_mask), inf_bits);
+    const uint32x4_t selected = vbslq_u32(is_nan, quieted, rounded);
+    vst1q_f32(y + i,
+              vreinterpretq_f32_u32(vandq_u32(selected, hi_mask)));
+  }
+  if (i < n) scalar_bf16_round_f32(y + i, n - i);
+}
+
+// v = x * w for one complex double per vector (lane 0 = real): flip the
+// sign of the real lane of swapped*wi, then add.
+inline float64x2_t cmul128(float64x2_t x, float64x2_t w) {
+  const uint64x2_t even_sign =
+      vcombine_u64(vdup_n_u64(0x8000000000000000ull), vdup_n_u64(0));
+  const float64x2_t wr = vdupq_laneq_f64(w, 0);
+  const float64x2_t wi = vdupq_laneq_f64(w, 1);
+  const float64x2_t swapped = vextq_f64(x, x, 1);
+  const float64x2_t t1 = vmulq_f64(x, wr);
+  const float64x2_t t2 = vmulq_f64(swapped, wi);
+  const float64x2_t t2_flipped = vreinterpretq_f64_u64(
+      veorq_u64(vreinterpretq_u64_f64(t2), even_sign));
+  return vaddq_f64(t1, t2_flipped);
+}
+
+void neon_fft_butterfly_f64(double* a0, double* a1, const double* w,
+                            std::int64_t n) {
+  for (std::int64_t k = 0; k < n; ++k) {
+    const float64x2_t x = vld1q_f64(a1 + 2 * k);
+    const float64x2_t tw = vld1q_f64(w + 2 * k);
+    const float64x2_t v = cmul128(x, tw);
+    const float64x2_t u = vld1q_f64(a0 + 2 * k);
+    vst1q_f64(a0 + 2 * k, vaddq_f64(u, v));
+    vst1q_f64(a1 + 2 * k, vsubq_f64(u, v));
+  }
+}
+
+void neon_cmul_f64(double* x, const double* y, std::int64_t n) {
+  for (std::int64_t k = 0; k < n; ++k) {
+    const float64x2_t vx = vld1q_f64(x + 2 * k);
+    const float64x2_t vy = vld1q_f64(y + 2 * k);
+    vst1q_f64(x + 2 * k, cmul128(vx, vy));
+  }
+}
+
+double neon_dot_f32(const float* x, const float* y, std::int64_t n) {
+  // Four float64x2 accumulators cover lanes (0,1)(2,3)(4,5)(6,7); element i
+  // lands in lane i % 8 in ascending i order, as in the scalar reference.
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  float64x2_t acc45 = vdupq_n_f64(0.0);
+  float64x2_t acc67 = vdupq_n_f64(0.0);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const float32x4_t xa = vld1q_f32(x + i);
+    const float32x4_t ya = vld1q_f32(y + i);
+    const float32x4_t xb = vld1q_f32(x + i + 4);
+    const float32x4_t yb = vld1q_f32(y + i + 4);
+    acc01 = vaddq_f64(acc01, vmulq_f64(vcvt_f64_f32(vget_low_f32(xa)),
+                                       vcvt_f64_f32(vget_low_f32(ya))));
+    acc23 = vaddq_f64(acc23, vmulq_f64(vcvt_f64_f32(vget_high_f32(xa)),
+                                       vcvt_f64_f32(vget_high_f32(ya))));
+    acc45 = vaddq_f64(acc45, vmulq_f64(vcvt_f64_f32(vget_low_f32(xb)),
+                                       vcvt_f64_f32(vget_low_f32(yb))));
+    acc67 = vaddq_f64(acc67, vmulq_f64(vcvt_f64_f32(vget_high_f32(xb)),
+                                       vcvt_f64_f32(vget_high_f32(yb))));
+  }
+  double lanes[kReduceLanes];
+  vst1q_f64(lanes, acc01);
+  vst1q_f64(lanes + 2, acc23);
+  vst1q_f64(lanes + 4, acc45);
+  vst1q_f64(lanes + 6, acc67);
+  for (; i < n; ++i) {
+    lanes[i % kReduceLanes] +=
+        static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  double acc = lanes[0];
+  for (std::int64_t lane = 1; lane < kReduceLanes; ++lane) {
+    acc += lanes[lane];
+  }
+  return acc;
+}
+
+}  // namespace
+
+const Ops* neon_ops() {
+  static const Ops table = {
+      Isa::kNeon,         neon_gemm_update_f64, neon_axpy_f32,
+      neon_scale_f32,     neon_add_f32,         neon_sub_f32,
+      neon_rsub_f32,      neon_mul_f32,         neon_bf16_round_f32,
+      neon_fft_butterfly_f64, neon_cmul_f64,    neon_dot_f32,
+  };
+  return &table;
+}
+
+}  // namespace orbit2::simd::detail
+
+#endif  // ORBIT2_SIMD_HAVE_NEON

@@ -7,6 +7,7 @@
 #include "core/error.hpp"
 #include "core/kernels.hpp"
 #include "core/obs.hpp"
+#include "core/simd/simd.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/patches.hpp"
@@ -50,11 +51,11 @@ void paste_cols(Tensor& x, std::int64_t start, const Tensor& block) {
 void add_bias_rows_inplace(Tensor& x, const float* bias) {
   const std::int64_t rows = x.dim(0), cols = x.dim(1);
   float* dst = x.data().data();
+  const simd::Ops& sops = simd::ops();
   kernels::parallel_for(
       rows, kernels::grain_for(cols), [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
-          float* row = dst + r * cols;
-          for (std::int64_t c = 0; c < cols; ++c) row[c] += bias[c];
+          sops.add_f32(dst + r * cols, bias, cols);
         }
       });
 }
@@ -286,9 +287,14 @@ void Executor::run_elementwise(const GraphOp& op) {
   }
 
   // Out of place: stage-major over the cache-resident chunk, so each stage
-  // is a branch-free loop the compiler can vectorize like the eager
-  // kernels. Every element still sees the same operations in the same
-  // order as the element-major loop, so results are bitwise identical.
+  // is one contiguous simd primitive call (gelu stays scalar — it is not a
+  // lane-wise primitive). Every element still sees the same operations in
+  // the same order as the element-major loop, so results are bitwise
+  // identical. The AC variants share the CA primitives: a+b and b+a (and
+  // a*b / b*a) round identically for every non-NaN input, and for NaN
+  // payloads the operand order was already compiler-chosen in the scalar
+  // loops this replaces.
+  const simd::Ops& sops = simd::ops();
   kernels::parallel_for(
       out.numel(), kEwGrain, [&](std::int64_t i0, std::int64_t i1) {
         if (dst != src) {
@@ -300,44 +306,35 @@ void Executor::run_elementwise(const GraphOp& op) {
           const float* aux = aux_ptrs[s];
           switch (st.kind) {
             case EwKind::kAddCA:
-              for (std::int64_t i = i0; i < i1; ++i) dst[i] = dst[i] + aux[i];
-              break;
             case EwKind::kAddAC:
-              for (std::int64_t i = i0; i < i1; ++i) dst[i] = aux[i] + dst[i];
+              sops.add_f32(dst + i0, aux + i0, i1 - i0);
               break;
             case EwKind::kSubCA:
-              for (std::int64_t i = i0; i < i1; ++i) dst[i] = dst[i] - aux[i];
+              sops.sub_f32(dst + i0, aux + i0, i1 - i0);
               break;
             case EwKind::kSubAC:
-              for (std::int64_t i = i0; i < i1; ++i) dst[i] = aux[i] - dst[i];
+              sops.rsub_f32(dst + i0, aux + i0, i1 - i0);
               break;
             case EwKind::kMulCA:
-              for (std::int64_t i = i0; i < i1; ++i) dst[i] = dst[i] * aux[i];
-              break;
             case EwKind::kMulAC:
-              for (std::int64_t i = i0; i < i1; ++i) dst[i] = aux[i] * dst[i];
+              sops.mul_f32(dst + i0, aux + i0, i1 - i0);
               break;
             case EwKind::kScale:
-              for (std::int64_t i = i0; i < i1; ++i) {
-                dst[i] = dst[i] * st.scalar;
-              }
+              sops.scale_f32(dst + i0, st.scalar, i1 - i0);
               break;
             case EwKind::kGelu:
               for (std::int64_t i = i0; i < i1; ++i) {
                 dst[i] = gelu_scalar(dst[i]);
               }
               break;
-            // Row-indexed adds run as contiguous per-row segments so the
-            // inner loops stay branch-free and vectorizable, like the eager
-            // row loops they replay.
+            // Row-indexed adds run as contiguous per-row segments so each
+            // segment is one primitive call, like the eager row loops they
+            // replay.
             case EwKind::kAddBiasRows:
               for (std::int64_t i = i0; i < i1;) {
                 const std::int64_t col = i % st.a;
                 const std::int64_t run = std::min(i1 - i, st.a - col);
-                const float* arow = aux + col;
-                for (std::int64_t j = 0; j < run; ++j) {
-                  dst[i + j] = dst[i + j] + arow[j];
-                }
+                sops.add_f32(dst + i, aux + col, run);
                 i += run;
               }
               break;
@@ -346,10 +343,7 @@ void Executor::run_elementwise(const GraphOp& op) {
               for (std::int64_t i = i0; i < i1;) {
                 const std::int64_t col = i % st.a;
                 const std::int64_t run = std::min(i1 - i, st.a - col);
-                const float* arow = row + col;
-                for (std::int64_t j = 0; j < run; ++j) {
-                  dst[i + j] = dst[i + j] + arow[j];
-                }
+                sops.add_f32(dst + i, row + col, run);
                 i += run;
               }
               break;
@@ -359,10 +353,8 @@ void Executor::run_elementwise(const GraphOp& op) {
               for (std::int64_t i = i0; i < i1;) {
                 const std::int64_t col = i % st.a;
                 const std::int64_t run = std::min(i1 - i, st.a - col);
-                const float* arow = aux + (i / (st.a * st.b)) * st.a + col;
-                for (std::int64_t j = 0; j < run; ++j) {
-                  dst[i + j] = dst[i + j] + arow[j];
-                }
+                sops.add_f32(dst + i, aux + (i / (st.a * st.b)) * st.a + col,
+                             run);
                 i += run;
               }
               break;

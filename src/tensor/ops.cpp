@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/kernels.hpp"
+#include "core/simd/simd.hpp"
 
 namespace orbit2 {
 
@@ -24,6 +25,7 @@ void softmax_rows_into(const Tensor& logits, Tensor& out) {
   const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
   const float* in = logits.data().data();
   float* po = out.data().data();
+  const simd::Ops& sops = simd::ops();
   kernels::parallel_for(
       rows, kernels::grain_for(cols), [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
@@ -31,13 +33,16 @@ void softmax_rows_into(const Tensor& logits, Tensor& out) {
           float* y = po + r * cols;
           float row_max = x[0];
           for (std::int64_t c = 1; c < cols; ++c) row_max = std::max(row_max, x[c]);
+          // The denom accumulation stays a sequential double sum — its
+          // addition order is pinned by golden tests. Only the
+          // element-parallel rescale routes through the simd tier.
           double denom = 0.0;
           for (std::int64_t c = 0; c < cols; ++c) {
             y[c] = std::exp(x[c] - row_max);
             denom += y[c];
           }
           const float inv = static_cast<float>(1.0 / denom);
-          for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
+          sops.scale_f32(y, inv, cols);
         }
       });
 }

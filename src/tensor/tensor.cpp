@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/bf16.hpp"
+#include "core/simd/simd.hpp"
 
 namespace orbit2 {
 
@@ -146,24 +147,20 @@ void Tensor::fill(float value) {
 
 void Tensor::add_inplace(const Tensor& other) {
   check_same_shape(*this, other, "add_inplace");
-  auto pa = data();
-  auto pb = other.data();
-  for (std::size_t i = 0; i < pa.size(); ++i) pa[i] += pb[i];
+  simd::ops().add_f32(data().data(), other.data().data(), numel());
 }
 
 void Tensor::scale_inplace(float value) {
-  for (float& v : data()) v *= value;
+  simd::ops().scale_f32(data().data(), value, numel());
 }
 
 void Tensor::axpy_inplace(float alpha, const Tensor& other) {
   check_same_shape(*this, other, "axpy_inplace");
-  auto pa = data();
-  auto pb = other.data();
-  for (std::size_t i = 0; i < pa.size(); ++i) pa[i] += alpha * pb[i];
+  simd::ops().axpy_f32(data().data(), other.data().data(), alpha, numel());
 }
 
 void Tensor::round_to_bf16_inplace() {
-  for (float& v : data()) v = bf16_round(v);
+  simd::ops().bf16_round_f32(data().data(), numel());
 }
 
 float Tensor::sum() const {

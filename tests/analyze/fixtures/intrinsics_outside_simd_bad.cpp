@@ -1,0 +1,26 @@
+// Known-bad fixture: raw vector intrinsics outside src/core/simd/. Every
+// other layer must call the dispatched simd::Ops table so one scalar
+// reference pins the bits for every backend. The #if guard keeps the file
+// compiling on any host; the analyzer's textual scan sees the tokens
+// regardless of preprocessor state.
+
+#include <immintrin.h>  // EXPECT: intrinsics-outside-simd
+
+float fast_sum(const float* p, int n);
+
+#if defined(__AVX2__)
+float fast_sum(const float* p, int n) {
+  __m256 acc = _mm256_setzero_ps();  // EXPECT: intrinsics-outside-simd
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(p + i);  // EXPECT: intrinsics-outside-simd
+    acc = _mm256_add_ps(acc, v);              // EXPECT: intrinsics-outside-simd
+  }
+  float lanes[8];
+  _mm256_storeu_ps(lanes, acc);  // EXPECT: intrinsics-outside-simd
+  double total = 0.0;
+  for (int lane = 0; lane < 8; ++lane) total += lanes[lane];
+  for (; i < n; ++i) total += p[i];
+  return static_cast<float>(total);
+}
+#endif

@@ -1,0 +1,15 @@
+// Known-good twin of intrinsics_outside_simd_bad.cpp: the same reduction
+// routed through the dispatched simd table (stubbed here so the fixture
+// parses standalone). No vendor headers, no intrinsic tokens — orbit2_analyze
+// must report nothing in this file.
+
+namespace simd {
+struct Ops {
+  double (*dot_f32)(const float* x, const float* y, long long n);
+};
+const Ops& ops();
+}  // namespace simd
+
+float fast_dot(const float* x, const float* y, long long n) {
+  return static_cast<float>(simd::ops().dot_f32(x, y, n));
+}

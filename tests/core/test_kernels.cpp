@@ -8,9 +8,14 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "attention/attention.hpp"
@@ -324,6 +329,144 @@ TEST(Kernels, SetMaxThreadsControlsPoolSize) {
   EXPECT_EQ(kernels::max_threads(), 3u);
   kernels::set_max_threads(0);
   EXPECT_GE(kernels::max_threads(), 1u);
+}
+
+/// Sets an environment variable for the current scope and restores the prior
+/// value (or absence) on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      saved_ = old;
+      had_value_ = true;
+    }
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() {
+    if (had_value_) {
+      ::setenv(name_, saved_.c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+TEST(Kernels, ThreadEnvRequiresFullStringParse) {
+  // A trailing-garbage value like "4abc" must not be honored as 4: the whole
+  // string has to parse, otherwise the hardware default applies.
+  kernels::set_max_threads(0);
+  const std::size_t fallback =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  for (const char* junk : {"4abc", "abc", "", "4 ", "0x10", "-3", "0"}) {
+    ScopedEnv env("ORBIT2_NUM_THREADS", junk);
+    EXPECT_EQ(kernels::max_threads(), fallback)
+        << "ORBIT2_NUM_THREADS=\"" << junk << "\" should fall back";
+  }
+  // Leading whitespace is standard strtoll behavior and stays accepted.
+  for (const char* good : {"4", " 4"}) {
+    ScopedEnv env("ORBIT2_NUM_THREADS", good);
+    EXPECT_EQ(kernels::max_threads(), 4u);
+  }
+  kernels::set_max_threads(0);
+}
+
+TEST(Kernels, ThreadEnvClampsToHardwareMultiple) {
+  kernels::set_max_threads(0);
+  const std::size_t fallback =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t ceiling = 4 * fallback;
+  // In-range values saturate-and-clamp instead of spawning a pathological
+  // pool; wildly overflowing literals saturate in strtoll and clamp too.
+  for (const char* huge : {"999999999", "99999999999999999999999999"}) {
+    ScopedEnv env("ORBIT2_NUM_THREADS", huge);
+    EXPECT_EQ(kernels::max_threads(), ceiling)
+        << "ORBIT2_NUM_THREADS=" << huge << " should clamp";
+  }
+  kernels::set_max_threads(0);
+}
+
+TEST(Kernels, ChunkMathIsOverflowSafeNearInt64Max) {
+  // The old ceil formula (count + grain - 1) / grain overflowed for counts
+  // near INT64_MAX. Chunk boundaries must stay exact at the extreme.
+  kernels::set_max_threads(1);  // inline execution: deterministic span order
+  const std::int64_t count = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t grain = std::int64_t{1} << 62;
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> spans;
+  kernels::parallel_for(count, grain,
+                        [&](std::int64_t begin, std::int64_t end) {
+                          spans.emplace_back(begin, end);
+                        });
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].first, 0);
+  EXPECT_EQ(spans[0].second, grain);
+  EXPECT_EQ(spans[1].first, grain);
+  EXPECT_EQ(spans[1].second, count);
+
+  // grain == count: exactly one chunk, no phantom empty tail.
+  spans.clear();
+  kernels::parallel_for(count, count,
+                        [&](std::int64_t begin, std::int64_t end) {
+                          spans.emplace_back(begin, end);
+                        });
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].first, 0);
+  EXPECT_EQ(spans[0].second, count);
+
+  // parallel_reduce shares the same chunk math.
+  const double total = kernels::parallel_reduce(
+      count, grain, [](std::int64_t begin, std::int64_t end) {
+        return static_cast<double>(end - begin);
+      });
+  EXPECT_EQ(total, static_cast<double>(count));
+  kernels::set_max_threads(0);
+}
+
+TEST(Kernels, BatchedTransposePackBitwiseAcrossThreads) {
+  // NT/TN batched GEMM packs every batch element's transpose in one
+  // parallel_for over batch * rows (no nested parallel_for per element).
+  // The pack is a pure copy, so batched must match per-batch bit for bit at
+  // every thread count. k is large enough that the pack spans chunks.
+  Rng rng(29);
+  const std::int64_t batch = 3, m = 65, n = 33, k = 1050;
+  const Tensor a = Tensor::randn(Shape{batch, m, k}, rng);
+  const Tensor a_t = Tensor::randn(Shape{batch, k, m}, rng);
+  const Tensor b = Tensor::randn(Shape{batch, k, n}, rng);
+  const Tensor b_nt = Tensor::randn(Shape{batch, n, k}, rng);
+
+  // Per-batch references at one thread.
+  kernels::set_max_threads(1);
+  std::vector<float> ref_nt(static_cast<std::size_t>(batch * m * n));
+  std::vector<float> ref_tn(static_cast<std::size_t>(batch * m * n));
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    kernels::gemm(kernels::Trans::kN, kernels::Trans::kT, m, n, k,
+                  a.data().data() + bi * m * k,
+                  b_nt.data().data() + bi * n * k, ref_nt.data() + bi * m * n);
+    kernels::gemm(kernels::Trans::kT, kernels::Trans::kN, m, n, k,
+                  a_t.data().data() + bi * k * m,
+                  b.data().data() + bi * k * n, ref_tn.data() + bi * m * n);
+  }
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    kernels::set_max_threads(threads);
+    std::vector<float> got(static_cast<std::size_t>(batch * m * n));
+    kernels::gemm_batched(kernels::Trans::kN, kernels::Trans::kT, batch, m, n,
+                          k, a.data().data(), b_nt.data().data(), got.data());
+    EXPECT_EQ(0, std::memcmp(got.data(), ref_nt.data(),
+                             got.size() * sizeof(float)))
+        << "batched NT diverged at " << threads << " thread(s)";
+    kernels::gemm_batched(kernels::Trans::kT, kernels::Trans::kN, batch, m, n,
+                          k, a_t.data().data(), b.data().data(), got.data());
+    EXPECT_EQ(0, std::memcmp(got.data(), ref_tn.data(),
+                             got.size() * sizeof(float)))
+        << "batched TN diverged at " << threads << " thread(s)";
+  }
+  kernels::set_max_threads(0);
 }
 
 }  // namespace

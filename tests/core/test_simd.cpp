@@ -1,0 +1,396 @@
+// SIMD microkernel tier: bit-exactness matrix. Every vector backend the host
+// supports must produce byte-identical results to the scalar reference for
+// every primitive, across sizes that straddle vector widths (1, lane-1, lane,
+// lane+1, non-powers-of-two) and across pointer offsets that break natural
+// alignment. Guard elements past the logical end pin that no backend writes
+// out of bounds. Two end-to-end goldens (data-pipeline CRC and Reslim
+// compiled-predict bytes) close the loop from primitives to the full model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "core/crc32.hpp"
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "core/simd/simd.hpp"
+#include "data/dataset.hpp"
+#include "model/reslim.hpp"
+#include "tensor/tensor.hpp"
+
+namespace orbit2 {
+namespace {
+
+constexpr std::int64_t kSizes[] = {1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33,
+                                   100, 1023};
+constexpr std::int64_t kOffsets[] = {0, 1, 3};
+constexpr std::size_t kGuard = 16;  // sentinel elems past the logical end
+
+/// Restores the process-wide active ISA on scope exit so a failing test
+/// cannot leak a forced backend into later tests.
+class IsaRestore {
+ public:
+  IsaRestore() : saved_(simd::active_isa()) {}
+  ~IsaRestore() { simd::set_isa(saved_); }
+
+ private:
+  simd::Isa saved_;
+};
+
+/// Finite values spanning many binades plus signed zeros and subnormals —
+/// the cases where a reassociated or FMA-contracted backend would diverge.
+std::vector<float> interesting_floats(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int exp10 = static_cast<int>(rng.uniform(-12.0, 12.0));
+    v[i] = static_cast<float>(rng.normal() * std::pow(10.0, exp10));
+  }
+  if (n > 0) v[0] = 0.0f;
+  if (n > 1) v[1] = -0.0f;
+  if (n > 2) v[2] = 1.0e-41f;   // subnormal
+  if (n > 3) v[3] = -7.0e-42f;  // subnormal
+  return v;
+}
+
+std::vector<double> interesting_doubles(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int exp10 = static_cast<int>(rng.uniform(-30.0, 30.0));
+    v[i] = rng.normal() * std::pow(10.0, exp10);
+  }
+  if (n > 0) v[0] = 0.0;
+  if (n > 1) v[1] = -0.0;
+  return v;
+}
+
+/// Runs `run` under scalar then under every supported backend, comparing the
+/// whole destination buffer (including guards) byte for byte. `dst` and `src`
+/// hold `mult * n` elements at offset `off`.
+template <typename T>
+void expect_matrix_bitwise(
+    const char* what, std::int64_t mult,
+    const std::function<std::vector<T>(std::size_t, std::uint64_t)>& make,
+    const std::function<void(const simd::Ops&, T*, const T*, std::int64_t)>&
+        run) {
+  const IsaRestore restore;
+  const std::vector<simd::Isa> isas = simd::supported_isas();
+  std::uint64_t seed = 1000;
+  for (const std::int64_t n : kSizes) {
+    for (const std::int64_t off : kOffsets) {
+      const std::size_t used = static_cast<std::size_t>(off + mult * n);
+      const std::size_t total = used + kGuard;
+      const std::vector<T> src = make(total, seed++);
+      std::vector<T> dst_init = make(total, seed++);
+      for (std::size_t i = used; i < total; ++i) {
+        dst_init[i] = static_cast<T>(12345);  // guard: must survive untouched
+      }
+
+      simd::set_isa(simd::Isa::kScalar);
+      std::vector<T> expected = dst_init;
+      run(simd::ops(), expected.data() + off, src.data() + off, n);
+
+      for (const simd::Isa isa : isas) {
+        simd::set_isa(isa);
+        std::vector<T> got = dst_init;
+        run(simd::ops(), got.data() + off, src.data() + off, n);
+        EXPECT_EQ(0, std::memcmp(got.data(), expected.data(),
+                                 total * sizeof(T)))
+            << what << " diverged from scalar: isa=" << simd::isa_name(isa)
+            << " n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+void expect_f32_matrix_bitwise(
+    const char* what,
+    const std::function<void(const simd::Ops&, float*, const float*,
+                             std::int64_t)>& run) {
+  expect_matrix_bitwise<float>(what, 1, interesting_floats, run);
+}
+
+// ---- elementwise f32 primitives -------------------------------------------
+
+TEST(SimdMatrix, AxpyF32) {
+  expect_f32_matrix_bitwise(
+      "axpy_f32", [](const simd::Ops& o, float* d, const float* s,
+                     std::int64_t n) { o.axpy_f32(d, s, 1.7f, n); });
+}
+
+TEST(SimdMatrix, ScaleF32) {
+  expect_f32_matrix_bitwise(
+      "scale_f32", [](const simd::Ops& o, float* d, const float*,
+                      std::int64_t n) { o.scale_f32(d, -0.37f, n); });
+}
+
+TEST(SimdMatrix, AddF32) {
+  expect_f32_matrix_bitwise(
+      "add_f32", [](const simd::Ops& o, float* d, const float* s,
+                    std::int64_t n) { o.add_f32(d, s, n); });
+}
+
+TEST(SimdMatrix, SubF32) {
+  expect_f32_matrix_bitwise(
+      "sub_f32", [](const simd::Ops& o, float* d, const float* s,
+                    std::int64_t n) { o.sub_f32(d, s, n); });
+}
+
+TEST(SimdMatrix, RsubF32) {
+  expect_f32_matrix_bitwise(
+      "rsub_f32", [](const simd::Ops& o, float* d, const float* s,
+                     std::int64_t n) { o.rsub_f32(d, s, n); });
+}
+
+TEST(SimdMatrix, MulF32) {
+  expect_f32_matrix_bitwise(
+      "mul_f32", [](const simd::Ops& o, float* d, const float* s,
+                    std::int64_t n) { o.mul_f32(d, s, n); });
+}
+
+// ---- bf16 convert-and-round: full bit-pattern coverage ---------------------
+
+TEST(SimdMatrix, Bf16RoundF32AllBitClasses) {
+  // bf16 rounding is pure bit manipulation, so it must be exact on every
+  // input class: both NaN encodings (payload preserved or quieted the same
+  // way), infinities, signed zeros, subnormals, and round-to-even ties.
+  const std::uint32_t special[] = {
+      0x00000000u, 0x80000000u,  // +/- zero
+      0x00000001u, 0x807fffffu,  // subnormals
+      0x3f800000u, 0x3f808000u,  // 1.0 and an even tie
+      0x3f818000u, 0x3f81ffffu,  // odd tie and just-above-tie
+      0x7f7fffffu, 0xff7fffffu,  // +/- max finite
+      0x7f800000u, 0xff800000u,  // +/- inf
+      0x7f800001u, 0xffb12345u,  // signalling NaNs
+      0x7fc00000u, 0xffffffffu,  // quiet NaNs
+  };
+  const std::size_t n_special = sizeof(special) / sizeof(special[0]);
+  expect_matrix_bitwise<float>(
+      "bf16_round_f32", 1,
+      [&](std::size_t total, std::uint64_t seed) {
+        Rng rng(seed);
+        std::vector<float> v(total);
+        for (std::size_t i = 0; i < total; ++i) {
+          const std::uint32_t bits =
+              i < n_special ? special[i]
+                            : static_cast<std::uint32_t>(rng.next_u64());
+          v[i] = std::bit_cast<float>(bits);
+        }
+        return v;
+      },
+      [](const simd::Ops& o, float* d, const float*, std::int64_t n) {
+        o.bf16_round_f32(d, n);
+      });
+}
+
+// ---- GEMM inner-loop row update (f64 accumulators, f32 operand) ------------
+
+TEST(SimdMatrix, GemmUpdateF64) {
+  const IsaRestore restore;
+  const std::vector<simd::Isa> isas = simd::supported_isas();
+  std::uint64_t seed = 2000;
+  for (const std::int64_t n : kSizes) {
+    for (const std::int64_t off : kOffsets) {
+      const std::size_t used = static_cast<std::size_t>(off + n);
+      const std::size_t total = used + kGuard;
+      const std::vector<float> b = interesting_floats(total, seed++);
+      std::vector<double> acc_init = interesting_doubles(total, seed++);
+      for (std::size_t i = used; i < total; ++i) acc_init[i] = 12345.0;
+      const double a = -0.81234567890123456;
+
+      simd::set_isa(simd::Isa::kScalar);
+      std::vector<double> expected = acc_init;
+      simd::ops().gemm_update_f64(expected.data() + off, b.data() + off, a, n);
+
+      for (const simd::Isa isa : isas) {
+        simd::set_isa(isa);
+        std::vector<double> got = acc_init;
+        simd::ops().gemm_update_f64(got.data() + off, b.data() + off, a, n);
+        EXPECT_EQ(0, std::memcmp(got.data(), expected.data(),
+                                 total * sizeof(double)))
+            << "gemm_update_f64 diverged: isa=" << simd::isa_name(isa)
+            << " n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+// ---- FFT butterfly and complex pointwise multiply --------------------------
+
+TEST(SimdMatrix, FftButterflyF64) {
+  // Buffer layout: [a0 (2n doubles) | a1 (2n doubles)], twiddles separate.
+  expect_matrix_bitwise<double>(
+      "fft_butterfly_f64", 4, interesting_doubles,
+      [](const simd::Ops& o, double* d, const double* w, std::int64_t n) {
+        o.fft_butterfly_f64(d, d + 2 * n, w, n);
+      });
+}
+
+TEST(SimdMatrix, CmulF64) {
+  expect_matrix_bitwise<double>(
+      "cmul_f64", 2, interesting_doubles,
+      [](const simd::Ops& o, double* d, const double* y, std::int64_t n) {
+        o.cmul_f64(d, y, n);
+      });
+}
+
+// ---- lane-ordered dot reduction --------------------------------------------
+
+/// Independent reimplementation of the documented reduce policy: element i
+/// accumulates into lane i % kReduceLanes; lanes combine in ascending order
+/// starting from lanes[0].
+double lane_ordered_dot_reference(const float* x, const float* y,
+                                  std::int64_t n) {
+  double lanes[simd::kReduceLanes] = {};
+  for (std::int64_t i = 0; i < n; ++i) {
+    lanes[i % simd::kReduceLanes] +=
+        static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  double acc = lanes[0];
+  for (std::int64_t lane = 1; lane < simd::kReduceLanes; ++lane) {
+    acc += lanes[lane];
+  }
+  return acc;
+}
+
+TEST(SimdMatrix, DotF32LaneOrderedAcrossIsas) {
+  const IsaRestore restore;
+  const std::vector<simd::Isa> isas = simd::supported_isas();
+  std::uint64_t seed = 3000;
+  for (const std::int64_t n : kSizes) {
+    for (const std::int64_t off : kOffsets) {
+      const std::size_t total = static_cast<std::size_t>(off + n) + kGuard;
+      const std::vector<float> x = interesting_floats(total, seed++);
+      const std::vector<float> y = interesting_floats(total, seed++);
+      const double ref =
+          lane_ordered_dot_reference(x.data() + off, y.data() + off, n);
+      for (const simd::Isa isa : isas) {
+        simd::set_isa(isa);
+        const double got = simd::ops().dot_f32(x.data() + off,
+                                               y.data() + off, n);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(got),
+                  std::bit_cast<std::uint64_t>(ref))
+            << "dot_f32 lane policy violated: isa=" << simd::isa_name(isa)
+            << " n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+// ---- dispatch surface ------------------------------------------------------
+
+TEST(SimdDispatch, IsaNameRoundTrip) {
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2,
+                              simd::Isa::kAvx512, simd::Isa::kNeon}) {
+    simd::Isa parsed = simd::Isa::kScalar;
+    EXPECT_TRUE(simd::parse_isa_name(simd::isa_name(isa), &parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  simd::Isa out = simd::Isa::kScalar;
+  EXPECT_FALSE(simd::parse_isa_name("", &out));
+  EXPECT_FALSE(simd::parse_isa_name("AVX2", &out));    // case-sensitive
+  EXPECT_FALSE(simd::parse_isa_name("avx2 ", &out));   // full-string match
+  EXPECT_FALSE(simd::parse_isa_name("sse", &out));
+  EXPECT_FALSE(simd::parse_isa_name(nullptr, &out));
+}
+
+TEST(SimdDispatch, ScalarAlwaysSupportedAndActiveIsaValid) {
+  EXPECT_TRUE(simd::isa_supported(simd::Isa::kScalar));
+  const std::vector<simd::Isa> isas = simd::supported_isas();
+  EXPECT_NE(std::find(isas.begin(), isas.end(), simd::Isa::kScalar),
+            isas.end());
+  EXPECT_TRUE(simd::isa_supported(simd::active_isa()));
+  EXPECT_EQ(simd::ops().isa, simd::active_isa());
+}
+
+TEST(SimdDispatch, SetIsaRejectsUnsupportedBackend) {
+  // x86 hosts never support NEON and aarch64 hosts never support AVX, so at
+  // least one backend is guaranteed unsupported everywhere.
+  int rejected = 0;
+  for (const simd::Isa isa :
+       {simd::Isa::kAvx2, simd::Isa::kAvx512, simd::Isa::kNeon}) {
+    if (!simd::isa_supported(isa)) {
+      EXPECT_THROW(simd::set_isa(isa), Error) << simd::isa_name(isa);
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 1);
+}
+
+TEST(SimdDispatch, SetIsaSwitchesActiveTable) {
+  const IsaRestore restore;
+  for (const simd::Isa isa : simd::supported_isas()) {
+    simd::set_isa(isa);
+    EXPECT_EQ(simd::active_isa(), isa);
+    EXPECT_EQ(simd::ops().isa, isa);
+  }
+}
+
+// ---- end-to-end goldens under every backend --------------------------------
+
+std::uint32_t sample_crc(const data::Sample& s) {
+  Crc32 crc;
+  crc.update(s.input.data().data(), s.input.data().size() * sizeof(float));
+  crc.update(s.target.data().data(), s.target.data().size() * sizeof(float));
+  return crc.value();
+}
+
+TEST(SimdEndToEnd, DataPipelineGoldenCrcUnderEveryIsa) {
+  // Same pinned hashes as PipelineGolden.FreshTerrainMatchesPreCacheBits:
+  // the FFT/filter/normalizer pipeline must produce the pre-SIMD bits no
+  // matter which backend is active.
+  const IsaRestore restore;
+  for (const simd::Isa isa : simd::supported_isas()) {
+    simd::set_isa(isa);
+    data::DatasetConfig config;
+    config.hr_h = 32;
+    config.hr_w = 64;
+    config.upscale = 4;
+    config.seed = 1234;
+    config.fixed_region = false;
+    data::SyntheticDataset dataset(config);
+    EXPECT_EQ(sample_crc(dataset.sample(0)), 0x9757b96fu)
+        << "isa=" << simd::isa_name(isa);
+    EXPECT_EQ(sample_crc(dataset.sample(3)), 0x0edc3d18u)
+        << "isa=" << simd::isa_name(isa);
+  }
+}
+
+TEST(SimdEndToEnd, ReslimPredictBitwiseAcrossIsas) {
+  const IsaRestore restore;
+  model::ModelConfig config = model::preset_tiny();
+  config.in_channels = 3;
+  config.out_channels = 2;
+  config.upscale = 2;
+  Rng rng(11);
+  const model::ReslimModel model(config, rng);
+
+  Tensor input(Shape{3, 12, 20});
+  float* p = input.data().data();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    p[i] = std::sin(0.013f * static_cast<float>(i) + 0.4f);
+  }
+
+  simd::set_isa(simd::Isa::kScalar);
+  const Tensor reference = model.predict_field(input);
+
+  for (const simd::Isa isa : simd::supported_isas()) {
+    simd::set_isa(isa);
+    const Tensor got = model.predict_field(input);
+    ASSERT_EQ(got.shape(), reference.shape());
+    EXPECT_EQ(0, std::memcmp(got.data().data(), reference.data().data(),
+                             static_cast<std::size_t>(got.numel()) *
+                                 sizeof(float)))
+        << "predict_field bytes diverged under isa=" << simd::isa_name(isa);
+  }
+}
+
+}  // namespace
+}  // namespace orbit2

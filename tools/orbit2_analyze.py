@@ -59,10 +59,15 @@ RULE_FLOAT_ACC = "float-accumulator"
 RULE_THREADING = "threading-outside-core"
 RULE_UNORDERED = "unordered-iteration"
 RULE_NONDET = "nondeterminism-source"
-ALL_RULES = (RULE_FLOAT_ACC, RULE_THREADING, RULE_UNORDERED, RULE_NONDET)
+RULE_INTRINSICS = "intrinsics-outside-simd"
+ALL_RULES = (RULE_FLOAT_ACC, RULE_THREADING, RULE_UNORDERED, RULE_NONDET,
+             RULE_INTRINSICS)
 
 # Directory (repo-relative, posix) whose files may own threading primitives.
 THREADING_HOME = "src/core"
+
+# Directory (repo-relative, posix) whose files may use vector intrinsics.
+SIMD_HOME = "src/core/simd"
 
 
 @dataclass(frozen=True)
@@ -435,11 +440,48 @@ def textual_chrono_seed(path: str, code: str, findings: list[Finding]):
             "clock-derived RNG seed; runs become irreproducible"))
 
 
+# ---- rule: intrinsics-outside-simd (textual) ------------------------------
+
+INTRIN_INCLUDE_RE = re.compile(
+    r"#include\s+<(immintrin\.h|x86intrin\.h|x86gprintrin\.h|"
+    r"[a-z0-9]+mmintrin\.h|avx[a-z0-9]*intrin\.h|arm_neon\.h|arm_sve\.h)>")
+INTRIN_TOKEN_RE = re.compile(
+    r"\b(__m(?:64|128|256|512)[dhi]?\b|"
+    r"_mm(?:256|512)?_[a-z0-9_]+|"
+    r"(?:float|poly|int|uint)(?:8|16|32|64)x(?:1|2|4|8|16)(?:x[2-4])?_t\b|"
+    r"v[a-z][a-z0-9]*q_[fsu](?:8|16|32|64)\b)")
+
+
+def path_is_simd_home(path: str) -> bool:
+    return path.startswith(SIMD_HOME + "/")
+
+
+def textual_intrinsics(path: str, code: str, findings: list[Finding]):
+    """Vector intrinsics are confined to src/core/simd/ so every other layer
+    goes through the dispatched simd::Ops table (one scalar reference, one
+    bit-exactness test surface, one place the determinism contract lives).
+    Textual in BOTH frontends: intrinsics typically hide behind #if blocks
+    the AST never enters."""
+    if path_is_simd_home(path):
+        return
+    for m in INTRIN_INCLUDE_RE.finditer(code):
+        findings.append(Finding(
+            RULE_INTRINSICS, path, line_of(code, m.start()),
+            f"#include <{m.group(1)}> outside {SIMD_HOME}; add a microkernel "
+            "to the simd::Ops table instead of open-coding intrinsics"))
+    for m in INTRIN_TOKEN_RE.finditer(code):
+        findings.append(Finding(
+            RULE_INTRINSICS, path, line_of(code, m.start()),
+            f"vector intrinsic token `{m.group(1)}` outside {SIMD_HOME}; "
+            "route through the dispatched simd::Ops table"))
+
+
 def analyze_file_tokens(path: str, text: str) -> list[Finding]:
     code = strip_comments_and_strings(text)
     findings: list[Finding] = []
     tokens_float_accumulator(path, code, findings)
     textual_threading_includes(path, code, findings)
+    textual_intrinsics(path, code, findings)
     tokens_threading(path, code, findings)
     tokens_unordered_iteration(path, text, code, findings)
     tokens_nondeterminism(path, code, findings)
@@ -466,7 +508,11 @@ def find_clang() -> str | None:
     return None
 
 
-KEEP_FLAG_RE = re.compile(r"^(-I|-isystem|-D|-U|-std=|-include)")
+# -m* (target feature) and -ffp-contract flags are kept so the clang
+# frontend can parse the src/core/simd/ vector TUs under the same target
+# features they build with.
+KEEP_FLAG_RE = re.compile(
+    r"^(-I|-isystem|-D|-U|-std=|-include|-m|-ffp-contract)")
 
 
 def clang_args_from_entry(entry: dict) -> list[str]:
@@ -940,6 +986,7 @@ def main(argv: list[str] | None = None) -> int:
                 findings.extend(analyze_file_tokens(rel, text))
             else:
                 textual_threading_includes(rel, code, findings)
+                textual_intrinsics(rel, code, findings)
                 textual_chrono_seed(rel, code, findings)
         token_files = []
 
@@ -1069,6 +1116,25 @@ bool has(const std::unordered_map<int, float>& m, int k) {
 #include <cstdlib>
 int roll() { return std::rand() % 6; }
 """, [(RULE_NONDET, 2)]),
+    ("intrinsics_bad", """\
+#include <immintrin.h>
+float first_lane(const float* p) {
+  __m256 v = load8(p);
+  return lane0(v);
+}
+""", [(RULE_INTRINSICS, 1), (RULE_INTRINSICS, 3)]),
+    ("intrinsics_bad_neon", """\
+#include <arm_neon.h>
+void twice(float* p) {
+  float32x4_t v = vld1q_f32(p);
+  vst1q_f32(p, vaddq_f32(v, v));
+}
+""", [(RULE_INTRINSICS, 1), (RULE_INTRINSICS, 3), (RULE_INTRINSICS, 4)]),
+    ("intrinsics_good_dispatch", """\
+namespace simd { struct Ops { void (*scale_f32)(float*, float, long); }; }
+const simd::Ops& ops();
+void scale(float* y, float a, long n) { ops().scale_f32(y, a, n); }
+""", []),
 ]
 
 # A hand-written clang-style JSON AST for:
